@@ -1,0 +1,224 @@
+//! Adaptive Batch Size (ABS), after Su et al. (reference \[3\] in the paper).
+
+use dolbie_core::{Allocation, LoadBalancer, Observation};
+
+/// The ABS baseline of §VI-B: every `P` rounds, reassign workload
+/// **inversely proportional to each worker's historical local cost** over
+/// the window (§II-B: "balance the workload by updating the decisions
+/// inversely proportional to the historical local cost of each worker").
+///
+/// The rule looks sensible but has two structural flaws that the paper
+/// exploits and that this implementation faithfully reproduces:
+///
+/// 1. **Wrong fixed point.** `b_i ∝ 1/l̄_i` stabilizes where `b_i · l_i`
+///    is equal across workers — equal *work × time*, not equal time. For
+///    linear costs `l_i = a_i b_i` the fixed point is `b_i ∝ 1/√a_i`,
+///    leaving the slow workers with strictly higher latency than the fast
+///    ones (suboptimal by up to `√(a_max/a_min)`), and a load-independent
+///    communication term skews it further.
+/// 2. **Oscillation.** The update is a fixed-point iteration
+///    `b ← normalize(1/l(b))` applied once per window; away from the fixed
+///    point it over-corrects, producing the "radical fluctuation" and the
+///    step-like latency plots of Figs. 3–5.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_baselines::Abs;
+/// use dolbie_core::LoadBalancer;
+///
+/// let abs = Abs::new(4, 5); // window P = 5 as in the paper's experiments
+/// assert_eq!(abs.allocation().num_workers(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Abs {
+    x: Allocation,
+    window: usize,
+    rounds_in_window: usize,
+    latency_sums: Vec<f64>,
+}
+
+impl Abs {
+    /// Creates ABS over `n` workers with tuning period `P = window` (the
+    /// paper's experiments use `P = 5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `window == 0`.
+    pub fn new(n: usize, window: usize) -> Self {
+        assert!(window > 0, "tuning period must be positive");
+        Self {
+            x: Allocation::uniform(n),
+            window,
+            rounds_in_window: 0,
+            latency_sums: vec![0.0; n],
+        }
+    }
+
+    /// The tuning period `P`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl LoadBalancer for Abs {
+    fn name(&self) -> &str {
+        "ABS"
+    }
+
+    fn allocation(&self) -> &Allocation {
+        &self.x
+    }
+
+    fn observe(&mut self, observation: &Observation<'_>) {
+        let n = observation.num_workers();
+        assert_eq!(n, self.x.num_workers(), "observation covers a different worker set");
+        for i in 0..n {
+            self.latency_sums[i] += observation.local_costs()[i];
+        }
+        self.rounds_in_window += 1;
+        if self.rounds_in_window < self.window {
+            return;
+        }
+        // Window boundary: shares inversely proportional to mean latency.
+        let weights: Vec<f64> = self
+            .latency_sums
+            .iter()
+            .map(|&l| {
+                let mean = l / self.window as f64;
+                // A worker with (essentially) zero observed latency is
+                // treated as very fast rather than infinitely fast.
+                1.0 / mean.max(1e-12)
+            })
+            .collect();
+        if let Ok(next) = Allocation::from_weights(weights) {
+            self.x = next;
+        }
+        self.rounds_in_window = 0;
+        self.latency_sums.iter_mut().for_each(|l| *l = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dolbie_core::cost::{DynCost, LinearCost};
+
+    fn step(abs: &mut Abs, costs: &[DynCost], t: usize) {
+        let played = abs.allocation().clone();
+        let obs = Observation::from_costs(t, &played, costs);
+        abs.observe(&obs);
+    }
+
+    #[test]
+    fn updates_only_at_window_boundaries() {
+        let mut abs = Abs::new(2, 3);
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(4.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+        ];
+        let initial = abs.allocation().clone();
+        step(&mut abs, &costs, 0);
+        assert_eq!(abs.allocation(), &initial, "no update mid-window");
+        step(&mut abs, &costs, 1);
+        assert_eq!(abs.allocation(), &initial);
+        step(&mut abs, &costs, 2);
+        assert_ne!(abs.allocation(), &initial, "update at the window boundary");
+    }
+
+    #[test]
+    fn cycles_forever_on_static_linear_costs() {
+        // For l_i = a_i x_i the b ∝ 1/l̄ map has an exact 2-cycle from the
+        // uniform start (0.5 → a1/(a0+a1) → 0.5 → ...): ABS never settles
+        // even on a *static* instance, and its time-averaged global cost
+        // stays well above the optimum — the paper's §II-B critique made
+        // precise.
+        let slopes = [9.0, 1.0];
+        let costs: Vec<DynCost> =
+            slopes.iter().map(|&a| Box::new(LinearCost::new(a, 0.0)) as DynCost).collect();
+        let mut abs = Abs::new(2, 1);
+        let mut shares = Vec::new();
+        let mut total_cost = 0.0;
+        for t in 0..200 {
+            let played = abs.allocation().clone();
+            let obs = Observation::from_costs(t, &played, &costs);
+            total_cost += obs.global_cost();
+            abs.observe(&obs);
+            shares.push(abs.allocation().share(0));
+        }
+        let late = &shares[190..];
+        let swing = late.iter().cloned().fold(f64::MIN, f64::max)
+            - late.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(swing > 0.3, "ABS must keep cycling, swing = {swing} ({late:?})");
+        let opt = dolbie_core::instantaneous_minimizer(&costs).unwrap();
+        let mean_cost = total_cost / 200.0;
+        assert!(
+            mean_cost > 1.5 * opt.level,
+            "time-averaged ABS cost {mean_cost} must sit well above OPT {}",
+            opt.level
+        );
+    }
+
+    #[test]
+    fn iteration_oscillates_away_from_fixed_point() {
+        // Starting from uniform on a skewed instance, consecutive window
+        // updates over-correct: the share of the slow worker swings.
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(16.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+        ];
+        let mut abs = Abs::new(2, 1);
+        let mut shares = Vec::new();
+        for t in 0..6 {
+            step(&mut abs, &costs, t);
+            shares.push(abs.allocation().share(0));
+        }
+        // x0: 0.5 -> 1/17 ≈ 0.059 -> then overshoots back up.
+        assert!(shares[0] < 0.1, "first correction crashes the slow share: {shares:?}");
+        assert!(shares[1] > shares[0] * 1.5, "then it rebounds: {shares:?}");
+    }
+
+    #[test]
+    fn feasibility_always_holds() {
+        let mut abs = Abs::new(4, 2);
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(10.0, 0.5)),
+            Box::new(LinearCost::new(0.1, 0.0)),
+            Box::new(LinearCost::new(3.0, 0.2)),
+            Box::new(LinearCost::new(1.0, 1.0)),
+        ];
+        for t in 0..40 {
+            step(&mut abs, &costs, t);
+            let sum: f64 = abs.allocation().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(abs.allocation().iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn zero_latency_worker_is_treated_as_fast() {
+        // A pure-plateau worker reporting ~zero latency should attract
+        // (essentially all) work without producing NaNs.
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(0.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+        ];
+        let mut abs = Abs::new(2, 1);
+        step(&mut abs, &costs, 0);
+        assert!(abs.allocation().share(0) > 0.999);
+        assert!(abs.allocation().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accessors_and_name() {
+        let abs = Abs::new(2, 5);
+        assert_eq!(abs.window(), 5);
+        assert_eq!(abs.name(), "ABS");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_is_rejected() {
+        let _ = Abs::new(2, 0);
+    }
+}

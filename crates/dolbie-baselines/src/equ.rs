@@ -1,0 +1,70 @@
+//! Equal assignment (EQU).
+
+use dolbie_core::{Allocation, LoadBalancer, Observation};
+
+/// The EQU baseline: every worker processes `1/N` of the workload in every
+/// round, regardless of observed costs.
+///
+/// This "frequently assumed in the analysis of distributed training"
+/// policy (§VI-B) is the natural lower anchor: it ignores heterogeneity
+/// entirely, so its global cost is pinned to the slowest worker.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_baselines::Equ;
+/// use dolbie_core::LoadBalancer;
+///
+/// let equ = Equ::new(4);
+/// assert_eq!(equ.allocation().share(2), 0.25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Equ {
+    x: Allocation,
+}
+
+impl Equ {
+    /// Creates EQU over `n` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        Self { x: Allocation::uniform(n) }
+    }
+}
+
+impl LoadBalancer for Equ {
+    fn name(&self) -> &str {
+        "EQU"
+    }
+
+    fn allocation(&self) -> &Allocation {
+        &self.x
+    }
+
+    fn observe(&mut self, _observation: &Observation<'_>) {
+        // Intentionally static.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dolbie_core::cost::{DynCost, LinearCost};
+
+    #[test]
+    fn never_moves() {
+        let mut equ = Equ::new(3);
+        let costs: Vec<DynCost> = (0..3)
+            .map(|i| Box::new(LinearCost::new(1.0 + i as f64, 0.0)) as DynCost)
+            .collect();
+        for t in 0..5 {
+            let played = equ.allocation().clone();
+            let obs = Observation::from_costs(t, &played, &costs);
+            equ.observe(&obs);
+            assert_eq!(equ.allocation(), &Allocation::uniform(3));
+        }
+        assert_eq!(equ.name(), "EQU");
+    }
+}

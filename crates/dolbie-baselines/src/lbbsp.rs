@@ -1,0 +1,232 @@
+//! Load-Balanced Bulk Synchronous Parallel (LB-BSP), after Chen et al.
+//! (reference \[6\] in the paper).
+
+use dolbie_core::{Allocation, LoadBalancer, Observation};
+
+/// The LB-BSP baseline of §VI-B: "if the fastest worker in the previous
+/// round preceded the straggler for consecutive `D` rounds, the workload of
+/// the straggler ... is reduced by `Δ`. The same amount of work `Δ` is
+/// additionally assigned to the fastest worker."
+///
+/// Two design choices the paper critiques are faithfully reproduced:
+///
+/// 1. only *two* workers (fastest and straggler) move per update, and
+/// 2. the increment `Δ` is a **prescribed fixed amount**, blind to how
+///    heterogeneous the system actually is — so convergence takes many
+///    rounds and the final accuracy is limited by the quantization `Δ`.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_baselines::LbBsp;
+/// use dolbie_core::LoadBalancer;
+///
+/// // Δ = 5 samples of a 256-sample batch, D = 5 rounds (the paper's setup).
+/// let lb = LbBsp::new(4, 5.0 / 256.0, 5);
+/// assert_eq!(lb.allocation().num_workers(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LbBsp {
+    x: Allocation,
+    delta: f64,
+    patience: usize,
+    consecutive: usize,
+    last_fastest: Option<usize>,
+}
+
+impl LbBsp {
+    /// Creates LB-BSP over `n` workers moving a share of `delta` from the
+    /// straggler to the fastest worker after the same worker has been
+    /// fastest for `patience` consecutive rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `delta` is not in `(0, 1)`, or `patience == 0`.
+    pub fn new(n: usize, delta: f64, patience: usize) -> Self {
+        assert!(delta.is_finite() && delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        assert!(patience > 0, "patience D must be positive");
+        Self {
+            x: Allocation::uniform(n),
+            delta,
+            patience,
+            consecutive: 0,
+            last_fastest: None,
+        }
+    }
+
+    /// The fixed increment `Δ` (as a share of the total workload).
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The required consecutive-rounds count `D`.
+    pub fn patience(&self) -> usize {
+        self.patience
+    }
+
+    fn fastest(observation: &Observation<'_>) -> usize {
+        let costs = observation.local_costs();
+        let mut best = 0;
+        for (i, &c) in costs.iter().enumerate() {
+            if c < costs[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl LoadBalancer for LbBsp {
+    fn name(&self) -> &str {
+        "LB-BSP"
+    }
+
+    fn allocation(&self) -> &Allocation {
+        &self.x
+    }
+
+    fn observe(&mut self, observation: &Observation<'_>) {
+        let n = observation.num_workers();
+        assert_eq!(n, self.x.num_workers(), "observation covers a different worker set");
+        if n < 2 {
+            return;
+        }
+        let fastest = Self::fastest(observation);
+        let straggler = observation.straggler();
+        if Some(fastest) == self.last_fastest {
+            self.consecutive += 1;
+        } else {
+            self.last_fastest = Some(fastest);
+            self.consecutive = 1;
+        }
+        if self.consecutive < self.patience || fastest == straggler {
+            return;
+        }
+        // Move Δ from the straggler to the fastest worker, clamped so the
+        // straggler's share stays non-negative.
+        let moved = self.delta.min(self.x.share(straggler));
+        if moved <= 0.0 {
+            return;
+        }
+        let mut shares = self.x.as_slice().to_vec();
+        shares[straggler] -= moved;
+        shares[fastest] += moved;
+        self.x = Allocation::from_update(shares).expect("Δ-transfer preserves feasibility");
+        self.consecutive = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dolbie_core::cost::{DynCost, LinearCost};
+
+    fn step(lb: &mut LbBsp, costs: &[DynCost], t: usize) {
+        let played = lb.allocation().clone();
+        let obs = Observation::from_costs(t, &played, costs);
+        lb.observe(&obs);
+    }
+
+    fn skewed_costs() -> Vec<DynCost> {
+        vec![
+            Box::new(LinearCost::new(8.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+            Box::new(LinearCost::new(2.0, 0.0)),
+        ]
+    }
+
+    #[test]
+    fn waits_for_patience_then_moves_delta() {
+        let mut lb = LbBsp::new(3, 0.05, 3);
+        let costs = skewed_costs();
+        let initial = lb.allocation().clone();
+        step(&mut lb, &costs, 0);
+        step(&mut lb, &costs, 1);
+        assert_eq!(lb.allocation(), &initial, "patience not yet reached");
+        step(&mut lb, &costs, 2);
+        let x = lb.allocation();
+        assert!((x.share(0) - (1.0 / 3.0 - 0.05)).abs() < 1e-12, "straggler sheds Δ");
+        assert!((x.share(1) - (1.0 / 3.0 + 0.05)).abs() < 1e-12, "fastest gains Δ");
+        assert!((x.share(2) - 1.0 / 3.0).abs() < 1e-12, "bystander untouched");
+    }
+
+    #[test]
+    fn counter_resets_when_fastest_changes() {
+        let mut lb = LbBsp::new(2, 0.1, 2);
+        let a: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(4.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+        ];
+        let b: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(1.0, 0.0)),
+            Box::new(LinearCost::new(4.0, 0.0)),
+        ];
+        step(&mut lb, &a, 0); // fastest = 1, streak 1
+        step(&mut lb, &b, 1); // fastest = 0, streak resets to 1
+        step(&mut lb, &a, 2); // fastest = 1, streak 1 again
+        assert_eq!(lb.allocation(), &Allocation::uniform(2), "no transfer yet");
+        step(&mut lb, &a, 3); // streak 2 -> transfer
+        assert_ne!(lb.allocation(), &Allocation::uniform(2));
+    }
+
+    #[test]
+    fn transfer_clamps_at_zero_share() {
+        let mut lb = LbBsp::new(2, 0.4, 1);
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(100.0, 0.0)),
+            Box::new(LinearCost::new(0.01, 0.0)),
+        ];
+        for t in 0..10 {
+            step(&mut lb, &costs, t);
+            assert!(lb.allocation().iter().all(|&x| x >= 0.0));
+        }
+        // Straggler fully drained but never negative.
+        assert!(lb.allocation().share(0) < 1e-12);
+        assert!((lb.allocation().share(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_slower_than_quantization_allows() {
+        // With Δ = 0.05 the terminal allocation can only be a multiple of
+        // Δ away from uniform: verify the quantization artifact the paper
+        // points out.
+        let mut lb = LbBsp::new(2, 0.05, 1);
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(3.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+        ];
+        for t in 0..100 {
+            step(&mut lb, &costs, t);
+        }
+        let x0 = lb.allocation().share(0);
+        let steps_from_uniform = (0.5 - x0) / 0.05;
+        assert!(
+            (steps_from_uniform - steps_from_uniform.round()).abs() < 1e-9,
+            "allocation must sit on the Δ-grid, got {x0}"
+        );
+        // Oscillates around the optimum 0.25 within one Δ.
+        assert!((x0 - 0.25).abs() <= 0.05 + 1e-9);
+    }
+
+    #[test]
+    fn single_worker_is_noop() {
+        let mut lb = LbBsp::new(1, 0.1, 1);
+        let costs: Vec<DynCost> = vec![Box::new(LinearCost::new(1.0, 0.0))];
+        step(&mut lb, &costs, 0);
+        assert_eq!(lb.allocation().share(0), 1.0);
+    }
+
+    #[test]
+    fn accessors_and_name() {
+        let lb = LbBsp::new(3, 5.0 / 256.0, 5);
+        assert!((lb.delta() - 5.0 / 256.0).abs() < 1e-12);
+        assert_eq!(lb.patience(), 5);
+        assert_eq!(lb.name(), "LB-BSP");
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn delta_of_one_is_rejected() {
+        let _ = LbBsp::new(2, 1.0, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! The clairvoyant Dynamic Optimum (OPT) baseline.
+
+use dolbie_core::{
+    instantaneous_minimizer, Allocation, Environment, LoadBalancer, Observation,
+};
+
+/// The OPT baseline of §VI-B: "we assume a priori knowledge of all system
+/// variables, and we solve the instantaneous optimization problem in each
+/// round" — the comparator in the definition of dynamic regret. As the
+/// paper notes, "OPT cannot be implemented in reality due to the lack of
+/// future information".
+///
+/// Clairvoyance is realized by giving OPT *its own copy* of the (seeded,
+/// deterministic) environment: before each round it peeks at the cost
+/// functions that copy will reveal and plays the oracle solution. This
+/// requires the environment to replay identically, which all environments
+/// in this workspace do.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_baselines::ClairvoyantOpt;
+/// use dolbie_core::environment::StaticLinearEnvironment;
+/// use dolbie_core::LoadBalancer;
+///
+/// let env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0]);
+/// let opt = ClairvoyantOpt::new(env.clone());
+/// // OPT already plays the minimizer in round 0: x = [0.2, 0.8].
+/// assert!((opt.allocation().share(0) - 0.2).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClairvoyantOpt<E> {
+    env: E,
+    x: Allocation,
+}
+
+impl<E: Environment> ClairvoyantOpt<E> {
+    /// Creates OPT over a private copy of the environment, pre-solving
+    /// round 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment produces cost functions the oracle cannot
+    /// solve (violating the [`CostFunction`](dolbie_core::cost::CostFunction)
+    /// contract).
+    pub fn new(mut env: E) -> Self {
+        let costs = env.reveal(0);
+        let x = instantaneous_minimizer(&costs)
+            .expect("environment produced unusable cost functions")
+            .allocation;
+        Self { env, x }
+    }
+}
+
+impl<E: Environment> LoadBalancer for ClairvoyantOpt<E> {
+    fn name(&self) -> &str {
+        "OPT"
+    }
+
+    fn allocation(&self) -> &Allocation {
+        &self.x
+    }
+
+    fn observe(&mut self, observation: &Observation<'_>) {
+        // Pre-solve the next round on the private environment copy.
+        let next_round = observation.round() + 1;
+        let costs = self.env.reveal(next_round);
+        self.x = instantaneous_minimizer(&costs)
+            .expect("environment produced unusable cost functions")
+            .allocation;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dolbie_core::environment::{RotatingStragglerEnvironment, StaticLinearEnvironment};
+    use dolbie_core::{run_episode, EpisodeOptions};
+
+    #[test]
+    fn tracks_the_per_round_minimizer_exactly() {
+        let env = RotatingStragglerEnvironment::new(3, 4, 6.0, 1.0);
+        let mut opt = ClairvoyantOpt::new(env.clone());
+        let mut driver_env = env;
+        let trace =
+            run_episode(&mut opt, &mut driver_env, EpisodeOptions::new(20).with_optimum());
+        let tracker = trace.regret().unwrap();
+        assert!(
+            tracker.dynamic_regret().abs() < 1e-6,
+            "OPT must have (numerically) zero dynamic regret, got {}",
+            tracker.dynamic_regret()
+        );
+    }
+
+    #[test]
+    fn beats_every_online_algorithm_on_static_instance() {
+        let env = StaticLinearEnvironment::from_slopes(vec![5.0, 1.0, 2.0]);
+        let mut opt = ClairvoyantOpt::new(env.clone());
+        let mut driver = env.clone();
+        let opt_trace = run_episode(&mut opt, &mut driver, EpisodeOptions::new(30));
+        let mut dolbie = dolbie_core::Dolbie::new(3);
+        let mut driver2 = env;
+        let dolbie_trace = run_episode(&mut dolbie, &mut driver2, EpisodeOptions::new(30));
+        assert!(opt_trace.total_cost() <= dolbie_trace.total_cost() + 1e-9);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        let env = StaticLinearEnvironment::from_slopes(vec![1.0]);
+        assert_eq!(ClairvoyantOpt::new(env).name(), "OPT");
+    }
+}

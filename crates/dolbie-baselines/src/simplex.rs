@@ -1,0 +1,207 @@
+//! Euclidean projection onto the probability simplex.
+//!
+//! The OGD baseline (§VI-B) needs `π_F(v) = argmin_{x ∈ Δ} ||x − v||₂`
+//! after each gradient step; the paper cites the sort-based method of
+//! Blondel et al. \[39\] / Liu & Ye \[31\]. Two classic algorithms are
+//! provided:
+//!
+//! - [`project_sorted`] — the `O(N log N)` sort-and-threshold method, and
+//! - [`project_michelot`] — Michelot's iterative active-set method,
+//!
+//! which agree to machine precision (verified by property tests). The
+//! existence of this module is itself part of the paper's point: DOLBIE
+//! never needs it.
+
+use dolbie_core::Allocation;
+
+/// Projects `v` onto the probability simplex with the sort-and-threshold
+/// algorithm (`O(N log N)`).
+///
+/// # Panics
+///
+/// Panics if `v` is empty or contains a non-finite value.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_baselines::simplex::project_sorted;
+///
+/// let x = project_sorted(&[0.9, 0.5]);
+/// // Shift both by the same θ: (0.9 − θ) + (0.5 − θ) = 1 ⇒ θ = 0.2.
+/// assert!((x.share(0) - 0.7).abs() < 1e-12);
+/// assert!((x.share(1) - 0.3).abs() < 1e-12);
+/// ```
+pub fn project_sorted(v: &[f64]) -> Allocation {
+    assert!(!v.is_empty(), "cannot project an empty vector");
+    assert!(v.iter().all(|x| x.is_finite()), "projection input must be finite");
+    let mut u = v.to_vec();
+    u.sort_by(|a, b| b.partial_cmp(a).expect("finite values compare"));
+    let mut cumulative = 0.0;
+    let mut theta = 0.0;
+    for (j, &uj) in u.iter().enumerate() {
+        cumulative += uj;
+        let candidate = (cumulative - 1.0) / (j as f64 + 1.0);
+        if uj - candidate > 0.0 {
+            theta = candidate;
+        }
+    }
+    let shares: Vec<f64> = v.iter().map(|&x| (x - theta).max(0.0)).collect();
+    Allocation::from_update(shares).expect("simplex projection is feasible by construction")
+}
+
+/// Projects `v` onto the probability simplex with Michelot's active-set
+/// algorithm.
+///
+/// Usually faster than sorting when few coordinates end up clipped; used
+/// here primarily as an independent implementation to cross-validate
+/// [`project_sorted`].
+///
+/// # Panics
+///
+/// Panics if `v` is empty or contains a non-finite value.
+pub fn project_michelot(v: &[f64]) -> Allocation {
+    assert!(!v.is_empty(), "cannot project an empty vector");
+    assert!(v.iter().all(|x| x.is_finite()), "projection input must be finite");
+    let mut active: Vec<bool> = vec![true; v.len()];
+    let mut active_count = v.len();
+    let mut theta;
+    loop {
+        let sum: f64 = v.iter().zip(&active).filter(|&(_, &a)| a).map(|(&x, _)| x).sum();
+        theta = (sum - 1.0) / active_count as f64;
+        let mut removed = 0;
+        for (x, a) in v.iter().zip(active.iter_mut()) {
+            if *a && *x - theta <= 0.0 {
+                *a = false;
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            break;
+        }
+        active_count -= removed;
+        // At least one coordinate always survives: the maximum.
+        debug_assert!(active_count > 0, "projection emptied the active set");
+    }
+    let shares: Vec<f64> = v.iter().map(|&x| (x - theta).max(0.0)).collect();
+    Allocation::from_update(shares).expect("simplex projection is feasible by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_on_simplex_is_fixed() {
+        let v = [0.2, 0.3, 0.5];
+        let x = project_sorted(&v);
+        for (a, b) in x.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let y = project_michelot(&v);
+        for (a, b) in y.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clips_negative_coordinates() {
+        let x = project_sorted(&[1.5, -0.8]);
+        assert_eq!(x.share(0), 1.0);
+        assert_eq!(x.share(1), 0.0);
+    }
+
+    #[test]
+    fn preserves_coordinate_order() {
+        let v = [0.9, 0.1, 0.5, 0.5];
+        let x = project_sorted(&v);
+        assert!(x.share(0) >= x.share(2));
+        assert!(x.share(2) >= x.share(1));
+        assert_eq!(x.share(2), x.share(3));
+    }
+
+    #[test]
+    fn single_coordinate_maps_to_one() {
+        assert_eq!(project_sorted(&[42.0]).share(0), 1.0);
+        assert_eq!(project_michelot(&[-3.0]).share(0), 1.0);
+    }
+
+    #[test]
+    fn all_equal_input_maps_to_uniform() {
+        let x = project_michelot(&[7.0; 5]);
+        for i in 0..5 {
+            assert!((x.share(i) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let v = [2.0, -1.0, 0.4, 0.9];
+        let once = project_sorted(&v);
+        let twice = project_sorted(once.as_slice());
+        assert!(once.l2_distance(&twice) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        let _ = project_sorted(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_input_panics() {
+        let _ = project_michelot(&[f64::NAN, 1.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Both algorithms agree on arbitrary inputs.
+        #[test]
+        fn sorted_and_michelot_agree(v in proptest::collection::vec(-10.0f64..10.0, 1..40)) {
+            let a = project_sorted(&v);
+            let b = project_michelot(&v);
+            prop_assert!(a.l2_distance(&b) < 1e-9, "{a} vs {b}");
+        }
+
+        /// The projection is no farther from the input than any sampled
+        /// feasible point (optimality certificate by sampling).
+        #[test]
+        fn projection_is_closest(
+            v in proptest::collection::vec(-5.0f64..5.0, 2..10),
+            w in proptest::collection::vec(0.01f64..1.0, 2..10),
+        ) {
+            let n = v.len().min(w.len());
+            let p = project_sorted(&v[..n]);
+            let candidate = Allocation::from_weights(w[..n].to_vec()).unwrap();
+            let dist = |x: &Allocation| -> f64 {
+                x.iter().zip(&v[..n]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            };
+            prop_assert!(dist(&p) <= dist(&candidate) + 1e-9);
+        }
+
+        /// Output is always on the simplex.
+        #[test]
+        fn output_is_feasible(v in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+            let p = project_michelot(&v);
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| x >= 0.0));
+        }
+
+        /// Translation invariance: projecting v and v + c·1 gives the same
+        /// point (a known property of the simplex projection).
+        #[test]
+        fn translation_invariance(v in proptest::collection::vec(-5.0f64..5.0, 2..20),
+                                  c in -3.0f64..3.0) {
+            let shifted: Vec<f64> = v.iter().map(|x| x + c).collect();
+            let a = project_sorted(&v);
+            let b = project_sorted(&shifted);
+            prop_assert!(a.l2_distance(&b) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The monotone inverse behind `x'_{i,t}` (eq. (4)): closed form for the
+//! latency model of §VI-A vs generic bisection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dolbie_core::cost::{CostFunction, ExponentialCost, LatencyCost, PowerCost};
+use std::hint::black_box;
+
+fn bench_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monotone_inverse");
+    let latency = LatencyCost::new(256.0, 480.0, 0.12);
+    group.bench_function("latency_closed_form", |b| {
+        b.iter(|| latency.max_share_within(black_box(0.4)));
+    });
+
+    // PowerCost overrides with a closed form too; wrap it so the default
+    // bisection path is what gets measured.
+    #[derive(Debug)]
+    struct ViaBisection<T>(T);
+    impl<T: CostFunction> CostFunction for ViaBisection<T> {
+        fn eval(&self, x: f64) -> f64 {
+            self.0.eval(x)
+        }
+    }
+    let quadratic = ViaBisection(PowerCost::new(3.0, 2.0, 0.1));
+    group.bench_function("quadratic_bisection", |b| {
+        b.iter(|| quadratic.max_share_within(black_box(1.4)));
+    });
+    let expo = ViaBisection(ExponentialCost::new(0.8, 3.0, 0.05));
+    group.bench_function("exponential_bisection", |b| {
+        b.iter(|| expo.max_share_within(black_box(2.0)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_inverse
+);
+criterion_main!(benches);

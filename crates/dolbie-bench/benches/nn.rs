@@ -1,0 +1,50 @@
+//! The from-scratch trainer: one synchronous SGD round at the paper's
+//! global batch size, and the oracle solve as a function of N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dolbie_core::instantaneous_minimizer;
+use dolbie_mlsim::nn::{Mlp, Momentum};
+use dolbie_mlsim::{generate_mixture, Cluster, ClusterConfig, MixtureConfig, MlModel};
+use std::hint::black_box;
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_training");
+    let data = generate_mixture(MixtureConfig::cifar_like(), 4096, 7);
+    let (x, y) = data.batch(0, 256);
+    group.bench_function("train_batch_b256", |b| {
+        let mut mlp = Mlp::new(data.dim(), 48, data.num_classes(), 3);
+        b.iter(|| mlp.train_batch(black_box(&x), black_box(&y), 0.04));
+    });
+    group.bench_function("train_batch_momentum_b256", |b| {
+        let mut mlp = Mlp::new(data.dim(), 48, data.num_classes(), 3);
+        let mut state = Momentum::new(0.9);
+        b.iter(|| mlp.train_batch_momentum(black_box(&x), black_box(&y), 0.04, &mut state));
+    });
+    group.bench_function("full_train_accuracy_eval", |b| {
+        let mlp = Mlp::new(data.dim(), 48, data.num_classes(), 3);
+        b.iter(|| mlp.accuracy(black_box(data.features()), black_box(data.labels())));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("oracle_scaling");
+    for n in [10usize, 30, 100, 300] {
+        let mut cfg = ClusterConfig::paper(MlModel::ResNet18);
+        cfg.num_workers = n;
+        let mut cluster = Cluster::sample(cfg, 5);
+        let costs = dolbie_core::Environment::reveal(&mut cluster, 0);
+        group.bench_with_input(BenchmarkId::new("instantaneous_minimizer", n), &n, |b, _| {
+            b.iter(|| instantaneous_minimizer(black_box(&costs)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_nn
+);
+criterion_main!(benches);

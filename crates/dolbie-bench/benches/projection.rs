@@ -1,0 +1,40 @@
+//! Euclidean simplex projection: the per-round cost OGD pays and DOLBIE
+//! avoids (§IV-B "no projection calculation").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dolbie_baselines::simplex::{project_michelot, project_sorted};
+use std::hint::black_box;
+
+fn inputs(n: usize) -> Vec<f64> {
+    // Deterministic pseudo-random inputs straddling the simplex.
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (h % 1000) as f64 / 500.0 - 1.0
+        })
+        .collect()
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_projection");
+    for n in [30usize, 300, 3000] {
+        let v = inputs(n);
+        group.bench_with_input(BenchmarkId::new("sorted", n), &v, |b, v| {
+            b.iter(|| project_sorted(black_box(v)));
+        });
+        group.bench_with_input(BenchmarkId::new("michelot", n), &v, |b, v| {
+            b.iter(|| project_michelot(black_box(v)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_projection
+);
+criterion_main!(benches);

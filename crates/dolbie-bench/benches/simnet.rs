@@ -1,0 +1,38 @@
+//! Protocol-simulation throughput: full simulated rounds of Algorithm 1
+//! (master-worker, 3N messages) vs Algorithm 2 (fully-distributed, ~N²
+//! messages).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dolbie_core::environment::StaticLinearEnvironment;
+use dolbie_core::DolbieConfig;
+use dolbie_simnet::{FixedLatency, FullyDistributedSim, MasterWorkerSim};
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_round");
+    for n in [8usize, 30, 64] {
+        let slopes: Vec<f64> = (1..=n).map(|i| 0.5 + i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("master_worker", n), &n, |b, _| {
+            b.iter(|| {
+                let env = StaticLinearEnvironment::from_slopes(slopes.clone());
+                MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(10)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fully_distributed", n), &n, |b, _| {
+            b.iter(|| {
+                let env = StaticLinearEnvironment::from_slopes(slopes.clone());
+                FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(10)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_protocols
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Decision-update overhead per algorithm (the Fig. 11 lower panel as a
+//! Criterion microbenchmark): one `observe` call at N = 30 and N = 300,
+//! plus the clairvoyant oracle solve that OPT performs each round.
+//!
+//! Expected shape (§IV-C): DOLBIE and the other lightweight rules are
+//! O(N) scalar work; OGD pays sorting + projection; OPT pays a bisection
+//! over level values with an inverse per worker per probe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dolbie_baselines::{Abs, Equ, LbBsp, Ogd};
+use dolbie_core::cost::DynCost;
+use dolbie_core::{instantaneous_minimizer, Allocation, Dolbie, LoadBalancer, Observation};
+use dolbie_mlsim::{Cluster, ClusterConfig, MlModel};
+use std::hint::black_box;
+
+fn costs_for(n: usize) -> Vec<DynCost> {
+    let mut cfg = ClusterConfig::paper(MlModel::ResNet18);
+    cfg.num_workers = n;
+    let mut cluster = Cluster::sample(cfg, 7);
+    dolbie_core::Environment::reveal(&mut cluster, 0)
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_overhead");
+    for n in [30usize, 300] {
+        let costs = costs_for(n);
+        let allocation = Allocation::uniform(n);
+
+        macro_rules! bench_balancer {
+            ($name:expr, $make:expr) => {
+                group.bench_with_input(BenchmarkId::new($name, n), &n, |b, _| {
+                    let mut balancer = $make;
+                    b.iter(|| {
+                        let obs = Observation::from_costs(0, &allocation, &costs);
+                        balancer.observe(black_box(&obs));
+                    });
+                });
+            };
+        }
+
+        bench_balancer!("EQU", Equ::new(n));
+        bench_balancer!("OGD", Ogd::new(n, 0.001));
+        bench_balancer!("ABS", Abs::new(n, 5));
+        bench_balancer!("LB-BSP", LbBsp::new(n, 5.0 / 256.0, 5));
+        bench_balancer!("DOLBIE", Dolbie::new(n));
+
+        group.bench_with_input(BenchmarkId::new("OPT-solve", n), &n, |b, _| {
+            b.iter(|| instantaneous_minimizer(black_box(&costs)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_updates
+);
+criterion_main!(benches);

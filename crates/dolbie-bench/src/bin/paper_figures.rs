@@ -1,0 +1,78 @@
+//! Regenerates every figure of the DOLBIE paper plus the extension
+//! experiments.
+//!
+//! ```text
+//! cargo run --release -p dolbie-bench --bin paper_figures -- all
+//! cargo run --release -p dolbie-bench --bin paper_figures -- fig3 fig11
+//! cargo run --release -p dolbie-bench --bin paper_figures -- --quick all
+//! ```
+
+use dolbie_bench::experiments::{
+    ablation, accuracy, bandit, comms, edge_exp, faults, latency, per_worker, regret,
+    utilization,
+};
+
+const TARGETS: [&str; 12] = [
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "regret",
+    "comms", "edge",
+];
+
+const EXTENSION_TARGETS: [&str; 3] = ["ablation", "faults", "bandit"];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paper_figures [--quick] <target>...\n\
+         targets: {}, {}, all\n\
+         --quick reduces realization counts for a fast smoke run",
+        TARGETS.join(", "),
+        EXTENSION_TARGETS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn run(target: &str, quick: bool) {
+    match target {
+        "fig3" => latency::fig3(),
+        "fig4" => latency::fig4(quick),
+        "fig5" => latency::fig5(quick),
+        "fig6" => accuracy::fig6(),
+        "fig7" => accuracy::fig7(),
+        "fig8" => accuracy::fig8(),
+        "fig9" => per_worker::fig9(),
+        "fig10" => per_worker::fig10(),
+        "fig11" => utilization::fig11(quick),
+        "regret" => regret::regret(quick),
+        "comms" => comms::comms(),
+        "edge" => edge_exp::edge(quick),
+        "ablation" => ablation::ablation(quick),
+        "faults" => faults::faults(),
+        "bandit" => bandit::bandit(quick),
+        other => {
+            eprintln!("unknown target: {other}");
+            usage();
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    if targets.is_empty() {
+        usage();
+    }
+    for target in targets {
+        if target == "all" {
+            for t in TARGETS {
+                run(t, quick);
+            }
+            for t in EXTENSION_TARGETS {
+                run(t, quick);
+            }
+        } else {
+            run(target, quick);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared plumbing for the figure-regeneration experiments.
+
+use dolbie_baselines::paper_suite;
+use dolbie_core::LoadBalancer;
+use dolbie_metrics::{plot, Table};
+use dolbie_mlsim::{run_training, Cluster, ClusterConfig, MlModel, TrainingConfig, TrainingOutcome};
+use std::path::{Path, PathBuf};
+
+/// The algorithm display order used throughout the paper's figures.
+pub const ALGORITHM_ORDER: [&str; 6] = ["EQU", "OGD", "ABS", "LB-BSP", "DOLBIE", "OPT"];
+
+/// Where experiment CSVs are written (`results/` under the workspace root,
+/// or the current directory when run elsewhere).
+pub fn results_dir() -> PathBuf {
+    // When run via `cargo run -p dolbie-bench`, CARGO_MANIFEST_DIR points
+    // at crates/dolbie-bench; the workspace root is two levels up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Samples the paper's cluster (`N = 30`, `B = 256`) for `model`.
+pub fn paper_cluster(model: MlModel, seed: u64) -> Cluster {
+    Cluster::sample(ClusterConfig::paper(model), seed)
+}
+
+/// The §VI comparison suite for a given cluster realization.
+pub fn cluster_suite(cluster: &Cluster) -> Vec<Box<dyn LoadBalancer>> {
+    paper_suite(dolbie_core::Environment::num_workers(cluster), cluster.clone())
+}
+
+/// Runs the whole suite on one cluster realization, returning outcomes in
+/// [`ALGORITHM_ORDER`].
+pub fn run_suite(cluster: &Cluster, config: TrainingConfig) -> Vec<TrainingOutcome> {
+    cluster_suite(cluster)
+        .into_iter()
+        .map(|mut balancer| run_training(balancer.as_mut(), cluster.clone(), config))
+        .collect()
+}
+
+/// Writes `table` to `results/<name>.csv` and reports the path on stdout.
+pub fn emit_csv(table: &Table, name: &str) {
+    let path = results_dir().join(format!("{name}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Writes an SVG chart to `results/<name>.svg` and reports the path.
+pub fn emit_svg(name: &str, config: &plot::PlotConfig, series: &[plot::Series]) {
+    let path = results_dir().join(format!("{name}.svg"));
+    match plot::write_svg(&path, config, series) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Percentage reduction of `ours` relative to `baseline`.
+pub fn reduction_pct(baseline: f64, ours: f64) -> f64 {
+    if baseline <= 0.0 {
+        return 0.0;
+    }
+    (baseline - ours) / baseline * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_order_matches_constant() {
+        let cluster = paper_cluster(MlModel::ResNet18, 1);
+        let suite = cluster_suite(&cluster);
+        let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+        assert_eq!(names, ALGORITHM_ORDER);
+    }
+
+    #[test]
+    fn run_suite_produces_one_outcome_per_algorithm() {
+        let mut cfg = ClusterConfig::paper(MlModel::LeNet5);
+        cfg.num_workers = 4;
+        let cluster = Cluster::sample(cfg, 2);
+        let outcomes = run_suite(&cluster, TrainingConfig::latency_only(5));
+        assert_eq!(outcomes.len(), 6);
+        for (o, name) in outcomes.iter().zip(ALGORITHM_ORDER) {
+            assert_eq!(o.algorithm, name);
+            assert_eq!(o.rounds.len(), 5);
+        }
+    }
+
+    #[test]
+    fn reduction_pct_hand_check() {
+        assert_eq!(reduction_pct(2.0, 1.0), 50.0);
+        assert_eq!(reduction_pct(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn results_dir_is_workspace_level() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Figures 6–8: training accuracy versus wall-clock time for the three
+//! model cost profiles.
+
+use crate::common::{emit_csv, emit_svg, paper_cluster, reduction_pct, run_suite, ALGORITHM_ORDER};
+use dolbie_metrics::plot::{PlotConfig, Series};
+use dolbie_metrics::Table;
+use dolbie_mlsim::{MlModel, TrainingConfig};
+
+const ROUNDS: usize = 200;
+/// Accuracy threshold reported in the speedup summary. The paper uses 95%
+/// training accuracy on its CIFAR-10 models; the proxy task reaches the
+/// same regime.
+const TARGET_ACCURACY: f64 = 0.95;
+
+/// One accuracy-vs-wall-clock figure for `model`.
+pub fn accuracy_figure(model: MlModel, figure_name: &str, seed: u64) {
+    println!("== {figure_name}: training accuracy vs wall-clock time ({model}) ==");
+    let cluster = paper_cluster(model, seed);
+    let outcomes = run_suite(&cluster, TrainingConfig::paper_like(ROUNDS));
+
+    let mut columns = vec!["round".to_string(), "accuracy".to_string()];
+    for alg in ALGORITHM_ORDER {
+        columns.push(format!("{alg}_wall_clock"));
+    }
+    let mut table = Table::new(columns);
+    for t in 0..ROUNDS {
+        // Accuracy per round is identical across balancers (synchronous
+        // SGD); assert it rather than assume it.
+        let acc = outcomes[0].rounds[t].train_accuracy.expect("training enabled");
+        for o in &outcomes {
+            debug_assert_eq!(o.rounds[t].train_accuracy, Some(acc));
+        }
+        let mut row = vec![t as f64, acc];
+        row.extend(outcomes.iter().map(|o| o.rounds[t].wall_clock));
+        table.push_numeric_row(&row);
+    }
+    emit_csv(&table, figure_name);
+    let svg_series: Vec<Series> = outcomes
+        .iter()
+        .map(|o| {
+            Series::new(
+                o.algorithm.clone(),
+                o.rounds
+                    .iter()
+                    .map(|r| (r.wall_clock, r.train_accuracy.expect("training enabled")))
+                    .collect(),
+            )
+        })
+        .collect();
+    emit_svg(
+        figure_name,
+        &PlotConfig::new(
+            format!("Training accuracy vs wall-clock ({model})"),
+            "wall-clock (s)",
+            "training accuracy",
+        ),
+        &svg_series,
+    );
+
+    let final_acc = outcomes[0].rounds[ROUNDS - 1].train_accuracy.unwrap();
+    println!("  final training accuracy after {ROUNDS} rounds: {final_acc:.3}");
+    println!("  total wall-clock:");
+    for o in &outcomes {
+        println!("    {:8} {:9.2} s", o.algorithm, o.total_wall_clock());
+    }
+    let target = if final_acc >= TARGET_ACCURACY { TARGET_ACCURACY } else { final_acc * 0.98 };
+    println!("  time to {:.0}% training accuracy:", target * 100.0);
+    let times: Vec<Option<f64>> =
+        outcomes.iter().map(|o| o.time_to_accuracy(target)).collect();
+    for (o, t) in outcomes.iter().zip(&times) {
+        match t {
+            Some(v) => println!("    {:8} {v:9.2} s", o.algorithm),
+            None => println!("    {:8} (not reached)", o.algorithm),
+        }
+    }
+    if let Some(dolbie) = times[4] {
+        println!("  DOLBIE speedup (paper, ResNet18: 78.1/67.4/46.9/34.1% vs EQU/OGD/LB-BSP/ABS):");
+        for (k, name) in ["EQU", "OGD", "ABS", "LB-BSP"].iter().enumerate() {
+            let idx = ALGORITHM_ORDER.iter().position(|a| a == name).unwrap();
+            let _ = k;
+            if let Some(base) = times[idx] {
+                println!("    vs {:8} {:5.1}%", name, reduction_pct(base, dolbie));
+            }
+        }
+    }
+}
+
+/// Fig. 6: LeNet5.
+pub fn fig6() {
+    accuracy_figure(MlModel::LeNet5, "fig6_accuracy_lenet5", 42);
+}
+
+/// Fig. 7: ResNet18.
+pub fn fig7() {
+    accuracy_figure(MlModel::ResNet18, "fig7_accuracy_resnet18", 42);
+}
+
+/// Fig. 8: VGG16 — plus the paper's cross-model claim that DOLBIE's
+/// advantage over LB-BSP grows with model size.
+pub fn fig8() {
+    accuracy_figure(MlModel::Vgg16, "fig8_accuracy_vgg16", 42);
+}

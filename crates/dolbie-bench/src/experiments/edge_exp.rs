@@ -1,0 +1,44 @@
+//! Experiment E1: the edge-computing task-offloading scenario (§III-B).
+
+use crate::common::{emit_csv, ALGORITHM_ORDER};
+use dolbie_baselines::paper_suite;
+use dolbie_core::{run_episode, EpisodeOptions};
+use dolbie_edge::{EdgeConfig, EdgeScenario};
+use dolbie_metrics::{Summary, Table};
+
+/// Runs the full §VI algorithm suite on the offloading scenario across
+/// repeated realizations, reporting total task-completion time.
+pub fn edge(quick: bool) {
+    let realizations = if quick { 10 } else { 50 };
+    const ROUNDS: usize = 100;
+    println!(
+        "== Example 2: task offloading, total completion time over {ROUNDS} rounds ({realizations} realizations) =="
+    );
+
+    let mut totals: Vec<Vec<f64>> = vec![Vec::new(); ALGORITHM_ORDER.len()];
+    for seed in 0..realizations as u64 {
+        let env = EdgeScenario::sample(EdgeConfig::paper_like(), seed);
+        for (k, mut balancer) in
+            paper_suite(env.num_participants(), env.clone()).into_iter().enumerate()
+        {
+            let mut driver = env.clone();
+            let trace =
+                run_episode(balancer.as_mut(), &mut driver, EpisodeOptions::new(ROUNDS));
+            totals[k].push(trace.total_cost());
+        }
+    }
+
+    let mut table =
+        Table::new(vec!["algorithm", "total_completion_mean_s", "total_completion_ci95_s"]);
+    println!("  total completion time (mean ± 95% CI):");
+    for (alg, samples) in ALGORITHM_ORDER.iter().zip(&totals) {
+        let s = Summary::from_samples(samples);
+        println!("    {:8} {:9.3} ± {:.3} s", alg, s.mean(), s.ci95_half_width());
+        table.push_row(vec![
+            alg.to_string(),
+            format!("{:.4}", s.mean()),
+            format!("{:.4}", s.ci95_half_width()),
+        ]);
+    }
+    emit_csv(&table, "edge_offloading");
+}

@@ -1,0 +1,13 @@
+//! One module per reproduced figure/claim. See DESIGN.md §5 for the
+//! experiment index mapping each to the paper.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod bandit;
+pub mod comms;
+pub mod edge_exp;
+pub mod faults;
+pub mod latency;
+pub mod per_worker;
+pub mod regret;
+pub mod utilization;

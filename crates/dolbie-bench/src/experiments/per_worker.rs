@@ -1,0 +1,75 @@
+//! Figures 9–10: per-worker latency and batch-size traces.
+
+use crate::common::{emit_csv, paper_cluster, run_suite};
+use dolbie_metrics::Table;
+use dolbie_mlsim::{MlModel, TrainingConfig};
+
+const ROUNDS: usize = 100;
+
+fn per_worker_figure(batch_sizes: bool, name: &str, title: &str) {
+    println!("== {title} (one realization, ResNet18) ==");
+    let cluster = paper_cluster(MlModel::ResNet18, 42);
+    let batch = cluster.config().global_batch;
+    let outcomes = run_suite(&cluster, TrainingConfig::latency_only(ROUNDS));
+    let processors = outcomes[0].processors.clone();
+
+    let mut table = Table::new(vec!["algorithm", "worker", "processor", "round", "value"]);
+    for o in &outcomes {
+        for r in &o.rounds {
+            for (w, processor) in processors.iter().enumerate() {
+                let value = if batch_sizes {
+                    r.batch_fractions[w] * batch
+                } else {
+                    r.worker_latencies[w]
+                };
+                table.push_row(vec![
+                    o.algorithm.clone(),
+                    w.to_string(),
+                    processor.to_string(),
+                    r.round.to_string(),
+                    format!("{value:.6}"),
+                ]);
+            }
+        }
+    }
+    emit_csv(&table, name);
+
+    // Summary: how tightly each algorithm equalizes the workers by the
+    // final round — the "lines converge much more quickly in DOLBIE"
+    // observation. For latencies we report the max/min spread; for batch
+    // sizes the straggler's share of the batch.
+    println!("  final-round per-worker spread:");
+    for o in &outcomes {
+        let last = o.rounds.last().unwrap();
+        if batch_sizes {
+            let smallest =
+                last.batch_fractions.iter().cloned().fold(f64::MAX, f64::min) * batch;
+            let largest =
+                last.batch_fractions.iter().cloned().fold(f64::MIN, f64::max) * batch;
+            println!(
+                "    {:8} batch sizes range {:7.2} .. {:7.2} samples",
+                o.algorithm, smallest, largest
+            );
+        } else {
+            let fastest = last.worker_latencies.iter().cloned().fold(f64::MAX, f64::min);
+            let slowest = last.worker_latencies.iter().cloned().fold(f64::MIN, f64::max);
+            println!(
+                "    {:8} latency spread {:.4} s (fastest {:.4}, slowest {:.4})",
+                o.algorithm,
+                slowest - fastest,
+                fastest,
+                slowest
+            );
+        }
+    }
+}
+
+/// Fig. 9: latency per worker per round, per algorithm.
+pub fn fig9() {
+    per_worker_figure(false, "fig9_per_worker_latency", "Fig. 9: latency per worker per round");
+}
+
+/// Fig. 10: batch size per worker per round, per algorithm.
+pub fn fig10() {
+    per_worker_figure(true, "fig10_per_worker_batch", "Fig. 10: batch size per worker per round");
+}

@@ -1,0 +1,77 @@
+//! The online load-balancer interface shared by DOLBIE and every baseline.
+
+use crate::allocation::Allocation;
+use crate::observation::Observation;
+
+/// An online load balancer: plays an allocation, observes the revealed
+/// costs, and updates its next allocation.
+///
+/// This is the protocol of Algorithms 1–2 abstracted over the update rule,
+/// so DOLBIE, EQU, OGD, ABS, LB-BSP and the OPT oracle can all be driven by
+/// the same experiment harness.
+///
+/// Implementations must keep [`allocation`](LoadBalancer::allocation)
+/// feasible (on the simplex) at all times — the [`Allocation`] type enforces
+/// it.
+pub trait LoadBalancer {
+    /// A short human-readable identifier used in experiment output
+    /// (e.g. `"DOLBIE"`, `"OGD"`).
+    fn name(&self) -> &str;
+
+    /// The allocation this balancer will play in the current round.
+    fn allocation(&self) -> &Allocation;
+
+    /// Consumes the end-of-round observation and updates the allocation for
+    /// the next round.
+    fn observe(&mut self, observation: &Observation<'_>);
+}
+
+impl<T: LoadBalancer + ?Sized> LoadBalancer for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn allocation(&self) -> &Allocation {
+        (**self).allocation()
+    }
+
+    fn observe(&mut self, observation: &Observation<'_>) {
+        (**self).observe(observation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A do-nothing balancer used to verify the object-safety of the trait
+    /// and the blanket `Box` impl.
+    #[derive(Debug)]
+    struct Frozen(Allocation);
+
+    impl LoadBalancer for Frozen {
+        fn name(&self) -> &str {
+            "frozen"
+        }
+
+        fn allocation(&self) -> &Allocation {
+            &self.0
+        }
+
+        fn observe(&mut self, _observation: &Observation<'_>) {}
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_boxable() {
+        let mut b: Box<dyn LoadBalancer> = Box::new(Frozen(Allocation::uniform(3)));
+        assert_eq!(b.name(), "frozen");
+        assert_eq!(b.allocation().num_workers(), 3);
+        let x = Allocation::uniform(3);
+        let fns: Vec<crate::cost::DynCost> = (0..3)
+            .map(|_| Box::new(crate::cost::LinearCost::new(1.0, 0.0)) as crate::cost::DynCost)
+            .collect();
+        let obs = Observation::from_costs(0, &x, &fns);
+        b.observe(&obs);
+        assert_eq!(b.allocation().num_workers(), 3);
+    }
+}

@@ -1,0 +1,277 @@
+//! Bandit-feedback DOLBIE (extension).
+//!
+//! Algorithms 1–2 assume each worker "observes its local cost function
+//! `f_{i,t}(·)`" after acting (full local feedback), which is what makes
+//! the eq. (4) inverse computable. In many systems only the realized cost
+//! *value* `l_{i,t}` is observable — bandit feedback. This module extends
+//! DOLBIE to that setting: each worker maintains a two-point secant
+//! estimate of an affine local model `l ≈ â·x + b̂` from its own
+//! (share, cost) history, and computes its maximum acceptable workload
+//! from the *estimated* inverse `x̂' = min(1, (l_t − b̂)/â)`.
+//!
+//! The estimate is exact once two distinct shares have been played against
+//! a locally affine cost (e.g. the §III-A latency model under slow
+//! fluctuation), so on such instances the bandit variant converges to the
+//! same trajectory quality as full-information DOLBIE — verified in tests.
+
+use crate::allocation::Allocation;
+use crate::balancer::LoadBalancer;
+use crate::observation::Observation;
+use crate::step_size::StepSize;
+use crate::DolbieConfig;
+
+/// Per-worker affine model state.
+#[derive(Debug, Clone, Copy)]
+struct LocalModel {
+    /// The previous (share, cost) pair, if any.
+    previous: Option<(f64, f64)>,
+    /// Estimated slope `â >= 0`.
+    slope: Option<f64>,
+    /// Estimated intercept `b̂`.
+    intercept: f64,
+}
+
+impl LocalModel {
+    fn new() -> Self {
+        Self { previous: None, slope: None, intercept: 0.0 }
+    }
+
+    /// Updates the secant estimate with the newly observed pair.
+    fn observe(&mut self, share: f64, cost: f64) {
+        if let Some((px, pc)) = self.previous {
+            if (share - px).abs() > 1e-9 {
+                let slope = ((cost - pc) / (share - px)).max(0.0);
+                self.slope = Some(slope);
+                self.intercept = cost - slope * share;
+            }
+        } else if share > 1e-9 {
+            // Bootstrap: assume a through-origin model until a second
+            // distinct share is available.
+            self.slope = Some(cost / share);
+            self.intercept = 0.0;
+        }
+        self.previous = Some((share, cost));
+    }
+
+    /// The estimated maximum acceptable share within `level`, floored at
+    /// the current share (Lemma 1(ii) analogue under the estimate).
+    fn max_share_within(&self, level: f64, current: f64) -> f64 {
+        match self.slope {
+            Some(slope) if slope > 1e-12 => {
+                ((level - self.intercept) / slope).clamp(current, 1.0)
+            }
+            Some(_) => {
+                // Flat estimate: any share fits if the intercept does.
+                if self.intercept <= level {
+                    1.0
+                } else {
+                    current
+                }
+            }
+            None => current,
+        }
+    }
+}
+
+/// DOLBIE under bandit (value-only) feedback.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::bandit::BanditDolbie;
+/// use dolbie_core::LoadBalancer;
+///
+/// let balancer = BanditDolbie::new(4);
+/// assert_eq!(balancer.allocation().num_workers(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BanditDolbie {
+    x: Allocation,
+    alpha: StepSize,
+    models: Vec<LocalModel>,
+    config: DolbieConfig,
+}
+
+impl BanditDolbie {
+    /// Creates the bandit variant over `n` workers with the default
+    /// configuration (uniform start, half-cap `α_1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        Self::with_config(Allocation::uniform(n), DolbieConfig::new())
+    }
+
+    /// Creates the bandit variant from an arbitrary feasible start.
+    pub fn with_config(initial: Allocation, config: DolbieConfig) -> Self {
+        let alpha = StepSize::new(config.resolve_initial_alpha(&initial));
+        let n = initial.num_workers();
+        Self { x: initial, alpha, models: vec![LocalModel::new(); n], config }
+    }
+
+    /// The current step size.
+    pub fn alpha(&self) -> f64 {
+        self.alpha.value().max(self.config.alpha_floor)
+    }
+}
+
+impl LoadBalancer for BanditDolbie {
+    fn name(&self) -> &str {
+        "DOLBIE-bandit"
+    }
+
+    fn allocation(&self) -> &Allocation {
+        &self.x
+    }
+
+    fn observe(&mut self, observation: &Observation<'_>) {
+        let n = observation.num_workers();
+        assert_eq!(n, self.x.num_workers(), "observation covers a different worker set");
+        // Bandit feedback: consume only the cost *values*.
+        for i in 0..n {
+            self.models[i].observe(self.x.share(i), observation.local_costs()[i]);
+        }
+        if n == 1 {
+            return;
+        }
+        let s = observation.straggler();
+        let l_t = observation.global_cost();
+        let alpha = self.alpha();
+        let straggler_share = self.x.share(s);
+
+        let mut gains = vec![0.0; n];
+        let mut total_gain = 0.0;
+        for (i, gain) in gains.iter_mut().enumerate() {
+            if i == s {
+                continue;
+            }
+            let target = self.models[i].max_share_within(l_t, self.x.share(i));
+            *gain = (alpha * (target - self.x.share(i))).max(0.0);
+            total_gain += *gain;
+        }
+        if total_gain > straggler_share && total_gain > 0.0 {
+            let scale = straggler_share / total_gain;
+            for g in &mut gains {
+                *g *= scale;
+            }
+        }
+        let mut next: Vec<f64> = (0..n)
+            .map(|i| if i == s { 0.0 } else { self.x.share(i) + gains[i] })
+            .collect();
+        let others: f64 = next.iter().sum();
+        next[s] = (1.0 - others).max(0.0);
+        self.x = Allocation::from_update(next).expect("bandit update preserves feasibility");
+        self.alpha.tighten(n, self.x.share(s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{DynCost, LatencyCost, LinearCost};
+    use crate::{instantaneous_minimizer, Dolbie};
+
+    fn step(b: &mut dyn LoadBalancer, costs: &[DynCost], t: usize) -> f64 {
+        let played = b.allocation().clone();
+        let obs = Observation::from_costs(t, &played, costs);
+        let g = obs.global_cost();
+        b.observe(&obs);
+        g
+    }
+
+    #[test]
+    fn converges_on_static_affine_costs_without_seeing_them() {
+        let costs: Vec<DynCost> = vec![
+            Box::new(LatencyCost::new(256.0, 64.0, 0.1)),
+            Box::new(LatencyCost::new(256.0, 512.0, 0.05)),
+            Box::new(LatencyCost::new(256.0, 128.0, 0.2)),
+        ];
+        let mut bandit = BanditDolbie::new(3);
+        let mut last = f64::INFINITY;
+        for t in 0..300 {
+            last = step(&mut bandit, &costs, t);
+        }
+        let opt = instantaneous_minimizer(&costs).unwrap().level;
+        assert!(
+            last < opt * 1.2,
+            "bandit DOLBIE should approach the optimum: {last} vs {opt}"
+        );
+    }
+
+    #[test]
+    fn tracks_full_information_dolbie_closely_on_linear_costs() {
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(5.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+            Box::new(LinearCost::new(2.0, 0.0)),
+        ];
+        let mut bandit = BanditDolbie::new(3);
+        let mut full = Dolbie::new(3);
+        let mut bandit_total = 0.0;
+        let mut full_total = 0.0;
+        for t in 0..150 {
+            bandit_total += step(&mut bandit, &costs, t);
+            full_total += step(&mut full, &costs, t);
+        }
+        assert!(
+            bandit_total < full_total * 1.25,
+            "bandit total {bandit_total} should be within 25% of full-info {full_total}"
+        );
+    }
+
+    #[test]
+    fn feasibility_holds_under_drifting_costs() {
+        let mut bandit = BanditDolbie::new(5);
+        for t in 0..200 {
+            let costs: Vec<DynCost> = (0..5)
+                .map(|i| {
+                    let phase = (t as f64 / 17.0 + i as f64).sin().abs() + 0.2;
+                    Box::new(LinearCost::new(phase * 4.0, 0.05 * i as f64)) as DynCost
+                })
+                .collect();
+            step(&mut bandit, &costs, t);
+            let sum: f64 = bandit.allocation().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "round {t}");
+            assert!(bandit.allocation().iter().all(|&v| v >= 0.0), "round {t}");
+        }
+    }
+
+    #[test]
+    fn first_round_without_model_is_a_noop_for_unbootstrapable_workers() {
+        // Worker 1 starts at share 0 (singleton allocation): no bootstrap
+        // possible, so it must not move until it learns something.
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(2.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+        ];
+        let mut bandit =
+            BanditDolbie::with_config(Allocation::singleton(2, 0), DolbieConfig::new());
+        step(&mut bandit, &costs, 0);
+        // Worker 0 (straggler, share 1) can only shed what worker 1 claims;
+        // worker 1 has no model yet, so nothing moves.
+        assert_eq!(bandit.allocation().share(1), 0.0);
+    }
+
+    #[test]
+    fn single_worker_is_stable() {
+        let costs: Vec<DynCost> = vec![Box::new(LinearCost::new(1.0, 0.0))];
+        let mut bandit = BanditDolbie::new(1);
+        for t in 0..5 {
+            step(&mut bandit, &costs, t);
+            assert_eq!(bandit.allocation().share(0), 1.0);
+        }
+    }
+
+    #[test]
+    fn name_distinguishes_the_variant() {
+        assert_eq!(BanditDolbie::new(2).name(), "DOLBIE-bandit");
+    }
+
+    #[test]
+    fn alpha_floor_is_respected() {
+        let cfg = DolbieConfig::new().with_initial_alpha(0.1).with_alpha_floor(0.05);
+        let bandit = BanditDolbie::with_config(Allocation::uniform(3), cfg);
+        assert!(bandit.alpha() >= 0.05);
+    }
+}

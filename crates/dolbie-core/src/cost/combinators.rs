@@ -1,0 +1,191 @@
+//! Combinators that build compound costs from simpler ones.
+
+use super::CostFunction;
+
+/// The sum of two cost functions, `f(x) = a(x) + b(x)`.
+///
+/// This mirrors the paper's decomposition of training latency into
+/// processing plus communication components, but for arbitrary shapes —
+/// e.g. an affine compute term plus a queueing transmission term.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::cost::{CostFunction, LinearCost, SumCost};
+///
+/// let f = SumCost::new(LinearCost::new(1.0, 0.0), LinearCost::new(0.0, 0.5));
+/// assert_eq!(f.eval(0.5), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SumCost<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: CostFunction, B: CostFunction> SumCost<A, B> {
+    /// Creates `f(x) = a(x) + b(x)`.
+    pub fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+}
+
+impl<A: CostFunction, B: CostFunction> CostFunction for SumCost<A, B> {
+    fn eval(&self, x: f64) -> f64 {
+        self.a.eval(x) + self.b.eval(x)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        self.a.derivative(x) + self.b.derivative(x)
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        self.a.lipschitz_bound() + self.b.lipschitz_bound()
+    }
+}
+
+/// A cost multiplied by a non-negative factor, `f(x) = factor * inner(x)`.
+///
+/// Useful for modelling a worker slowdown (factor > 1) or speedup applied
+/// uniformly to an existing cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledCost<C> {
+    inner: C,
+    factor: f64,
+}
+
+impl<C: CostFunction> ScaledCost<C> {
+    /// Creates `f(x) = factor * inner(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn new(inner: C, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        Self { inner, factor }
+    }
+}
+
+impl<C: CostFunction> CostFunction for ScaledCost<C> {
+    fn eval(&self, x: f64) -> f64 {
+        self.factor * self.inner.eval(x)
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        if self.factor == 0.0 {
+            return if level >= 0.0 { Some(1.0) } else { None };
+        }
+        self.inner.max_share_within(level / self.factor)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        self.factor * self.inner.derivative(x)
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        self.factor * self.inner.lipschitz_bound()
+    }
+}
+
+/// A cost shifted by a constant, `f(x) = inner(x) + shift`.
+///
+/// Models a load-independent overhead (e.g. a fixed synchronization
+/// barrier) added to an existing cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftedCost<C> {
+    inner: C,
+    shift: f64,
+}
+
+impl<C: CostFunction> ShiftedCost<C> {
+    /// Creates `f(x) = inner(x) + shift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift` is non-finite.
+    pub fn new(inner: C, shift: f64) -> Self {
+        assert!(shift.is_finite(), "shift must be finite");
+        Self { inner, shift }
+    }
+}
+
+impl<C: CostFunction> CostFunction for ShiftedCost<C> {
+    fn eval(&self, x: f64) -> f64 {
+        self.inner.eval(x) + self.shift
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        self.inner.max_share_within(level - self.shift)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        self.inner.derivative(x)
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        self.inner.lipschitz_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{LinearCost, PowerCost};
+    use super::*;
+
+    #[test]
+    fn sum_evaluates_and_differentiates() {
+        let f = SumCost::new(LinearCost::new(2.0, 1.0), PowerCost::new(1.0, 2.0, 0.0));
+        assert!((f.eval(0.5) - (2.0 * 0.5 + 1.0 + 0.25)).abs() < 1e-12);
+        assert!((f.derivative(0.5) - 3.0).abs() < 1e-12);
+        assert!((f.lipschitz_bound() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_inverse_via_default_bisection() {
+        let f = SumCost::new(LinearCost::new(2.0, 0.0), PowerCost::new(1.0, 2.0, 0.0));
+        // f(x) = 2x + x²; f(0.5) = 1.25.
+        let x = f.max_share_within(1.25).unwrap();
+        assert!((x - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn scaled_inverse_delegates_exactly() {
+        let f = ScaledCost::new(LinearCost::new(2.0, 1.0), 3.0);
+        // f(x) = 3(2x + 1); f(0.5) = 6.
+        assert_eq!(f.eval(0.5), 6.0);
+        assert_eq!(f.max_share_within(6.0), Some(0.5));
+        assert_eq!(f.derivative(0.1), 6.0);
+        assert_eq!(f.lipschitz_bound(), 6.0);
+    }
+
+    #[test]
+    fn zero_scale_is_free() {
+        let f = ScaledCost::new(LinearCost::new(2.0, 1.0), 0.0);
+        assert_eq!(f.eval(0.9), 0.0);
+        assert_eq!(f.max_share_within(0.0), Some(1.0));
+        assert_eq!(f.max_share_within(-1.0), None);
+    }
+
+    #[test]
+    fn shifted_inverse_delegates_exactly() {
+        let f = ShiftedCost::new(LinearCost::new(2.0, 0.0), 0.5);
+        assert_eq!(f.eval(0.25), 1.0);
+        assert_eq!(f.max_share_within(1.0), Some(0.25));
+        assert_eq!(f.max_share_within(0.4), None);
+        assert_eq!(f.derivative(0.3), 2.0);
+        assert_eq!(f.lipschitz_bound(), 2.0);
+    }
+
+    #[test]
+    fn combinators_nest() {
+        let f = ShiftedCost::new(ScaledCost::new(LinearCost::new(1.0, 0.0), 2.0), 1.0);
+        // f(x) = 2x + 1.
+        assert_eq!(f.eval(0.5), 2.0);
+        assert_eq!(f.max_share_within(2.0), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn negative_factor_is_rejected() {
+        let _ = ScaledCost::new(LinearCost::new(1.0, 0.0), -1.0);
+    }
+}

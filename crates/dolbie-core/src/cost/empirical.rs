@@ -1,0 +1,258 @@
+//! Cost functions fitted from measurements.
+//!
+//! Real deployments rarely know `f_{i,t}` in closed form: a worker
+//! observes (share, latency) pairs and must *reconstruct* an increasing
+//! cost function to evaluate the eq. (4) inverse. [`EmpiricalCost`] does
+//! exactly that: it fits the best non-decreasing step/linear function to
+//! the samples via isotonic regression (pool-adjacent-violators) and
+//! interpolates linearly between the fitted knots.
+
+use super::{CostFunction, PiecewiseLinearCost};
+
+/// A non-decreasing cost fitted to noisy `(share, cost)` measurements by
+/// isotonic regression (PAV) followed by linear interpolation.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::cost::{CostFunction, EmpiricalCost};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Noisy measurements of f(x) = 2x.
+/// let samples = vec![(0.0, 0.05), (0.25, 0.45), (0.5, 1.1), (0.75, 1.45), (1.0, 2.0)];
+/// let f = EmpiricalCost::fit(samples)?;
+/// assert!((f.eval(0.5) - 1.0).abs() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCost {
+    fitted: PiecewiseLinearCost,
+}
+
+/// Error fitting an [`EmpiricalCost`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two samples were provided.
+    TooFewSamples,
+    /// A sample contained a non-finite coordinate.
+    NonFinite,
+    /// All samples share the same abscissa, so no function of the share
+    /// can be identified.
+    DegenerateAbscissae,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewSamples => write!(f, "need at least two samples to fit"),
+            FitError::NonFinite => write!(f, "samples must be finite"),
+            FitError::DegenerateAbscissae => {
+                write!(f, "samples must cover at least two distinct shares")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl EmpiricalCost {
+    /// Fits the isotonic (least-squares non-decreasing) function to the
+    /// samples.
+    ///
+    /// Duplicate abscissae are averaged first; the pool-adjacent-violators
+    /// pass then enforces monotonicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] if fewer than two samples are given, any
+    /// coordinate is non-finite, or all samples share one abscissa.
+    pub fn fit(mut samples: Vec<(f64, f64)>) -> Result<Self, FitError> {
+        if samples.len() < 2 {
+            return Err(FitError::TooFewSamples);
+        }
+        if samples.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(FitError::NonFinite);
+        }
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values compare"));
+
+        // Collapse duplicate abscissae by averaging their ordinates.
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        for (x, y) in samples {
+            if let Some(&last) = xs.last() {
+                if (x - last).abs() < 1e-12 {
+                    let k = ys.len() - 1;
+                    let w = weights[k];
+                    ys[k] = (ys[k] * w + y) / (w + 1.0);
+                    weights[k] = w + 1.0;
+                    continue;
+                }
+            }
+            xs.push(x);
+            ys.push(y);
+            weights.push(1.0);
+        }
+        if xs.len() < 2 {
+            return Err(FitError::DegenerateAbscissae);
+        }
+
+        // Pool-adjacent-violators: merge blocks until weighted means are
+        // non-decreasing.
+        struct Block {
+            mean: f64,
+            weight: f64,
+            last_index: usize,
+        }
+        let mut blocks: Vec<Block> = Vec::with_capacity(ys.len());
+        for (i, (&y, &w)) in ys.iter().zip(&weights).enumerate() {
+            blocks.push(Block { mean: y, weight: w, last_index: i });
+            while blocks.len() >= 2 {
+                let n = blocks.len();
+                if blocks[n - 2].mean <= blocks[n - 1].mean {
+                    break;
+                }
+                let top = blocks.pop().expect("n >= 2");
+                let prev = blocks.last_mut().expect("n >= 2");
+                let total = prev.weight + top.weight;
+                prev.mean = (prev.mean * prev.weight + top.mean * top.weight) / total;
+                prev.weight = total;
+                prev.last_index = top.last_index;
+            }
+        }
+
+        // Expand the block means back into fitted knots; nudge exactly-flat
+        // x-runs apart is unnecessary since duplicates were merged.
+        let mut fitted_y = vec![0.0; xs.len()];
+        let mut start = 0;
+        for b in &blocks {
+            for item in fitted_y.iter_mut().take(b.last_index + 1).skip(start) {
+                *item = b.mean;
+            }
+            start = b.last_index + 1;
+        }
+        let knots: Vec<(f64, f64)> = xs.into_iter().zip(fitted_y).collect();
+        let fitted = PiecewiseLinearCost::new(knots)
+            .expect("PAV output is sorted and non-decreasing by construction");
+        Ok(Self { fitted })
+    }
+
+    /// The fitted knot points `(share, fitted cost)`.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        self.fitted.knots()
+    }
+}
+
+impl CostFunction for EmpiricalCost {
+    fn eval(&self, x: f64) -> f64 {
+        self.fitted.eval(x)
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        self.fitted.max_share_within(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_monotone_data_exactly() {
+        let f = EmpiricalCost::fit(vec![(0.0, 1.0), (0.5, 2.0), (1.0, 4.0)]).unwrap();
+        assert_eq!(f.eval(0.0), 1.0);
+        assert_eq!(f.eval(0.5), 2.0);
+        assert!((f.eval(0.75) - 3.0).abs() < 1e-12);
+        assert_eq!(f.knots().len(), 3);
+    }
+
+    #[test]
+    fn pools_violators_to_weighted_means() {
+        // Classic PAV case: 1, 3, 2 -> 1, 2.5, 2.5.
+        let f = EmpiricalCost::fit(vec![(0.0, 1.0), (0.5, 3.0), (1.0, 2.0)]).unwrap();
+        assert_eq!(f.eval(0.0), 1.0);
+        assert!((f.eval(0.5) - 2.5).abs() < 1e-12);
+        assert!((f.eval(1.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averages_duplicate_abscissae() {
+        let f = EmpiricalCost::fit(vec![(0.5, 1.0), (0.5, 3.0), (1.0, 4.0), (0.0, 0.0)]).unwrap();
+        assert!((f.eval(0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_is_usable_by_dolbie_inverse() {
+        // Noisy samples of the latency model; the inverse should be close
+        // to the truth.
+        let truth = |x: f64| 2.0 * x + 0.1;
+        let noise = [0.03, -0.02, 0.01, -0.04, 0.02, 0.0];
+        let samples: Vec<(f64, f64)> = (0..6)
+            .map(|k| {
+                let x = k as f64 / 5.0;
+                (x, truth(x) + noise[k])
+            })
+            .collect();
+        let f = EmpiricalCost::fit(samples).unwrap();
+        let x = f.max_share_within(1.1).unwrap();
+        // Truth: max{x : 2x + 0.1 <= 1.1} = 0.5.
+        assert!((x - 0.5).abs() < 0.06, "x = {x}");
+    }
+
+    #[test]
+    fn fit_errors() {
+        assert_eq!(EmpiricalCost::fit(vec![(0.0, 1.0)]).unwrap_err(), FitError::TooFewSamples);
+        assert_eq!(
+            EmpiricalCost::fit(vec![(0.0, f64::NAN), (1.0, 1.0)]).unwrap_err(),
+            FitError::NonFinite
+        );
+        assert_eq!(
+            EmpiricalCost::fit(vec![(0.5, 1.0), (0.5, 2.0)]).unwrap_err(),
+            FitError::DegenerateAbscissae
+        );
+        assert!(!FitError::TooFewSamples.to_string().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The fit is always non-decreasing, whatever the data.
+        #[test]
+        fn fit_is_monotone(ys in proptest::collection::vec(-10.0f64..10.0, 2..20)) {
+            let samples: Vec<(f64, f64)> = ys
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| (i as f64 / (ys.len() - 1) as f64, y))
+                .collect();
+            let f = EmpiricalCost::fit(samples).unwrap();
+            let mut last = f.eval(0.0);
+            for k in 1..=32 {
+                let v = f.eval(k as f64 / 32.0);
+                prop_assert!(v + 1e-9 >= last);
+                last = v;
+            }
+        }
+
+        /// Fitting already-monotone data is the identity at the knots.
+        #[test]
+        fn monotone_data_is_fixed_point(
+            mut ys in proptest::collection::vec(0.0f64..10.0, 2..15)
+        ) {
+            ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let samples: Vec<(f64, f64)> = ys
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| (i as f64 / (ys.len() - 1) as f64, y))
+                .collect();
+            let f = EmpiricalCost::fit(samples.clone()).unwrap();
+            for (x, y) in samples {
+                prop_assert!((f.eval(x) - y).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Exponential cost `f(x) = scale * (e^{rate·x} − 1) + offset`.
+
+use super::CostFunction;
+
+/// Exponentially growing local cost — the harshest non-linear shape in the
+/// library, modelling workers that degrade sharply past a soft capacity
+/// (thermal throttling, swap pressure).
+///
+/// `f(x) = scale * (exp(rate * x) − 1) + offset`, so `f(0) = offset`.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::cost::{CostFunction, ExponentialCost};
+///
+/// let f = ExponentialCost::new(1.0, 1.0, 0.0);
+/// assert!((f.eval(1.0) - (1f64.exp() - 1.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialCost {
+    scale: f64,
+    rate: f64,
+    offset: f64,
+}
+
+impl ExponentialCost {
+    /// Creates `f(x) = scale * (exp(rate * x) − 1) + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale < 0`, `rate < 0`, or any parameter is non-finite.
+    pub fn new(scale: f64, rate: f64, offset: f64) -> Self {
+        assert!(
+            scale.is_finite() && rate.is_finite() && offset.is_finite(),
+            "parameters must be finite"
+        );
+        assert!(scale >= 0.0, "scale must be non-negative");
+        assert!(rate >= 0.0, "rate must be non-negative for monotonicity");
+        Self { scale, rate, offset }
+    }
+}
+
+impl CostFunction for ExponentialCost {
+    fn eval(&self, x: f64) -> f64 {
+        self.scale * ((self.rate * x).exp() - 1.0) + self.offset
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        if self.offset > level {
+            return None;
+        }
+        if self.scale == 0.0 || self.rate == 0.0 {
+            return Some(1.0);
+        }
+        let arg = (level - self.offset) / self.scale + 1.0;
+        Some((arg.ln() / self.rate).min(1.0))
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        self.scale * self.rate * (self.rate * x).exp()
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        self.derivative(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_round_trip() {
+        let f = ExponentialCost::new(0.5, 3.0, 0.2);
+        for x in [0.0, 0.33, 0.8, 1.0] {
+            let level = f.eval(x);
+            let back = f.max_share_within(level).unwrap();
+            assert!((back - x).abs() < 1e-10, "x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn inverse_none_and_truncation() {
+        let f = ExponentialCost::new(1.0, 2.0, 1.0);
+        assert_eq!(f.max_share_within(0.5), None);
+        assert_eq!(f.max_share_within(1e9), Some(1.0));
+    }
+
+    #[test]
+    fn degenerate_flat_function() {
+        let f = ExponentialCost::new(0.0, 2.0, 0.7);
+        assert_eq!(f.eval(0.5), 0.7);
+        assert_eq!(f.max_share_within(0.7), Some(1.0));
+        let g = ExponentialCost::new(1.0, 0.0, 0.7);
+        assert_eq!(g.eval(0.9), 0.7);
+        assert_eq!(g.max_share_within(0.7), Some(1.0));
+    }
+
+    #[test]
+    fn lipschitz_is_derivative_at_one() {
+        let f = ExponentialCost::new(2.0, 1.5, 0.0);
+        assert!((f.lipschitz_bound() - 2.0 * 1.5 * 1.5f64.exp()).abs() < 1e-10);
+        assert!(f.lipschitz_bound() >= f.derivative(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn negative_rate_is_rejected() {
+        let _ = ExponentialCost::new(1.0, -1.0, 0.0);
+    }
+}

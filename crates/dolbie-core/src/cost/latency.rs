@@ -1,0 +1,156 @@
+//! The distributed-learning latency model of §III-A.
+
+use super::CostFunction;
+
+/// Per-round training latency of a worker in the batch-size-tuning example:
+///
+/// `f(b) = b * B / γ + f^C`
+///
+/// where `b` is the batch *fraction* assigned to the worker, `B` the global
+/// batch size, `γ` the worker's current processing speed (samples/second)
+/// and `f^C = d / φ` the communication time (model size over data rate).
+/// This matches `f_{i,t}(b_{i,t}) = f^P_{i,t}(b_{i,t}) + f^C_{i,t}` in the
+/// paper, and its closed-form inverse is exactly the expression used in
+/// §VI-A: `b' = min(1, (f − f^C) γ / B)`.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::cost::{CostFunction, LatencyCost};
+///
+/// // 256 samples total, 512 samples/s, 0.1 s communication time.
+/// let f = LatencyCost::new(256.0, 512.0, 0.1);
+/// assert!((f.eval(0.5) - 0.35).abs() < 1e-12);
+/// assert_eq!(f.max_share_within(0.6), Some(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyCost {
+    batch_size: f64,
+    speed: f64,
+    comm_time: f64,
+}
+
+impl LatencyCost {
+    /// Creates the latency cost for a worker processing `batch_size * x`
+    /// samples at `speed` samples/second with fixed `comm_time` seconds of
+    /// communication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size < 0`, `speed <= 0`, `comm_time < 0`, or any
+    /// parameter is non-finite.
+    pub fn new(batch_size: f64, speed: f64, comm_time: f64) -> Self {
+        assert!(
+            batch_size.is_finite() && speed.is_finite() && comm_time.is_finite(),
+            "parameters must be finite"
+        );
+        assert!(batch_size >= 0.0, "batch size must be non-negative");
+        assert!(speed > 0.0, "processing speed must be positive");
+        assert!(comm_time >= 0.0, "communication time must be non-negative");
+        Self { batch_size, speed, comm_time }
+    }
+
+    /// The global batch size `B`.
+    pub fn batch_size(&self) -> f64 {
+        self.batch_size
+    }
+
+    /// The processing speed `γ` in samples/second.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// The communication time `f^C` in seconds.
+    pub fn comm_time(&self) -> f64 {
+        self.comm_time
+    }
+
+    /// The batch-processing component `f^P(x) = x B / γ` alone.
+    pub fn processing_time(&self, x: f64) -> f64 {
+        x * self.batch_size / self.speed
+    }
+}
+
+impl CostFunction for LatencyCost {
+    fn eval(&self, x: f64) -> f64 {
+        self.processing_time(x) + self.comm_time
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        if self.comm_time > level {
+            return None;
+        }
+        if self.batch_size == 0.0 {
+            return Some(1.0);
+        }
+        // b' = min(1, (f − f^C) γ / B), the closed form of §VI-A.
+        Some(((level - self.comm_time) * self.speed / self.batch_size).min(1.0))
+    }
+
+    fn derivative(&self, _x: f64) -> f64 {
+        self.batch_size / self.speed
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        self.batch_size / self.speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_decomposition() {
+        let f = LatencyCost::new(256.0, 128.0, 0.25);
+        // Full batch: 2 s of compute + 0.25 s of comm.
+        assert!((f.eval(1.0) - 2.25).abs() < 1e-12);
+        assert!((f.processing_time(1.0) - 2.0).abs() < 1e-12);
+        assert_eq!(f.comm_time(), 0.25);
+    }
+
+    #[test]
+    fn closed_form_inverse_round_trip() {
+        let f = LatencyCost::new(256.0, 100.0, 0.5);
+        for x in [0.0, 0.2, 0.9, 1.0] {
+            let level = f.eval(x);
+            let back = f.max_share_within(level).unwrap();
+            assert!((back - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_none_when_comm_dominates() {
+        let f = LatencyCost::new(256.0, 100.0, 0.5);
+        assert_eq!(f.max_share_within(0.4), None);
+        assert_eq!(f.max_share_within(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn zero_batch_is_pure_communication() {
+        let f = LatencyCost::new(0.0, 100.0, 0.3);
+        assert_eq!(f.eval(0.7), 0.3);
+        assert_eq!(f.max_share_within(0.3), Some(1.0));
+        assert_eq!(f.lipschitz_bound(), 0.0);
+    }
+
+    #[test]
+    fn derivative_is_b_over_gamma() {
+        let f = LatencyCost::new(256.0, 64.0, 0.0);
+        assert_eq!(f.derivative(0.3), 4.0);
+        assert_eq!(f.lipschitz_bound(), 4.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let f = LatencyCost::new(256.0, 64.0, 0.1);
+        assert_eq!(f.batch_size(), 256.0);
+        assert_eq!(f.speed(), 64.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_is_rejected() {
+        let _ = LatencyCost::new(256.0, 0.0, 0.1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Affine cost `f(x) = slope * x + intercept`.
+
+use super::CostFunction;
+
+/// Affine local cost `f(x) = slope * x + intercept` with exact inverse.
+///
+/// This is the simplest member of the family and the regime in which the
+/// repeated-game approach of \[23\] in the paper applies; it also underlies
+/// [`LatencyCost`](super::LatencyCost).
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::cost::{CostFunction, LinearCost};
+///
+/// let f = LinearCost::new(4.0, 1.0);
+/// assert_eq!(f.eval(0.25), 2.0);
+/// assert_eq!(f.max_share_within(3.0), Some(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearCost {
+    slope: f64,
+    intercept: f64,
+}
+
+impl LinearCost {
+    /// Creates `f(x) = slope * x + intercept`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slope` is negative (the cost must be non-decreasing) or if
+    /// either parameter is non-finite.
+    pub fn new(slope: f64, intercept: f64) -> Self {
+        assert!(slope.is_finite() && intercept.is_finite(), "parameters must be finite");
+        assert!(slope >= 0.0, "cost functions must be non-decreasing, slope = {slope}");
+        Self { slope, intercept }
+    }
+
+    /// The slope parameter.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// The intercept parameter (`f(0)`).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl CostFunction for LinearCost {
+    fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        if self.intercept > level {
+            return None;
+        }
+        if self.slope == 0.0 {
+            return Some(1.0);
+        }
+        Some(((level - self.intercept) / self.slope).min(1.0))
+    }
+
+    fn derivative(&self, _x: f64) -> f64 {
+        self.slope
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        self.slope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_inverse_round_trip() {
+        let f = LinearCost::new(3.0, 2.0);
+        for x in [0.0, 0.3, 0.7, 1.0] {
+            let level = f.eval(x);
+            let back = f.max_share_within(level).unwrap();
+            assert!((back - x).abs() < 1e-12, "x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn inverse_truncates_to_one() {
+        let f = LinearCost::new(1.0, 0.0);
+        assert_eq!(f.max_share_within(100.0), Some(1.0));
+    }
+
+    #[test]
+    fn inverse_none_below_intercept() {
+        let f = LinearCost::new(1.0, 5.0);
+        assert_eq!(f.max_share_within(4.999), None);
+        assert_eq!(f.max_share_within(5.0), Some(0.0));
+    }
+
+    #[test]
+    fn zero_slope_plateau_inverse_is_one() {
+        // A constant cost (purely communication-bound worker): any share is
+        // acceptable at or above the constant.
+        let f = LinearCost::new(0.0, 2.0);
+        assert_eq!(f.max_share_within(2.0), Some(1.0));
+        assert_eq!(f.max_share_within(1.0), None);
+        assert_eq!(f.lipschitz_bound(), 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let f = LinearCost::new(3.0, 2.0);
+        assert_eq!(f.slope(), 3.0);
+        assert_eq!(f.intercept(), 2.0);
+        assert_eq!(f.derivative(0.5), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn negative_slope_is_rejected() {
+        let _ = LinearCost::new(-1.0, 0.0);
+    }
+}

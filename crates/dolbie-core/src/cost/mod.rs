@@ -1,0 +1,236 @@
+//! Local cost functions `f_{i,t}`.
+//!
+//! In the paper's formulation (Section III-C), each worker `i` has a local
+//! cost `f_{i,t}(x_{i,t})` that is *increasing* (not necessarily strictly)
+//! in its workload share and that varies arbitrarily over time. The cost
+//! functions of a round are revealed to the workers only **after** the
+//! decision is played.
+//!
+//! [`CostFunction`] captures the algorithmic interface the paper relies on:
+//!
+//! - evaluation (`eval`),
+//! - the monotone inverse used for the maximum acceptable workload
+//!   `x'_{i,t}` of eq. (4) ([`CostFunction::max_share_within`]), with a
+//!   default bisection implementation as suggested in §IV-A,
+//! - a derivative (needed only by the OGD *baseline*; DOLBIE itself is
+//!   gradient-free), with a numeric default.
+//!
+//! The submodules provide the concrete shapes used across the evaluation:
+//! affine processing+communication latency (§III-A), polynomial and
+//! exponential non-linear costs (the regime where proportional policies like
+//! ABS break down, §II-B), piecewise-linear and plateaued costs (the
+//! non-strictly-increasing case), and saturating/queueing costs for the edge
+//! scenario.
+
+mod combinators;
+mod empirical;
+mod exponential;
+mod latency;
+mod linear;
+mod piecewise;
+mod power;
+mod reciprocal;
+
+pub use combinators::{ScaledCost, ShiftedCost, SumCost};
+pub use empirical::{EmpiricalCost, FitError};
+pub use exponential::ExponentialCost;
+pub use latency::LatencyCost;
+pub use linear::LinearCost;
+pub use piecewise::{PiecewiseError, PiecewiseLinearCost};
+pub use power::PowerCost;
+pub use reciprocal::ReciprocalCost;
+
+use crate::solver::{invert_monotone, BisectionConfig};
+use std::fmt;
+
+/// A boxed, dynamically-typed cost function as revealed by an environment.
+pub type DynCost = Box<dyn CostFunction>;
+
+/// A worker's local cost as a function of its workload share.
+///
+/// # Contract
+///
+/// Implementations must be non-decreasing on `[0, 1]` and finite there.
+/// `max_share_within` and `derivative` have correct defaults for any such
+/// function; implementations with closed forms should override them for
+/// speed and precision (the affine latency model of §VI-A does).
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::cost::{CostFunction, LinearCost};
+///
+/// let f = LinearCost::new(2.0, 1.0); // f(x) = 2x + 1
+/// assert_eq!(f.eval(0.5), 2.0);
+/// assert_eq!(f.max_share_within(2.0), Some(0.5));
+/// assert_eq!(f.max_share_within(0.5), None); // even x = 0 costs 1
+/// ```
+pub trait CostFunction: fmt::Debug + Send + Sync {
+    /// The cost incurred when this worker executes share `x` of the total
+    /// workload. Must be non-decreasing and finite on `[0, 1]`.
+    fn eval(&self, x: f64) -> f64;
+
+    /// The maximum share this worker could take without its cost exceeding
+    /// `level`, truncated to the total workload: the quantity
+    /// `x' = min(1, max{x : f(x) <= level})` of eq. (4) in the paper.
+    ///
+    /// Returns `None` when even an empty share costs more than `level`
+    /// (`f(0) > level`), which for the oracle means `level` is an
+    /// infeasible global cost.
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        if self.eval(0.0) > level {
+            return None;
+        }
+        // eval(0) <= level was just checked, so the only possible errors
+        // (non-finite values) would violate the trait contract; surface
+        // them as a truncation to the feasible side rather than panicking.
+        invert_monotone(|x| self.eval(x), level, 0.0, 1.0, BisectionConfig::new()).ok()
+    }
+
+    /// Derivative of the cost at `x`, clamped to the `[0, 1]` domain.
+    ///
+    /// Only the OGD baseline needs this (to form a subgradient of the
+    /// pointwise max); DOLBIE never calls it. The default is a symmetric
+    /// finite difference shrunk at the domain boundary.
+    fn derivative(&self, x: f64) -> f64 {
+        let h = 1e-6;
+        let lo = (x - h).max(0.0);
+        let hi = (x + h).min(1.0);
+        if hi <= lo {
+            return 0.0;
+        }
+        (self.eval(hi) - self.eval(lo)) / (hi - lo)
+    }
+
+    /// An upper bound on the derivative over `[0, 1]` — an estimate of the
+    /// Lipschitz constant `L` of Assumption 1, used when evaluating the
+    /// Theorem 1 regret bound. The default samples the derivative on a
+    /// uniform grid; exact implementations should override.
+    fn lipschitz_bound(&self) -> f64 {
+        let mut best: f64 = 0.0;
+        for k in 0..=32 {
+            let x = k as f64 / 32.0;
+            best = best.max(self.derivative(x).abs());
+        }
+        best
+    }
+}
+
+impl<T: CostFunction + ?Sized> CostFunction for &T {
+    fn eval(&self, x: f64) -> f64 {
+        (**self).eval(x)
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        (**self).max_share_within(level)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        (**self).derivative(x)
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        (**self).lipschitz_bound()
+    }
+}
+
+impl<T: CostFunction + ?Sized> CostFunction for Box<T> {
+    fn eval(&self, x: f64) -> f64 {
+        (**self).eval(x)
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        (**self).max_share_within(level)
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        (**self).derivative(x)
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        (**self).lipschitz_bound()
+    }
+}
+
+/// Largest Lipschitz bound across a round's cost functions: the constant
+/// `L` of Assumption 1 for that round.
+pub fn round_lipschitz(costs: &[DynCost]) -> f64 {
+    costs.iter().map(|f| f.lipschitz_bound()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_inverse_matches_exact_for_linear() {
+        // Use the default (bisection) path by wrapping in a type that does
+        // not override `max_share_within`.
+        #[derive(Debug)]
+        struct Plain(LinearCost);
+        impl CostFunction for Plain {
+            fn eval(&self, x: f64) -> f64 {
+                self.0.eval(x)
+            }
+        }
+        let plain = Plain(LinearCost::new(3.0, 0.5));
+        let exact = LinearCost::new(3.0, 0.5);
+        for level in [0.5, 1.0, 2.0, 3.5, 10.0] {
+            let a = plain.max_share_within(level).unwrap();
+            let b = exact.max_share_within(level).unwrap();
+            assert!((a - b).abs() < 1e-8, "level={level}: {a} vs {b}");
+        }
+        assert_eq!(plain.max_share_within(0.4), None);
+    }
+
+    #[test]
+    fn default_derivative_is_accurate() {
+        #[derive(Debug)]
+        struct Quad;
+        impl CostFunction for Quad {
+            fn eval(&self, x: f64) -> f64 {
+                x * x
+            }
+        }
+        let f = Quad;
+        assert!((f.derivative(0.5) - 1.0).abs() < 1e-4);
+        // Boundary handling: one-sided difference at the edges.
+        assert!(f.derivative(0.0) >= 0.0);
+        assert!((f.derivative(1.0) - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lipschitz_default_samples_grid() {
+        #[derive(Debug)]
+        struct Cube;
+        impl CostFunction for Cube {
+            fn eval(&self, x: f64) -> f64 {
+                x * x * x
+            }
+        }
+        let l = Cube.lipschitz_bound();
+        assert!((l - 3.0).abs() < 1e-3, "l={l}");
+    }
+
+    #[test]
+    fn references_and_boxes_are_cost_functions() {
+        let f = LinearCost::new(1.0, 0.0);
+        let r: &dyn CostFunction = &f;
+        assert_eq!(r.eval(0.25), 0.25);
+        let b: DynCost = Box::new(f);
+        assert_eq!(b.eval(0.25), 0.25);
+        assert_eq!(b.max_share_within(0.5), Some(0.5));
+        assert!((CostFunction::derivative(&b, 0.3) - 1.0).abs() < 1e-6);
+        assert!((b.lipschitz_bound() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn round_lipschitz_takes_max() {
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(2.0, 0.0)),
+            Box::new(LinearCost::new(5.0, 1.0)),
+        ];
+        assert!((round_lipschitz(&costs) - 5.0).abs() < 1e-9);
+        assert_eq!(round_lipschitz(&[]), 0.0);
+    }
+}

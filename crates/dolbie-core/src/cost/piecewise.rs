@@ -1,0 +1,240 @@
+//! Piecewise-linear, possibly plateaued cost functions.
+
+use super::CostFunction;
+
+/// Non-decreasing piecewise-linear cost defined by knot points.
+///
+/// The paper only requires `f_{i,t}` to be increasing "but not necessarily
+/// strictly increasing"; plateaus matter because the maximum acceptable
+/// workload `x' = max{x : f(x) <= l}` must pick the *right edge* of a
+/// plateau at level `l`. This type exercises that case throughout the test
+/// suite.
+///
+/// The function is defined on `[0, 1]` by linear interpolation between
+/// knots `(x_k, y_k)`; evaluation outside the knot range clamps to the
+/// nearest knot value.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::cost::{CostFunction, PiecewiseLinearCost};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Flat at 1.0 on [0.2, 0.6], then rising.
+/// let f = PiecewiseLinearCost::new(vec![
+///     (0.0, 0.0), (0.2, 1.0), (0.6, 1.0), (1.0, 3.0),
+/// ])?;
+/// assert_eq!(f.eval(0.4), 1.0);
+/// assert!((f.max_share_within(1.0).unwrap() - 0.6).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinearCost {
+    knots: Vec<(f64, f64)>,
+}
+
+/// Error constructing a [`PiecewiseLinearCost`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PiecewiseError {
+    /// Fewer than two knots were supplied.
+    TooFewKnots,
+    /// Knot abscissae were not strictly increasing.
+    UnsortedKnots,
+    /// Knot ordinates decreased (the cost must be non-decreasing).
+    DecreasingValues,
+    /// A knot coordinate was non-finite.
+    NonFinite,
+}
+
+impl std::fmt::Display for PiecewiseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PiecewiseError::TooFewKnots => write!(f, "need at least two knots"),
+            PiecewiseError::UnsortedKnots => write!(f, "knot x-coordinates must strictly increase"),
+            PiecewiseError::DecreasingValues => write!(f, "knot values must be non-decreasing"),
+            PiecewiseError::NonFinite => write!(f, "knot coordinates must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for PiecewiseError {}
+
+impl PiecewiseLinearCost {
+    /// Creates a piecewise-linear cost from knots `(x_k, y_k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiecewiseError`] if fewer than two knots are given, the
+    /// abscissae are not strictly increasing, the ordinates decrease, or any
+    /// coordinate is non-finite.
+    pub fn new(knots: Vec<(f64, f64)>) -> Result<Self, PiecewiseError> {
+        if knots.len() < 2 {
+            return Err(PiecewiseError::TooFewKnots);
+        }
+        for window in knots.windows(2) {
+            let (x0, y0) = window[0];
+            let (x1, y1) = window[1];
+            if !(x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite()) {
+                return Err(PiecewiseError::NonFinite);
+            }
+            if x1 <= x0 {
+                return Err(PiecewiseError::UnsortedKnots);
+            }
+            if y1 < y0 {
+                return Err(PiecewiseError::DecreasingValues);
+            }
+        }
+        Ok(Self { knots })
+    }
+
+    /// The knot points.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+}
+
+impl CostFunction for PiecewiseLinearCost {
+    fn eval(&self, x: f64) -> f64 {
+        let first = self.knots[0];
+        let last = self.knots[self.knots.len() - 1];
+        if x <= first.0 {
+            return first.1;
+        }
+        if x >= last.0 {
+            return last.1;
+        }
+        for window in self.knots.windows(2) {
+            let (x0, y0) = window[0];
+            let (x1, y1) = window[1];
+            if x <= x1 {
+                let t = (x - x0) / (x1 - x0);
+                return y0 + t * (y1 - y0);
+            }
+        }
+        last.1
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        if self.eval(0.0) > level {
+            return None;
+        }
+        let last = self.knots[self.knots.len() - 1];
+        if last.1 <= level {
+            // Beyond the final knot the function is clamped to `last.1`,
+            // which is within the level, so the whole workload fits.
+            return Some(1.0);
+        }
+        // Walk segments; the answer lies in the last segment whose start is
+        // within the level.
+        let mut best = 0.0f64;
+        for window in self.knots.windows(2) {
+            let (x0, y0) = window[0];
+            let (x1, y1) = window[1];
+            if y0 > level {
+                break;
+            }
+            if y1 <= level {
+                best = x1;
+                continue;
+            }
+            // Level crossed inside this segment (y0 <= level < y1); the
+            // segment is strictly increasing here since y1 > y0.
+            let t = (level - y0) / (y1 - y0);
+            best = x0 + t * (x1 - x0);
+            break;
+        }
+        Some(best.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_plateau_ramp() -> PiecewiseLinearCost {
+        PiecewiseLinearCost::new(vec![(0.0, 0.0), (0.2, 1.0), (0.6, 1.0), (1.0, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn eval_interpolates() {
+        let f = ramp_plateau_ramp();
+        assert!((f.eval(0.1) - 0.5).abs() < 1e-12);
+        assert_eq!(f.eval(0.4), 1.0);
+        assert!((f.eval(0.8) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_clamps_outside_knots() {
+        let f = PiecewiseLinearCost::new(vec![(0.1, 1.0), (0.9, 2.0)]).unwrap();
+        assert_eq!(f.eval(0.0), 1.0);
+        assert_eq!(f.eval(1.0), 2.0);
+    }
+
+    #[test]
+    fn inverse_picks_plateau_right_edge() {
+        let f = ramp_plateau_ramp();
+        let x = f.max_share_within(1.0).unwrap();
+        assert!((x - 0.6).abs() < 1e-12, "x={x}");
+    }
+
+    #[test]
+    fn inverse_within_rising_segment() {
+        let f = ramp_plateau_ramp();
+        let x = f.max_share_within(2.0).unwrap();
+        assert!((x - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_saturates_and_rejects() {
+        let f = ramp_plateau_ramp();
+        assert_eq!(f.max_share_within(5.0), Some(1.0));
+        let g = PiecewiseLinearCost::new(vec![(0.0, 2.0), (1.0, 3.0)]).unwrap();
+        assert_eq!(g.max_share_within(1.0), None);
+    }
+
+    #[test]
+    fn inverse_agrees_with_default_bisection() {
+        #[derive(Debug)]
+        struct ViaDefault(PiecewiseLinearCost);
+        impl CostFunction for ViaDefault {
+            fn eval(&self, x: f64) -> f64 {
+                self.0.eval(x)
+            }
+        }
+        let exact = ramp_plateau_ramp();
+        let bisected = ViaDefault(ramp_plateau_ramp());
+        for level in [0.25, 0.5, 1.0, 1.5, 2.5, 3.0] {
+            let a = exact.max_share_within(level).unwrap();
+            let b = bisected.max_share_within(level).unwrap();
+            assert!((a - b).abs() < 1e-8, "level={level}: exact {a} vs bisect {b}");
+        }
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            PiecewiseLinearCost::new(vec![(0.0, 0.0)]).unwrap_err(),
+            PiecewiseError::TooFewKnots
+        );
+        assert_eq!(
+            PiecewiseLinearCost::new(vec![(0.5, 0.0), (0.5, 1.0)]).unwrap_err(),
+            PiecewiseError::UnsortedKnots
+        );
+        assert_eq!(
+            PiecewiseLinearCost::new(vec![(0.0, 1.0), (1.0, 0.5)]).unwrap_err(),
+            PiecewiseError::DecreasingValues
+        );
+        assert_eq!(
+            PiecewiseLinearCost::new(vec![(0.0, f64::NAN), (1.0, 1.0)]).unwrap_err(),
+            PiecewiseError::NonFinite
+        );
+        assert!(!PiecewiseError::TooFewKnots.to_string().is_empty());
+    }
+
+    #[test]
+    fn knots_accessor() {
+        let f = ramp_plateau_ramp();
+        assert_eq!(f.knots().len(), 4);
+    }
+}

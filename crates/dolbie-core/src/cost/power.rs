@@ -1,0 +1,142 @@
+//! Polynomial cost `f(x) = coeff * x^exponent + offset`.
+
+use super::CostFunction;
+
+/// Power-law local cost `f(x) = coeff * x^p + offset` with `p > 0`.
+///
+/// Super-linear (`p > 1`) costs model congestion effects — e.g. memory
+/// pressure growing with batch size — and are exactly the non-linear regime
+/// in which the paper argues the proportional adjustment of ABS "is not
+/// robust" (§II-B). Sub-linear (`p < 1`) costs model economies of scale.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::cost::{CostFunction, PowerCost};
+///
+/// let f = PowerCost::new(4.0, 2.0, 1.0); // 4x² + 1
+/// assert_eq!(f.eval(0.5), 2.0);
+/// assert_eq!(f.max_share_within(2.0), Some(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCost {
+    coeff: f64,
+    exponent: f64,
+    offset: f64,
+}
+
+impl PowerCost {
+    /// Creates `f(x) = coeff * x^exponent + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeff < 0`, `exponent <= 0`, or any parameter is
+    /// non-finite.
+    pub fn new(coeff: f64, exponent: f64, offset: f64) -> Self {
+        assert!(
+            coeff.is_finite() && exponent.is_finite() && offset.is_finite(),
+            "parameters must be finite"
+        );
+        assert!(coeff >= 0.0, "coefficient must be non-negative");
+        assert!(exponent > 0.0, "exponent must be positive for monotonicity");
+        Self { coeff, exponent, offset }
+    }
+
+    /// The exponent `p`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+impl CostFunction for PowerCost {
+    fn eval(&self, x: f64) -> f64 {
+        self.coeff * x.powf(self.exponent) + self.offset
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        if self.offset > level {
+            return None;
+        }
+        if self.coeff == 0.0 {
+            return Some(1.0);
+        }
+        Some(((level - self.offset) / self.coeff).powf(1.0 / self.exponent).min(1.0))
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        if self.exponent == 1.0 {
+            return self.coeff;
+        }
+        self.coeff * self.exponent * x.powf(self.exponent - 1.0)
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        // On [0,1]: the derivative is maximized at 1 for p >= 1. For p < 1
+        // the derivative blows up at 0 — the cost is not Lipschitz there, so
+        // return the sampled bound away from zero as a practical estimate.
+        if self.exponent >= 1.0 {
+            self.coeff * self.exponent
+        } else {
+            self.derivative(1.0 / 32.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_round_trip_quadratic() {
+        let f = PowerCost::new(3.0, 2.0, 0.5);
+        for x in [0.0, 0.25, 0.6, 1.0] {
+            let level = f.eval(x);
+            let back = f.max_share_within(level).unwrap();
+            assert!((back - x).abs() < 1e-10, "x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip_sublinear() {
+        let f = PowerCost::new(2.0, 0.5, 0.0);
+        let level = f.eval(0.49);
+        let back = f.max_share_within(level).unwrap();
+        assert!((back - 0.49).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_truncation_and_none() {
+        let f = PowerCost::new(1.0, 3.0, 2.0);
+        assert_eq!(f.max_share_within(100.0), Some(1.0));
+        assert_eq!(f.max_share_within(1.9), None);
+    }
+
+    #[test]
+    fn zero_coeff_is_constant() {
+        let f = PowerCost::new(0.0, 2.0, 1.0);
+        assert_eq!(f.eval(0.8), 1.0);
+        assert_eq!(f.max_share_within(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn derivative_and_lipschitz() {
+        let f = PowerCost::new(4.0, 2.0, 0.0);
+        assert!((f.derivative(0.5) - 4.0).abs() < 1e-12);
+        assert!((f.lipschitz_bound() - 8.0).abs() < 1e-12);
+        let linearish = PowerCost::new(4.0, 1.0, 0.0);
+        assert_eq!(linearish.derivative(0.0), 4.0);
+    }
+
+    #[test]
+    fn sublinear_lipschitz_is_finite() {
+        let f = PowerCost::new(1.0, 0.5, 0.0);
+        assert!(f.lipschitz_bound().is_finite());
+        assert!(f.lipschitz_bound() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn zero_exponent_is_rejected() {
+        let _ = PowerCost::new(1.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Saturating queueing-style cost `f(x) = base + scale * x / (capacity − x)`.
+
+use super::CostFunction;
+
+/// Queueing-delay-shaped cost that saturates as the share approaches the
+/// worker's `capacity`: `f(x) = base + scale * x / (capacity − x)`.
+///
+/// With `capacity > 1` the function is finite, increasing and convex on
+/// `[0, 1]`; it models an edge server whose response time explodes as its
+/// assigned load nears its service capacity (paper Example 2, §III-B).
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::cost::{CostFunction, ReciprocalCost};
+///
+/// let f = ReciprocalCost::new(0.1, 1.0, 2.0);
+/// assert!((f.eval(1.0) - 1.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReciprocalCost {
+    base: f64,
+    scale: f64,
+    capacity: f64,
+}
+
+impl ReciprocalCost {
+    /// Creates `f(x) = base + scale * x / (capacity − x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity <= 1` (the function must be finite on `[0, 1]`),
+    /// `scale < 0`, `base < 0`, or any parameter is non-finite.
+    pub fn new(base: f64, scale: f64, capacity: f64) -> Self {
+        assert!(
+            base.is_finite() && scale.is_finite() && capacity.is_finite(),
+            "parameters must be finite"
+        );
+        assert!(capacity > 1.0, "capacity must exceed 1 so the cost is finite on [0, 1]");
+        assert!(scale >= 0.0, "scale must be non-negative");
+        assert!(base >= 0.0, "base must be non-negative");
+        Self { base, scale, capacity }
+    }
+
+    /// The service capacity parameter.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+impl CostFunction for ReciprocalCost {
+    fn eval(&self, x: f64) -> f64 {
+        self.base + self.scale * x / (self.capacity - x)
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        if self.base > level {
+            return None;
+        }
+        if self.scale == 0.0 {
+            return Some(1.0);
+        }
+        // level = base + scale·x/(c−x)  ⇒  x = c·u/(scale+u), u = level−base.
+        let u = level - self.base;
+        Some((self.capacity * u / (self.scale + u)).min(1.0))
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        let d = self.capacity - x;
+        self.scale * self.capacity / (d * d)
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        self.derivative(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_round_trip() {
+        let f = ReciprocalCost::new(0.2, 0.8, 1.5);
+        for x in [0.0, 0.4, 0.9, 1.0] {
+            let level = f.eval(x);
+            let back = f.max_share_within(level).unwrap();
+            assert!((back - x).abs() < 1e-10, "x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn inverse_edges() {
+        let f = ReciprocalCost::new(0.5, 1.0, 2.0);
+        assert_eq!(f.max_share_within(0.4), None);
+        assert_eq!(f.max_share_within(1e9), Some(1.0));
+        assert_eq!(f.max_share_within(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn zero_scale_is_constant() {
+        let f = ReciprocalCost::new(0.3, 0.0, 2.0);
+        assert_eq!(f.eval(0.99), 0.3);
+        assert_eq!(f.max_share_within(0.3), Some(1.0));
+    }
+
+    #[test]
+    fn derivative_grows_toward_capacity() {
+        let f = ReciprocalCost::new(0.0, 1.0, 1.2);
+        assert!(f.derivative(0.9) > f.derivative(0.1));
+        assert_eq!(f.lipschitz_bound(), f.derivative(1.0));
+    }
+
+    #[test]
+    fn convexity_spot_check() {
+        let f = ReciprocalCost::new(0.0, 1.0, 2.0);
+        let mid = f.eval(0.5);
+        let chord = (f.eval(0.0) + f.eval(1.0)) / 2.0;
+        assert!(mid < chord, "queueing cost should be convex");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn capacity_at_most_one_is_rejected() {
+        let _ = ReciprocalCost::new(0.0, 1.0, 1.0);
+    }
+}

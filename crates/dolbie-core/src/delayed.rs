@@ -1,0 +1,270 @@
+//! DOLBIE under delayed feedback (extension).
+//!
+//! The paper's protocol applies each round's observation immediately. In
+//! practice, cost telemetry often arrives late — the scalars of round `t`
+//! may only reach the decision maker at round `t + d` (monitoring
+//! pipelines, batched reporting, cross-datacenter aggregation).
+//! [`DelayedDolbie`] models that: each observation is converted into a
+//! zero-sum *update vector* exactly as DOLBIE would apply it, queued, and
+//! applied `d` rounds later, scaled back if the straggler's share has
+//! meanwhile shrunk below what the stale update assumed (so feasibility
+//! never breaks).
+//!
+//! With `d = 0` the trajectory is identical to [`Dolbie`](crate::Dolbie)
+//! (tested); with moderate delays the algorithm still converges on
+//! slowly varying systems, degrading gracefully as `d` grows — the classic
+//! delayed-online-learning picture.
+
+use crate::allocation::Allocation;
+use crate::balancer::LoadBalancer;
+use crate::observation::Observation;
+use crate::step_size::StepSize;
+use crate::DolbieConfig;
+use std::collections::VecDeque;
+
+/// DOLBIE with a fixed feedback delay of `d` rounds.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::delayed::DelayedDolbie;
+/// use dolbie_core::LoadBalancer;
+///
+/// let balancer = DelayedDolbie::new(4, 2); // observations apply 2 rounds late
+/// assert_eq!(balancer.allocation().num_workers(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayedDolbie {
+    x: Allocation,
+    alpha: StepSize,
+    delay: usize,
+    pending: VecDeque<PendingUpdate>,
+    config: DolbieConfig,
+}
+
+#[derive(Debug, Clone)]
+struct PendingUpdate {
+    /// Zero-sum per-worker share deltas (positive for assisting workers,
+    /// one negative entry at the then-straggler).
+    deltas: Vec<f64>,
+    /// The straggler the update shrinks, for the eq. (7) tightening.
+    straggler: usize,
+}
+
+impl DelayedDolbie {
+    /// Creates the delayed variant over `n` workers with the default
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, delay: usize) -> Self {
+        Self::with_config(Allocation::uniform(n), delay, DolbieConfig::new())
+    }
+
+    /// Creates the delayed variant from an arbitrary feasible start.
+    pub fn with_config(initial: Allocation, delay: usize, config: DolbieConfig) -> Self {
+        let alpha = StepSize::new(config.resolve_initial_alpha(&initial));
+        Self { x: initial, alpha, delay, pending: VecDeque::new(), config }
+    }
+
+    /// The configured feedback delay `d`.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// The current step size.
+    pub fn alpha(&self) -> f64 {
+        self.alpha.value().max(self.config.alpha_floor)
+    }
+
+    /// Applies a (possibly stale) zero-sum update, scaling it down if it
+    /// would drive any share negative.
+    fn apply(&mut self, update: PendingUpdate) {
+        let n = self.x.num_workers();
+        // Largest fraction of the update that keeps every share >= 0.
+        let mut scale = 1.0f64;
+        for (i, &d) in update.deltas.iter().enumerate() {
+            if d < 0.0 {
+                scale = scale.min(self.x.share(i) / -d);
+            }
+        }
+        if scale <= 0.0 {
+            return;
+        }
+        let next: Vec<f64> = self
+            .x
+            .iter()
+            .zip(&update.deltas)
+            .map(|(&x, &d)| (x + scale * d).max(0.0))
+            .collect();
+        self.x = Allocation::from_update(next).expect("scaled zero-sum update stays feasible");
+        self.alpha.tighten(n, self.x.share(update.straggler));
+    }
+}
+
+impl LoadBalancer for DelayedDolbie {
+    fn name(&self) -> &str {
+        "DOLBIE-delayed"
+    }
+
+    fn allocation(&self) -> &Allocation {
+        &self.x
+    }
+
+    fn observe(&mut self, observation: &Observation<'_>) {
+        let n = observation.num_workers();
+        assert_eq!(n, self.x.num_workers(), "observation covers a different worker set");
+        if n == 1 {
+            return;
+        }
+        // Convert the fresh observation into the update DOLBIE would have
+        // applied now (eq. (5)-(6) deltas against the *observed* shares).
+        let s = observation.straggler();
+        let alpha = self.alpha();
+        let mut deltas = vec![0.0; n];
+        let mut total = 0.0;
+        for (i, delta) in deltas.iter_mut().enumerate() {
+            if i == s {
+                continue;
+            }
+            let current = observation.shares().share(i);
+            let target = observation.max_acceptable_share(i);
+            let gain = (alpha * (target - current)).max(0.0);
+            *delta = gain;
+            total += gain;
+        }
+        deltas[s] = -total;
+        self.pending.push_back(PendingUpdate { deltas, straggler: s });
+
+        // Apply the update that has aged past the delay, if any.
+        if self.pending.len() > self.delay {
+            let update = self.pending.pop_front().expect("queue non-empty");
+            self.apply(update);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{DynCost, LinearCost};
+    use crate::Dolbie;
+
+    fn linear_costs(slopes: &[f64]) -> Vec<DynCost> {
+        slopes.iter().map(|&a| Box::new(LinearCost::new(a, 0.0)) as DynCost).collect()
+    }
+
+    fn step(b: &mut dyn LoadBalancer, costs: &[DynCost], t: usize) -> f64 {
+        let played = b.allocation().clone();
+        let obs = Observation::from_costs(t, &played, costs);
+        let g = obs.global_cost();
+        b.observe(&obs);
+        g
+    }
+
+    #[test]
+    fn zero_delay_matches_plain_dolbie() {
+        let costs = linear_costs(&[5.0, 1.0, 2.0]);
+        let mut delayed = DelayedDolbie::new(3, 0);
+        let mut plain = Dolbie::new(3);
+        for t in 0..60 {
+            step(&mut delayed, &costs, t);
+            step(&mut plain, &costs, t);
+            assert!(
+                delayed.allocation().l2_distance(plain.allocation()) < 1e-12,
+                "round {t}: {} vs {}",
+                delayed.allocation(),
+                plain.allocation()
+            );
+        }
+    }
+
+    #[test]
+    fn warmup_rounds_do_not_move() {
+        let costs = linear_costs(&[4.0, 1.0]);
+        let mut delayed = DelayedDolbie::new(2, 3);
+        for t in 0..3 {
+            step(&mut delayed, &costs, t);
+            assert_eq!(delayed.allocation(), &Allocation::uniform(2), "round {t}");
+        }
+        step(&mut delayed, &costs, 3);
+        assert_ne!(delayed.allocation(), &Allocation::uniform(2));
+        assert_eq!(delayed.delay(), 3);
+    }
+
+    #[test]
+    fn converges_on_static_costs_despite_delay() {
+        let costs = linear_costs(&[6.0, 1.0, 2.0, 1.5]);
+        let mut delayed = DelayedDolbie::new(4, 3);
+        let first = step(&mut delayed, &costs, 0);
+        let mut last = first;
+        for t in 1..400 {
+            last = step(&mut delayed, &costs, t);
+        }
+        let opt = crate::instantaneous_minimizer(&costs).unwrap().level;
+        // Staleness slows convergence but must not stall it: well below the
+        // starting point, and within ~1.6x of the optimum by round 400.
+        assert!(last < first * 0.5, "no real progress: {first} -> {last}");
+        assert!(last < opt * 1.6, "delayed DOLBIE drifted too far: {last} vs {opt}");
+        // And the plain engine with the same horizon does strictly better.
+        let mut plain = Dolbie::new(4);
+        let mut plain_last = 0.0;
+        for t in 0..400 {
+            plain_last = step(&mut plain, &costs, t);
+        }
+        assert!(plain_last <= last + 1e-9, "delay cannot help: {plain_last} vs {last}");
+    }
+
+    #[test]
+    fn longer_delay_is_never_catastrophic_and_stays_feasible() {
+        for delay in [1usize, 5, 10] {
+            let mut delayed = DelayedDolbie::new(5, delay);
+            for t in 0..120 {
+                // Slowly drifting slopes.
+                let costs: Vec<DynCost> = (0..5)
+                    .map(|i| {
+                        let slope = 1.0 + ((t as f64 / 29.0) + i as f64).sin().abs() * 4.0;
+                        Box::new(LinearCost::new(slope, 0.0)) as DynCost
+                    })
+                    .collect();
+                step(&mut delayed, &costs, t);
+                let sum: f64 = delayed.allocation().iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "delay {delay} round {t}");
+                assert!(
+                    delayed.allocation().iter().all(|&v| v >= 0.0),
+                    "delay {delay} round {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_update_is_scaled_not_rejected() {
+        // Force staleness to matter: the straggler identified at t=0 has
+        // lost most of its share by the time the update lands.
+        let mut delayed = DelayedDolbie::with_config(
+            Allocation::new(vec![0.2, 0.4, 0.4]).unwrap(),
+            2,
+            DolbieConfig::new().with_initial_alpha(0.9).with_alpha_floor(0.9),
+        );
+        let heavy_then_light = |t: usize| -> Vec<DynCost> {
+            if t == 0 {
+                linear_costs(&[50.0, 1.0, 1.0])
+            } else {
+                linear_costs(&[0.1, 1.0, 1.0])
+            }
+        };
+        for t in 0..6 {
+            let costs = heavy_then_light(t);
+            step(&mut delayed, &costs, t);
+            assert!(delayed.allocation().iter().all(|&v| v >= 0.0), "round {t}");
+        }
+    }
+
+    #[test]
+    fn name_distinguishes_the_variant() {
+        assert_eq!(DelayedDolbie::new(2, 1).name(), "DOLBIE-delayed");
+        assert!(DelayedDolbie::new(2, 1).alpha() > 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Error types for the core crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error produced when constructing or mutating an [`Allocation`].
+///
+/// [`Allocation`]: crate::allocation::Allocation
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocationError {
+    /// The allocation vector was empty; at least one worker is required.
+    Empty,
+    /// A share was negative (constraint (3) of the paper).
+    NegativeShare {
+        /// Index of the offending worker.
+        worker: usize,
+        /// The offending share value.
+        share: f64,
+    },
+    /// A share was not a finite number.
+    NonFiniteShare {
+        /// Index of the offending worker.
+        worker: usize,
+        /// The offending share value.
+        share: f64,
+    },
+    /// The shares did not sum to one within tolerance (constraint (2)).
+    SumMismatch {
+        /// The actual sum of the shares.
+        sum: f64,
+    },
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationError::Empty => write!(f, "allocation requires at least one worker"),
+            AllocationError::NegativeShare { worker, share } => {
+                write!(f, "worker {worker} has negative share {share}")
+            }
+            AllocationError::NonFiniteShare { worker, share } => {
+                write!(f, "worker {worker} has non-finite share {share}")
+            }
+            AllocationError::SumMismatch { sum } => {
+                write!(f, "shares sum to {sum}, expected 1")
+            }
+        }
+    }
+}
+
+impl StdError for AllocationError {}
+
+/// Error produced by the monotone-inverse bisection solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// The bracket `[lo, hi]` was invalid (`lo > hi` or non-finite).
+    InvalidBracket {
+        /// Lower end of the bracket.
+        lo: f64,
+        /// Upper end of the bracket.
+        hi: f64,
+    },
+    /// The target level is below the function value at the lower bracket
+    /// end, so no point of the bracket satisfies `f(x) <= level`.
+    LevelBelowRange {
+        /// The requested level.
+        level: f64,
+        /// The function value at the lower end of the bracket.
+        f_lo: f64,
+    },
+    /// The function returned a non-finite value during the search.
+    NonFiniteValue {
+        /// The argument at which the function misbehaved.
+        x: f64,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::InvalidBracket { lo, hi } => {
+                write!(f, "invalid bisection bracket [{lo}, {hi}]")
+            }
+            SolverError::LevelBelowRange { level, f_lo } => {
+                write!(
+                    f,
+                    "level {level} is below the function value {f_lo} at the bracket start"
+                )
+            }
+            SolverError::NonFiniteValue { x } => {
+                write!(f, "cost function returned a non-finite value at x = {x}")
+            }
+        }
+    }
+}
+
+impl StdError for SolverError {}
+
+/// Error produced by the instantaneous-minimizer oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleError {
+    /// No cost functions were supplied.
+    NoWorkers,
+    /// A cost function returned a non-finite value during the search.
+    NonFiniteCost {
+        /// Index of the offending worker.
+        worker: usize,
+    },
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::NoWorkers => write!(f, "oracle requires at least one cost function"),
+            OracleError::NonFiniteCost { worker } => {
+                write!(f, "cost function of worker {worker} returned a non-finite value")
+            }
+        }
+    }
+}
+
+impl StdError for OracleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_error_display_is_informative() {
+        let e = AllocationError::NegativeShare { worker: 3, share: -0.5 };
+        assert!(e.to_string().contains("worker 3"));
+        assert!(e.to_string().contains("-0.5"));
+        let e = AllocationError::SumMismatch { sum: 0.9 };
+        assert!(e.to_string().contains("0.9"));
+        let e = AllocationError::Empty;
+        assert!(!e.to_string().is_empty());
+        let e = AllocationError::NonFiniteShare { worker: 1, share: f64::NAN };
+        assert!(e.to_string().contains("worker 1"));
+    }
+
+    #[test]
+    fn solver_error_display_is_informative() {
+        let e = SolverError::InvalidBracket { lo: 2.0, hi: 1.0 };
+        assert!(e.to_string().contains('2'));
+        let e = SolverError::LevelBelowRange { level: 0.5, f_lo: 1.0 };
+        assert!(e.to_string().contains("0.5"));
+        let e = SolverError::NonFiniteValue { x: 0.25 };
+        assert!(e.to_string().contains("0.25"));
+    }
+
+    #[test]
+    fn oracle_error_display_is_informative() {
+        assert!(!OracleError::NoWorkers.to_string().is_empty());
+        assert!(OracleError::NonFiniteCost { worker: 7 }.to_string().contains('7'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<AllocationError>();
+        assert_err::<SolverError>();
+        assert_err::<OracleError>();
+    }
+}

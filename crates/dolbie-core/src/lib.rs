@@ -1,0 +1,110 @@
+//! # dolbie-core
+//!
+//! From-scratch reproduction of **DOLBIE** — *Distributed Online Load
+//! Balancing with rIsk-averse assistancE* — from J. Wang and B. Liang,
+//! "Distributed Online Min-Max Load Balancing with Risk-Averse Assistance",
+//! IEEE ICDCS 2023.
+//!
+//! The problem: split a unit of workload across `N` heterogeneous workers
+//! each round so as to minimize the accumulated **pointwise maximum** of
+//! the workers' local costs,
+//!
+//! ```text
+//! min_{x_1..x_T}  Σ_t max_i f_{i,t}(x_{i,t})
+//! s.t.            Σ_i x_{i,t} = 1,   x_{i,t} >= 0,
+//! ```
+//!
+//! where the increasing, arbitrarily time-varying cost functions `f_{i,t}`
+//! are revealed only *after* each decision. DOLBIE solves it online without
+//! gradients or projections: every non-straggling worker learns to offer a
+//! *risk-averse* amount of assistance to the current straggler — a step
+//! `α_t` toward the largest share it could have absorbed without becoming a
+//! worse straggler itself.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dolbie_core::{
+//!     run_episode, Dolbie, EpisodeOptions,
+//!     environment::StaticLinearEnvironment,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Three workers; worker 0 is 4x slower than worker 1.
+//! let mut env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0, 2.0]);
+//! let mut dolbie = Dolbie::new(3);
+//! let trace = run_episode(&mut dolbie, &mut env, EpisodeOptions::new(100).with_optimum());
+//! let regret = trace.regret().unwrap();
+//! assert!(regret.dynamic_regret() >= 0.0);
+//! println!("total cost {:.3}, regret {:.3}", trace.total_cost(), regret.dynamic_regret());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Module map
+//!
+//! - [`allocation`] — the simplex decision variable (constraints (2)–(3)).
+//! - [`cost`] — the cost-function library and the monotone-inverse
+//!   interface behind eq. (4).
+//! - [`solver`] — bisection search (the paper's suggested implementation of
+//!   the inverse).
+//! - [`observation`] — what a round reveals: local costs, global cost,
+//!   straggler.
+//! - [`balancer`] — the [`LoadBalancer`] trait shared with every baseline.
+//! - [`dolbie`] — the DOLBIE update (Algorithms 1–2 decision logic),
+//!   with optional per-worker capacity caps.
+//! - [`bandit`] — a bandit-feedback extension (value-only observations).
+//! - [`delayed`] — a delayed-feedback extension (observations apply `d`
+//!   rounds late).
+//! - [`step_size`] — the risk-averse step-size schedule of eq. (7).
+//! - [`oracle`] — the per-round clairvoyant optimum (`OPT`).
+//! - [`regret`] — dynamic regret, path length, and the Theorem 1 bound.
+//! - [`environment`] — deterministic synthetic adversaries.
+//! - [`runner`] — the episode driver used by tests and experiments.
+//!
+//! The message-passing realizations of the two architectures live in the
+//! `dolbie-simnet` crate; the evaluation substrates (distributed ML, edge
+//! offloading) live in `dolbie-mlsim` and `dolbie-edge`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod balancer;
+pub mod bandit;
+pub mod cost;
+pub mod delayed;
+pub mod dolbie;
+pub mod environment;
+pub mod error;
+pub mod observation;
+pub mod oracle;
+pub mod regret;
+pub mod runner;
+pub mod solver;
+pub mod step_size;
+
+pub use allocation::Allocation;
+pub use balancer::LoadBalancer;
+pub use dolbie::{Dolbie, DolbieConfig, InitialAlpha};
+pub use environment::Environment;
+pub use error::{AllocationError, OracleError, SolverError};
+pub use observation::Observation;
+pub use bandit::BanditDolbie;
+pub use delayed::DelayedDolbie;
+pub use oracle::{instantaneous_minimizer, instantaneous_minimizer_capped, InstantOptimum};
+pub use regret::{theorem1_bound, RegretTracker};
+pub use runner::{run_episode, run_replications, EpisodeOptions, EpisodeTrace, RoundRecord};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::Allocation>();
+        assert_send_sync::<crate::Dolbie>();
+        assert_send_sync::<crate::RegretTracker>();
+        assert_send_sync::<crate::InstantOptimum>();
+        assert_send_sync::<crate::cost::DynCost>();
+    }
+}

@@ -1,0 +1,329 @@
+//! The instantaneous-minimizer oracle (`OPT` / "Dynamic Optimum").
+//!
+//! The dynamic regret of Section V compares against
+//! `x*_t ∈ argmin_{x ∈ F} max_i f_{i,t}(x_i)`, and the experiments include
+//! `OPT` as a clairvoyant baseline. For increasing local costs the min-max
+//! problem on the simplex has a water-filling structure: a global-cost
+//! level `l` is achievable iff every worker can afford an empty share
+//! (`f_i(0) <= l`) and the per-worker capacities
+//! `cap_i(l) = min(1, max{x : f_i(x) <= l})` jointly cover the workload
+//! (`Σ_i cap_i(l) >= 1`). Feasibility is monotone in `l`, so the optimal
+//! level is found by bisection, and any allocation with `x_i <= cap_i(l*)`
+//! summing to one attains it.
+
+use crate::allocation::Allocation;
+use crate::cost::DynCost;
+use crate::error::OracleError;
+use crate::solver::{min_feasible_level, BisectionConfig};
+
+/// The result of solving one round's offline problem.
+#[derive(Debug, Clone)]
+pub struct InstantOptimum {
+    /// The achieved global cost `f_t(x*_t)`.
+    pub level: f64,
+    /// A minimizing allocation `x*_t`.
+    pub allocation: Allocation,
+}
+
+/// Computes the instantaneous minimizer of `max_i f_i(x_i)` over the
+/// simplex for one round's cost functions.
+///
+/// # Errors
+///
+/// Returns [`OracleError::NoWorkers`] for an empty input and
+/// [`OracleError::NonFiniteCost`] if a cost function violates its
+/// finiteness contract.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::cost::{DynCost, LinearCost};
+/// use dolbie_core::oracle::instantaneous_minimizer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let costs: Vec<DynCost> = vec![
+///     Box::new(LinearCost::new(4.0, 0.0)),
+///     Box::new(LinearCost::new(1.0, 0.0)),
+/// ];
+/// let opt = instantaneous_minimizer(&costs)?;
+/// // Balance: 4 x0 = x1, x0 + x1 = 1  =>  x0 = 0.2, level 0.8.
+/// assert!((opt.level - 0.8).abs() < 1e-6);
+/// assert!((opt.allocation.share(0) - 0.2).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn instantaneous_minimizer(cost_fns: &[DynCost]) -> Result<InstantOptimum, OracleError> {
+    instantaneous_minimizer_capped(cost_fns, None)
+}
+
+/// [`instantaneous_minimizer`] under per-worker share caps
+/// `x_i <= share_caps[i]` — the capacity-constrained extension matching
+/// [`Dolbie::with_share_caps`](crate::Dolbie::with_share_caps).
+///
+/// # Errors
+///
+/// As [`instantaneous_minimizer`]; additionally the caps must be in
+/// `[0, 1]` with `Σ_i caps_i >= 1`, or the problem has no feasible point.
+///
+/// # Panics
+///
+/// Panics if `share_caps` is provided with the wrong length, contains a
+/// value outside `[0, 1]`, or sums to less than one.
+pub fn instantaneous_minimizer_capped(
+    cost_fns: &[DynCost],
+    share_caps: Option<&[f64]>,
+) -> Result<InstantOptimum, OracleError> {
+    let n = cost_fns.len();
+    if n == 0 {
+        return Err(OracleError::NoWorkers);
+    }
+    let caps: Vec<f64> = match share_caps {
+        Some(c) => {
+            assert_eq!(c.len(), n, "one share cap per worker");
+            assert!(
+                c.iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "share caps must lie in [0, 1]"
+            );
+            assert!(c.iter().sum::<f64>() >= 1.0 - 1e-9, "caps must cover the workload");
+            c.to_vec()
+        }
+        None => vec![1.0; n],
+    };
+    if n == 1 {
+        let level = cost_fns[0].eval(1.0);
+        if !level.is_finite() {
+            return Err(OracleError::NonFiniteCost { worker: 0 });
+        }
+        return Ok(InstantOptimum { level, allocation: Allocation::singleton(1, 0) });
+    }
+
+    // Lower bound: any allocation costs at least max_i f_i(0).
+    // Upper bound: the level at which every worker can absorb its full cap
+    // is feasible (the caps jointly cover the workload).
+    let mut lo = f64::MIN;
+    let mut hi = f64::MIN;
+    for (worker, f) in cost_fns.iter().enumerate() {
+        let at_zero = f.eval(0.0);
+        let at_cap = f.eval(caps[worker]);
+        if !at_zero.is_finite() || !at_cap.is_finite() {
+            return Err(OracleError::NonFiniteCost { worker });
+        }
+        lo = lo.max(at_zero);
+        hi = hi.max(at_cap);
+    }
+
+    let capacities = |level: f64| -> Vec<f64> {
+        cost_fns
+            .iter()
+            .zip(&caps)
+            .map(|(f, &cap)| f.max_share_within(level).unwrap_or(0.0).min(cap))
+            .collect()
+    };
+    let feasible = |level: f64| -> bool {
+        let mut total = 0.0;
+        for (f, &cap) in cost_fns.iter().zip(&caps) {
+            match f.max_share_within(level) {
+                Some(c) => total += c.min(cap),
+                // Some worker cannot even hold an empty share at this level.
+                None => return false,
+            }
+        }
+        total >= 1.0
+    };
+
+    let level = min_feasible_level(feasible, lo, hi, BisectionConfig::new())
+        .expect("the all-caps level is always feasible");
+
+    let room = capacities(level);
+    let total: f64 = room.iter().sum();
+    debug_assert!(total >= 1.0 - 1e-9, "feasible level must cover the workload");
+    // Scaling keeps x_i <= room_i (total >= 1), so every worker stays at or
+    // below the level and within its cap; the sum is exactly one.
+    let shares: Vec<f64> = room.iter().map(|c| c / total).collect();
+    let allocation =
+        Allocation::from_update(shares).expect("scaled capacities form a feasible allocation");
+    let achieved = cost_fns
+        .iter()
+        .enumerate()
+        .map(|(i, f)| f.eval(allocation.share(i)))
+        .fold(f64::MIN, f64::max);
+    Ok(InstantOptimum { level: achieved, allocation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{ExponentialCost, LatencyCost, LinearCost, PiecewiseLinearCost, PowerCost};
+
+    #[test]
+    fn linear_closed_form() {
+        // Slopes a_i, zero intercept: x_i ∝ 1/a_i, level = 1/Σ(1/a_i).
+        let slopes = [4.0, 1.0, 2.0];
+        let costs: Vec<DynCost> =
+            slopes.iter().map(|&s| Box::new(LinearCost::new(s, 0.0)) as DynCost).collect();
+        let opt = instantaneous_minimizer(&costs).unwrap();
+        let expected = 1.0 / slopes.iter().map(|s| 1.0 / s).sum::<f64>();
+        assert!((opt.level - expected).abs() < 1e-6, "level {} vs {expected}", opt.level);
+        for (i, &s) in slopes.iter().enumerate() {
+            assert!((opt.allocation.share(i) - expected / s).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_intercepts() {
+        // Worker 1 has a large fixed cost: at the optimum it still gets
+        // some work iff its f(0) is below the balanced level.
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(1.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 0.9)),
+        ];
+        let opt = instantaneous_minimizer(&costs).unwrap();
+        // Balance: x0 = x1 + 0.9, x0 + x1 = 1 -> x0 = 0.95, level 0.95.
+        assert!((opt.level - 0.95).abs() < 1e-6);
+        assert!((opt.allocation.share(1) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn worker_priced_out_gets_zero() {
+        // Worker 1's fixed cost exceeds what worker 0 costs at full load:
+        // optimum loads worker 0 fully.
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(1.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 5.0)),
+        ];
+        let opt = instantaneous_minimizer(&costs).unwrap();
+        assert!((opt.level - 5.0).abs() < 1e-6, "level is pinned by f_1(0) = 5");
+        assert!(opt.allocation.share(0) > 0.999);
+    }
+
+    #[test]
+    fn single_worker() {
+        let costs: Vec<DynCost> = vec![Box::new(LinearCost::new(2.0, 1.0))];
+        let opt = instantaneous_minimizer(&costs).unwrap();
+        assert_eq!(opt.level, 3.0);
+        assert_eq!(opt.allocation.share(0), 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(instantaneous_minimizer(&[]).unwrap_err(), OracleError::NoWorkers);
+    }
+
+    #[test]
+    fn nonlinear_mix_is_balanced() {
+        let costs: Vec<DynCost> = vec![
+            Box::new(PowerCost::new(5.0, 2.0, 0.0)),
+            Box::new(ExponentialCost::new(1.0, 2.0, 0.0)),
+            Box::new(LinearCost::new(2.0, 0.0)),
+        ];
+        let opt = instantaneous_minimizer(&costs).unwrap();
+        // All three can reach zero cost at zero share, so at the optimum
+        // all active workers sit exactly at the level.
+        for (i, f) in costs.iter().enumerate() {
+            let c = f.eval(opt.allocation.share(i));
+            assert!((c - opt.level).abs() < 1e-5, "worker {i}: {c} vs {}", opt.level);
+        }
+        // And the optimum beats the uniform split.
+        let uniform_cost =
+            costs.iter().map(|f| f.eval(1.0 / 3.0)).fold(f64::MIN, f64::max);
+        assert!(opt.level <= uniform_cost + 1e-9);
+    }
+
+    #[test]
+    fn latency_model_optimum() {
+        let costs: Vec<DynCost> = vec![
+            Box::new(LatencyCost::new(256.0, 512.0, 0.05)),
+            Box::new(LatencyCost::new(256.0, 64.0, 0.05)),
+            Box::new(LatencyCost::new(256.0, 128.0, 0.05)),
+        ];
+        let opt = instantaneous_minimizer(&costs).unwrap();
+        // Equal comm time: shares proportional to speeds.
+        let total_speed = 512.0 + 64.0 + 128.0;
+        assert!((opt.allocation.share(0) - 512.0 / total_speed).abs() < 1e-6);
+        assert!((opt.level - (256.0 / total_speed + 0.05)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capped_oracle_respects_caps() {
+        // Without caps, the fast worker would take 0.8; capped at 0.5 it
+        // takes exactly its cap and the level rises accordingly.
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(4.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+        ];
+        let free = instantaneous_minimizer(&costs).unwrap();
+        assert!((free.allocation.share(1) - 0.8).abs() < 1e-6);
+        let capped = instantaneous_minimizer_capped(&costs, Some(&[1.0, 0.5])).unwrap();
+        assert!(capped.allocation.share(1) <= 0.5 + 1e-9);
+        assert!(capped.level > free.level, "binding caps must cost something");
+        // Forced: x0 = 0.5 at slope 4 -> level 2.0.
+        assert!((capped.level - 2.0).abs() < 1e-6, "level {}", capped.level);
+    }
+
+    #[test]
+    fn capped_oracle_with_slack_caps_matches_uncapped() {
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(3.0, 0.1)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+            Box::new(LinearCost::new(2.0, 0.2)),
+        ];
+        let free = instantaneous_minimizer(&costs).unwrap();
+        let capped = instantaneous_minimizer_capped(&costs, Some(&[1.0, 1.0, 1.0])).unwrap();
+        assert!((free.level - capped.level).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the workload")]
+    fn infeasible_caps_panic() {
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(1.0, 0.0)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+        ];
+        let _ = instantaneous_minimizer_capped(&costs, Some(&[0.3, 0.3]));
+    }
+
+    #[test]
+    fn plateaued_costs_are_handled() {
+        let plateau =
+            PiecewiseLinearCost::new(vec![(0.0, 0.5), (0.5, 0.5), (1.0, 4.0)]).unwrap();
+        let costs: Vec<DynCost> =
+            vec![Box::new(plateau), Box::new(LinearCost::new(1.0, 0.0))];
+        let opt = instantaneous_minimizer(&costs).unwrap();
+        // Worker 0 is free up to share 0.5 at cost 0.5; giving it 0.5 and
+        // the rest to worker 1 costs max(0.5, 0.5) = 0.5.
+        assert!((opt.level - 0.5).abs() < 1e-6, "level {}", opt.level);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::cost::LinearCost;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The oracle's level is never worse than any sampled feasible point.
+        #[test]
+        fn oracle_dominates_random_feasible_points(
+            params in proptest::collection::vec((0.05f64..20.0, 0.0f64..2.0), 2..8),
+            weights in proptest::collection::vec(0.01f64..1.0, 2..8),
+        ) {
+            let n = params.len().min(weights.len());
+            let costs: Vec<DynCost> = params[..n]
+                .iter()
+                .map(|&(a, b)| Box::new(LinearCost::new(a, b)) as DynCost)
+                .collect();
+            let opt = instantaneous_minimizer(&costs).unwrap();
+            let candidate = Allocation::from_weights(weights[..n].to_vec()).unwrap();
+            let candidate_cost = costs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| f.eval(candidate.share(i)))
+                .fold(f64::MIN, f64::max);
+            prop_assert!(opt.level <= candidate_cost + 1e-6,
+                "oracle level {} beaten by random point {}", opt.level, candidate_cost);
+        }
+    }
+}

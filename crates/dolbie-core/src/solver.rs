@@ -1,0 +1,304 @@
+//! Bisection search on monotone functions.
+//!
+//! Section IV-A of the paper computes the *maximum acceptable workload*
+//! `x'_{i,t} = max{x : f_{i,t}(x) <= l_t}` and notes that, because the cost
+//! functions are increasing, it "can be found efficiently with function
+//! inverse or bisection search". This module provides that bisection:
+//! a predicate-boundary search that returns the supremum of the set
+//! `{x in [lo, hi] : f(x) <= level}` for a non-decreasing `f`.
+//!
+//! Unlike a root finder, the predicate form handles *non-strictly*
+//! increasing costs correctly: on a plateau whose value equals `level`, the
+//! supremum is the right edge of the plateau, which is exactly what the
+//! paper's definition requires.
+
+use crate::error::SolverError;
+
+/// Convergence controls for [`invert_monotone`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BisectionConfig {
+    /// Absolute tolerance on the argument; the search stops when the bracket
+    /// is narrower than this.
+    pub x_tolerance: f64,
+    /// Hard cap on bisection iterations (a 64-iteration bisection already
+    /// resolves any `f64` bracket to machine precision).
+    pub max_iterations: u32,
+}
+
+impl BisectionConfig {
+    /// A tight default: `1e-12` argument tolerance, 128 iterations.
+    pub fn new() -> Self {
+        Self { x_tolerance: 1e-12, max_iterations: 128 }
+    }
+}
+
+impl Default for BisectionConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Returns the largest `x` in `[lo, hi]` with `f(x) <= level`, assuming `f`
+/// is non-decreasing on the bracket.
+///
+/// The returned point is guaranteed (up to the argument tolerance) to be a
+/// *feasible* point, i.e. one that satisfies the predicate, so callers can
+/// rely on `f(result) <= level` modulo one tolerance-width of slack.
+///
+/// # Errors
+///
+/// - [`SolverError::InvalidBracket`] if `lo > hi` or either end is
+///   non-finite.
+/// - [`SolverError::LevelBelowRange`] if even `f(lo) > level`.
+/// - [`SolverError::NonFiniteValue`] if `f` returns NaN/inf inside the
+///   bracket.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::solver::{invert_monotone, BisectionConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // max{x : 2x <= 1} = 0.5
+/// let x = invert_monotone(|x| 2.0 * x, 1.0, 0.0, 1.0, BisectionConfig::new())?;
+/// assert!((x - 0.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn invert_monotone<F>(
+    f: F,
+    level: f64,
+    lo: f64,
+    hi: f64,
+    config: BisectionConfig,
+) -> Result<f64, SolverError>
+where
+    F: Fn(f64) -> f64,
+{
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(SolverError::InvalidBracket { lo, hi });
+    }
+    let f_lo = f(lo);
+    if !f_lo.is_finite() {
+        return Err(SolverError::NonFiniteValue { x: lo });
+    }
+    if f_lo > level {
+        return Err(SolverError::LevelBelowRange { level, f_lo });
+    }
+    let f_hi = f(hi);
+    if !f_hi.is_finite() {
+        return Err(SolverError::NonFiniteValue { x: hi });
+    }
+    if f_hi <= level {
+        return Ok(hi);
+    }
+    // Invariant: predicate holds at `good`, fails at `bad`.
+    let mut good = lo;
+    let mut bad = hi;
+    for _ in 0..config.max_iterations {
+        if bad - good <= config.x_tolerance {
+            break;
+        }
+        let mid = good + (bad - good) / 2.0;
+        let fm = f(mid);
+        if !fm.is_finite() {
+            return Err(SolverError::NonFiniteValue { x: mid });
+        }
+        if fm <= level {
+            good = mid;
+        } else {
+            bad = mid;
+        }
+    }
+    Ok(good)
+}
+
+/// Returns the smallest `level` in `[lo, hi]` at which `feasible(level)`
+/// holds, assuming feasibility is monotone in the level (false below some
+/// threshold, true above). Used by the instantaneous-minimizer oracle to
+/// bisect on the global-cost value.
+///
+/// The returned level always satisfies the predicate (it is taken from the
+/// feasible side of the final bracket), so constructions derived from it
+/// are feasible.
+///
+/// # Errors
+///
+/// - [`SolverError::InvalidBracket`] if `lo > hi`, either end is non-finite,
+///   or `feasible(hi)` is false (no feasible level in the bracket).
+pub fn min_feasible_level<P>(
+    feasible: P,
+    lo: f64,
+    hi: f64,
+    config: BisectionConfig,
+) -> Result<f64, SolverError>
+where
+    P: Fn(f64) -> bool,
+{
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(SolverError::InvalidBracket { lo, hi });
+    }
+    if feasible(lo) {
+        return Ok(lo);
+    }
+    if !feasible(hi) {
+        return Err(SolverError::InvalidBracket { lo, hi });
+    }
+    let mut bad = lo;
+    let mut good = hi;
+    for _ in 0..config.max_iterations {
+        if good - bad <= config.x_tolerance {
+            break;
+        }
+        let mid = bad + (good - bad) / 2.0;
+        if feasible(mid) {
+            good = mid;
+        } else {
+            bad = mid;
+        }
+    }
+    Ok(good)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BisectionConfig {
+        BisectionConfig::new()
+    }
+
+    #[test]
+    fn linear_inverse_matches_closed_form() {
+        for level in [0.0, 0.3, 0.99, 2.0] {
+            let x = invert_monotone(|x| 2.0 * x, level, 0.0, 1.0, cfg()).unwrap();
+            assert!((x - (level / 2.0).min(1.0)).abs() < 1e-9, "level={level} x={x}");
+        }
+    }
+
+    #[test]
+    fn plateau_returns_right_edge() {
+        // f is 1 on [0.2, 0.6] and strictly increasing elsewhere; the
+        // supremum of {x : f(x) <= 1} is 0.6.
+        let f = |x: f64| {
+            if x < 0.2 {
+                x / 0.2
+            } else if x <= 0.6 {
+                1.0
+            } else {
+                1.0 + (x - 0.6)
+            }
+        };
+        let x = invert_monotone(f, 1.0, 0.0, 1.0, cfg()).unwrap();
+        assert!((x - 0.6).abs() < 1e-9, "x={x}");
+    }
+
+    #[test]
+    fn saturating_at_hi_returns_hi() {
+        let x = invert_monotone(|x| x, 5.0, 0.0, 1.0, cfg()).unwrap();
+        assert_eq!(x, 1.0);
+    }
+
+    #[test]
+    fn level_below_range_is_an_error() {
+        let err = invert_monotone(|x| x + 1.0, 0.5, 0.0, 1.0, cfg()).unwrap_err();
+        assert!(matches!(err, SolverError::LevelBelowRange { .. }));
+    }
+
+    #[test]
+    fn invalid_bracket_is_an_error() {
+        assert!(matches!(
+            invert_monotone(|x| x, 0.5, 1.0, 0.0, cfg()).unwrap_err(),
+            SolverError::InvalidBracket { .. }
+        ));
+        assert!(matches!(
+            invert_monotone(|x| x, 0.5, f64::NAN, 1.0, cfg()).unwrap_err(),
+            SolverError::InvalidBracket { .. }
+        ));
+    }
+
+    #[test]
+    fn non_finite_function_is_an_error() {
+        let err = invert_monotone(
+            |x| if x > 0.5 { f64::NAN } else { x },
+            0.9,
+            0.0,
+            1.0,
+            cfg(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolverError::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn result_is_feasible_for_exponential() {
+        let f = |x: f64| (3.0 * x).exp() - 1.0;
+        let level = 2.0;
+        let x = invert_monotone(f, level, 0.0, 1.0, cfg()).unwrap();
+        assert!(f(x) <= level + 1e-9);
+        // Closed form: x = ln(3)/3.
+        assert!((x - (3.0f64.ln() / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_bracket_is_ok_when_feasible() {
+        let x = invert_monotone(|x| x, 0.5, 0.25, 0.25, cfg()).unwrap();
+        assert_eq!(x, 0.25);
+    }
+
+    #[test]
+    fn min_feasible_level_finds_threshold() {
+        // Feasible iff level >= 0.7.
+        let level = min_feasible_level(|l| l >= 0.7, 0.0, 1.0, cfg()).unwrap();
+        assert!((level - 0.7).abs() < 1e-9);
+        assert!(level >= 0.7, "result must be on the feasible side");
+    }
+
+    #[test]
+    fn min_feasible_level_handles_endpoints() {
+        assert_eq!(min_feasible_level(|_| true, 0.2, 1.0, cfg()).unwrap(), 0.2);
+        assert!(matches!(
+            min_feasible_level(|_| false, 0.0, 1.0, cfg()).unwrap_err(),
+            SolverError::InvalidBracket { .. }
+        ));
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let coarse = BisectionConfig { x_tolerance: 0.0, max_iterations: 4 };
+        let x = invert_monotone(|x| x, 0.5, 0.0, 1.0, coarse).unwrap();
+        // 4 iterations of halving a unit bracket leaves at most 1/16 error.
+        assert!((x - 0.5).abs() <= 1.0 / 16.0 + 1e-12);
+        assert!(x <= 0.5, "must stay on the feasible side");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The returned point is always feasible and within one tolerance of
+        /// the true boundary for affine costs.
+        #[test]
+        fn affine_inverse_is_tight(slope in 0.01f64..100.0, intercept in 0.0f64..10.0,
+                                   level_frac in 0.0f64..2.0) {
+            let f = move |x: f64| slope * x + intercept;
+            let level = intercept + level_frac * slope; // f(level_frac)
+            let x = invert_monotone(f, level, 0.0, 1.0, BisectionConfig::new()).unwrap();
+            let expected = level_frac.min(1.0);
+            prop_assert!((x - expected).abs() < 1e-8);
+            prop_assert!(f(x) <= level + slope * 1e-8);
+        }
+
+        /// Monotone invariant: raising the level never lowers the inverse.
+        #[test]
+        fn inverse_is_monotone_in_level(l1 in 0.0f64..5.0, dl in 0.0f64..5.0) {
+            let f = |x: f64| x * x * 4.0; // increasing on [0,1]
+            let a = invert_monotone(f, l1, 0.0, 1.0, BisectionConfig::new()).unwrap();
+            let b = invert_monotone(f, l1 + dl, 0.0, 1.0, BisectionConfig::new()).unwrap();
+            prop_assert!(b + 1e-12 >= a);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The risk-averse step-size schedule of eq. (7).
+//!
+//! DOLBIE coordinates the workers through a single scalar `α_t ∈ [0, 1]`.
+//! The schedule serves two purposes (Section IV-B):
+//!
+//! 1. **Feasibility**: the cap `x_s / (N − 2 + x_s)` guarantees that the
+//!    total workload claimed by the non-stragglers never exceeds what the
+//!    straggler currently holds, so constraint (3) holds by construction —
+//!    no projection is ever needed.
+//! 2. **Risk aversion / convergence**: the `min` with the previous value
+//!    makes the sequence non-increasing, which the dynamic-regret proof of
+//!    Theorem 1 relies on (step (c)).
+
+/// The feasibility cap `x_s / (N − 2 + x_s)` of eq. (7), where `x_s` is the
+/// straggler's (updated) share.
+///
+/// Degenerate worker counts are handled conservatively: with `N <= 1` there
+/// is nothing to rebalance and the cap is 1; with `x_s = 0` the straggler
+/// has nothing left to give and the cap is 0 (also avoiding the `0/0` case
+/// at `N = 2`).
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::step_size::feasibility_cap;
+///
+/// let cap = feasibility_cap(30, 1.0 / 30.0);
+/// assert!(cap > 0.0 && cap < 1.0);
+/// assert_eq!(feasibility_cap(5, 0.0), 0.0);
+/// ```
+pub fn feasibility_cap(num_workers: usize, straggler_share: f64) -> f64 {
+    if num_workers <= 1 {
+        return 1.0;
+    }
+    if straggler_share <= 0.0 {
+        return 0.0;
+    }
+    let n = num_workers as f64;
+    (straggler_share / (n - 2.0 + straggler_share)).min(1.0)
+}
+
+/// The paper's initialization `α_1 = min_i x_{i,1} / (N − 2 + min_i x_{i,1})`
+/// (end of §IV-B.1), which is the feasibility cap evaluated at the smallest
+/// initial share — valid whoever turns out to be the first straggler,
+/// because `z / (N − 2 + z)` is increasing in `z`.
+pub fn paper_initial_alpha(initial_shares: &crate::allocation::Allocation) -> f64 {
+    feasibility_cap(initial_shares.num_workers(), initial_shares.min_share())
+}
+
+/// The non-increasing step-size state `α_t` maintained by the master
+/// (Algorithm 1, line 16) or by each worker locally (`ᾱ_{i,t}`,
+/// Algorithm 2, line 13).
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::step_size::StepSize;
+///
+/// let mut alpha = StepSize::new(0.5);
+/// alpha.tighten(10, 0.2); // eq. (7) after a round with x_{s,t+1} = 0.2
+/// assert!(alpha.value() <= 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepSize {
+    value: f64,
+}
+
+impl StepSize {
+    /// Creates a step size clamped into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite(), "step size must be finite");
+        Self { value: value.clamp(0.0, 1.0) }
+    }
+
+    /// The current value `α_t`.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Applies eq. (7): `α ← min{α, x_s / (N − 2 + x_s)}` with the updated
+    /// straggler share. Returns the new value.
+    pub fn tighten(&mut self, num_workers: usize, straggler_share: f64) -> f64 {
+        self.value = self.value.min(feasibility_cap(num_workers, straggler_share));
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::Allocation;
+
+    #[test]
+    fn cap_matches_formula() {
+        let cap = feasibility_cap(4, 0.5);
+        assert!((cap - 0.5 / 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_degenerate_cases() {
+        assert_eq!(feasibility_cap(1, 0.7), 1.0);
+        assert_eq!(feasibility_cap(0, 0.7), 1.0);
+        assert_eq!(feasibility_cap(2, 0.0), 0.0);
+        // N = 2, x_s > 0: x/(0 + x) = 1.
+        assert_eq!(feasibility_cap(2, 0.3), 1.0);
+    }
+
+    #[test]
+    fn cap_is_increasing_in_share() {
+        let a = feasibility_cap(10, 0.1);
+        let b = feasibility_cap(10, 0.2);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn cap_is_decreasing_in_workers() {
+        let a = feasibility_cap(5, 0.3);
+        let b = feasibility_cap(50, 0.3);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn paper_initial_alpha_uses_min_share() {
+        let x = Allocation::new(vec![0.1, 0.9]).unwrap();
+        assert!((paper_initial_alpha(&x) - feasibility_cap(2, 0.1)).abs() < 1e-12);
+        let u = Allocation::uniform(30);
+        let expected = (1.0 / 30.0) / (28.0 + 1.0 / 30.0);
+        assert!((paper_initial_alpha(&u) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_size_is_non_increasing() {
+        let mut alpha = StepSize::new(0.8);
+        let mut prev = alpha.value();
+        for share in [0.5, 0.9, 0.1, 0.7, 0.0, 0.3] {
+            let v = alpha.tighten(10, share);
+            assert!(v <= prev + 1e-15, "step size increased: {prev} -> {v}");
+            prev = v;
+        }
+        // Once zero, stays zero.
+        assert_eq!(alpha.value(), 0.0);
+        assert_eq!(alpha.tighten(10, 0.9), 0.0);
+    }
+
+    #[test]
+    fn new_clamps_into_unit_interval() {
+        assert_eq!(StepSize::new(2.0).value(), 1.0);
+        assert_eq!(StepSize::new(-0.5).value(), 0.0);
+        assert_eq!(StepSize::new(0.25).value(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_step_size_panics() {
+        let _ = StepSize::new(f64::NAN);
+    }
+}

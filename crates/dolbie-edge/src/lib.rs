@@ -1,0 +1,266 @@
+//! # dolbie-edge
+//!
+//! The second motivating application of the DOLBIE paper (§III-B): **task
+//! offloading in edge computing**. A user device splits a stream of
+//! computation tasks between local execution (`λ_0`) and `N` heterogeneous
+//! edge servers (`λ_1..λ_N`). Each round the completion time is the
+//! maximum over the chosen execution paths, and all rates fluctuate
+//! unpredictably — an online min-max load balancing problem over `N + 1`
+//! "workers".
+//!
+//! The cost structure is deliberately *non-linear*: a server's execution
+//! time includes a queueing term that saturates as its assigned load
+//! approaches its service capacity, which is exactly the regime where the
+//! proportional ABS baseline misbehaves and DOLBIE's inverse-based update
+//! shines.
+//!
+//! ```
+//! use dolbie_edge::{EdgeConfig, EdgeScenario};
+//! use dolbie_core::{run_episode, Dolbie, EpisodeOptions};
+//!
+//! let mut env = EdgeScenario::sample(EdgeConfig::small(), 7);
+//! let mut dolbie = Dolbie::new(env.num_participants());
+//! let trace = run_episode(&mut dolbie, &mut env, EpisodeOptions::new(50));
+//! assert_eq!(trace.records.len(), 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dolbie_core::cost::{DynCost, LinearCost, ReciprocalCost, SumCost};
+use dolbie_core::Environment;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the offloading scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeConfig {
+    /// Number of edge servers `N` (participants are `N + 1` including the
+    /// local device).
+    pub num_servers: usize,
+    /// Total task workload per round, in giga-cycles.
+    pub task_gigacycles: f64,
+    /// Total task data per round, in megabytes (uplink transfer).
+    pub task_megabytes: f64,
+    /// Local CPU speed in giga-cycles/second (nominal).
+    pub local_speed: f64,
+    /// Range of nominal server speeds in giga-cycles/second.
+    pub server_speed_range: (f64, f64),
+    /// Range of nominal uplink rates in megabytes/second.
+    pub uplink_range: (f64, f64),
+    /// Range of server queueing capacities (as a multiple of full load; a
+    /// capacity of 1.5 means the server saturates at 150% of the round's
+    /// whole workload).
+    pub capacity_range: (f64, f64),
+    /// Per-round multiplicative jitter half-width on every rate
+    /// (`rate ← rate · U[1−j, 1+j]`).
+    pub jitter: f64,
+}
+
+impl EdgeConfig {
+    /// A 1-user, 8-server scenario with pronounced heterogeneity.
+    pub fn paper_like() -> Self {
+        Self {
+            num_servers: 8,
+            task_gigacycles: 6.0,
+            task_megabytes: 40.0,
+            local_speed: 1.0,
+            server_speed_range: (2.0, 12.0),
+            uplink_range: (5.0, 60.0),
+            capacity_range: (1.3, 3.0),
+            jitter: 0.15,
+        }
+    }
+
+    /// A small 3-server scenario for fast tests and the quickstart.
+    pub fn small() -> Self {
+        let mut cfg = Self::paper_like();
+        cfg.num_servers = 3;
+        cfg
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ServerSim {
+    speed: f64,
+    uplink: f64,
+    capacity: f64,
+}
+
+/// The edge-offloading environment: participant 0 is the local device,
+/// participants `1..=N` are the edge servers.
+#[derive(Debug, Clone)]
+pub struct EdgeScenario {
+    config: EdgeConfig,
+    servers: Vec<ServerSim>,
+    rng: StdRng,
+}
+
+impl EdgeScenario {
+    /// Samples server speeds, uplinks and capacities from the configured
+    /// ranges, seeded for reproducibility (and clairvoyant replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no servers, non-positive
+    /// rates, capacities not exceeding 1, or jitter outside `[0, 1)`).
+    pub fn sample(config: EdgeConfig, seed: u64) -> Self {
+        assert!(config.num_servers > 0, "at least one edge server required");
+        assert!(config.task_gigacycles > 0.0 && config.task_megabytes > 0.0);
+        assert!(config.local_speed > 0.0, "local speed must be positive");
+        assert!((0.0..1.0).contains(&config.jitter), "jitter must be in [0, 1)");
+        let (slo, shi) = config.server_speed_range;
+        let (ulo, uhi) = config.uplink_range;
+        let (clo, chi) = config.capacity_range;
+        assert!(slo > 0.0 && shi >= slo, "invalid server speed range");
+        assert!(ulo > 0.0 && uhi >= ulo, "invalid uplink range");
+        assert!(clo > 1.0 && chi >= clo, "capacities must exceed 1 for finite costs");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let servers = (0..config.num_servers)
+            .map(|_| ServerSim {
+                speed: if shi > slo { rng.gen_range(slo..shi) } else { slo },
+                uplink: if uhi > ulo { rng.gen_range(ulo..uhi) } else { ulo },
+                capacity: if chi > clo { rng.gen_range(clo..chi) } else { clo },
+            })
+            .collect();
+        Self { config, servers, rng }
+    }
+
+    /// Number of participants (`N + 1`, local device included).
+    pub fn num_participants(&self) -> usize {
+        self.servers.len() + 1
+    }
+
+    /// The sampled nominal server speeds (giga-cycles/second).
+    pub fn server_speeds(&self) -> Vec<f64> {
+        self.servers.iter().map(|s| s.speed).collect()
+    }
+
+    fn jittered(&mut self, nominal: f64) -> f64 {
+        let j = self.config.jitter;
+        if j == 0.0 {
+            return nominal;
+        }
+        nominal * self.rng.gen_range(1.0 - j..1.0 + j)
+    }
+}
+
+impl Environment for EdgeScenario {
+    fn num_workers(&self) -> usize {
+        self.num_participants()
+    }
+
+    fn reveal(&mut self, _round: usize) -> Vec<DynCost> {
+        let w = self.config.task_gigacycles;
+        let d = self.config.task_megabytes;
+        // Local execution: pure compute, linear in the retained fraction.
+        let local_speed = self.jittered(self.config.local_speed);
+        let mut costs: Vec<DynCost> = vec![Box::new(LinearCost::new(w / local_speed, 0.0))];
+        for idx in 0..self.servers.len() {
+            let (speed, uplink, capacity) = {
+                let s = &self.servers[idx];
+                (s.speed, s.uplink, s.capacity)
+            };
+            let speed = self.jittered(speed);
+            let uplink = self.jittered(uplink);
+            // Transmission: linear in the offloaded fraction.
+            let transmission = LinearCost::new(d / uplink, 0.0);
+            // Execution: queueing delay that saturates near the server's
+            // capacity — scale = base service time, capacity > 1.
+            let execution = ReciprocalCost::new(0.0, w / speed, capacity);
+            costs.push(Box::new(SumCost::new(transmission, execution)));
+        }
+        costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dolbie_baselines::paper_suite;
+    use dolbie_core::cost::CostFunction;
+    use dolbie_core::{run_episode, Dolbie, EpisodeOptions};
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        let a = EdgeScenario::sample(EdgeConfig::paper_like(), 5);
+        let b = EdgeScenario::sample(EdgeConfig::paper_like(), 5);
+        assert_eq!(a.server_speeds(), b.server_speeds());
+        let c = EdgeScenario::sample(EdgeConfig::paper_like(), 6);
+        assert_ne!(a.server_speeds(), c.server_speeds());
+    }
+
+    #[test]
+    fn participants_include_local_device() {
+        let env = EdgeScenario::sample(EdgeConfig::small(), 1);
+        assert_eq!(env.num_participants(), 4);
+        assert_eq!(env.num_workers(), 4);
+    }
+
+    #[test]
+    fn costs_are_increasing_and_zero_at_zero_for_local() {
+        let mut env = EdgeScenario::sample(EdgeConfig::small(), 2);
+        let costs = env.reveal(0);
+        // Local execution costs nothing when everything is offloaded.
+        assert_eq!(costs[0].eval(0.0), 0.0);
+        for (i, f) in costs.iter().enumerate() {
+            let mut last = f.eval(0.0);
+            for k in 1..=10 {
+                let v = f.eval(k as f64 / 10.0);
+                assert!(v + 1e-12 >= last, "cost {i} must be non-decreasing");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn queueing_makes_server_costs_convex() {
+        let mut cfg = EdgeConfig::small();
+        cfg.jitter = 0.0;
+        let mut env = EdgeScenario::sample(cfg, 3);
+        let costs = env.reveal(0);
+        // The server cost (index >= 1) should be super-linear: doubling the
+        // load more than doubles the execution component near saturation.
+        let f = &costs[1];
+        let half = f.eval(0.5);
+        let full = f.eval(1.0);
+        assert!(full > 2.0 * half * 0.99, "expected convex growth: {half} vs {full}");
+    }
+
+    #[test]
+    fn clone_replays_for_clairvoyant_opt() {
+        let env = EdgeScenario::sample(EdgeConfig::small(), 11);
+        let mut a = env.clone();
+        let mut b = env;
+        for t in 0..5 {
+            let ca = a.reveal(t);
+            let cb = b.reveal(t);
+            for (x, y) in ca.iter().zip(cb.iter()) {
+                assert_eq!(x.eval(0.4), y.eval(0.4));
+            }
+        }
+    }
+
+    #[test]
+    fn dolbie_improves_over_time_and_suite_runs() {
+        let env = EdgeScenario::sample(EdgeConfig::paper_like(), 17);
+        let mut dolbie = Dolbie::new(env.num_participants());
+        let mut driver = env.clone();
+        let trace = run_episode(&mut dolbie, &mut driver, EpisodeOptions::new(120));
+        let early: f64 = trace.global_costs()[..10].iter().sum();
+        let late: f64 = trace.global_costs()[110..].iter().sum();
+        assert!(late < early, "DOLBIE should reduce completion time: {early} -> {late}");
+
+        // The whole §VI suite runs on the edge scenario too.
+        let mut totals = Vec::new();
+        for mut balancer in paper_suite(env.num_participants(), env.clone()) {
+            let mut driver = env.clone();
+            let t = run_episode(balancer.as_mut(), &mut driver, EpisodeOptions::new(60));
+            totals.push((t.algorithm.clone(), t.total_cost()));
+        }
+        let opt = totals.iter().find(|(n, _)| n == "OPT").unwrap().1;
+        for (name, total) in &totals {
+            assert!(opt <= total + 1e-6, "OPT must lower-bound {name}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # dolbie-metrics
+//!
+//! Statistics and experiment recording for the DOLBIE reproduction:
+//!
+//! - [`Summary`] / [`per_round_summaries`] — means, deviations, the 95%
+//!   confidence intervals of Figs. 4–5 and the box statistics of Fig. 11;
+//! - [`UtilizationTracker`] — the computation / communication / waiting
+//!   decomposition of Fig. 11's upper panel;
+//! - [`OverheadTimer`] — wall-clock timing of decision updates (Fig. 11's
+//!   lower panel);
+//! - [`Table`] — CSV / Markdown emission for `results/` and EXPERIMENTS.md;
+//! - [`plot`] — a dependency-free SVG line-chart renderer so the harness
+//!   can emit actual figures next to the CSVs;
+//! - [`P2Quantile`] — O(1)-memory streaming quantiles (the P² algorithm)
+//!   for long-running latency telemetry.
+//!
+//! The crate is deliberately dependency-free so the measurement layer adds
+//! no noise of its own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;
+mod quantile;
+mod summary;
+mod table;
+mod timer;
+mod utilization;
+
+pub use plot::{render_svg, write_svg, PlotConfig, Series};
+pub use quantile::P2Quantile;
+pub use summary::{per_round_summaries, Summary, Z_95};
+pub use table::Table;
+pub use timer::OverheadTimer;
+pub use utilization::{TimeBreakdown, UtilizationTracker};

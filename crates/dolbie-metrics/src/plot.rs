@@ -1,0 +1,435 @@
+//! A minimal, dependency-free SVG line-chart renderer.
+//!
+//! The figure-regeneration harness writes CSV series for external tooling,
+//! but a reproduction repository is far easier to eyeball with actual
+//! pictures. This module renders multi-series line charts (optionally with
+//! symmetric confidence bands and a log-scale y-axis) straight to SVG —
+//! enough to regenerate the visual shape of the paper's Figs. 3–8 without
+//! pulling in a plotting stack.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One plotted series: a name (for the legend), points, and an optional
+/// symmetric band half-width per point (for 95% CI shading).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+    /// Optional per-point half-width of a shaded band around `y`.
+    pub band: Option<Vec<f64>>,
+}
+
+impl Series {
+    /// Creates a plain series from points.
+    pub fn new<S: Into<String>>(name: S, points: Vec<(f64, f64)>) -> Self {
+        Self { name: name.into(), points, band: None }
+    }
+
+    /// Creates a series from a `y` vector with `x = 0, 1, 2, ...`.
+    pub fn from_values<S: Into<String>>(name: S, values: &[f64]) -> Self {
+        Self::new(name, values.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect())
+    }
+
+    /// Attaches a symmetric band (e.g. a CI half-width per point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band length differs from the point count.
+    pub fn with_band(mut self, half_widths: Vec<f64>) -> Self {
+        assert_eq!(half_widths.len(), self.points.len(), "one band value per point");
+        self.band = Some(half_widths);
+        self
+    }
+}
+
+/// Chart-level options.
+#[derive(Debug, Clone)]
+pub struct PlotConfig {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Use `log10` scaling on the y-axis (all y values must be positive).
+    pub log_y: bool,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl PlotConfig {
+    /// A 860x480 linear-scale chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            log_y: false,
+            width: 860,
+            height: 480,
+        }
+    }
+
+    /// Enables log-scale y.
+    pub fn with_log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+}
+
+/// A categorical palette that stays readable on white (Okabe–Ito).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000", "#F0E442",
+];
+
+const MARGIN_LEFT: f64 = 72.0;
+const MARGIN_RIGHT: f64 = 24.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 56.0;
+
+fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if hi <= lo {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / target as f64;
+    let magnitude = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / magnitude;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * magnitude;
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut v = start;
+    while v <= hi + step * 1e-9 {
+        ticks.push(v);
+        v += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(1e-3..1e4).contains(&a) {
+        format!("{v:.1e}")
+    } else if a >= 10.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders the chart to an SVG string.
+///
+/// # Panics
+///
+/// Panics if no series contains a finite point, or if `log_y` is set and a
+/// point has `y <= 0`.
+pub fn render_svg(config: &PlotConfig, series: &[Series]) -> String {
+    let transform = |y: f64| -> f64 {
+        if config.log_y {
+            assert!(y > 0.0, "log-scale chart requires positive y values, got {y}");
+            y.log10()
+        } else {
+            y
+        }
+    };
+
+    // Data extents (bands included).
+    let mut x_min = f64::MAX;
+    let mut x_max = f64::MIN;
+    let mut y_min = f64::MAX;
+    let mut y_max = f64::MIN;
+    for s in series {
+        for (k, &(x, y)) in s.points.iter().enumerate() {
+            if !(x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            let half = s.band.as_ref().map_or(0.0, |b| b[k]);
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            let (lo, hi) = if config.log_y {
+                (transform((y - half).max(y * 1e-3)), transform(y + half))
+            } else {
+                (y - half, y + half)
+            };
+            y_min = y_min.min(lo);
+            y_max = y_max.max(hi);
+        }
+    }
+    assert!(x_min <= x_max && y_min <= y_max, "no finite data to plot");
+    if y_min == y_max {
+        y_min -= 0.5;
+        y_max += 0.5;
+    }
+    if x_min == x_max {
+        x_min -= 0.5;
+        x_max += 0.5;
+    }
+    let pad = (y_max - y_min) * 0.05;
+    y_min -= pad;
+    y_max += pad;
+
+    let w = config.width as f64;
+    let h = config.height as f64;
+    let plot_w = w - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = h - MARGIN_TOP - MARGIN_BOTTOM;
+    let sx = move |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = move |ty: f64| MARGIN_TOP + (y_max - ty) / (y_max - y_min) * plot_h;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="Helvetica,Arial,sans-serif">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{:.1}" y="24" font-size="16" text-anchor="middle" font-weight="bold">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        xml_escape(&config.title)
+    );
+
+    // Gridlines + ticks.
+    let y_ticks = if config.log_y {
+        let lo = y_min.floor() as i64;
+        let hi = y_max.ceil() as i64;
+        (lo..=hi).map(|e| e as f64).filter(|&e| e >= y_min && e <= y_max).collect()
+    } else {
+        nice_ticks(y_min, y_max, 6)
+    };
+    for &ty in &y_ticks {
+        let ypx = sy(ty);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{:.1}" y1="{ypx:.1}" x2="{:.1}" y2="{ypx:.1}" stroke="#dddddd" stroke-width="1"/>"##,
+            MARGIN_LEFT,
+            MARGIN_LEFT + plot_w
+        );
+        let label = if config.log_y { fmt_tick(10f64.powf(ty)) } else { fmt_tick(ty) };
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+            MARGIN_LEFT - 6.0,
+            ypx + 4.0,
+            label
+        );
+    }
+    for &tx in &nice_ticks(x_min, x_max, 8) {
+        let xpx = sx(tx);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{xpx:.1}" y1="{:.1}" x2="{xpx:.1}" y2="{:.1}" stroke="#eeeeee" stroke-width="1"/>"##,
+            MARGIN_TOP,
+            MARGIN_TOP + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{xpx:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+            MARGIN_TOP + plot_h + 16.0,
+            fmt_tick(tx)
+        );
+    }
+    // Axes.
+    let _ = writeln!(
+        svg,
+        r##"<rect x="{:.1}" y="{:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333333"/>"##,
+        MARGIN_LEFT, MARGIN_TOP
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-size="13" text-anchor="middle">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        h - 12.0,
+        xml_escape(&config.x_label)
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="16" y="{:.1}" font-size="13" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+        MARGIN_TOP + plot_h / 2.0,
+        MARGIN_TOP + plot_h / 2.0,
+        xml_escape(&config.y_label)
+    );
+
+    // Bands first (under the lines).
+    for (k, s) in series.iter().enumerate() {
+        let color = PALETTE[k % PALETTE.len()];
+        if let Some(band) = &s.band {
+            let mut d = String::new();
+            for (i, &(x, y)) in s.points.iter().enumerate() {
+                let ty = transform((y + band[i]).max(f64::MIN_POSITIVE));
+                let cmd = if i == 0 { 'M' } else { 'L' };
+                let _ = write!(d, "{cmd}{:.1},{:.1} ", sx(x), sy(ty));
+            }
+            for (i, &(x, y)) in s.points.iter().enumerate().rev() {
+                let lo = if config.log_y { (y - band[i]).max(y * 1e-3) } else { y - band[i] };
+                let _ = write!(d, "L{:.1},{:.1} ", sx(x), sy(transform(lo)));
+            }
+            let _ = writeln!(
+                svg,
+                r#"<path d="{d}Z" fill="{color}" fill-opacity="0.15" stroke="none"/>"#
+            );
+        }
+    }
+    // Lines.
+    for (k, s) in series.iter().enumerate() {
+        let color = PALETTE[k % PALETTE.len()];
+        let mut d = String::new();
+        for (i, &(x, y)) in s.points.iter().enumerate() {
+            let cmd = if i == 0 { 'M' } else { 'L' };
+            let _ = write!(d, "{cmd}{:.1},{:.1} ", sx(x), sy(transform(y)));
+        }
+        let _ = writeln!(
+            svg,
+            r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+        );
+    }
+    // Legend.
+    for (k, s) in series.iter().enumerate() {
+        let color = PALETTE[k % PALETTE.len()];
+        let y = MARGIN_TOP + 8.0 + 16.0 * k as f64;
+        let x = MARGIN_LEFT + plot_w - 150.0;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{x:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{color}" stroke-width="2.5"/>"#,
+            x + 22.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="12">{}</text>"#,
+            x + 28.0,
+            y + 4.0,
+            xml_escape(&s.name)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders and writes the chart to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the write.
+///
+/// # Panics
+///
+/// As [`render_svg`].
+pub fn write_svg<P: AsRef<Path>>(
+    path: P,
+    config: &PlotConfig,
+    series: &[Series],
+) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, render_svg(config, series))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series::from_values("a", &[1.0, 2.0, 1.5, 3.0]),
+            Series::from_values("b", &[0.5, 0.6, 0.7, 0.8]).with_band(vec![0.1; 4]),
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_svg(&PlotConfig::new("Demo", "round", "latency (s)"), &demo_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("Demo"));
+        assert!(svg.contains("latency (s)"));
+        // One legend entry per series and one path per line plus the band.
+        assert_eq!(svg.matches("stroke-width=\"1.8\"").count(), 2);
+        assert_eq!(svg.matches("fill-opacity=\"0.15\"").count(), 1);
+    }
+
+    #[test]
+    fn log_scale_renders_decade_ticks() {
+        let series = vec![Series::from_values("x", &[0.01, 0.1, 1.0, 10.0])];
+        let svg = render_svg(
+            &PlotConfig::new("Log", "round", "cost").with_log_y(),
+            &series,
+        );
+        assert!(svg.contains(">0.010<") || svg.contains(">1.0e-2<"), "decade label present");
+    }
+
+    #[test]
+    fn escapes_xml_in_labels() {
+        let series = vec![Series::from_values("a<b>&c", &[1.0, 2.0])];
+        let svg = render_svg(&PlotConfig::new("T&C", "x<y", "p>q"), &series);
+        assert!(svg.contains("a&lt;b&gt;&amp;c"));
+        assert!(svg.contains("T&amp;C"));
+        assert!(!svg.contains("a<b>"));
+    }
+
+    #[test]
+    fn constant_series_does_not_degenerate() {
+        let series = vec![Series::from_values("flat", &[2.0, 2.0, 2.0])];
+        let svg = render_svg(&PlotConfig::new("Flat", "x", "y"), &series);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn nice_ticks_are_round_numbers() {
+        let ticks = nice_ticks(0.0, 1.0, 5);
+        assert!(ticks.contains(&0.2) || ticks.contains(&0.25) || ticks.contains(&0.5));
+        let ticks = nice_ticks(0.0, 103.0, 5);
+        assert!(ticks.iter().all(|t| (t % 20.0).abs() < 1e-9 || (t % 25.0).abs() < 1e-9));
+        assert_eq!(nice_ticks(1.0, 1.0, 5), vec![1.0]);
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("dolbie-plot-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/demo.svg");
+        write_svg(&path, &PlotConfig::new("D", "x", "y"), &demo_series()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("<svg"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite data")]
+    fn empty_series_panics() {
+        let _ = render_svg(&PlotConfig::new("E", "x", "y"), &[Series::new("e", vec![])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive y")]
+    fn log_scale_rejects_non_positive() {
+        let series = vec![Series::from_values("bad", &[0.0, 1.0])];
+        let _ = render_svg(&PlotConfig::new("L", "x", "y").with_log_y(), &series);
+    }
+}

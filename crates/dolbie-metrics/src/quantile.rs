@@ -1,0 +1,257 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! Long experiments (thousands of rounds × hundreds of realizations) want
+//! latency/overhead quantiles without buffering every sample. This is the
+//! classic P² estimator of Jain & Chlamtac (1985): five markers track the
+//! quantile with O(1) memory and O(1) updates, adjusted by parabolic
+//! interpolation.
+
+/// A streaming estimator of a single quantile.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_metrics::P2Quantile;
+///
+/// let mut median = P2Quantile::new(0.5);
+/// for i in 1..=1001 {
+///     median.observe(i as f64);
+/// }
+/// let est = median.estimate().unwrap();
+/// assert!((est - 501.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    quantile: f64,
+    /// Marker heights (the first 5 observations until initialized).
+    heights: [f64; 5],
+    /// Marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile, `q ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside the open interval `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        Self {
+            quantile: q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The targeted quantile.
+    pub fn quantile(&self) -> f64 {
+        self.quantile
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn observe(&mut self, value: f64) {
+        assert!(value.is_finite(), "samples must be finite");
+        if self.count < 5 {
+            self.heights[self.count] = value;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing the new observation and clamp extremes.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if value >= self.heights[i] && value < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                let new_height = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, sign)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + sign / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + sign) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - sign) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = if sign > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + sign * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i]).abs().max(1.0)
+    }
+
+    /// The current estimate, or `None` before any sample arrived.
+    ///
+    /// With fewer than five samples this is the exact sample quantile
+    /// (nearest-rank); afterwards, the P² marker estimate.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut sorted = self.heights[..self.count].to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let rank = (self.quantile * self.count as f64).ceil() as usize;
+            return Some(sorted[rank.clamp(1, self.count) - 1]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-random stream.
+    fn lcg_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[((q * sorted.len() as f64) as usize).min(sorted.len() - 1)]
+    }
+
+    #[test]
+    fn median_of_uniform_stream_is_close_to_exact() {
+        let samples = lcg_stream(42, 20_000);
+        let mut p2 = P2Quantile::new(0.5);
+        for &s in &samples {
+            p2.observe(s);
+        }
+        let exact = exact_quantile(&samples, 0.5);
+        let est = p2.estimate().unwrap();
+        assert!((est - exact).abs() < 0.01, "est {est} vs exact {exact}");
+        assert_eq!(p2.count(), 20_000);
+        assert_eq!(p2.quantile(), 0.5);
+    }
+
+    #[test]
+    fn tail_quantiles_track_heavy_tails() {
+        // A long-tailed stream: x -> 1/(1-u), Pareto-ish.
+        let samples: Vec<f64> =
+            lcg_stream(7, 50_000).into_iter().map(|u| 1.0 / (1.0 - u * 0.999)).collect();
+        for q in [0.9, 0.99] {
+            let mut p2 = P2Quantile::new(q);
+            for &s in &samples {
+                p2.observe(s);
+            }
+            let exact = exact_quantile(&samples, q);
+            let est = p2.estimate().unwrap();
+            assert!(
+                (est - exact).abs() / exact < 0.15,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert_eq!(p2.estimate(), None);
+        p2.observe(3.0);
+        assert_eq!(p2.estimate(), Some(3.0));
+        p2.observe(1.0);
+        p2.observe(2.0);
+        // Median of {1, 2, 3} = 2.
+        assert_eq!(p2.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn monotone_stream_tracks_midpoint() {
+        let mut p2 = P2Quantile::new(0.5);
+        for i in 0..10_000 {
+            p2.observe(i as f64);
+        }
+        let est = p2.estimate().unwrap();
+        assert!((est - 5_000.0).abs() < 100.0, "est {est}");
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let mut p2 = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            p2.observe(7.0);
+        }
+        assert_eq!(p2.estimate(), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn degenerate_quantile_is_rejected() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_sample_is_rejected() {
+        let mut p2 = P2Quantile::new(0.5);
+        p2.observe(f64::NAN);
+    }
+}

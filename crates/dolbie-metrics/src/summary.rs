@@ -1,0 +1,257 @@
+//! Scalar-sample summaries: mean, deviation, confidence intervals,
+//! quantiles.
+//!
+//! Figures 4, 5 and 11 of the paper report means with 95% confidence
+//! intervals over 100 realizations, and box statistics for algorithm
+//! overhead. This module provides those summaries without any external
+//! statistics dependency.
+
+use std::fmt;
+
+/// Critical value of the standard normal at 97.5% — the paper's 95% CI is
+/// `mean ± 1.96 · stderr` over 100 realizations, where the normal
+/// approximation is accurate.
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Summary statistics of a sample of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_metrics::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.len(), 4);
+/// let (lo, hi) = s.ci95();
+/// assert!(lo < 2.5 && 2.5 < hi);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    variance: f64,
+    min: f64,
+    max: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Computes the summary of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains a non-finite value.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "summary requires at least one sample");
+        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance = if count > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self { count, mean, variance, min: sorted[0], max: sorted[count - 1], sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the summary holds zero samples (never true: construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (zero for a single sample).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        self.std_dev() / (self.count as f64).sqrt()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The normal-approximation 95% confidence interval of the mean,
+    /// `(mean − 1.96·se, mean + 1.96·se)`.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = Z_95 * self.std_error();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Half-width of the 95% confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        Z_95 * self.std_error()
+    }
+
+    /// Linear-interpolation quantile, `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (self.count as f64 - 1.0);
+        let idx = pos.floor() as usize;
+        let frac = pos - idx as f64;
+        if idx + 1 >= self.count {
+            return self.sorted[self.count - 1];
+        }
+        self.sorted[idx] * (1.0 - frac) + self.sorted[idx + 1] * frac
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The five-number box summary `(min, q1, median, q3, max)` used for
+    /// the overhead panel of Fig. 11.
+    pub fn box_stats(&self) -> (f64, f64, f64, f64, f64) {
+        (self.min, self.quantile(0.25), self.median(), self.quantile(0.75), self.max)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lo, hi) = self.ci95();
+        write!(
+            f,
+            "{:.6} ± {:.6} (95% CI [{:.6}, {:.6}], n={})",
+            self.mean,
+            self.ci95_half_width(),
+            lo,
+            hi,
+            self.count
+        )
+    }
+}
+
+/// Per-round mean ± CI across realizations: given one series per
+/// realization (all the same length), returns the per-round [`Summary`] —
+/// the data behind the shaded CI bands of Figs. 4–5.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or the realizations have unequal lengths.
+pub fn per_round_summaries(series: &[Vec<f64>]) -> Vec<Summary> {
+    assert!(!series.is_empty(), "need at least one realization");
+    let rounds = series[0].len();
+    assert!(
+        series.iter().all(|s| s.len() == rounds),
+        "all realizations must cover the same number of rounds"
+    );
+    (0..rounds)
+        .map(|t| {
+            let column: Vec<f64> = series.iter().map(|s| s[t]).collect();
+            Summary::from_samples(&column)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.ci95(), (3.5, 3.5));
+        assert_eq!(s.median(), 3.5);
+        assert_eq!(s.quantile(0.9), 3.5);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_samples() {
+        let few = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        let many: Vec<f64> = (0..300).map(|i| 1.0 + (i % 3) as f64).collect();
+        let many = Summary::from_samples(&many);
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+        assert!((many.mean() - few.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median(), 2.5);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+        assert!((s.quantile(0.25) - 1.75).abs() < 1e-12);
+        let (min, q1, med, q3, max) = s.box_stats();
+        assert_eq!(min, 1.0);
+        assert_eq!(max, 4.0);
+        assert!(q1 <= med && med <= q3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::from_samples(&[1.0, 2.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("95% CI"));
+    }
+
+    #[test]
+    fn per_round_summaries_aggregate_columns() {
+        let series = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![2.0, 30.0]];
+        let sums = per_round_summaries(&series);
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].mean(), 2.0);
+        assert_eq!(sums[1].mean(), 20.0);
+        assert_eq!(sums[0].len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of rounds")]
+    fn ragged_series_panics() {
+        let _ = per_round_summaries(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,170 @@
+//! CSV and Markdown emission for experiment results.
+//!
+//! The figure-regeneration harness writes one CSV per paper figure into
+//! `results/` and appends Markdown tables to EXPERIMENTS.md; this module is
+//! the tiny, dependency-free writer behind both.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular table of results: named columns, rows of cells.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_metrics::Table;
+///
+/// let mut t = Table::new(vec!["round", "DOLBIE", "EQU"]);
+/// t.push_row(vec!["1".into(), "0.52".into(), "1.90".into()]);
+/// assert!(t.to_csv().starts_with("round,DOLBIE,EQU\n"));
+/// assert!(t.to_markdown().contains("| round | DOLBIE | EQU |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Self { columns, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row width must match the header");
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of floats formatted with 6 significant
+    /// digits.
+    pub fn push_numeric_row(&mut self, row: &[f64]) {
+        self.push_row(row.iter().map(|v| format!("{v:.6}")).collect());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Renders as CSV (quoting cells containing commas or quotes).
+    pub fn to_csv(&self) -> String {
+        fn quote(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self.columns.iter().map(|c| quote(c)).collect();
+        let _ = writeln!(out, "{}", header.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| quote(c)).collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from directory creation or the write.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trips_simple_cells() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1".into(), "x".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,x\n");
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.columns(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(vec!["c"]);
+        t.push_row(vec!["hello, \"world\"".into()]);
+        assert_eq!(t.to_csv(), "c\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn numeric_rows_format_consistently() {
+        let mut t = Table::new(vec!["v"]);
+        t.push_numeric_row(&[1.0 / 3.0]);
+        assert!(t.to_csv().contains("0.333333"));
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("dolbie-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        let mut t = Table::new(vec!["a"]);
+        t.push_row(vec!["1".into()]);
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+}

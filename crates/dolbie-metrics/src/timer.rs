@@ -1,0 +1,89 @@
+//! Decision-overhead timing (Fig. 11, lower panel).
+//!
+//! The paper measures "the overhead introduced by the load balancing
+//! algorithms" — the wall-clock cost of the *decision update itself*, which
+//! is where OPT and OGD lose (instantaneous solves / gradient + projection)
+//! and DOLBIE wins (a handful of scalar operations per worker).
+
+use std::time::{Duration, Instant};
+
+/// Collects wall-clock durations of repeated operations (e.g. one balancer
+/// update per round).
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_metrics::OverheadTimer;
+///
+/// let mut timer = OverheadTimer::new();
+/// let out = timer.time(|| 2 + 2);
+/// assert_eq!(out, 4);
+/// assert_eq!(timer.samples().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OverheadTimer {
+    samples: Vec<Duration>,
+}
+
+impl OverheadTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times one invocation of `f`, recording its duration and returning
+    /// its output.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        out
+    }
+
+    /// The recorded durations.
+    pub fn samples(&self) -> &[Duration] {
+        &self.samples
+    }
+
+    /// The recorded durations in microseconds, for summarization.
+    pub fn samples_micros(&self) -> Vec<f64> {
+        self.samples.iter().map(|d| d.as_secs_f64() * 1e6).collect()
+    }
+
+    /// Total recorded time.
+    pub fn total(&self) -> Duration {
+        self.samples.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_each_invocation() {
+        let mut t = OverheadTimer::new();
+        for i in 0..5 {
+            let v = t.time(|| i * 2);
+            assert_eq!(v, i * 2);
+        }
+        assert_eq!(t.samples().len(), 5);
+        assert_eq!(t.samples_micros().len(), 5);
+        assert!(t.total() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn measures_real_work() {
+        let mut t = OverheadTimer::new();
+        t.time(|| {
+            // A tiny but non-zero amount of work.
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert!(t.samples()[0] > Duration::ZERO);
+        assert!(t.samples_micros()[0] > 0.0);
+    }
+}

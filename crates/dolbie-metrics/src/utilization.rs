@@ -1,0 +1,181 @@
+//! Per-worker time decomposition (Fig. 11, upper panel).
+//!
+//! The paper decomposes each worker's wall-clock time per round into
+//! **computation**, **communication**, and **waiting** (idle time at the
+//! synchronization barrier). Under synchronous execution, the round takes
+//! `l_t = max_i l_{i,t}` for everyone, so worker `i` waits
+//! `l_t − l_{i,t}`.
+
+/// One worker's time decomposition accumulated over an episode.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Seconds spent computing (`f^P` components).
+    pub computation: f64,
+    /// Seconds spent communicating (`f^C` components).
+    pub communication: f64,
+    /// Seconds spent idle at the barrier (`Σ_t (l_t − l_{i,t})`).
+    pub waiting: f64,
+}
+
+impl TimeBreakdown {
+    /// Total wall-clock seconds attributed to this worker.
+    pub fn total(&self) -> f64 {
+        self.computation + self.communication + self.waiting
+    }
+
+    /// Fraction of time spent busy (computing or communicating).
+    /// Returns 1.0 for an all-zero breakdown.
+    pub fn utilization(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        (self.computation + self.communication) / total
+    }
+}
+
+/// Accumulates per-worker breakdowns across rounds.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_metrics::UtilizationTracker;
+///
+/// let mut tracker = UtilizationTracker::new(2);
+/// // Worker 0 computes 1.0 s + comm 0.2 s; worker 1 computes 0.5 s + 0.2 s.
+/// tracker.record_round(&[1.0, 0.5], &[0.2, 0.2]);
+/// let b = tracker.breakdowns();
+/// assert_eq!(b[0].waiting, 0.0);                 // the straggler never waits
+/// assert!((b[1].waiting - 0.5).abs() < 1e-12);   // 1.2 − 0.7
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilizationTracker {
+    breakdowns: Vec<TimeBreakdown>,
+    rounds: usize,
+}
+
+impl UtilizationTracker {
+    /// Creates a tracker over `n` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "at least one worker required");
+        Self { breakdowns: vec![TimeBreakdown::default(); n], rounds: 0 }
+    }
+
+    /// Records one synchronous round from per-worker computation and
+    /// communication times. Waiting time is derived: the round lasts until
+    /// the slowest worker finishes, `l_t = max_i (comp_i + comm_i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the tracked worker count.
+    pub fn record_round(&mut self, computation: &[f64], communication: &[f64]) {
+        assert_eq!(computation.len(), self.breakdowns.len(), "one computation time per worker");
+        assert_eq!(communication.len(), self.breakdowns.len(), "one communication time per worker");
+        let round_time = computation
+            .iter()
+            .zip(communication)
+            .map(|(&c, &m)| c + m)
+            .fold(f64::MIN, f64::max);
+        for (i, b) in self.breakdowns.iter_mut().enumerate() {
+            b.computation += computation[i];
+            b.communication += communication[i];
+            b.waiting += round_time - (computation[i] + communication[i]);
+        }
+        self.rounds += 1;
+    }
+
+    /// The accumulated per-worker breakdowns.
+    pub fn breakdowns(&self) -> &[TimeBreakdown] {
+        &self.breakdowns
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The breakdown averaged over workers — the bars of Fig. 11's upper
+    /// panel.
+    pub fn mean_breakdown(&self) -> TimeBreakdown {
+        let n = self.breakdowns.len() as f64;
+        let mut mean = TimeBreakdown::default();
+        for b in &self.breakdowns {
+            mean.computation += b.computation / n;
+            mean.communication += b.communication / n;
+            mean.waiting += b.waiting / n;
+        }
+        mean
+    }
+
+    /// Mean idle (waiting) time per worker — the headline metric of the
+    /// paper's Fig. 11 discussion ("the average idle time among the workers
+    /// ... is reduced by ...").
+    pub fn mean_idle_time(&self) -> f64 {
+        self.mean_breakdown().waiting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiting_is_relative_to_slowest() {
+        let mut t = UtilizationTracker::new(3);
+        t.record_round(&[1.0, 2.0, 0.5], &[0.0, 0.0, 0.0]);
+        let b = t.breakdowns();
+        assert_eq!(b[1].waiting, 0.0);
+        assert_eq!(b[0].waiting, 1.0);
+        assert_eq!(b[2].waiting, 1.5);
+        assert_eq!(t.rounds(), 1);
+    }
+
+    #[test]
+    fn accumulates_over_rounds() {
+        let mut t = UtilizationTracker::new(2);
+        t.record_round(&[1.0, 0.5], &[0.1, 0.1]);
+        t.record_round(&[0.5, 1.0], &[0.1, 0.1]);
+        let b = t.breakdowns();
+        assert!((b[0].computation - 1.5).abs() < 1e-12);
+        assert!((b[0].communication - 0.2).abs() < 1e-12);
+        assert!((b[0].waiting - 0.5).abs() < 1e-12);
+        assert!((b[1].waiting - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_and_utilization() {
+        let b = TimeBreakdown { computation: 3.0, communication: 1.0, waiting: 1.0 };
+        assert_eq!(b.total(), 5.0);
+        assert!((b.utilization() - 0.8).abs() < 1e-12);
+        assert_eq!(TimeBreakdown::default().utilization(), 1.0);
+    }
+
+    #[test]
+    fn mean_breakdown_averages_workers() {
+        let mut t = UtilizationTracker::new(2);
+        t.record_round(&[2.0, 1.0], &[0.0, 0.0]);
+        let mean = t.mean_breakdown();
+        assert!((mean.computation - 1.5).abs() < 1e-12);
+        assert!((mean.waiting - 0.5).abs() < 1e-12);
+        assert!((t.mean_idle_time() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_round_has_zero_waiting() {
+        let mut t = UtilizationTracker::new(4);
+        t.record_round(&[1.0; 4], &[0.5; 4]);
+        assert!(t.breakdowns().iter().all(|b| b.waiting == 0.0));
+        assert!(t.breakdowns().iter().all(|b| (b.utilization() - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "one computation time per worker")]
+    fn mismatched_round_panics() {
+        let mut t = UtilizationTracker::new(2);
+        t.record_round(&[1.0], &[0.0]);
+    }
+}

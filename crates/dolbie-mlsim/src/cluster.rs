@@ -1,0 +1,279 @@
+//! The simulated heterogeneous training cluster.
+//!
+//! [`Cluster`] reproduces the paper's experimental setup (§VI-B): `N = 30`
+//! workers, each equipped with one of five processors uniformly at random,
+//! cooperatively training a model with global batch size `B = 256`. Each
+//! round it reveals per-worker latency cost functions
+//! `f_{i,t}(b) = b·B/γ_{i,t} + d/φ_{i,t}` where the processing speed
+//! `γ_{i,t}` and the data rate `φ_{i,t}` fluctuate via seeded AR(1)
+//! processes plus occasional contention spikes.
+//!
+//! `Cluster` is `Clone` and fully deterministic given its seed, which is
+//! what lets the clairvoyant OPT baseline replay the future.
+
+use crate::fluctuation::{Ar1Fluctuation, SpikeProcess};
+use crate::hardware::Processor;
+use crate::model_profile::MlModel;
+use dolbie_core::cost::{DynCost, LatencyCost};
+use dolbie_core::Environment;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable parameters of the cluster simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of workers `N` (the paper uses 30).
+    pub num_workers: usize,
+    /// The model being trained (selects throughputs and transfer size).
+    pub model: MlModel,
+    /// Global batch size `B` in samples (the paper uses 256).
+    pub global_batch: f64,
+    /// AR(1) autocorrelation of capacity/rate fluctuations.
+    pub fluctuation_rho: f64,
+    /// AR(1) innovation deviation.
+    pub fluctuation_sigma: f64,
+    /// Per-round probability of a contention spike on each worker.
+    pub spike_probability: f64,
+    /// Maximum spike slowdown factor.
+    pub spike_max_factor: f64,
+    /// Range of per-worker nominal network rates, bytes/second.
+    pub rate_range: (f64, f64),
+}
+
+impl ClusterConfig {
+    /// The paper's setup for `model`: 30 workers, `B = 256`, moderate
+    /// fluctuations, cluster-grade interconnects (16–160 Gb/s, so compute
+    /// heterogeneity dominates per-round latency as in the paper's
+    /// testbed, while communication stays visible for the larger models).
+    pub fn paper(model: MlModel) -> Self {
+        Self {
+            num_workers: 30,
+            model,
+            global_batch: 256.0,
+            fluctuation_rho: 0.8,
+            fluctuation_sigma: 0.08,
+            spike_probability: 0.03,
+            spike_max_factor: 2.5,
+            rate_range: (2e9, 2e10),
+        }
+    }
+
+    /// A smaller, noise-free configuration for fast deterministic tests.
+    pub fn quiet(model: MlModel, num_workers: usize) -> Self {
+        Self {
+            num_workers,
+            model,
+            global_batch: 256.0,
+            fluctuation_rho: 0.0,
+            fluctuation_sigma: 0.0,
+            spike_probability: 0.0,
+            spike_max_factor: 1.0,
+            rate_range: (5e8, 5e8),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WorkerSim {
+    processor: Processor,
+    base_throughput: f64,
+    base_rate: f64,
+    compute_fluctuation: Ar1Fluctuation,
+    rate_fluctuation: Ar1Fluctuation,
+    spikes: SpikeProcess,
+}
+
+/// The simulated cluster: an [`Environment`] revealing one
+/// [`LatencyCost`] per worker per round.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_mlsim::{Cluster, ClusterConfig, MlModel};
+/// use dolbie_core::Environment;
+///
+/// let mut cluster = Cluster::sample(ClusterConfig::paper(MlModel::ResNet18), 42);
+/// assert_eq!(cluster.num_workers(), 30);
+/// let costs = cluster.reveal(0);
+/// assert_eq!(costs.len(), 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+    workers: Vec<WorkerSim>,
+}
+
+impl Cluster {
+    /// Samples a cluster: each worker draws a processor uniformly at random
+    /// (the paper's assignment), a nominal network rate from the configured
+    /// range, and independent seeded fluctuation processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_workers == 0` or the rate range is invalid.
+    pub fn sample(config: ClusterConfig, seed: u64) -> Self {
+        assert!(config.num_workers > 0, "at least one worker required");
+        let (lo, hi) = config.rate_range;
+        assert!(lo > 0.0 && hi >= lo, "invalid network rate range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workers = (0..config.num_workers)
+            .map(|i| {
+                let processor = Processor::ALL[rng.gen_range(0..Processor::ALL.len())];
+                let base_rate = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                let sub = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+                WorkerSim {
+                    processor,
+                    base_throughput: processor.base_throughput(config.model),
+                    base_rate,
+                    compute_fluctuation: Ar1Fluctuation::new(
+                        config.fluctuation_rho,
+                        config.fluctuation_sigma,
+                        sub,
+                    ),
+                    rate_fluctuation: Ar1Fluctuation::new(
+                        config.fluctuation_rho,
+                        config.fluctuation_sigma,
+                        sub ^ 0xDEAD_BEEF,
+                    ),
+                    spikes: SpikeProcess::new(
+                        config.spike_probability,
+                        config.spike_max_factor,
+                        sub ^ 0xFACE_FEED,
+                    ),
+                }
+            })
+            .collect();
+        Self { config, workers }
+    }
+
+    /// The configuration the cluster was sampled with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The processor assigned to each worker.
+    pub fn processors(&self) -> Vec<Processor> {
+        self.workers.iter().map(|w| w.processor).collect()
+    }
+
+    /// Advances every worker's stochastic processes by one round and
+    /// returns the revealed latency costs, strongly typed so callers can
+    /// decompose processing vs. communication time (Fig. 11).
+    pub fn reveal_typed(&mut self, _round: usize) -> Vec<LatencyCost> {
+        let b = self.config.global_batch;
+        let transfer = self.config.model.transfer_bytes();
+        self.workers
+            .iter_mut()
+            .map(|w| {
+                let speed = (w.base_throughput * w.compute_fluctuation.next_multiplier()
+                    / w.spikes.next_divisor())
+                .max(1e-6);
+                let rate = (w.base_rate * w.rate_fluctuation.next_multiplier()).max(1.0);
+                LatencyCost::new(b, speed, transfer / rate)
+            })
+            .collect()
+    }
+}
+
+impl Environment for Cluster {
+    fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn reveal(&mut self, round: usize) -> Vec<DynCost> {
+        self.reveal_typed(round).into_iter().map(|c| Box::new(c) as DynCost).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dolbie_core::cost::CostFunction;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = Cluster::sample(ClusterConfig::paper(MlModel::ResNet18), 7);
+        let mut b = Cluster::sample(ClusterConfig::paper(MlModel::ResNet18), 7);
+        assert_eq!(a.processors(), b.processors());
+        for t in 0..5 {
+            let ca = a.reveal_typed(t);
+            let cb = b.reveal_typed(t);
+            for (x, y) in ca.iter().zip(&cb) {
+                assert_eq!(x.speed(), y.speed());
+                assert_eq!(x.comm_time(), y.comm_time());
+            }
+        }
+    }
+
+    #[test]
+    fn clone_replays_the_future() {
+        let mut a = Cluster::sample(ClusterConfig::paper(MlModel::Vgg16), 3);
+        for t in 0..4 {
+            a.reveal_typed(t);
+        }
+        let mut b = a.clone();
+        for t in 4..10 {
+            let ca = a.reveal_typed(t);
+            let cb = b.reveal_typed(t);
+            for (x, y) in ca.iter().zip(&cb) {
+                assert_eq!(x.speed(), y.speed());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Cluster::sample(ClusterConfig::paper(MlModel::ResNet18), 1);
+        let b = Cluster::sample(ClusterConfig::paper(MlModel::ResNet18), 2);
+        assert_ne!(a.processors(), b.processors());
+    }
+
+    #[test]
+    fn quiet_config_is_noise_free() {
+        let mut c = Cluster::sample(ClusterConfig::quiet(MlModel::LeNet5, 4), 5);
+        let first = c.reveal_typed(0);
+        let later = c.reveal_typed(1);
+        for (a, b) in first.iter().zip(&later) {
+            assert_eq!(a.speed(), b.speed(), "no fluctuation in quiet mode");
+            assert_eq!(a.comm_time(), b.comm_time());
+        }
+    }
+
+    #[test]
+    fn costs_reflect_model_scale() {
+        let mut small = Cluster::sample(ClusterConfig::quiet(MlModel::LeNet5, 6), 11);
+        let mut large = Cluster::sample(ClusterConfig::quiet(MlModel::Vgg16, 6), 11);
+        // Same seed => same processor assignment; VGG must be uniformly
+        // slower at the full batch.
+        assert_eq!(small.processors(), large.processors());
+        let cs = small.reveal_typed(0);
+        let cl = large.reveal_typed(0);
+        for (s, l) in cs.iter().zip(&cl) {
+            assert!(l.eval(1.0) > s.eval(1.0));
+            assert!(l.comm_time() > s.comm_time());
+        }
+    }
+
+    #[test]
+    fn environment_impl_matches_typed() {
+        let mut a = Cluster::sample(ClusterConfig::paper(MlModel::ResNet18), 21);
+        let mut b = a.clone();
+        let typed = a.reveal_typed(0);
+        let boxed = b.reveal(0);
+        for (t, d) in typed.iter().zip(&boxed) {
+            assert_eq!(t.eval(0.3), d.eval(0.3));
+        }
+        assert_eq!(a.num_workers(), 30);
+    }
+
+    #[test]
+    fn fluctuations_move_costs_over_time() {
+        let mut c = Cluster::sample(ClusterConfig::paper(MlModel::ResNet18), 9);
+        let a = c.reveal_typed(0);
+        let b = c.reveal_typed(1);
+        let moved = a.iter().zip(&b).filter(|(x, y)| x.speed() != y.speed()).count();
+        assert!(moved > 20, "most workers should fluctuate round to round");
+    }
+}

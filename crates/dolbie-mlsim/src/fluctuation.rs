@@ -1,0 +1,217 @@
+//! Temporal dynamics of worker capacity and network rate.
+//!
+//! The paper motivates *online* optimization with unpredictable
+//! fluctuations in processing power and data rate ("the computation and
+//! communication capabilities of the workers may fluctuate over time").
+//! This module provides the stochastic processes that produce those
+//! fluctuations in the simulator:
+//!
+//! - [`Ar1Fluctuation`] — a stationary log-normal AR(1) multiplier,
+//!   modelling smooth capacity drift (background load, DVFS, congestion);
+//! - [`SpikeProcess`] — occasional multiplicative contention spikes
+//!   (co-located jobs stealing the device).
+//!
+//! Both are seeded and deterministic so clairvoyant OPT can replay them.
+//! Normal deviates come from an in-crate Box–Muller transform to avoid an
+//! extra dependency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a standard normal deviate via the Box–Muller transform.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A stationary log-normal AR(1) multiplicative process:
+/// `z_{t+1} = ρ z_t + σ ε_t`, multiplier `m_t = exp(z_t)`.
+///
+/// With `|ρ| < 1` the log-state is stationary with variance
+/// `σ²/(1 − ρ²)`, so multipliers hover around 1 with temporally correlated
+/// excursions — a standard model for slowly varying capacity.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_mlsim::fluctuation::Ar1Fluctuation;
+///
+/// let mut f = Ar1Fluctuation::new(0.8, 0.1, 7);
+/// let m = f.next_multiplier();
+/// assert!(m > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ar1Fluctuation {
+    rho: f64,
+    sigma: f64,
+    state: f64,
+    rng: StdRng,
+}
+
+impl Ar1Fluctuation {
+    /// Creates the process with autocorrelation `rho` and innovation
+    /// deviation `sigma`, seeded deterministically. The initial state is
+    /// drawn from the stationary distribution so there is no burn-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|rho| >= 1` or `sigma < 0`.
+    pub fn new(rho: f64, sigma: f64, seed: u64) -> Self {
+        assert!(rho.abs() < 1.0, "AR(1) requires |rho| < 1 for stationarity");
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stationary_sd = if sigma == 0.0 { 0.0 } else { sigma / (1.0 - rho * rho).sqrt() };
+        let state = stationary_sd * standard_normal(&mut rng);
+        Self { rho, sigma, state, rng }
+    }
+
+    /// A frozen process that always returns multiplier 1 (for tests and
+    /// noise-free ablations).
+    pub fn frozen(seed: u64) -> Self {
+        Self::new(0.0, 0.0, seed)
+    }
+
+    /// Advances one round and returns the multiplier `exp(z_t)`.
+    pub fn next_multiplier(&mut self) -> f64 {
+        let current = self.state.exp();
+        self.state = self.rho * self.state + self.sigma * standard_normal(&mut self.rng);
+        current
+    }
+}
+
+/// Occasional multiplicative slowdowns: with probability `probability` per
+/// round, capacity is divided by a factor drawn uniformly from
+/// `[1, max_factor]`.
+#[derive(Debug, Clone)]
+pub struct SpikeProcess {
+    probability: f64,
+    max_factor: f64,
+    rng: StdRng,
+}
+
+impl SpikeProcess {
+    /// Creates the spike process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `[0, 1]` or `max_factor < 1`.
+    pub fn new(probability: f64, max_factor: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&probability), "probability must be in [0, 1]");
+        assert!(max_factor >= 1.0 && max_factor.is_finite(), "max_factor must be >= 1");
+        Self { probability, max_factor, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// A process that never spikes.
+    pub fn never(seed: u64) -> Self {
+        Self::new(0.0, 1.0, seed)
+    }
+
+    /// Advances one round, returning the slowdown divisor (1.0 = no spike).
+    pub fn next_divisor(&mut self) -> f64 {
+        let fire: f64 = self.rng.gen_range(0.0..1.0);
+        if fire < self.probability && self.max_factor > 1.0 {
+            self.rng.gen_range(1.0..self.max_factor)
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_muller_has_roughly_standard_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn ar1_is_deterministic_under_seed() {
+        let mut a = Ar1Fluctuation::new(0.8, 0.1, 99);
+        let mut b = Ar1Fluctuation::new(0.8, 0.1, 99);
+        for _ in 0..50 {
+            assert_eq!(a.next_multiplier(), b.next_multiplier());
+        }
+    }
+
+    #[test]
+    fn ar1_clone_replays() {
+        let mut a = Ar1Fluctuation::new(0.7, 0.2, 5);
+        // Advance, then clone: the clone continues identically.
+        for _ in 0..10 {
+            a.next_multiplier();
+        }
+        let mut b = a.clone();
+        for _ in 0..20 {
+            assert_eq!(a.next_multiplier(), b.next_multiplier());
+        }
+    }
+
+    #[test]
+    fn ar1_multipliers_hover_around_one() {
+        let mut f = Ar1Fluctuation::new(0.8, 0.1, 3);
+        let n = 5_000;
+        let mean_log: f64 =
+            (0..n).map(|_| f.next_multiplier().ln()).sum::<f64>() / n as f64;
+        assert!(mean_log.abs() < 0.05, "log-multipliers should center near 0: {mean_log}");
+    }
+
+    #[test]
+    fn ar1_is_temporally_correlated() {
+        let mut f = Ar1Fluctuation::new(0.95, 0.05, 11);
+        let xs: Vec<f64> = (0..2_000).map(|_| f.next_multiplier().ln()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let num: f64 =
+            xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+        let den: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+        let lag1 = num / den;
+        assert!(lag1 > 0.7, "lag-1 autocorrelation should be high: {lag1}");
+    }
+
+    #[test]
+    fn frozen_is_exactly_one() {
+        let mut f = Ar1Fluctuation::frozen(0);
+        for _ in 0..10 {
+            assert_eq!(f.next_multiplier(), 1.0);
+        }
+    }
+
+    #[test]
+    fn spikes_respect_probability_and_range() {
+        let mut s = SpikeProcess::new(0.2, 3.0, 17);
+        let n = 10_000;
+        let mut fired = 0;
+        for _ in 0..n {
+            let d = s.next_divisor();
+            assert!((1.0..=3.0).contains(&d));
+            if d > 1.0 {
+                fired += 1;
+            }
+        }
+        let rate = fired as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "spike rate {rate}");
+    }
+
+    #[test]
+    fn never_spikes() {
+        let mut s = SpikeProcess::never(1);
+        for _ in 0..100 {
+            assert_eq!(s.next_divisor(), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stationarity")]
+    fn unit_root_is_rejected() {
+        let _ = Ar1Fluctuation::new(1.0, 0.1, 0);
+    }
+}

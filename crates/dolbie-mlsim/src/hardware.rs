@@ -1,0 +1,127 @@
+//! The heterogeneous processor pool of §VI-B.
+//!
+//! The paper's testbed assigns each of 30 workers one of five processors
+//! uniformly at random: NVIDIA Tesla V100, Tesla P100, T4, Intel Xeon Gold
+//! 6238 (Cascade Lake), and Intel E5-2683 v4 (Broadwell). We do not have
+//! that hardware, so this module substitutes a calibrated throughput table
+//! (training samples/second per processor × model). The *absolute* numbers
+//! are representative, not measured; what the algorithms actually consume
+//! is the heterogeneity spread (≈13× for LeNet5 growing to ≈50× for VGG16)
+//! and the temporal dynamics layered on top by
+//! [`Ar1Fluctuation`](crate::fluctuation::Ar1Fluctuation). See DESIGN.md §4
+//! for why this substitution preserves the evaluated behaviour.
+
+use crate::model_profile::MlModel;
+use std::fmt;
+
+/// One of the five processor types of the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Processor {
+    /// NVIDIA Tesla V100 (the fastest).
+    TeslaV100,
+    /// NVIDIA Tesla P100.
+    TeslaP100,
+    /// NVIDIA T4.
+    T4,
+    /// Intel Xeon Gold 6238 (Cascade Lake) @ 2.10 GHz.
+    XeonGold6238,
+    /// Intel E5-2683 v4 (Broadwell) @ 2.1 GHz (the straggler class).
+    E5_2683V4,
+}
+
+impl Processor {
+    /// All five processor types, in the paper's listing order.
+    pub const ALL: [Processor; 5] = [
+        Processor::TeslaV100,
+        Processor::TeslaP100,
+        Processor::T4,
+        Processor::XeonGold6238,
+        Processor::E5_2683V4,
+    ];
+
+    /// Nominal training throughput in samples/second for `model`.
+    ///
+    /// Calibrated so the V100:E5 spread grows with model size, which is the
+    /// driver of the paper's observation that DOLBIE's advantage grows from
+    /// LeNet5 to VGG16.
+    pub fn base_throughput(&self, model: MlModel) -> f64 {
+        match (self, model) {
+            (Processor::TeslaV100, MlModel::LeNet5) => 20_000.0,
+            (Processor::TeslaP100, MlModel::LeNet5) => 15_000.0,
+            (Processor::T4, MlModel::LeNet5) => 10_000.0,
+            (Processor::XeonGold6238, MlModel::LeNet5) => 3_000.0,
+            (Processor::E5_2683V4, MlModel::LeNet5) => 1_500.0,
+            (Processor::TeslaV100, MlModel::ResNet18) => 1_600.0,
+            (Processor::TeslaP100, MlModel::ResNet18) => 1_100.0,
+            (Processor::T4, MlModel::ResNet18) => 600.0,
+            (Processor::XeonGold6238, MlModel::ResNet18) => 110.0,
+            (Processor::E5_2683V4, MlModel::ResNet18) => 55.0,
+            (Processor::TeslaV100, MlModel::Vgg16) => 600.0,
+            (Processor::TeslaP100, MlModel::Vgg16) => 400.0,
+            (Processor::T4, MlModel::Vgg16) => 200.0,
+            (Processor::XeonGold6238, MlModel::Vgg16) => 25.0,
+            (Processor::E5_2683V4, MlModel::Vgg16) => 12.0,
+        }
+    }
+
+    /// Whether this is a GPU (used for grouping in the Fig. 9–10 plots:
+    /// "most powerful GPUs in green, Cascade Lake in orange and the
+    /// straggler Broadwell in red").
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Processor::TeslaV100 | Processor::TeslaP100 | Processor::T4)
+    }
+}
+
+impl fmt::Display for Processor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Processor::TeslaV100 => "Tesla V100",
+            Processor::TeslaP100 => "Tesla P100",
+            Processor::T4 => "T4",
+            Processor::XeonGold6238 => "Xeon Gold 6238",
+            Processor::E5_2683V4 => "E5-2683 v4",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_ordering_is_preserved_per_model() {
+        for model in MlModel::ALL {
+            let speeds: Vec<f64> =
+                Processor::ALL.iter().map(|p| p.base_throughput(model)).collect();
+            for w in speeds.windows(2) {
+                assert!(w[0] > w[1], "processors must be listed fastest-first for {model:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneity_spread_grows_with_model_size() {
+        let spread = |m: MlModel| {
+            Processor::TeslaV100.base_throughput(m) / Processor::E5_2683V4.base_throughput(m)
+        };
+        let lenet = spread(MlModel::LeNet5);
+        let resnet = spread(MlModel::ResNet18);
+        let vgg = spread(MlModel::Vgg16);
+        assert!(lenet < resnet && resnet < vgg, "{lenet} < {resnet} < {vgg} expected");
+    }
+
+    #[test]
+    fn gpu_classification() {
+        assert!(Processor::TeslaV100.is_gpu());
+        assert!(Processor::T4.is_gpu());
+        assert!(!Processor::XeonGold6238.is_gpu());
+        assert!(!Processor::E5_2683V4.is_gpu());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Processor::TeslaV100.to_string(), "Tesla V100");
+        assert_eq!(Processor::E5_2683V4.to_string(), "E5-2683 v4");
+    }
+}

@@ -1,0 +1,102 @@
+//! Cost profiles of the three ML models trained in §VI.
+//!
+//! LeNet5, ResNet18 and VGG16 enter the load balancing problem through two
+//! numbers: how fast each processor chews through their samples (the
+//! processing term `f^P`, via [`Processor::base_throughput`]) and how many
+//! bytes of gradients/parameters must cross the network each round (the
+//! communication term `f^C = d / φ`). Parameter counts are the standard
+//! published values.
+//!
+//! [`Processor::base_throughput`]: crate::hardware::Processor::base_throughput
+
+use std::fmt;
+
+/// One of the three models of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MlModel {
+    /// LeNet-5 (LeCun et al., 1998) — 61,706 parameters.
+    LeNet5,
+    /// ResNet-18 (He et al., 2016) — 11,689,512 parameters.
+    ResNet18,
+    /// VGG-16 (Simonyan & Zisserman, 2015) — 138,357,544 parameters.
+    Vgg16,
+}
+
+impl MlModel {
+    /// All three models in increasing size order.
+    pub const ALL: [MlModel; 3] = [MlModel::LeNet5, MlModel::ResNet18, MlModel::Vgg16];
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> u64 {
+        match self {
+            MlModel::LeNet5 => 61_706,
+            MlModel::ResNet18 => 11_689_512,
+            MlModel::Vgg16 => 138_357_544,
+        }
+    }
+
+    /// Size of one full gradient/parameter transfer in bytes (fp32).
+    pub fn transfer_bytes(&self) -> f64 {
+        self.param_count() as f64 * 4.0
+    }
+
+    /// Approximate forward+backward compute per sample, in MFLOPs — used
+    /// only for documentation/sanity checks (throughput is taken from the
+    /// calibrated table, not derived from FLOPs).
+    pub fn mflops_per_sample(&self) -> f64 {
+        match self {
+            MlModel::LeNet5 => 1.3,
+            MlModel::ResNet18 => 1_700.0,
+            MlModel::Vgg16 => 10_000.0,
+        }
+    }
+}
+
+impl fmt::Display for MlModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MlModel::LeNet5 => "LeNet5",
+            MlModel::ResNet18 => "ResNet18",
+            MlModel::Vgg16 => "VGG16",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_parameter_counts() {
+        assert_eq!(MlModel::LeNet5.param_count(), 61_706);
+        assert_eq!(MlModel::ResNet18.param_count(), 11_689_512);
+        assert_eq!(MlModel::Vgg16.param_count(), 138_357_544);
+    }
+
+    #[test]
+    fn sizes_increase() {
+        let mut last = 0;
+        for m in MlModel::ALL {
+            assert!(m.param_count() > last);
+            last = m.param_count();
+        }
+    }
+
+    #[test]
+    fn transfer_bytes_are_fp32() {
+        assert_eq!(MlModel::LeNet5.transfer_bytes(), 61_706.0 * 4.0);
+    }
+
+    #[test]
+    fn compute_cost_increases() {
+        assert!(MlModel::LeNet5.mflops_per_sample() < MlModel::ResNet18.mflops_per_sample());
+        assert!(MlModel::ResNet18.mflops_per_sample() < MlModel::Vgg16.mflops_per_sample());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MlModel::Vgg16.to_string(), "VGG16");
+        assert_eq!(MlModel::LeNet5.to_string(), "LeNet5");
+    }
+}

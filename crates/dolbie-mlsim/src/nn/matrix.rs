@@ -1,0 +1,318 @@
+//! A minimal dense-matrix type for the from-scratch trainer.
+//!
+//! Row-major `f64` storage with exactly the operations the MLP needs —
+//! no BLAS, no external crates, thoroughly tested including a
+//! finite-difference check at the network level (see
+//! [`mlp`](crate::nn::mlp)).
+
+use std::fmt;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length must equal rows * cols");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw data access (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data access (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(other_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "outer dimensions must agree");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            for r in 0..self.cols {
+                let a = self.data[k * self.cols + r];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(other_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for c in 0..other.rows {
+                let b_row = &other.data[c * other.cols..(c + 1) * other.cols];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[r * other.rows + c] = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds `vector` to every row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len() != self.cols`.
+    pub fn add_row_vector(&mut self, vector: &[f64]) {
+        assert_eq!(vector.len(), self.cols, "vector length must equal column count");
+        for r in 0..self.rows {
+            for (c, &v) in vector.iter().enumerate() {
+                self.data[r * self.cols + c] += v;
+            }
+        }
+    }
+
+    /// Applies ReLU in place, returning the mask of active units.
+    pub fn relu_in_place(&mut self) -> Vec<bool> {
+        self.data
+            .iter_mut()
+            .map(|v| {
+                if *v > 0.0 {
+                    true
+                } else {
+                    *v = 0.0;
+                    false
+                }
+            })
+            .collect()
+    }
+
+    /// Column sums (used for bias gradients).
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (c, sum) in sums.iter_mut().enumerate() {
+                *sum += self.data[r * self.cols + c];
+            }
+        }
+        sums
+    }
+
+    /// In-place `self ← self − scale · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub_scaled(&mut self, other: &Matrix, scale: f64) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shapes must match for sub_scaled"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= scale * b;
+        }
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for r in 0..self.rows.min(6) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, " {:8.4}", self.get(r, c))?;
+            }
+            writeln!(f, " ]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_hand_check() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+    }
+
+    #[test]
+    fn transpose_matmul_agrees_with_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64 * 0.5 - 1.0);
+        let b = Matrix::from_fn(4, 2, |r, c| (r + c) as f64);
+        let at = Matrix::from_fn(3, 4, |r, c| a.get(c, r));
+        let expected = at.matmul(&b);
+        let got = a.transpose_matmul(&b);
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn matmul_transpose_agrees_with_explicit_transpose() {
+        let a = Matrix::from_fn(2, 5, |r, c| (r as f64 - c as f64) * 0.3);
+        let b = Matrix::from_fn(3, 5, |r, c| (r * c) as f64 + 1.0);
+        let bt = Matrix::from_fn(5, 3, |r, c| b.get(c, r));
+        let expected = a.matmul(&bt);
+        let got = a.matmul_transpose(&b);
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn add_row_vector_broadcasts() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut m = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        let mask = m.relu_in_place();
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        assert_eq!(mask, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn column_sums_hand_check() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.column_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn sub_scaled_is_sgd_step() {
+        let mut w = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let g = Matrix::from_vec(1, 2, vec![0.5, -0.5]);
+        w.sub_scaled(&g, 0.1);
+        assert_eq!(w.as_slice(), &[0.95, 1.05]);
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(1, 0, 7.0);
+        assert_eq!(m.get(1, 0), 7.0);
+        assert!(m.to_string().contains("Matrix 2x2"));
+        assert_eq!(m.as_mut_slice().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

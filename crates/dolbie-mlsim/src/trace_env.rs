@@ -1,0 +1,310 @@
+//! Trace-driven environments: replay *measured* per-round worker speeds
+//! and network rates instead of sampling a synthetic model.
+//!
+//! The paper's experiments "are run over the actual processing speed and
+//! the parameter transfer time among processors in each round" — i.e. a
+//! measurement trace. Users with their own cluster telemetry can feed it
+//! in here (programmatically or as CSV) and drive every algorithm in this
+//! workspace over it.
+
+use crate::model_profile::MlModel;
+use dolbie_core::cost::{DynCost, LatencyCost};
+use dolbie_core::Environment;
+
+/// An [`Environment`] replaying recorded `(speed, rate)` measurements.
+///
+/// Round `t` uses row `t` of the trace; when the trace is shorter than the
+/// episode it wraps around (round-robin replay), which keeps long
+/// experiments runnable on short traces.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_mlsim::{MlModel, TraceEnvironment};
+/// use dolbie_core::Environment;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let speeds = vec![vec![1000.0, 120.0], vec![900.0, 130.0]];
+/// let rates = vec![vec![1e9, 5e8], vec![1.1e9, 6e8]];
+/// let mut env = TraceEnvironment::new(MlModel::ResNet18, 256.0, speeds, rates)?;
+/// assert_eq!(env.num_workers(), 2);
+/// let costs = env.reveal(0);
+/// assert_eq!(costs.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceEnvironment {
+    model: MlModel,
+    global_batch: f64,
+    speeds: Vec<Vec<f64>>,
+    rates: Vec<Vec<f64>>,
+}
+
+/// Error constructing a [`TraceEnvironment`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The trace has no rounds.
+    Empty,
+    /// A row's width differs from the first row's.
+    RaggedRows {
+        /// The offending round index.
+        round: usize,
+    },
+    /// The speeds and rates traces disagree in shape.
+    ShapeMismatch,
+    /// A measurement was non-positive or non-finite.
+    BadMeasurement {
+        /// The offending round index.
+        round: usize,
+        /// The offending worker index.
+        worker: usize,
+    },
+    /// A CSV cell failed to parse as a number.
+    Parse {
+        /// The offending (1-based) CSV line.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace has no rounds"),
+            TraceError::RaggedRows { round } => {
+                write!(f, "round {round} has a different worker count")
+            }
+            TraceError::ShapeMismatch => write!(f, "speed and rate traces differ in shape"),
+            TraceError::BadMeasurement { round, worker } => {
+                write!(f, "non-positive measurement at round {round}, worker {worker}")
+            }
+            TraceError::Parse { line } => write!(f, "unparseable number on CSV line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl TraceEnvironment {
+    /// Builds the environment from in-memory traces:
+    /// `speeds[t][i]` = samples/second of worker `i` in round `t`,
+    /// `rates[t][i]` = network bytes/second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] for empty, ragged, mismatched, or
+    /// non-positive traces.
+    pub fn new(
+        model: MlModel,
+        global_batch: f64,
+        speeds: Vec<Vec<f64>>,
+        rates: Vec<Vec<f64>>,
+    ) -> Result<Self, TraceError> {
+        if speeds.is_empty() || speeds[0].is_empty() {
+            return Err(TraceError::Empty);
+        }
+        let n = speeds[0].len();
+        if rates.len() != speeds.len() {
+            return Err(TraceError::ShapeMismatch);
+        }
+        for (t, (srow, rrow)) in speeds.iter().zip(&rates).enumerate() {
+            if srow.len() != n {
+                return Err(TraceError::RaggedRows { round: t });
+            }
+            if rrow.len() != n {
+                return Err(TraceError::ShapeMismatch);
+            }
+            for (i, (&s, &r)) in srow.iter().zip(rrow).enumerate() {
+                if !(s.is_finite() && s > 0.0 && r.is_finite() && r > 0.0) {
+                    return Err(TraceError::BadMeasurement { round: t, worker: i });
+                }
+            }
+        }
+        assert!(global_batch > 0.0, "global batch must be positive");
+        Ok(Self { model, global_batch, speeds, rates })
+    }
+
+    /// Parses a trace from CSV text with rows
+    /// `round, speed_0, .., speed_{N-1}, rate_0, .., rate_{N-1}`
+    /// (header lines starting with `#` or a non-numeric first cell are
+    /// skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] on malformed numbers or shapes.
+    pub fn from_csv(model: MlModel, global_batch: f64, csv: &str) -> Result<Self, TraceError> {
+        let mut speeds = Vec::new();
+        let mut rates = Vec::new();
+        for (lineno, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+            if cells.first().is_some_and(|c| c.parse::<f64>().is_err()) {
+                // Header row.
+                continue;
+            }
+            if cells.len() < 3 || !(cells.len() - 1).is_multiple_of(2) {
+                return Err(TraceError::Parse { line: lineno + 1 });
+            }
+            let n = (cells.len() - 1) / 2;
+            let parse = |cell: &str| -> Result<f64, TraceError> {
+                cell.parse::<f64>().map_err(|_| TraceError::Parse { line: lineno + 1 })
+            };
+            let mut srow = Vec::with_capacity(n);
+            let mut rrow = Vec::with_capacity(n);
+            for k in 0..n {
+                srow.push(parse(cells[1 + k])?);
+            }
+            for k in 0..n {
+                rrow.push(parse(cells[1 + n + k])?);
+            }
+            speeds.push(srow);
+            rates.push(rrow);
+        }
+        Self::new(model, global_batch, speeds, rates)
+    }
+
+    /// Number of recorded rounds before the replay wraps.
+    pub fn trace_len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// The model whose transfer size prices the communication term.
+    pub fn model(&self) -> MlModel {
+        self.model
+    }
+}
+
+impl Environment for TraceEnvironment {
+    fn num_workers(&self) -> usize {
+        self.speeds[0].len()
+    }
+
+    fn reveal(&mut self, round: usize) -> Vec<DynCost> {
+        let row = round % self.speeds.len();
+        let transfer = self.model.transfer_bytes();
+        self.speeds[row]
+            .iter()
+            .zip(&self.rates[row])
+            .map(|(&speed, &rate)| {
+                Box::new(LatencyCost::new(self.global_batch, speed, transfer / rate)) as DynCost
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dolbie_core::cost::CostFunction;
+
+    fn small() -> TraceEnvironment {
+        TraceEnvironment::new(
+            MlModel::ResNet18,
+            256.0,
+            vec![vec![1000.0, 100.0], vec![800.0, 120.0]],
+            vec![vec![1e9, 1e9], vec![1e9, 1e9]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn replays_rows_and_wraps() {
+        let mut env = small();
+        assert_eq!(env.trace_len(), 2);
+        assert_eq!(env.model(), MlModel::ResNet18);
+        let r0 = env.reveal(0);
+        let r2 = env.reveal(2); // wraps to row 0
+        assert_eq!(r0[0].eval(0.5), r2[0].eval(0.5));
+        let r1 = env.reveal(1);
+        assert_ne!(r0[0].eval(0.5), r1[0].eval(0.5));
+    }
+
+    #[test]
+    fn costs_match_the_latency_model() {
+        let mut env = small();
+        let costs = env.reveal(0);
+        // Worker 0: 0.5 * 256 / 1000 + transfer/rate.
+        let expected = 0.5 * 256.0 / 1000.0 + MlModel::ResNet18.transfer_bytes() / 1e9;
+        assert!((costs[0].eval(0.5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let csv = "\
+# round, speeds..., rates...
+round,s0,s1,r0,r1
+0, 1000, 100, 1e9, 5e8
+1, 900, 110, 1.1e9, 6e8
+";
+        let mut env = TraceEnvironment::from_csv(MlModel::LeNet5, 256.0, csv).unwrap();
+        assert_eq!(env.num_workers(), 2);
+        assert_eq!(env.trace_len(), 2);
+        let costs = env.reveal(1);
+        let expected = 0.5 * 256.0 / 900.0 + MlModel::LeNet5.transfer_bytes() / 1.1e9;
+        assert!((costs[0].eval(0.5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_errors() {
+        assert_eq!(
+            TraceEnvironment::from_csv(MlModel::LeNet5, 256.0, "0, 1\n").unwrap_err(),
+            TraceError::Parse { line: 1 }
+        );
+        assert_eq!(
+            TraceEnvironment::from_csv(MlModel::LeNet5, 256.0, "0, 1, 2, 3\n").unwrap_err(),
+            TraceError::Parse { line: 1 },
+            "even cell counts after the round column are malformed"
+        );
+        assert_eq!(
+            TraceEnvironment::from_csv(MlModel::LeNet5, 256.0, "0, 1, x, 3, 4\n").unwrap_err(),
+            TraceError::Parse { line: 1 }
+        );
+        assert_eq!(
+            TraceEnvironment::from_csv(MlModel::LeNet5, 256.0, "# only comments\n").unwrap_err(),
+            TraceError::Empty
+        );
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            TraceEnvironment::new(MlModel::LeNet5, 1.0, vec![], vec![]).unwrap_err(),
+            TraceError::Empty
+        );
+        assert_eq!(
+            TraceEnvironment::new(
+                MlModel::LeNet5,
+                1.0,
+                vec![vec![1.0], vec![1.0, 2.0]],
+                vec![vec![1.0], vec![1.0, 2.0]],
+            )
+            .unwrap_err(),
+            TraceError::RaggedRows { round: 1 }
+        );
+        assert_eq!(
+            TraceEnvironment::new(MlModel::LeNet5, 1.0, vec![vec![1.0]], vec![])
+                .unwrap_err(),
+            TraceError::ShapeMismatch
+        );
+        assert_eq!(
+            TraceEnvironment::new(MlModel::LeNet5, 1.0, vec![vec![0.0]], vec![vec![1.0]])
+                .unwrap_err(),
+            TraceError::BadMeasurement { round: 0, worker: 0 }
+        );
+        assert!(!TraceError::Empty.to_string().is_empty());
+    }
+
+    #[test]
+    fn dolbie_runs_on_a_trace() {
+        use dolbie_core::{run_episode, Dolbie, EpisodeOptions};
+        let mut env = small();
+        let mut dolbie = Dolbie::new(2);
+        let trace = run_episode(&mut dolbie, &mut env, EpisodeOptions::new(40));
+        let first = trace.records[0].global_cost;
+        let last = trace.records[39].global_cost;
+        assert!(last < first, "DOLBIE should improve on the replayed trace");
+    }
+}

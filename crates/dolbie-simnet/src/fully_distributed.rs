@@ -1,0 +1,499 @@
+//! Discrete-event simulation of Algorithm 2 (fully-distributed DOLBIE).
+//!
+//! No master: each worker broadcasts its local cost and local step size
+//! `ᾱ_{i,t}` to every peer (line 4), independently computes the global
+//! cost, straggler, and consensus step size `α_t = min_j ᾱ_{j,t}`
+//! (lines 5–7), and the non-stragglers send their updated decision *only to
+//! the straggler* (line 9), which absorbs the remainder and tightens its
+//! local step size per eq. (8) (lines 11–13).
+//!
+//! Per round this exchanges `N(N−1) + (N−1)` messages — the `O(N²)`
+//! communication complexity of §IV-C, traded for the removal of the single
+//! point of failure and for keeping decisions private from non-stragglers.
+
+use crate::event::EventQueue;
+use crate::latency::LatencyModel;
+use crate::master_worker::Crash;
+use crate::message::{Message, NodeId, Payload};
+use crate::trace::{ProtocolRound, ProtocolTrace};
+use dolbie_core::observation::max_acceptable_share;
+use dolbie_core::step_size::feasibility_cap;
+use dolbie_core::{Allocation, DolbieConfig, Environment};
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    ComputeDone { worker: usize },
+    Deliver(Message),
+}
+
+/// Per-round, per-worker protocol state.
+#[derive(Debug, Clone)]
+struct WorkerRoundState {
+    costs: Vec<Option<f64>>,
+    alphas: Vec<Option<f64>>,
+    broadcasts_received: usize,
+    decisions: Vec<Option<f64>>,
+    decisions_received: usize,
+    resolved: bool,
+}
+
+impl WorkerRoundState {
+    fn new(n: usize) -> Self {
+        Self {
+            costs: vec![None; n],
+            alphas: vec![None; n],
+            broadcasts_received: 0,
+            decisions: vec![None; n],
+            decisions_received: 0,
+            resolved: false,
+        }
+    }
+}
+
+/// The fully-distributed protocol simulator.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_simnet::{FixedLatency, FullyDistributedSim};
+/// use dolbie_core::environment::StaticLinearEnvironment;
+/// use dolbie_core::DolbieConfig;
+///
+/// let env = StaticLinearEnvironment::from_slopes(vec![3.0, 1.0, 2.0]);
+/// let mut sim = FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan());
+/// let trace = sim.run(10);
+/// // N(N-1) broadcasts + (N-1) decisions = 8 messages for N = 3.
+/// assert_eq!(trace.rounds[0].messages, 8);
+/// ```
+#[derive(Debug)]
+pub struct FullyDistributedSim<E, L> {
+    env: E,
+    latency: L,
+    shares: Vec<f64>,
+    local_alphas: Vec<f64>,
+    crashes: Vec<Crash>,
+}
+
+impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
+    /// Creates the simulator with the uniform initial partition; every
+    /// worker starts with the same local step size `ᾱ_{i,1} = α_1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment has fewer than two workers (a one-worker
+    /// "distributed" system has no protocol to run).
+    pub fn new(env: E, config: DolbieConfig, latency: L) -> Self {
+        let n = env.num_workers();
+        assert!(n >= 2, "the fully-distributed protocol needs at least two workers");
+        let initial = Allocation::uniform(n);
+        let alpha = config.resolve_initial_alpha(&initial);
+        Self {
+            env,
+            latency,
+            shares: initial.into_inner(),
+            local_alphas: vec![alpha; n],
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Injects a crash window (extension): the worker neither executes nor
+    /// broadcasts during `[from_round, until_round)`. The survivors share a
+    /// consistent view of the membership (as a failure detector would
+    /// provide), freeze the crashed worker's share, and balance among
+    /// themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker index is out of range.
+    pub fn with_crash(mut self, crash: Crash) -> Self {
+        assert!(crash.worker < self.shares.len(), "crash worker out of range");
+        self.crashes.push(crash);
+        self
+    }
+
+    /// Runs the protocol for `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment produces malformed cost functions.
+    pub fn run(&mut self, rounds: usize) -> ProtocolTrace {
+        let n = self.shares.len();
+        let mut trace = Vec::with_capacity(rounds);
+        let mut ready_at = vec![0.0f64; n];
+
+        for t in 0..rounds {
+            let fns = self.env.reveal(t);
+            assert_eq!(fns.len(), n, "environment must cover every worker");
+            let crashed: Vec<bool> =
+                (0..n).map(|i| self.crashes.iter().any(|c| c.covers(i, t))).collect();
+            let alive_count = crashed.iter().filter(|&&c| !c).count();
+            assert!(alive_count >= 2, "round {t} needs at least two responsive workers");
+            let local_costs: Vec<f64> = (0..n)
+                .map(|i| if crashed[i] { 0.0 } else { fns[i].eval(self.shares[i]) })
+                .collect();
+
+            let mut queue: EventQueue<Ev> = EventQueue::new();
+            for i in 0..n {
+                if !crashed[i] {
+                    queue.schedule(ready_at[i] + local_costs[i], Ev::ComputeDone { worker: i });
+                }
+            }
+
+            let mut states: Vec<WorkerRoundState> =
+                (0..n).map(|_| WorkerRoundState::new(n)).collect();
+            // Seed each worker's own observation (lines 2-3).
+            for i in 0..n {
+                if crashed[i] {
+                    continue;
+                }
+                states[i].costs[i] = Some(local_costs[i]);
+                states[i].alphas[i] = Some(self.local_alphas[i]);
+                states[i].broadcasts_received = 1;
+            }
+            let mut next_shares = self.shares.clone();
+            let mut next_alphas = self.local_alphas.clone();
+            let mut messages = 0usize;
+            let mut bytes = 0usize;
+            let mut compute_finished = 0.0f64;
+            let mut straggler_done_at = 0.0f64;
+            let mut last_resolution_at = 0.0f64;
+            let mut resolved_count = 0usize;
+            let mut global_cost = f64::MIN;
+            let mut straggler = 0usize;
+            for (j, &c) in local_costs.iter().enumerate() {
+                if !crashed[j] && c > global_cost {
+                    global_cost = c;
+                    straggler = j;
+                }
+            }
+
+            let send = |queue: &mut EventQueue<Ev>,
+                            latency: &mut L,
+                            messages: &mut usize,
+                            bytes: &mut usize,
+                            msg: Message| {
+                *messages += 1;
+                *bytes += msg.size_bytes();
+                let delay = latency.delay(&msg);
+                assert!(delay >= 0.0, "latency model produced a negative delay");
+                queue.schedule(queue.now() + delay, Ev::Deliver(msg));
+            };
+
+            // A worker resolves as soon as it holds every broadcast (and,
+            // for the straggler, every decision).
+            while let Some(scheduled) = queue.pop() {
+                if resolved_count == alive_count {
+                    break;
+                }
+                let now = scheduled.time;
+                match scheduled.event {
+                    Ev::ComputeDone { worker } => {
+                        compute_finished = compute_finished.max(now);
+                        // Line 4: broadcast (l_i, ᾱ_i) to all live peers.
+                        for (j, &peer_crashed) in crashed.iter().enumerate() {
+                            if j == worker || peer_crashed {
+                                continue;
+                            }
+                            send(
+                                &mut queue,
+                                &mut self.latency,
+                                &mut messages,
+                                &mut bytes,
+                                Message {
+                                    from: NodeId::Worker(worker),
+                                    to: NodeId::Worker(j),
+                                    round: t,
+                                    payload: Payload::CostAndStepSize {
+                                        cost: local_costs[worker],
+                                        alpha: self.local_alphas[worker],
+                                    },
+                                },
+                            );
+                        }
+                    }
+                    Ev::Deliver(msg) => {
+                        let NodeId::Worker(me) = msg.to else {
+                            unreachable!("no master in the fully-distributed protocol")
+                        };
+                        let NodeId::Worker(sender) = msg.from else {
+                            unreachable!("no master in the fully-distributed protocol")
+                        };
+                        match msg.payload {
+                            Payload::CostAndStepSize { cost, alpha } => {
+                                let state = &mut states[me];
+                                assert!(state.costs[sender].is_none(), "duplicate broadcast");
+                                state.costs[sender] = Some(cost);
+                                state.alphas[sender] = Some(alpha);
+                                state.broadcasts_received += 1;
+                            }
+                            Payload::Decision { share } => {
+                                let state = &mut states[me];
+                                assert!(
+                                    state.decisions[sender].is_none(),
+                                    "duplicate decision"
+                                );
+                                state.decisions[sender] = Some(share);
+                                state.decisions_received += 1;
+                            }
+                            _ => unreachable!("master-worker payload in Algorithm 2"),
+                        }
+                        // Try to resolve worker `me` (lines 5-13).
+                        let state = &mut states[me];
+                        if state.resolved || state.broadcasts_received < alive_count {
+                            continue;
+                        }
+                        // Lines 5-7: every worker derives the same view
+                        // (crashed peers contribute no step size).
+                        let alpha_t = state
+                            .alphas
+                            .iter()
+                            .flatten()
+                            .fold(f64::INFINITY, |acc, &a| acc.min(a));
+                        if me != straggler {
+                            // Lines 8-10.
+                            let x_i = self.shares[me];
+                            let target = max_acceptable_share(&fns[me], x_i, global_cost);
+                            let updated = x_i - alpha_t * (x_i - target);
+                            next_shares[me] = updated;
+                            next_alphas[me] = self.local_alphas[me];
+                            send(
+                                &mut queue,
+                                &mut self.latency,
+                                &mut messages,
+                                &mut bytes,
+                                Message {
+                                    from: NodeId::Worker(me),
+                                    to: NodeId::Worker(straggler),
+                                    round: t,
+                                    payload: Payload::Decision { share: updated },
+                                },
+                            );
+                            state.resolved = true;
+                            resolved_count += 1;
+                            ready_at[me] = now;
+                            last_resolution_at = last_resolution_at.max(now);
+                        } else if state.decisions_received == alive_count - 1 {
+                            // Lines 11-13; crashed workers' shares are
+                            // frozen and counted as-is.
+                            let mut others = 0.0;
+                            for (j, d) in state.decisions.iter().enumerate() {
+                                if j == me {
+                                    continue;
+                                }
+                                others += if crashed[j] {
+                                    self.shares[j]
+                                } else {
+                                    d.expect("all live decisions present")
+                                };
+                            }
+                            let s_share = (1.0 - others).max(0.0);
+                            next_shares[me] = s_share;
+                            next_alphas[me] =
+                                self.local_alphas[me].min(feasibility_cap(n, s_share));
+                            state.resolved = true;
+                            resolved_count += 1;
+                            ready_at[me] = now;
+                            straggler_done_at = now;
+                            last_resolution_at = last_resolution_at.max(now);
+                        }
+                    }
+                }
+                // The straggler may have been waiting only on decisions
+                // that arrived before its last broadcast; re-check it.
+                let s_state = &mut states[straggler];
+                if !s_state.resolved
+                    && s_state.broadcasts_received == alive_count
+                    && s_state.decisions_received == alive_count - 1
+                {
+                    let mut others = 0.0;
+                    for (j, d) in s_state.decisions.iter().enumerate() {
+                        if j == straggler {
+                            continue;
+                        }
+                        others += if crashed[j] {
+                            self.shares[j]
+                        } else {
+                            d.expect("all live decisions present")
+                        };
+                    }
+                    let s_share = (1.0 - others).max(0.0);
+                    next_shares[straggler] = s_share;
+                    next_alphas[straggler] =
+                        self.local_alphas[straggler].min(feasibility_cap(n, s_share));
+                    s_state.resolved = true;
+                    resolved_count += 1;
+                    ready_at[straggler] = queue.now();
+                    straggler_done_at = queue.now();
+                    last_resolution_at = last_resolution_at.max(queue.now());
+                }
+            }
+            assert_eq!(resolved_count, alive_count, "protocol deadlocked in round {t}");
+
+            let executed = Allocation::from_update(self.shares.clone())
+                .expect("protocol preserves feasibility");
+            trace.push(ProtocolRound {
+                round: t,
+                allocation: executed,
+                local_costs,
+                global_cost,
+                straggler,
+                messages,
+                bytes,
+                compute_finished,
+                control_finished: last_resolution_at.max(straggler_done_at),
+                active: crashed.iter().map(|&c| !c).collect(),
+            });
+            self.shares = next_shares;
+            self.local_alphas = next_alphas;
+        }
+        ProtocolTrace { architecture: "fully-distributed", rounds: trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{FixedLatency, JitteredLatency};
+    use crate::master_worker::MasterWorkerSim;
+    use dolbie_core::environment::{RotatingStragglerEnvironment, StaticLinearEnvironment};
+    use dolbie_core::{run_episode, Dolbie, EpisodeOptions};
+
+    #[test]
+    fn message_count_is_quadratic() {
+        for n in [2usize, 3, 5, 8] {
+            let env = StaticLinearEnvironment::from_slopes(
+                (1..=n).map(|i| i as f64).collect(),
+            );
+            let mut sim =
+                FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan());
+            let trace = sim.run(3);
+            let expected = n * (n - 1) + (n - 1);
+            for r in &trace.rounds {
+                assert_eq!(r.messages, expected, "N = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_matches_sequential_and_master_worker() {
+        let env = RotatingStragglerEnvironment::new(5, 4, 7.0, 1.0);
+        let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
+            .run(40);
+        let mw = MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
+            .run(40);
+        let mut sequential = Dolbie::new(5);
+        let mut driver = env;
+        let reference = run_episode(&mut sequential, &mut driver, EpisodeOptions::new(40));
+
+        for ((f, m), r) in fd.rounds.iter().zip(&mw.rounds).zip(&reference.records) {
+            assert!(
+                f.allocation.l2_distance(&m.allocation) < 1e-9,
+                "round {}: FD {} vs MW {}",
+                f.round,
+                f.allocation,
+                m.allocation
+            );
+            assert!(f.allocation.l2_distance(&r.allocation) < 1e-9);
+            assert_eq!(f.straggler, r.straggler);
+        }
+    }
+
+    #[test]
+    fn consensus_step_size_equals_master_worker_step_size() {
+        // min_j ᾱ_{j,t} must track the master's α_t (see §IV-B.2); verify
+        // indirectly through identical long-horizon trajectories on an
+        // adversarial instance where α tightens repeatedly.
+        let env = RotatingStragglerEnvironment::new(3, 1, 10.0, 0.5);
+        let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
+            .run(60);
+        let mw =
+            MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(60);
+        let last_fd = fd.rounds.last().unwrap();
+        let last_mw = mw.rounds.last().unwrap();
+        assert!(last_fd.allocation.l2_distance(&last_mw.allocation) < 1e-9);
+    }
+
+    #[test]
+    fn decisions_are_delay_invariant() {
+        let env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0, 2.0, 3.0]);
+        let a = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::instant())
+            .run(15);
+        let b = FullyDistributedSim::new(
+            env,
+            DolbieConfig::new(),
+            JitteredLatency::new(FixedLatency::new(0.3, 1e4), 0.5, 99),
+        )
+        .run(15);
+        for (x, y) in a.rounds.iter().zip(&b.rounds) {
+            assert!(x.allocation.l2_distance(&y.allocation) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn byte_volume_exceeds_master_worker() {
+        let env = StaticLinearEnvironment::from_slopes(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
+            .run(5);
+        let mw =
+            MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(5);
+        assert!(fd.total_bytes() > mw.total_bytes());
+        assert!(fd.total_messages() > mw.total_messages());
+    }
+
+    #[test]
+    fn crash_window_freezes_share_and_survivors_rebalance() {
+        let env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0, 2.0, 1.5]);
+        let trace =
+            FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+                .with_crash(crate::master_worker::Crash {
+                    worker: 2,
+                    from_round: 6,
+                    until_round: 14,
+                })
+                .run(25);
+        let frozen = trace.rounds[6].allocation.share(2);
+        for t in 6..14 {
+            let r = &trace.rounds[t];
+            assert!(!r.active[2], "round {t}");
+            assert!((r.allocation.share(2) - frozen).abs() < 1e-12, "round {t}");
+            let sum: f64 = r.allocation.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            // Fewer broadcasts while one worker is out: 3*2 + 2 messages.
+            assert_eq!(r.messages, 3 * 2 + 2, "round {t}: {} messages", r.messages);
+        }
+        assert!(trace.rounds[24].active[2], "worker rejoined");
+        // Crash-free rounds match master-worker semantics again.
+        let sum: f64 = trace.rounds[24].allocation.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_equivalence_with_master_worker() {
+        // The two architectures implement the same recovery policy, so
+        // their trajectories agree even through the crash window.
+        let env = StaticLinearEnvironment::from_slopes(vec![5.0, 1.0, 2.0, 3.0, 1.2]);
+        let crash = crate::master_worker::Crash { worker: 1, from_round: 4, until_round: 10 };
+        let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(crash)
+            .run(20);
+        let mw = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(crash)
+            .run(20);
+        for (f, m) in fd.rounds.iter().zip(&mw.rounds) {
+            assert!(
+                f.allocation.l2_distance(&m.allocation) < 1e-9,
+                "round {}: FD {} vs MW {}",
+                f.round,
+                f.allocation,
+                m.allocation
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two workers")]
+    fn single_worker_is_rejected() {
+        let env = StaticLinearEnvironment::from_slopes(vec![1.0]);
+        let _ = FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan());
+    }
+}

@@ -1,0 +1,43 @@
+//! # dolbie-simnet
+//!
+//! The distributed substrate of the DOLBIE reproduction: the paper's two
+//! architectures (§IV-B) realized as actual message-passing protocols.
+//!
+//! - [`MasterWorkerSim`] — Algorithm 1 on a deterministic discrete-event
+//!   simulator ([`event::EventQueue`]) with pluggable network latency
+//!   ([`latency::LatencyModel`]). `3N` messages per round, `Θ(N)` bytes.
+//! - [`FullyDistributedSim`] — Algorithm 2: all-to-all cost/step-size
+//!   broadcast, decisions sent only to the straggler. `N(N−1) + (N−1)`
+//!   messages per round, `Θ(N²)` bytes, no single point of failure.
+//! - [`RingSim`] — an extension architecture: a leaderless token ring
+//!   with `2N + 1` messages but `O(N)` protocol depth, trading latency
+//!   for both low message volume and no coordinator.
+//! - [`threaded`] — Algorithm 1 executed across real OS threads over
+//!   crossbeam channels, verifying that the protocol is deterministic
+//!   under true concurrency.
+//! - [`latency::DegradedNode`] — fault injection (slow links/NICs), used to
+//!   demonstrate that DOLBIE's *decisions* are delay-invariant even when
+//!   the wall clock is not.
+//!
+//! All three implementations are tested to produce trajectories identical
+//! to the sequential engine in `dolbie-core`, which is what licenses the
+//! evaluation crates to use the cheap sequential form.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fully_distributed;
+pub mod latency;
+pub mod master_worker;
+pub mod message;
+pub mod ring;
+pub mod threaded;
+pub mod trace;
+
+pub use fully_distributed::FullyDistributedSim;
+pub use latency::{DegradedNode, FixedLatency, JitteredLatency, LatencyModel, PerLinkLatency};
+pub use master_worker::{Crash, MasterWorkerSim};
+pub use ring::RingSim;
+pub use message::{Message, NodeId, Payload};
+pub use trace::{ProtocolRound, ProtocolTrace};

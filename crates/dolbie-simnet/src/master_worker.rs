@@ -1,0 +1,551 @@
+//! Discrete-event simulation of Algorithm 1 (master-worker DOLBIE).
+//!
+//! Every protocol step of the paper's Algorithm 1 is an explicit message
+//! with simulated latency:
+//!
+//! 1. workers execute their shares (the local cost *is* the execution
+//!    time) and send `l_{i,t}` to the master (line 4);
+//! 2. the master collects all costs, identifies `l_t` and the straggler,
+//!    and sends `(l_t, α_t, 1{i≠s_t})` to every worker (lines 9–12);
+//! 3. non-stragglers compute `x'_{i,t}`, take the risk-averse step, and
+//!    send `x_{i,t+1}` back (lines 6–7);
+//! 4. the master assigns the remainder to the straggler (lines 14–15) and
+//!    tightens `α` per eq. (7) (line 16).
+//!
+//! The per-round message count is `3·|active|` and the byte volume is
+//! `Θ(N)` — the §IV-C claim, which the `comms` experiment measures.
+//!
+//! Workers pipeline: each starts executing round `t+1` the moment it knows
+//! its own next share, so the simulated wall-clock reflects both execution
+//! latency and protocol overhead.
+//!
+//! ## Fault tolerance (extension)
+//!
+//! The paper assumes responsive workers. This simulator additionally
+//! models **worker crashes** ([`Crash`] windows) and a **master-side cost
+//! timeout** ([`MasterWorkerSim::with_cost_timeout`]): when a worker does
+//! not report in time, the master excludes it from the round — its share
+//! is frozen, the straggler is chosen among the responders, and the
+//! remainder arithmetic still preserves `Σ_i x_i = 1` exactly. A recovered
+//! worker rejoins with its stale share and the system re-balances around
+//! it.
+
+use crate::event::EventQueue;
+use crate::latency::LatencyModel;
+use crate::message::{Message, NodeId, Payload};
+use crate::trace::{ProtocolRound, ProtocolTrace};
+use dolbie_core::observation::max_acceptable_share;
+use dolbie_core::step_size::feasibility_cap;
+use dolbie_core::{Allocation, DolbieConfig, Environment};
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    ComputeDone { worker: usize },
+    Deliver(Message),
+    CostTimeout,
+}
+
+/// A window of rounds during which a worker is unresponsive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// The crashed worker.
+    pub worker: usize,
+    /// First affected round (inclusive).
+    pub from_round: usize,
+    /// First healthy round again (exclusive end).
+    pub until_round: usize,
+}
+
+impl Crash {
+    /// Whether this crash window makes `worker` unresponsive in `round`.
+    pub fn covers(&self, worker: usize, round: usize) -> bool {
+        self.worker == worker && round >= self.from_round && round < self.until_round
+    }
+}
+
+/// The master-worker protocol simulator.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_simnet::{FixedLatency, MasterWorkerSim};
+/// use dolbie_core::environment::StaticLinearEnvironment;
+/// use dolbie_core::DolbieConfig;
+///
+/// let env = StaticLinearEnvironment::from_slopes(vec![3.0, 1.0]);
+/// let mut sim = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan());
+/// let trace = sim.run(10);
+/// assert_eq!(trace.rounds.len(), 10);
+/// assert_eq!(trace.rounds[0].messages, 3 * 2); // 3N messages per round
+/// ```
+#[derive(Debug)]
+pub struct MasterWorkerSim<E, L> {
+    env: E,
+    latency: L,
+    shares: Vec<f64>,
+    alpha: f64,
+    crashes: Vec<Crash>,
+    cost_timeout: Option<f64>,
+}
+
+impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
+    /// Creates the simulator with the uniform initial partition.
+    pub fn new(env: E, config: DolbieConfig, latency: L) -> Self {
+        let n = env.num_workers();
+        let initial = Allocation::uniform(n);
+        let alpha = config.resolve_initial_alpha(&initial);
+        Self {
+            env,
+            latency,
+            shares: initial.into_inner(),
+            alpha,
+            crashes: Vec::new(),
+            cost_timeout: None,
+        }
+    }
+
+    /// Injects a crash window: the worker neither executes nor responds
+    /// during `[from_round, until_round)`; its share is frozen and the
+    /// rest of the cluster balances without it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker index is out of range.
+    pub fn with_crash(mut self, crash: Crash) -> Self {
+        assert!(crash.worker < self.shares.len(), "crash worker out of range");
+        self.crashes.push(crash);
+        self
+    }
+
+    /// Sets a master-side timeout (seconds from the round's barrier time):
+    /// workers that have not reported their cost by then are excluded from
+    /// the round as if crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive and finite.
+    pub fn with_cost_timeout(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0 && seconds.is_finite(), "timeout must be positive");
+        self.cost_timeout = Some(seconds);
+        self
+    }
+
+    /// Runs the protocol for `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment produces malformed cost functions or a
+    /// crash plan leaves a round with no responsive worker.
+    pub fn run(&mut self, rounds: usize) -> ProtocolTrace {
+        let n = self.shares.len();
+        let mut trace = Vec::with_capacity(rounds);
+        // Per-worker time at which it may begin executing the round.
+        let mut ready_at = vec![0.0f64; n];
+
+        for t in 0..rounds {
+            let fns = self.env.reveal(t);
+            assert_eq!(fns.len(), n, "environment must cover every worker");
+            let crashed: Vec<bool> = (0..n)
+                .map(|i| self.crashes.iter().any(|c| c.covers(i, t)))
+                .collect();
+            let alive_count = crashed.iter().filter(|&&c| !c).count();
+            assert!(alive_count >= 1, "round {t} has no responsive worker");
+            let local_costs: Vec<f64> = (0..n)
+                .map(|i| if crashed[i] { 0.0 } else { fns[i].eval(self.shares[i]) })
+                .collect();
+
+            let mut queue: EventQueue<Ev> = EventQueue::new();
+            let mut round_base = 0.0f64;
+            for i in 0..n {
+                if crashed[i] {
+                    continue;
+                }
+                queue.schedule(ready_at[i] + local_costs[i], Ev::ComputeDone { worker: i });
+                round_base = round_base.max(ready_at[i]);
+            }
+            if let Some(timeout) = self.cost_timeout {
+                queue.schedule(round_base + timeout, Ev::CostTimeout);
+            }
+
+            // Master state for the round.
+            let mut costs_received = vec![false; n];
+            let mut costs_count = 0usize;
+            let mut coordination_sent = false;
+            let mut participants: Vec<bool> = vec![false; n];
+            let mut global_cost = f64::MIN;
+            let mut straggler = 0usize;
+            let mut decisions: Vec<Option<f64>> = vec![None; n];
+            let mut decisions_count = 0usize;
+            let mut expected_decisions = usize::MAX;
+            let mut next_shares = self.shares.clone();
+            let mut messages = 0usize;
+            let mut bytes = 0usize;
+            let mut compute_finished = 0.0f64;
+            let mut control_finished = 0.0f64;
+            let mut round_done = false;
+
+            let send = |queue: &mut EventQueue<Ev>,
+                        latency: &mut L,
+                        messages: &mut usize,
+                        bytes: &mut usize,
+                        msg: Message| {
+                *messages += 1;
+                *bytes += msg.size_bytes();
+                let delay = latency.delay(&msg);
+                assert!(delay >= 0.0, "latency model produced a negative delay");
+                queue.schedule(queue.now() + delay, Ev::Deliver(msg));
+            };
+
+            // Lines 9-12, shared between the all-reported and timeout
+            // paths: fix the participant set, identify the straggler among
+            // it, and broadcast the coordination scalars.
+            macro_rules! send_coordination {
+                () => {{
+                    coordination_sent = true;
+                    participants.copy_from_slice(&costs_received);
+                    global_cost = f64::MIN;
+                    for j in 0..n {
+                        if participants[j] && local_costs[j] > global_cost {
+                            global_cost = local_costs[j];
+                            straggler = j;
+                        }
+                    }
+                    expected_decisions = participants.iter().filter(|&&p| p).count() - 1;
+                    for j in 0..n {
+                        if !participants[j] {
+                            continue;
+                        }
+                        send(
+                            &mut queue,
+                            &mut self.latency,
+                            &mut messages,
+                            &mut bytes,
+                            Message {
+                                from: NodeId::Master,
+                                to: NodeId::Worker(j),
+                                round: t,
+                                payload: Payload::Coordination {
+                                    global_cost,
+                                    alpha: self.alpha,
+                                    is_straggler: j == straggler,
+                                },
+                            },
+                        );
+                    }
+                }};
+            }
+
+            // Lines 14-16, triggered once every expected decision arrived
+            // (immediately if the straggler is the only participant).
+            macro_rules! finalize_round {
+                () => {{
+                    let mut others = 0.0;
+                    for j in 0..n {
+                        if j == straggler {
+                            continue;
+                        }
+                        if participants[j] {
+                            let share = decisions[j].expect("participant reported");
+                            next_shares[j] = share;
+                            others += share;
+                        } else {
+                            // Frozen share of a crashed/timed-out worker.
+                            others += next_shares[j];
+                        }
+                    }
+                    let s_share = (1.0 - others).max(0.0);
+                    next_shares[straggler] = s_share;
+                    self.alpha = self.alpha.min(feasibility_cap(n, s_share));
+                    send(
+                        &mut queue,
+                        &mut self.latency,
+                        &mut messages,
+                        &mut bytes,
+                        Message {
+                            from: NodeId::Master,
+                            to: NodeId::Worker(straggler),
+                            round: t,
+                            payload: Payload::StragglerAssignment { share: s_share },
+                        },
+                    );
+                }};
+            }
+
+            while let Some(scheduled) = queue.pop() {
+                if round_done {
+                    break;
+                }
+                match scheduled.event {
+                    Ev::ComputeDone { worker } => {
+                        compute_finished = compute_finished.max(scheduled.time);
+                        // Line 4: share the local cost with the master.
+                        send(
+                            &mut queue,
+                            &mut self.latency,
+                            &mut messages,
+                            &mut bytes,
+                            Message {
+                                from: NodeId::Worker(worker),
+                                to: NodeId::Master,
+                                round: t,
+                                payload: Payload::LocalCost { cost: local_costs[worker] },
+                            },
+                        );
+                    }
+                    Ev::CostTimeout => {
+                        if !coordination_sent && costs_count >= 1 {
+                            send_coordination!();
+                            if expected_decisions == 0 {
+                                finalize_round!();
+                            }
+                        }
+                    }
+                    Ev::Deliver(msg) => match msg.payload {
+                        Payload::LocalCost { .. } => {
+                            let NodeId::Worker(i) = msg.from else {
+                                unreachable!("only workers report costs")
+                            };
+                            if coordination_sent {
+                                // Late report after the timeout: the worker
+                                // sat this round out.
+                                continue;
+                            }
+                            assert!(!costs_received[i], "duplicate cost report");
+                            costs_received[i] = true;
+                            costs_count += 1;
+                            if costs_count == alive_count {
+                                send_coordination!();
+                                if expected_decisions == 0 {
+                                    finalize_round!();
+                                }
+                            }
+                        }
+                        Payload::Coordination { global_cost: l_t, alpha, is_straggler } => {
+                            let NodeId::Worker(i) = msg.to else {
+                                unreachable!("coordination goes to workers")
+                            };
+                            if is_straggler {
+                                // Line 8: the straggler waits for its share.
+                                continue;
+                            }
+                            // Lines 5-7: risk-averse assistance.
+                            let x_i = self.shares[i];
+                            let target = max_acceptable_share(&fns[i], x_i, l_t);
+                            let updated = x_i - alpha * (x_i - target);
+                            send(
+                                &mut queue,
+                                &mut self.latency,
+                                &mut messages,
+                                &mut bytes,
+                                Message {
+                                    from: NodeId::Worker(i),
+                                    to: NodeId::Master,
+                                    round: t,
+                                    payload: Payload::Decision { share: updated },
+                                },
+                            );
+                            // The worker may start the next round as soon
+                            // as it committed to its own share.
+                            ready_at[i] = scheduled.time;
+                        }
+                        Payload::Decision { share } => {
+                            let NodeId::Worker(i) = msg.from else {
+                                unreachable!("only workers send decisions")
+                            };
+                            assert!(decisions[i].is_none(), "duplicate decision");
+                            decisions[i] = Some(share);
+                            decisions_count += 1;
+                            if decisions_count == expected_decisions {
+                                finalize_round!();
+                            }
+                        }
+                        Payload::StragglerAssignment { .. } => {
+                            let NodeId::Worker(i) = msg.to else {
+                                unreachable!("assignment goes to the straggler")
+                            };
+                            ready_at[i] = scheduled.time;
+                            control_finished = scheduled.time;
+                            round_done = true;
+                        }
+                        _ => {
+                            unreachable!("non-master-worker payload in Algorithm 1")
+                        }
+                    },
+                }
+            }
+            assert!(round_done || n == 1, "protocol deadlocked in round {t}");
+
+            let executed = Allocation::from_update(self.shares.clone())
+                .expect("protocol preserves feasibility");
+            trace.push(ProtocolRound {
+                round: t,
+                allocation: executed,
+                local_costs,
+                global_cost,
+                straggler,
+                messages,
+                bytes,
+                compute_finished,
+                control_finished,
+                active: participants.clone(),
+            });
+            self.shares = next_shares;
+        }
+        ProtocolTrace { architecture: "master-worker", rounds: trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{FixedLatency, JitteredLatency};
+    use dolbie_core::environment::{RotatingStragglerEnvironment, StaticLinearEnvironment};
+    use dolbie_core::{run_episode, Dolbie, EpisodeOptions};
+
+    #[test]
+    fn message_count_is_3n_per_round() {
+        let env = StaticLinearEnvironment::from_slopes(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut sim = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan());
+        let trace = sim.run(7);
+        for r in &trace.rounds {
+            assert_eq!(r.messages, 15, "3N messages per round");
+            assert!(r.active.iter().all(|&a| a), "everyone participates");
+        }
+        assert_eq!(trace.total_messages(), 7 * 15);
+        assert!(trace.total_bytes() > 0);
+    }
+
+    #[test]
+    fn trajectory_matches_sequential_dolbie() {
+        let env = RotatingStragglerEnvironment::new(4, 3, 8.0, 1.0);
+        let mut sim =
+            MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan());
+        let protocol = sim.run(30);
+
+        let mut sequential = Dolbie::new(4);
+        let mut driver = env;
+        let reference = run_episode(&mut sequential, &mut driver, EpisodeOptions::new(30));
+
+        for (p, r) in protocol.rounds.iter().zip(&reference.records) {
+            assert!(
+                p.allocation.l2_distance(&r.allocation) < 1e-9,
+                "round {}: protocol {} vs sequential {}",
+                p.round,
+                p.allocation,
+                r.allocation
+            );
+            assert_eq!(p.straggler, r.straggler, "round {}", p.round);
+            assert!((p.global_cost - r.global_cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decisions_are_delay_invariant() {
+        // Same environment under wildly different network conditions must
+        // produce the same allocation sequence (synchronous protocol).
+        let env = StaticLinearEnvironment::from_slopes(vec![5.0, 1.0, 2.0]);
+        let fast = MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::instant())
+            .run(20);
+        let slow = MasterWorkerSim::new(
+            env.clone(),
+            DolbieConfig::new(),
+            JitteredLatency::new(FixedLatency::new(0.5, 1e3), 0.2, 7),
+        )
+        .run(20);
+        for (a, b) in fast.rounds.iter().zip(&slow.rounds) {
+            assert!(a.allocation.l2_distance(&b.allocation) < 1e-12);
+        }
+        // But the wall clock differs.
+        assert!(slow.makespan() > fast.makespan());
+    }
+
+    #[test]
+    fn control_overhead_is_positive_with_real_latency() {
+        let env = StaticLinearEnvironment::from_slopes(vec![2.0, 1.0]);
+        let mut sim = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan());
+        let trace = sim.run(5);
+        for r in &trace.rounds {
+            assert!(r.control_overhead() > 0.0);
+            assert!(r.control_finished >= r.compute_finished);
+        }
+    }
+
+    #[test]
+    fn global_cost_decreases_on_static_instance() {
+        let env = StaticLinearEnvironment::from_slopes(vec![6.0, 1.0, 2.0]);
+        let mut sim = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan());
+        let trace = sim.run(60);
+        let first = trace.rounds.first().unwrap().global_cost;
+        let last = trace.rounds.last().unwrap().global_cost;
+        assert!(last < first * 0.7, "protocol DOLBIE must improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn crashed_worker_is_excluded_and_its_share_frozen() {
+        let env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0, 2.0, 1.5]);
+        let crash = Crash { worker: 1, from_round: 5, until_round: 12 };
+        let mut sim = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(crash);
+        let trace = sim.run(25);
+        let frozen_share = trace.rounds[5].allocation.share(1);
+        for t in 5..12 {
+            let r = &trace.rounds[t];
+            assert!(!r.active[1], "round {t}: crashed worker must not participate");
+            assert!(
+                (r.allocation.share(1) - frozen_share).abs() < 1e-12,
+                "round {t}: crashed worker's share must be frozen"
+            );
+            // Fewer protocol messages while one worker is out.
+            assert_eq!(r.messages, 3 * 3, "3 * |active| messages");
+            let sum: f64 = r.allocation.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        // After recovery the worker participates and regains work.
+        assert!(trace.rounds[24].active[1]);
+        assert!(
+            trace.rounds[24].allocation.share(1) > frozen_share,
+            "the fast worker should win back work after recovering"
+        );
+    }
+
+    #[test]
+    fn cost_timeout_excludes_an_extreme_straggler() {
+        // Worker 0 takes ~4 s per round; with a 1 s timeout the master
+        // proceeds without it.
+        let env = StaticLinearEnvironment::from_slopes(vec![16.0, 1.0, 1.0, 1.0]);
+        let mut sim = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_cost_timeout(1.0);
+        let trace = sim.run(10);
+        let first = &trace.rounds[0];
+        assert!(!first.active[0], "the slow worker times out");
+        assert!(first.active[1] && first.active[2] && first.active[3]);
+        // The round completes in ~1 s + protocol, far below worker 0's 4 s.
+        assert!(first.control_finished < 2.0, "control at {}", first.control_finished);
+        let sum: f64 = trace.rounds.last().unwrap().allocation.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generous_timeout_changes_nothing() {
+        let env = StaticLinearEnvironment::from_slopes(vec![3.0, 1.0, 2.0]);
+        let plain =
+            MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(15);
+        let with_timeout = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_cost_timeout(1e6)
+            .run(15);
+        for (a, b) in plain.rounds.iter().zip(&with_timeout.rounds) {
+            assert!(a.allocation.l2_distance(&b.allocation) < 1e-12);
+            assert_eq!(a.messages, b.messages);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no responsive worker")]
+    fn fully_crashed_round_panics() {
+        let env = StaticLinearEnvironment::from_slopes(vec![1.0, 2.0]);
+        let mut sim = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(Crash { worker: 0, from_round: 0, until_round: 1 })
+            .with_crash(Crash { worker: 1, from_round: 0, until_round: 1 });
+        let _ = sim.run(1);
+    }
+}

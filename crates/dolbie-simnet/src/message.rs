@@ -1,0 +1,174 @@
+//! Protocol messages for the two DOLBIE architectures.
+//!
+//! Section IV-C of the paper counts the exact scalars exchanged per round;
+//! the payloads below carry those scalars and nothing more, so the
+//! byte-accounting experiments (`comms` in DESIGN.md) measure the protocols
+//! the paper actually describes.
+
+use std::fmt;
+
+/// A participant in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    /// The master (Algorithm 1 only) — "either an external controller or an
+    /// elected worker".
+    Master,
+    /// Worker `i`.
+    Worker(usize),
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Master => write!(f, "master"),
+            NodeId::Worker(i) => write!(f, "worker{i}"),
+        }
+    }
+}
+
+/// Message payloads; each variant lists the algorithm line it implements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Payload {
+    /// Worker → master: the local cost `l_{i,t}` (Algorithm 1, line 4).
+    LocalCost {
+        /// The reported local cost.
+        cost: f64,
+    },
+    /// Worker ↔ worker broadcast: `l_{i,t}` and the local step size
+    /// `ᾱ_{i,t}` (Algorithm 2, line 4).
+    CostAndStepSize {
+        /// The reported local cost.
+        cost: f64,
+        /// The sender's local step size.
+        alpha: f64,
+    },
+    /// Master → worker: `l_t`, `α_t`, and the non-straggler indicator
+    /// (Algorithm 1, line 12).
+    Coordination {
+        /// The global cost `l_t`.
+        global_cost: f64,
+        /// The coordinated step size `α_t`.
+        alpha: f64,
+        /// Whether the recipient is the straggler this round.
+        is_straggler: bool,
+    },
+    /// Non-straggler → master (Algorithm 1, line 7) or non-straggler →
+    /// straggler (Algorithm 2, line 9): the updated decision `x_{i,t+1}`.
+    Decision {
+        /// The sender's updated share.
+        share: f64,
+    },
+    /// Master → straggler: its computed next share (Algorithm 1, line 15).
+    StragglerAssignment {
+        /// The straggler's next share.
+        share: f64,
+    },
+    /// Ring architecture, pass 1: the aggregation token circulating the
+    /// ring, folding in each worker's local cost and step size.
+    RingAggregate {
+        /// Running maximum of the local costs seen so far.
+        max_cost: f64,
+        /// Index of the worker attaining the running maximum.
+        straggler: usize,
+        /// Running minimum of the local step sizes.
+        min_alpha: f64,
+    },
+    /// Ring architecture, pass 2: the update token carrying the agreed
+    /// round scalars plus the running sum of updated non-straggler shares.
+    RingUpdate {
+        /// The global cost `l_t`.
+        global_cost: f64,
+        /// The straggler `s_t`.
+        straggler: usize,
+        /// The consensus step size `α_t`.
+        alpha: f64,
+        /// Σ of the updated shares of the non-stragglers visited so far.
+        sum_shares: f64,
+    },
+}
+
+impl Payload {
+    /// Wire size in bytes: 8 bytes per `f64` scalar, 1 byte per flag, plus
+    /// a fixed 16-byte header (sender, recipient, round tag) — a deliberate
+    ///, simple model so the §IV-C `O(N)` vs `O(N²)` comparison measures
+    /// message *counts and scalars*, not serialization cleverness.
+    pub fn size_bytes(&self) -> usize {
+        const HEADER: usize = 16;
+        HEADER
+            + match self {
+                Payload::LocalCost { .. } => 8,
+                Payload::CostAndStepSize { .. } => 16,
+                Payload::Coordination { .. } => 17,
+                Payload::Decision { .. } => 8,
+                Payload::StragglerAssignment { .. } => 8,
+                Payload::RingAggregate { .. } => 20,
+                Payload::RingUpdate { .. } => 28,
+            }
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Message {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// The round this message belongs to.
+    pub round: usize,
+    /// Payload.
+    pub payload: Payload,
+}
+
+impl Message {
+    /// Wire size of the message in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.payload.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes_are_scalars_plus_header() {
+        assert_eq!(Payload::LocalCost { cost: 1.0 }.size_bytes(), 24);
+        assert_eq!(Payload::CostAndStepSize { cost: 1.0, alpha: 0.5 }.size_bytes(), 32);
+        assert_eq!(
+            Payload::Coordination { global_cost: 1.0, alpha: 0.5, is_straggler: false }
+                .size_bytes(),
+            33
+        );
+        assert_eq!(Payload::Decision { share: 0.1 }.size_bytes(), 24);
+        assert_eq!(Payload::StragglerAssignment { share: 0.1 }.size_bytes(), 24);
+        assert_eq!(
+            Payload::RingAggregate { max_cost: 1.0, straggler: 0, min_alpha: 0.5 }.size_bytes(),
+            36
+        );
+        assert_eq!(
+            Payload::RingUpdate { global_cost: 1.0, straggler: 0, alpha: 0.5, sum_shares: 0.2 }
+                .size_bytes(),
+            44
+        );
+    }
+
+    #[test]
+    fn node_ids_order_and_display() {
+        assert!(NodeId::Master < NodeId::Worker(0));
+        assert!(NodeId::Worker(1) < NodeId::Worker(2));
+        assert_eq!(NodeId::Master.to_string(), "master");
+        assert_eq!(NodeId::Worker(7).to_string(), "worker7");
+    }
+
+    #[test]
+    fn message_delegates_size() {
+        let m = Message {
+            from: NodeId::Worker(0),
+            to: NodeId::Master,
+            round: 3,
+            payload: Payload::LocalCost { cost: 2.0 },
+        };
+        assert_eq!(m.size_bytes(), 24);
+    }
+}

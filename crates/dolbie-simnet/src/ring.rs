@@ -1,0 +1,438 @@
+//! A token-ring architecture for DOLBIE (extension).
+//!
+//! The paper gives two architectures: master-worker (`3N` messages,
+//! constant protocol depth, single point of failure) and fully-distributed
+//! (`~N²` messages, constant depth, no coordinator). This module adds a
+//! third point in the design space — a leaderless **token ring** with
+//! `O(N)` messages but `O(N)` protocol depth:
+//!
+//! - **pass 1 (aggregate)**: a token circulates `0 → 1 → … → N−1 → 0`,
+//!   folding in each worker's local cost and local step size; when it
+//!   returns, worker 0 knows `l_t`, `s_t`, and `α_t = min_j ᾱ_j` —
+//!   exactly the quantities Algorithm 2 obtains by broadcast;
+//! - **pass 2 (update)**: the token carries those scalars back around the
+//!   ring; each non-straggler applies eq. (5) as the token passes and adds
+//!   its new share to a running sum; back at worker 0, the straggler's
+//!   remainder `1 − Σ` is known and delivered (eq. (6)); the straggler
+//!   tightens its local step size per eq. (8).
+//!
+//! Because the ring accumulates shares in ascending worker order — the
+//! same order the other implementations use — the trajectory is
+//! *identical* to master-worker, fully-distributed, and the sequential
+//! engine (tested). Total: `2N + 1` messages per round, `Θ(N)` bytes,
+//! but the decision phase takes `2N` sequential hops instead of a
+//! constant number.
+
+use crate::event::EventQueue;
+use crate::latency::LatencyModel;
+use crate::message::{Message, NodeId, Payload};
+use crate::trace::{ProtocolRound, ProtocolTrace};
+use dolbie_core::observation::max_acceptable_share;
+use dolbie_core::step_size::feasibility_cap;
+use dolbie_core::{Allocation, DolbieConfig, Environment};
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    ComputeDone { worker: usize },
+    Deliver(Message),
+}
+
+/// The token-ring protocol simulator.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_simnet::{FixedLatency, RingSim};
+/// use dolbie_core::environment::StaticLinearEnvironment;
+/// use dolbie_core::DolbieConfig;
+///
+/// let env = StaticLinearEnvironment::from_slopes(vec![1.0, 3.0, 2.0]);
+/// let mut sim = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan());
+/// let trace = sim.run(10);
+/// // 2N + 1 messages per round for N = 3 (one fewer when worker 0
+/// // happens to be the straggler, as no assignment hop is needed).
+/// assert_eq!(trace.rounds[0].messages, 7);
+/// ```
+#[derive(Debug)]
+pub struct RingSim<E, L> {
+    env: E,
+    latency: L,
+    shares: Vec<f64>,
+    local_alphas: Vec<f64>,
+}
+
+impl<E: Environment, L: LatencyModel> RingSim<E, L> {
+    /// Creates the simulator with the uniform initial partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment has fewer than two workers.
+    pub fn new(env: E, config: DolbieConfig, latency: L) -> Self {
+        let n = env.num_workers();
+        assert!(n >= 2, "the ring protocol needs at least two workers");
+        let initial = Allocation::uniform(n);
+        let alpha = config.resolve_initial_alpha(&initial);
+        Self { env, latency, shares: initial.into_inner(), local_alphas: vec![alpha; n] }
+    }
+
+    /// Runs the protocol for `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment produces malformed cost functions.
+    pub fn run(&mut self, rounds: usize) -> ProtocolTrace {
+        let n = self.shares.len();
+        let mut trace = Vec::with_capacity(rounds);
+        let mut ready_at = vec![0.0f64; n];
+
+        for t in 0..rounds {
+            let fns = self.env.reveal(t);
+            assert_eq!(fns.len(), n, "environment must cover every worker");
+            let local_costs: Vec<f64> =
+                (0..n).map(|i| fns[i].eval(self.shares[i])).collect();
+
+            let mut queue: EventQueue<Ev> = EventQueue::new();
+            for (i, (&ready, &cost)) in ready_at.iter().zip(&local_costs).enumerate() {
+                queue.schedule(ready + cost, Ev::ComputeDone { worker: i });
+            }
+
+            let mut computed = vec![false; n];
+            // Pass-1 token state: held by `token_at` waiting for that
+            // worker's compute, or in flight as a message.
+            let mut pending_aggregate: Option<(usize, f64, usize, f64)> = None;
+            let mut next_shares = self.shares.clone();
+            let mut next_alphas = self.local_alphas.clone();
+            let mut messages = 0usize;
+            let mut bytes = 0usize;
+            let mut compute_finished = 0.0f64;
+            let mut control_finished = 0.0f64;
+            let mut round_done = false;
+            let mut global_cost = f64::MIN;
+            let mut straggler = 0usize;
+
+            let send = |queue: &mut EventQueue<Ev>,
+                        latency: &mut L,
+                        messages: &mut usize,
+                        bytes: &mut usize,
+                        msg: Message| {
+                *messages += 1;
+                *bytes += msg.size_bytes();
+                let delay = latency.delay(&msg);
+                assert!(delay >= 0.0, "latency model produced a negative delay");
+                queue.schedule(queue.now() + delay, Ev::Deliver(msg));
+            };
+
+            while let Some(scheduled) = queue.pop() {
+                if round_done {
+                    break;
+                }
+                let now = scheduled.time;
+                match scheduled.event {
+                    Ev::ComputeDone { worker } => {
+                        compute_finished = compute_finished.max(now);
+                        computed[worker] = true;
+                        if worker == 0 {
+                            // Worker 0 originates the aggregation token.
+                            send(
+                                &mut queue,
+                                &mut self.latency,
+                                &mut messages,
+                                &mut bytes,
+                                Message {
+                                    from: NodeId::Worker(0),
+                                    to: NodeId::Worker(1 % n),
+                                    round: t,
+                                    payload: Payload::RingAggregate {
+                                        max_cost: local_costs[0],
+                                        straggler: 0,
+                                        min_alpha: self.local_alphas[0],
+                                    },
+                                },
+                            );
+                        } else if let Some((held_by, max_cost, arg, min_alpha)) =
+                            pending_aggregate.take()
+                        {
+                            // The token was parked here waiting for this
+                            // worker's compute; fold and forward now.
+                            if held_by == worker {
+                                let (max_cost, arg) = if local_costs[worker] > max_cost {
+                                    (local_costs[worker], worker)
+                                } else {
+                                    (max_cost, arg)
+                                };
+                                let min_alpha = min_alpha.min(self.local_alphas[worker]);
+                                send(
+                                    &mut queue,
+                                    &mut self.latency,
+                                    &mut messages,
+                                    &mut bytes,
+                                    Message {
+                                        from: NodeId::Worker(worker),
+                                        to: NodeId::Worker((worker + 1) % n),
+                                        round: t,
+                                        payload: Payload::RingAggregate {
+                                            max_cost,
+                                            straggler: arg,
+                                            min_alpha,
+                                        },
+                                    },
+                                );
+                            } else {
+                                pending_aggregate = Some((held_by, max_cost, arg, min_alpha));
+                            }
+                        }
+                    }
+                    Ev::Deliver(msg) => {
+                        let NodeId::Worker(me) = msg.to else {
+                            unreachable!("the ring has no master")
+                        };
+                        match msg.payload {
+                            Payload::RingAggregate { max_cost, straggler: arg, min_alpha } => {
+                                if me == 0 {
+                                    // Pass 1 complete: worker 0 knows the
+                                    // round scalars and starts pass 2 with
+                                    // its own eq. (5) update folded in.
+                                    global_cost = max_cost;
+                                    straggler = arg;
+                                    let alpha = min_alpha;
+                                    let mut sum = 0.0;
+                                    if straggler != 0 {
+                                        let x0 = self.shares[0];
+                                        let target =
+                                            max_acceptable_share(&fns[0], x0, global_cost);
+                                        let updated = x0 - alpha * (x0 - target);
+                                        next_shares[0] = updated;
+                                        ready_at[0] = now;
+                                        sum += updated;
+                                    }
+                                    send(
+                                        &mut queue,
+                                        &mut self.latency,
+                                        &mut messages,
+                                        &mut bytes,
+                                        Message {
+                                            from: NodeId::Worker(0),
+                                            to: NodeId::Worker(1 % n),
+                                            round: t,
+                                            payload: Payload::RingUpdate {
+                                                global_cost,
+                                                straggler,
+                                                alpha,
+                                                sum_shares: sum,
+                                            },
+                                        },
+                                    );
+                                } else if computed[me] {
+                                    // Fold in and forward immediately.
+                                    let (max_cost, arg) = if local_costs[me] > max_cost {
+                                        (local_costs[me], me)
+                                    } else {
+                                        (max_cost, arg)
+                                    };
+                                    let min_alpha = min_alpha.min(self.local_alphas[me]);
+                                    send(
+                                        &mut queue,
+                                        &mut self.latency,
+                                        &mut messages,
+                                        &mut bytes,
+                                        Message {
+                                            from: NodeId::Worker(me),
+                                            to: NodeId::Worker((me + 1) % n),
+                                            round: t,
+                                            payload: Payload::RingAggregate {
+                                                max_cost,
+                                                straggler: arg,
+                                                min_alpha,
+                                            },
+                                        },
+                                    );
+                                } else {
+                                    // Park the token until this worker's
+                                    // compute completes.
+                                    pending_aggregate = Some((me, max_cost, arg, min_alpha));
+                                }
+                            }
+                            Payload::RingUpdate {
+                                global_cost: l_t,
+                                straggler: s,
+                                alpha,
+                                sum_shares,
+                            } => {
+                                if me == 0 {
+                                    // Pass 2 complete: deliver the
+                                    // remainder to the straggler.
+                                    let s_share = (1.0 - sum_shares).max(0.0);
+                                    if s == 0 {
+                                        next_shares[0] = s_share;
+                                        next_alphas[0] = self.local_alphas[0]
+                                            .min(feasibility_cap(n, s_share));
+                                        ready_at[0] = now;
+                                        control_finished = now;
+                                        round_done = true;
+                                    } else {
+                                        send(
+                                            &mut queue,
+                                            &mut self.latency,
+                                            &mut messages,
+                                            &mut bytes,
+                                            Message {
+                                                from: NodeId::Worker(0),
+                                                to: NodeId::Worker(s),
+                                                round: t,
+                                                payload: Payload::StragglerAssignment {
+                                                    share: s_share,
+                                                },
+                                            },
+                                        );
+                                    }
+                                } else {
+                                    let mut sum = sum_shares;
+                                    if me != s {
+                                        let x_i = self.shares[me];
+                                        let target =
+                                            max_acceptable_share(&fns[me], x_i, l_t);
+                                        let updated = x_i - alpha * (x_i - target);
+                                        next_shares[me] = updated;
+                                        ready_at[me] = now;
+                                        sum += updated;
+                                    }
+                                    send(
+                                        &mut queue,
+                                        &mut self.latency,
+                                        &mut messages,
+                                        &mut bytes,
+                                        Message {
+                                            from: NodeId::Worker(me),
+                                            to: NodeId::Worker((me + 1) % n),
+                                            round: t,
+                                            payload: Payload::RingUpdate {
+                                                global_cost: l_t,
+                                                straggler: s,
+                                                alpha,
+                                                sum_shares: sum,
+                                            },
+                                        },
+                                    );
+                                }
+                            }
+                            Payload::StragglerAssignment { share } => {
+                                next_shares[me] = share;
+                                next_alphas[me] =
+                                    self.local_alphas[me].min(feasibility_cap(n, share));
+                                ready_at[me] = now;
+                                control_finished = now;
+                                round_done = true;
+                            }
+                            _ => unreachable!("non-ring payload in the ring protocol"),
+                        }
+                    }
+                }
+            }
+            assert!(round_done, "ring protocol deadlocked in round {t}");
+
+            let executed = Allocation::from_update(self.shares.clone())
+                .expect("protocol preserves feasibility");
+            trace.push(ProtocolRound {
+                round: t,
+                allocation: executed,
+                local_costs,
+                global_cost,
+                straggler,
+                messages,
+                bytes,
+                compute_finished,
+                control_finished,
+                active: vec![true; n],
+            });
+            self.shares = next_shares;
+            self.local_alphas = next_alphas;
+        }
+        ProtocolTrace { architecture: "ring", rounds: trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::FixedLatency;
+    use crate::master_worker::MasterWorkerSim;
+    use dolbie_core::environment::{RotatingStragglerEnvironment, StaticLinearEnvironment};
+
+    #[test]
+    fn message_count_is_2n_plus_1() {
+        for n in [2usize, 3, 5, 8] {
+            let env =
+                StaticLinearEnvironment::from_slopes((1..=n).map(|i| i as f64).collect());
+            let mut sim = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan());
+            let trace = sim.run(4);
+            for r in &trace.rounds {
+                // 2N + 1, except when worker 0 is itself the straggler
+                // (no final assignment hop): straggler 0 happens when it
+                // has the max cost.
+                let expected = if r.straggler == 0 { 2 * n } else { 2 * n + 1 };
+                assert_eq!(r.messages, expected, "N = {n}, straggler {}", r.straggler);
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_matches_master_worker() {
+        let env = RotatingStragglerEnvironment::new(6, 4, 7.0, 1.0);
+        let ring = RingSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(40);
+        let mw =
+            MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(40);
+        for (r, m) in ring.rounds.iter().zip(&mw.rounds) {
+            assert!(
+                r.allocation.l2_distance(&m.allocation) < 1e-9,
+                "round {}: ring {} vs mw {}",
+                r.round,
+                r.allocation,
+                m.allocation
+            );
+            assert!((r.global_cost - m.global_cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn control_depth_grows_with_ring_size() {
+        // With constant per-hop latency and instant computes, the ring's
+        // decision phase takes ~2N hops vs the master-worker's ~4.
+        let hop = FixedLatency::new(0.01, f64::INFINITY);
+        let sizes = [4usize, 16];
+        let mut ring_overheads = Vec::new();
+        let mut mw_overheads = Vec::new();
+        for &n in &sizes {
+            let env =
+                StaticLinearEnvironment::from_slopes((1..=n).map(|i| 0.1 * i as f64).collect());
+            let ring = RingSim::new(env.clone(), DolbieConfig::new(), hop).run(3);
+            let mw = MasterWorkerSim::new(env, DolbieConfig::new(), hop).run(3);
+            ring_overheads.push(ring.mean_control_overhead());
+            mw_overheads.push(mw.mean_control_overhead());
+        }
+        // Ring overhead scales ~linearly with N; master-worker stays flat.
+        assert!(
+            ring_overheads[1] > ring_overheads[0] * 2.5,
+            "ring overhead must grow with N: {ring_overheads:?}"
+        );
+        assert!(
+            mw_overheads[1] < mw_overheads[0] * 2.0,
+            "master-worker overhead must stay near-constant: {mw_overheads:?}"
+        );
+    }
+
+    #[test]
+    fn bytes_are_linear_in_n() {
+        let n = 12;
+        let env = StaticLinearEnvironment::from_slopes((1..=n).map(|i| i as f64).collect());
+        let trace = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(5);
+        // 2N+1 messages of <= 44 bytes each.
+        assert!(trace.rounds[0].bytes <= (2 * n + 1) * 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two workers")]
+    fn single_worker_is_rejected() {
+        let env = StaticLinearEnvironment::from_slopes(vec![1.0]);
+        let _ = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan());
+    }
+}

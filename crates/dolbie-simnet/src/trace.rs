@@ -1,0 +1,126 @@
+//! Per-round records produced by the protocol simulations.
+
+use dolbie_core::Allocation;
+
+/// What one simulated protocol round produced.
+#[derive(Debug, Clone)]
+pub struct ProtocolRound {
+    /// Round index `t` (0-based).
+    pub round: usize,
+    /// The allocation `x_t` executed this round.
+    pub allocation: Allocation,
+    /// Per-worker local costs `l_{i,t}` (interpreted as execution seconds).
+    pub local_costs: Vec<f64>,
+    /// Global cost `l_t`.
+    pub global_cost: f64,
+    /// The straggler `s_t`.
+    pub straggler: usize,
+    /// Protocol messages exchanged this round.
+    pub messages: usize,
+    /// Protocol bytes exchanged this round.
+    pub bytes: usize,
+    /// Simulated time at which the last worker finished executing.
+    pub compute_finished: f64,
+    /// Simulated time at which the decision phase completed (every worker
+    /// knows its next share).
+    pub control_finished: f64,
+    /// Which workers participated in the round's decision phase (all true
+    /// unless crash/timeout fault injection excluded someone).
+    pub active: Vec<bool>,
+}
+
+impl ProtocolRound {
+    /// The decision-phase overhead: wall-clock spent coordinating after the
+    /// last worker finished computing.
+    pub fn control_overhead(&self) -> f64 {
+        self.control_finished - self.compute_finished
+    }
+}
+
+/// The full trace of a simulated protocol run.
+#[derive(Debug, Clone)]
+pub struct ProtocolTrace {
+    /// Which architecture produced the trace (`"master-worker"` or
+    /// `"fully-distributed"`).
+    pub architecture: &'static str,
+    /// One record per round.
+    pub rounds: Vec<ProtocolRound>,
+}
+
+impl ProtocolTrace {
+    /// Total messages over the run.
+    pub fn total_messages(&self) -> usize {
+        self.rounds.iter().map(|r| r.messages).sum()
+    }
+
+    /// Total bytes over the run.
+    pub fn total_bytes(&self) -> usize {
+        self.rounds.iter().map(|r| r.bytes).sum()
+    }
+
+    /// The sequence of executed allocations, for trajectory comparisons.
+    pub fn allocations(&self) -> Vec<&Allocation> {
+        self.rounds.iter().map(|r| &r.allocation).collect()
+    }
+
+    /// Total accumulated global cost `Σ_t l_t`.
+    pub fn total_cost(&self) -> f64 {
+        self.rounds.iter().map(|r| r.global_cost).sum()
+    }
+
+    /// Simulated end-to-end wall-clock of the run.
+    pub fn makespan(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.control_finished)
+    }
+
+    /// Mean per-round decision-phase overhead.
+    pub fn mean_control_overhead(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.control_overhead()).sum::<f64>() / self.rounds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(t: usize, msgs: usize, bytes: usize) -> ProtocolRound {
+        ProtocolRound {
+            round: t,
+            allocation: Allocation::uniform(2),
+            local_costs: vec![1.0, 0.5],
+            global_cost: 1.0,
+            straggler: 0,
+            messages: msgs,
+            bytes,
+            compute_finished: t as f64 + 1.0,
+            control_finished: t as f64 + 1.25,
+            active: vec![true; 2],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let trace = ProtocolTrace {
+            architecture: "master-worker",
+            rounds: vec![round(0, 6, 100), round(1, 6, 100)],
+        };
+        assert_eq!(trace.total_messages(), 12);
+        assert_eq!(trace.total_bytes(), 200);
+        assert_eq!(trace.allocations().len(), 2);
+        assert!((trace.total_cost() - 2.0).abs() < 1e-12);
+        assert!((trace.makespan() - 2.25).abs() < 1e-12);
+        assert!((trace.mean_control_overhead() - 0.25).abs() < 1e-12);
+        assert!((trace.rounds[0].control_overhead() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let trace = ProtocolTrace { architecture: "fully-distributed", rounds: vec![] };
+        assert_eq!(trace.makespan(), 0.0);
+        assert_eq!(trace.mean_control_overhead(), 0.0);
+        assert_eq!(trace.total_messages(), 0);
+    }
+}

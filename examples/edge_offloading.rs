@@ -1,0 +1,38 @@
+//! The paper's second motivating application (§III-B): online task
+//! offloading between a user device and heterogeneous edge servers with
+//! queueing (non-linear!) execution costs.
+//!
+//! ```text
+//! cargo run --release --example edge_offloading
+//! ```
+
+use dolbie::baselines::paper_suite;
+use dolbie::core::{run_episode, EpisodeOptions};
+use dolbie::edge::{EdgeConfig, EdgeScenario};
+
+fn main() {
+    let env = EdgeScenario::sample(EdgeConfig::paper_like(), 7);
+    let n = env.num_participants();
+    println!(
+        "offloading across 1 local device + {} edge servers (speeds {:?} Gcycles/s)",
+        n - 1,
+        env.server_speeds().iter().map(|s| (s * 10.0).round() / 10.0).collect::<Vec<_>>()
+    );
+
+    println!("\nalgorithm   total completion time over 150 rounds");
+    let mut totals = Vec::new();
+    for mut balancer in paper_suite(n, env.clone()) {
+        let mut driver = env.clone();
+        let trace = run_episode(balancer.as_mut(), &mut driver, EpisodeOptions::new(150));
+        println!("{:10} {:9.2} s", trace.algorithm, trace.total_cost());
+        totals.push((trace.algorithm.clone(), trace.total_cost()));
+    }
+
+    let equ = totals.iter().find(|(a, _)| a == "EQU").expect("EQU ran").1;
+    let dolbie = totals.iter().find(|(a, _)| a == "DOLBIE").expect("DOLBIE ran").1;
+    println!(
+        "\nDOLBIE cut total task completion time by {:.1}% vs equal splitting.",
+        (equ - dolbie) / equ * 100.0
+    );
+    assert!(dolbie < equ);
+}

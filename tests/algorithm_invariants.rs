@@ -1,0 +1,108 @@
+//! Property-based integration tests: the paper's structural invariants
+//! hold for every algorithm on randomized environments.
+
+use dolbie::baselines::paper_suite;
+use dolbie::core::cost::{DynCost, LinearCost, PowerCost};
+use dolbie::core::environment::FnEnvironment;
+use dolbie::core::{run_episode, Dolbie, EpisodeOptions, LoadBalancer, Observation};
+use proptest::prelude::*;
+
+/// Deterministic per-round costs derived from a seed: a mix of linear and
+/// quadratic, time-varying shapes.
+fn seeded_costs(seed: u64, round: usize, n: usize) -> Vec<DynCost> {
+    (0..n)
+        .map(|i| {
+            let h = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((round as u64) << 32)
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let slope = 0.2 + (h % 997) as f64 / 100.0;
+            let offset = ((h >> 17) % 13) as f64 * 0.05;
+            if h.is_multiple_of(3) {
+                Box::new(PowerCost::new(slope, 2.0, offset)) as DynCost
+            } else {
+                Box::new(LinearCost::new(slope, offset)) as DynCost
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Constraint (2)-(3) feasibility for the entire suite under
+    /// adversarial time-varying costs.
+    #[test]
+    fn whole_suite_stays_feasible(seed in 0u64..u64::MAX, n in 2usize..9) {
+        let env = FnEnvironment::new(n, move |round| seeded_costs(seed, round, n));
+        // ClairvoyantOpt needs Clone; FnEnvironment closures aren't, so run
+        // the online algorithms only (OPT's feasibility is the oracle's
+        // job, tested in dolbie-core).
+        let mut suite: Vec<Box<dyn LoadBalancer>> = vec![
+            Box::new(dolbie::baselines::Equ::new(n)),
+            Box::new(dolbie::baselines::Ogd::new(n, 0.001)),
+            Box::new(dolbie::baselines::Abs::new(n, 5)),
+            Box::new(dolbie::baselines::LbBsp::new(n, 5.0 / 256.0, 5)),
+            Box::new(Dolbie::new(n)),
+        ];
+        let mut env = env;
+        for t in 0..25 {
+            let costs = dolbie::core::Environment::reveal(&mut env, t);
+            for balancer in &mut suite {
+                let played = balancer.allocation().clone();
+                let obs = Observation::from_costs(t, &played, &costs);
+                balancer.observe(&obs);
+                let x = balancer.allocation();
+                let sum: f64 = x.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6, "{}: sum {sum}", balancer.name());
+                prop_assert!(x.iter().all(|&v| v >= 0.0), "{}: negative share", balancer.name());
+            }
+        }
+    }
+
+    /// DOLBIE's defining invariants from Lemma 1 and eqs. (5)-(7): the
+    /// straggler never gains, non-stragglers never lose, the step size
+    /// never grows.
+    #[test]
+    fn dolbie_structural_invariants(seed in 0u64..u64::MAX, n in 2usize..9) {
+        let mut dolbie = Dolbie::new(n);
+        let mut last_alpha = f64::INFINITY;
+        for t in 0..30 {
+            let costs = seeded_costs(seed, t, n);
+            let before = dolbie.allocation().clone();
+            let obs = Observation::from_costs(t, &before, &costs);
+            let straggler = obs.straggler();
+            dolbie.observe(&obs);
+            let after = dolbie.allocation();
+            for i in 0..n {
+                if i == straggler {
+                    prop_assert!(after.share(i) <= before.share(i) + 1e-9);
+                } else {
+                    prop_assert!(after.share(i) + 1e-9 >= before.share(i));
+                }
+            }
+            let alpha = *dolbie.alphas_used().last().expect("observed a round");
+            prop_assert!(alpha <= last_alpha + 1e-15, "alpha must be non-increasing");
+            last_alpha = alpha;
+        }
+        prop_assert_eq!(dolbie.stats().guard_activations, 0,
+            "the eq. (7) schedule never needs the float guard");
+    }
+}
+
+#[test]
+fn suite_total_costs_are_ordered_sensibly_on_a_static_instance() {
+    use dolbie::core::environment::StaticLinearEnvironment;
+    let env = StaticLinearEnvironment::from_slopes(vec![8.0, 1.0, 2.0, 4.0, 1.5]);
+    let mut totals = std::collections::HashMap::new();
+    for mut balancer in paper_suite(5, env.clone()) {
+        let mut driver = env.clone();
+        let trace = run_episode(balancer.as_mut(), &mut driver, EpisodeOptions::new(150));
+        totals.insert(trace.algorithm.clone(), trace.total_cost());
+    }
+    assert!(totals["OPT"] <= totals["DOLBIE"]);
+    assert!(totals["DOLBIE"] < totals["EQU"]);
+    assert!(totals["DOLBIE"] < totals["ABS"], "ABS cycles on static instances");
+    assert!(totals["OGD"] < totals["EQU"]);
+}

@@ -1,0 +1,78 @@
+//! Integration check of Theorem 1 across environments: the measured
+//! dynamic regret never exceeds the paper's bound, for synthetic
+//! adversaries, the ML cluster, and the edge scenario.
+
+use dolbie::core::environment::{RotatingStragglerEnvironment, StaticLinearEnvironment};
+use dolbie::core::{
+    run_episode, theorem1_bound, Allocation, Dolbie, DolbieConfig, Environment, EpisodeOptions,
+};
+use dolbie::edge::{EdgeConfig, EdgeScenario};
+use dolbie::mlsim::{Cluster, ClusterConfig, MlModel};
+
+fn check_bound(env: &mut dyn Environment, n: usize, rounds: usize, label: &str) {
+    let mut dolbie = Dolbie::with_config(
+        Allocation::uniform(n),
+        DolbieConfig::new().with_initial_alpha(0.01),
+    );
+    let trace = run_episode(&mut dolbie, env, EpisodeOptions::new(rounds).with_optimum());
+    let tracker = trace.regret().expect("optimum tracked");
+    let bound = theorem1_bound(
+        n,
+        trace.max_lipschitz().expect("lipschitz tracked"),
+        tracker.path_length(),
+        dolbie.alphas_used(),
+    );
+    let regret = tracker.dynamic_regret();
+    assert!(
+        regret >= -1e-6,
+        "{label}: regret {regret} cannot be negative against the clairvoyant comparator"
+    );
+    assert!(regret <= bound, "{label}: regret {regret} exceeds Theorem 1 bound {bound}");
+}
+
+#[test]
+fn bound_holds_on_static_environment() {
+    let mut env = StaticLinearEnvironment::from_slopes(vec![5.0, 1.0, 2.0, 3.0]);
+    check_bound(&mut env, 4, 200, "static linear");
+}
+
+#[test]
+fn bound_holds_on_rotating_adversary() {
+    for n in [3usize, 8, 16] {
+        let mut env = RotatingStragglerEnvironment::new(n, 7, 4.0, 1.0);
+        check_bound(&mut env, n, 300, "rotating straggler");
+    }
+}
+
+#[test]
+fn bound_holds_on_the_ml_cluster() {
+    let mut cfg = ClusterConfig::paper(MlModel::ResNet18);
+    cfg.num_workers = 10;
+    let mut env = Cluster::sample(cfg, 99);
+    check_bound(&mut env, 10, 150, "ml cluster");
+}
+
+#[test]
+fn bound_holds_on_the_edge_scenario() {
+    let mut env = EdgeScenario::sample(EdgeConfig::small(), 5);
+    let n = env.num_participants();
+    check_bound(&mut env, n, 150, "edge offloading");
+}
+
+#[test]
+fn regret_grows_sublinearly_per_round_on_static_costs() {
+    // On a static instance DOLBIE converges, so regret-per-round must
+    // shrink as the horizon grows.
+    let per_round = |t: usize| -> f64 {
+        let mut env = StaticLinearEnvironment::from_slopes(vec![6.0, 1.0, 2.0]);
+        let mut dolbie = Dolbie::new(3);
+        let trace = run_episode(&mut dolbie, &mut env, EpisodeOptions::new(t).with_optimum());
+        trace.regret().expect("optimum tracked").dynamic_regret() / t as f64
+    };
+    let short = per_round(50);
+    let long = per_round(500);
+    assert!(
+        long < short * 0.5,
+        "per-round regret should decay on static costs: {short} -> {long}"
+    );
+}
