@@ -1,7 +1,8 @@
 //! The clairvoyant Dynamic Optimum (OPT) baseline.
 
 use dolbie_core::{
-    instantaneous_minimizer, Allocation, Environment, LoadBalancer, Observation,
+    instantaneous_minimizer_cached, Allocation, Environment, LoadBalancer, Observation,
+    OracleCache,
 };
 
 /// The OPT baseline of §VI-B: "we assume a priori knowledge of all system
@@ -32,6 +33,9 @@ use dolbie_core::{
 pub struct ClairvoyantOpt<E> {
     env: E,
     x: Allocation,
+    // Consecutive rounds' optimal levels are close, so each solve
+    // warm-starts from the previous one.
+    cache: OracleCache,
 }
 
 impl<E: Environment> ClairvoyantOpt<E> {
@@ -44,11 +48,12 @@ impl<E: Environment> ClairvoyantOpt<E> {
     /// solve (violating the [`CostFunction`](dolbie_core::cost::CostFunction)
     /// contract).
     pub fn new(mut env: E) -> Self {
+        let mut cache = OracleCache::new();
         let costs = env.reveal(0);
-        let x = instantaneous_minimizer(&costs)
+        let x = instantaneous_minimizer_cached(&costs, &mut cache)
             .expect("environment produced unusable cost functions")
             .allocation;
-        Self { env, x }
+        Self { env, x, cache }
     }
 }
 
@@ -62,10 +67,11 @@ impl<E: Environment> LoadBalancer for ClairvoyantOpt<E> {
     }
 
     fn observe(&mut self, observation: &Observation<'_>) {
-        // Pre-solve the next round on the private environment copy.
+        // Pre-solve the next round on the private environment copy,
+        // warm-starting from the level just played.
         let next_round = observation.round() + 1;
         let costs = self.env.reveal(next_round);
-        self.x = instantaneous_minimizer(&costs)
+        self.x = instantaneous_minimizer_cached(&costs, &mut self.cache)
             .expect("environment produced unusable cost functions")
             .allocation;
     }

@@ -5,11 +5,19 @@
 //! Expected shape (§IV-C): DOLBIE and the other lightweight rules are
 //! O(N) scalar work; OGD pays sorting + projection; OPT pays a bisection
 //! over level values with an inverse per worker per probe.
+//!
+//! Two additional groups cover the episode hot path: `oracle_solve`
+//! compares cold solves against warm-started solves over a drifting round
+//! sequence, and `episode_throughput` measures whole episodes (rounds/sec)
+//! with and without optimum tracking, recorded vs. streaming.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dolbie_baselines::{Abs, Equ, LbBsp, Ogd};
 use dolbie_core::cost::DynCost;
-use dolbie_core::{instantaneous_minimizer, Allocation, Dolbie, LoadBalancer, Observation};
+use dolbie_core::{
+    instantaneous_minimizer, instantaneous_minimizer_cached, run_episode, run_episode_streaming,
+    Allocation, Dolbie, EpisodeOptions, LoadBalancer, Observation, OracleCache,
+};
 use dolbie_mlsim::{Cluster, ClusterConfig, MlModel};
 use std::hint::black_box;
 
@@ -51,12 +59,77 @@ fn bench_updates(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold vs warm-started oracle over a sequence of drifting rounds — the
+/// access pattern of `OPT` and of `run_episode` with optimum tracking.
+fn bench_oracle_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_solve");
+    const ROUNDS: usize = 16;
+    for n in [30usize, 300] {
+        let mut cfg = ClusterConfig::paper(MlModel::ResNet18);
+        cfg.num_workers = n;
+        let mut cluster = Cluster::sample(cfg, 7);
+        let rounds: Vec<Vec<DynCost>> =
+            (0..ROUNDS).map(|t| dolbie_core::Environment::reveal(&mut cluster, t)).collect();
+
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
+            b.iter(|| {
+                for costs in &rounds {
+                    black_box(instantaneous_minimizer(black_box(costs)).unwrap());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("warm", n), &n, |b, _| {
+            b.iter(|| {
+                let mut cache = OracleCache::new();
+                for costs in &rounds {
+                    black_box(
+                        instantaneous_minimizer_cached(black_box(costs), &mut cache).unwrap(),
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Whole-episode throughput at N = 30: recorded vs streaming, with and
+/// without per-round optimum tracking (divide the reported time by the
+/// round count for rounds/sec).
+fn bench_episode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("episode_throughput");
+    const ROUNDS: usize = 100;
+    let mut cfg = ClusterConfig::paper(MlModel::ResNet18);
+    cfg.num_workers = 30;
+    let cluster = Cluster::sample(cfg, 7);
+
+    for (label, options) in [
+        ("plain", EpisodeOptions::new(ROUNDS)),
+        ("tracked", EpisodeOptions::new(ROUNDS).with_optimum()),
+    ] {
+        group.bench_function(BenchmarkId::new("recorded", label), |b| {
+            b.iter(|| {
+                let mut balancer = Dolbie::new(30);
+                let mut env = cluster.clone();
+                black_box(run_episode(&mut balancer, &mut env, options));
+            });
+        });
+        group.bench_function(BenchmarkId::new("streaming", label), |b| {
+            b.iter(|| {
+                let mut balancer = Dolbie::new(30);
+                let mut env = cluster.clone();
+                black_box(run_episode_streaming(&mut balancer, &mut env, options));
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1))
         .sample_size(30);
-    targets = bench_updates
+    targets = bench_updates, bench_oracle_warm, bench_episode
 );
 criterion_main!(benches);

@@ -56,7 +56,7 @@ fn usage() -> ! {
         "usage: dolbie_sim [--algorithm equ|ogd|abs|lbbsp|dolbie|bandit|opt]\n\
          \x20                 [--env cluster|edge|rotating] [--model lenet5|resnet18|vgg16]\n\
          \x20                 [--workers N] [--rounds T] [--seed S] [--alpha A]\n\
-         \x20                 [--regret] [--csv PATH]"
+         \x20                 [--regret] [--csv PATH] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -87,6 +87,10 @@ fn parse_args() -> Args {
             "--alpha" => args.alpha = value().parse().unwrap_or_else(|_| usage()),
             "--regret" => args.track_optimum = true,
             "--csv" => args.csv = Some(value()),
+            "--threads" => {
+                let n: usize = value().parse().unwrap_or_else(|_| usage());
+                dolbie_bench::harness::set_threads(n.max(1));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");

@@ -5,12 +5,23 @@
 //! cargo run --release -p dolbie-bench --bin paper_figures -- all
 //! cargo run --release -p dolbie-bench --bin paper_figures -- fig3 fig11
 //! cargo run --release -p dolbie-bench --bin paper_figures -- --quick all
+//! cargo run --release -p dolbie-bench --bin paper_figures -- --threads 4 fig4
+//! cargo run --release -p dolbie-bench --bin paper_figures -- --quick --bench fig3 fig4 regret
 //! ```
+//!
+//! Realization loops fan out over `--threads N` worker threads (default:
+//! the machine's available parallelism) with outputs byte-identical to a
+//! sequential run; see `dolbie_bench::harness`. `--bench` additionally
+//! times every requested target at one thread and at `N` threads and
+//! writes the measurements to `BENCH_paper_figures.json` in the workspace
+//! root.
 
 use dolbie_bench::experiments::{
     ablation, accuracy, bandit, comms, edge_exp, faults, latency, per_worker, regret,
     utilization,
 };
+use dolbie_bench::{common, harness};
+use std::time::Instant;
 
 const TARGETS: [&str; 12] = [
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "regret",
@@ -21,9 +32,11 @@ const EXTENSION_TARGETS: [&str; 3] = ["ablation", "faults", "bandit"];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper_figures [--quick] <target>...\n\
+        "usage: paper_figures [--quick] [--threads N] [--bench] <target>...\n\
          targets: {}, {}, all\n\
-         --quick reduces realization counts for a fast smoke run",
+         --quick    reduces realization counts for a fast smoke run\n\
+         --threads  worker threads for the realization fan-out (default: all cores)\n\
+         --bench    times each target at 1 and N threads; writes BENCH_paper_figures.json",
         TARGETS.join(", "),
         EXTENSION_TARGETS.join(", ")
     );
@@ -55,23 +68,104 @@ fn run(target: &str, quick: bool) {
     println!();
 }
 
+struct BenchRow {
+    target: String,
+    seconds: f64,
+    seconds_one_thread: f64,
+}
+
+fn write_bench_json(rows: &[BenchRow], threads: usize, quick: bool) {
+    let path = common::workspace_root().join("BENCH_paper_figures.json");
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"threads\": {threads},\n"));
+    body.push_str(&format!("  \"quick\": {quick},\n"));
+    body.push_str("  \"targets\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let speedup = row.seconds_one_thread / row.seconds.max(1e-9);
+        body.push_str(&format!(
+            "    {{\"target\": \"{}\", \"seconds\": {:.3}, \"seconds_1thread\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            row.target,
+            row.seconds,
+            row.seconds_one_thread,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ],\n");
+    let total: f64 = rows.iter().map(|r| r.seconds).sum();
+    let total_one: f64 = rows.iter().map(|r| r.seconds_one_thread).sum();
+    body.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
+    body.push_str(&format!("  \"total_seconds_1thread\": {total_one:.3},\n"));
+    body.push_str(&format!("  \"total_speedup\": {:.2}\n", total_one / total.max(1e-9)));
+    body.push_str("}\n");
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let mut quick = false;
+    let mut bench = false;
+    let mut threads: Option<usize> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--bench" => bench = true,
+            "--threads" => {
+                let value = it.next().unwrap_or_else(|| usage());
+                threads = Some(value.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+            target => targets.push(target.to_string()),
+        }
+    }
     if targets.is_empty() {
         usage();
     }
-    for target in targets {
-        if target == "all" {
-            for t in TARGETS {
-                run(t, quick);
+    let threads =
+        threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    harness::set_threads(threads);
+
+    // Expand `all` preserving the canonical ordering.
+    let expanded: Vec<&str> = targets
+        .iter()
+        .flat_map(|t| {
+            if t == "all" {
+                TARGETS.iter().chain(EXTENSION_TARGETS.iter()).copied().collect::<Vec<_>>()
+            } else {
+                vec![t.as_str()]
             }
-            for t in EXTENSION_TARGETS {
-                run(t, quick);
-            }
-        } else {
+        })
+        .collect();
+
+    if bench {
+        let mut rows = Vec::with_capacity(expanded.len());
+        for target in &expanded {
+            harness::set_threads(1);
+            let start = Instant::now();
+            run(target, quick);
+            let seconds_one_thread = start.elapsed().as_secs_f64();
+            harness::set_threads(threads);
+            let start = Instant::now();
+            run(target, quick);
+            let seconds = start.elapsed().as_secs_f64();
+            println!(
+                "[bench] {target}: {seconds:.3} s at {threads} threads, {seconds_one_thread:.3} s at 1 thread ({:.2}x)",
+                seconds_one_thread / seconds.max(1e-9)
+            );
+            rows.push(BenchRow { target: target.to_string(), seconds, seconds_one_thread });
+        }
+        write_bench_json(&rows, threads, quick);
+    } else {
+        for target in &expanded {
             run(target, quick);
         }
     }

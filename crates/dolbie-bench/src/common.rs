@@ -9,17 +9,23 @@ use std::path::{Path, PathBuf};
 /// The algorithm display order used throughout the paper's figures.
 pub const ALGORITHM_ORDER: [&str; 6] = ["EQU", "OGD", "ABS", "LB-BSP", "DOLBIE", "OPT"];
 
-/// Where experiment CSVs are written (`results/` under the workspace root,
-/// or the current directory when run elsewhere).
-pub fn results_dir() -> PathBuf {
+/// The workspace root (two levels above this crate's manifest), or the
+/// current directory when run elsewhere.
+pub fn workspace_root() -> PathBuf {
     // When run via `cargo run -p dolbie-bench`, CARGO_MANIFEST_DIR points
     // at crates/dolbie-bench; the workspace root is two levels up.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
         .parent()
         .and_then(Path::parent)
-        .map(|root| root.join("results"))
-        .unwrap_or_else(|| PathBuf::from("results"))
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Where experiment CSVs are written (`results/` under the workspace root,
+/// or the current directory when run elsewhere).
+pub fn results_dir() -> PathBuf {
+    workspace_root().join("results")
 }
 
 /// Samples the paper's cluster (`N = 30`, `B = 256`) for `model`.
@@ -33,12 +39,14 @@ pub fn cluster_suite(cluster: &Cluster) -> Vec<Box<dyn LoadBalancer>> {
 }
 
 /// Runs the whole suite on one cluster realization, returning outcomes in
-/// [`ALGORITHM_ORDER`].
+/// [`ALGORITHM_ORDER`]. The six algorithms run in parallel (each gets its
+/// own copy of the cluster, so this is exactly the sequential computation
+/// fanned out).
 pub fn run_suite(cluster: &Cluster, config: TrainingConfig) -> Vec<TrainingOutcome> {
-    cluster_suite(cluster)
-        .into_iter()
-        .map(|mut balancer| run_training(balancer.as_mut(), cluster.clone(), config))
-        .collect()
+    crate::harness::parallel_map(ALGORITHM_ORDER.len(), |k| {
+        let mut balancer = cluster_suite(cluster).swap_remove(k);
+        run_training(balancer.as_mut(), cluster.clone(), config)
+    })
 }
 
 /// Writes `table` to `results/<name>.csv` and reports the path on stdout.

@@ -13,6 +13,7 @@
 //!   maximum acceptable workload.
 
 use crate::common::{emit_csv, paper_cluster};
+use crate::harness;
 use dolbie_core::{Allocation, Dolbie, DolbieConfig};
 use dolbie_metrics::{Summary, Table};
 use dolbie_mlsim::{run_training, MlModel, TrainingConfig};
@@ -40,25 +41,31 @@ pub fn ablation(quick: bool) {
     ]);
     println!("  variant          total latency (mean ± CI)   worse-straggler rds  guard hits");
     for (name, config) in &variants {
-        let mut totals = Vec::new();
-        let mut worse_rounds = 0usize;
-        let mut guards = 0usize;
-        for seed in 0..realizations as u64 {
-            let cluster = paper_cluster(MlModel::ResNet18, seed);
+        // Realizations are independent; fan them out and fold the results
+        // back in seed order.
+        let per_seed = harness::parallel_map(realizations, |seed| {
+            let cluster = paper_cluster(MlModel::ResNet18, seed as u64);
             let n = dolbie_core::Environment::num_workers(&cluster);
             let mut dolbie = Dolbie::with_config(Allocation::uniform(n), *config);
             let outcome =
                 run_training(&mut dolbie, cluster, TrainingConfig::latency_only(ROUNDS));
-            totals.push(outcome.total_wall_clock());
             // A "worse straggler" event: the global latency jumped by more
             // than the ambient fluctuation (20%) over the previous round —
             // the risk the paper's rule is designed to avoid.
-            for w in outcome.rounds.windows(2) {
-                if w[1].global_latency > w[0].global_latency * 1.2 {
-                    worse_rounds += 1;
-                }
-            }
-            guards += dolbie.stats().guard_activations;
+            let worse = outcome
+                .rounds
+                .windows(2)
+                .filter(|w| w[1].global_latency > w[0].global_latency * 1.2)
+                .count();
+            (outcome.total_wall_clock(), worse, dolbie.stats().guard_activations)
+        });
+        let mut totals = Vec::new();
+        let mut worse_rounds = 0usize;
+        let mut guards = 0usize;
+        for (total, worse, guard) in per_seed {
+            totals.push(total);
+            worse_rounds += worse;
+            guards += guard;
         }
         let s = Summary::from_samples(&totals);
         println!(

@@ -8,6 +8,7 @@
 //! the paper's ML cluster.
 
 use crate::common::{emit_csv, paper_cluster};
+use crate::harness;
 use dolbie_core::{BanditDolbie, DelayedDolbie, Dolbie, DolbieConfig, LoadBalancer};
 use dolbie_metrics::{Summary, Table};
 use dolbie_mlsim::{run_training, MlModel, TrainingConfig};
@@ -26,30 +27,35 @@ pub fn bandit(quick: bool) {
         ("DOLBIE-bandit".into(), Vec::new()),
         ("DOLBIE-delayed(3)".into(), Vec::new()),
     ];
-    for seed in 0..realizations as u64 {
+    // Every (seed, feedback-model) cell is independent; fan the grid out
+    // and refill `totals` in the sequential seed-major order.
+    let n_variants = totals.len();
+    let flat = harness::parallel_map(realizations * n_variants, |i| {
+        let seed = (i / n_variants) as u64;
+        let k = i % n_variants;
         let cluster = paper_cluster(MlModel::ResNet18, seed);
         let n = dolbie_core::Environment::num_workers(&cluster);
         let config = TrainingConfig::latency_only(ROUNDS);
-        let mut balancers: Vec<Box<dyn LoadBalancer>> = vec![
-            Box::new(dolbie_baselines::Equ::new(n)),
-            Box::new(Dolbie::with_config(
+        let mut balancer: Box<dyn LoadBalancer> = match k {
+            0 => Box::new(dolbie_baselines::Equ::new(n)),
+            1 => Box::new(Dolbie::with_config(
                 dolbie_core::Allocation::uniform(n),
                 DolbieConfig::new().with_initial_alpha(0.001),
             )),
-            Box::new(BanditDolbie::with_config(
+            2 => Box::new(BanditDolbie::with_config(
                 dolbie_core::Allocation::uniform(n),
                 DolbieConfig::new().with_initial_alpha(0.001),
             )),
-            Box::new(DelayedDolbie::with_config(
+            _ => Box::new(DelayedDolbie::with_config(
                 dolbie_core::Allocation::uniform(n),
                 3,
                 DolbieConfig::new().with_initial_alpha(0.001),
             )),
-        ];
-        for (k, balancer) in balancers.iter_mut().enumerate() {
-            let outcome = run_training(balancer.as_mut(), cluster.clone(), config);
-            totals[k].1.push(outcome.total_wall_clock());
-        }
+        };
+        run_training(balancer.as_mut(), cluster, config).total_wall_clock()
+    });
+    for (i, total) in flat.into_iter().enumerate() {
+        totals[i % n_variants].1.push(total);
     }
 
     let mut table = Table::new(vec!["algorithm", "wall_clock_mean_s", "wall_clock_ci95_s"]);

@@ -1,6 +1,7 @@
 //! Experiment C1: the §IV-C communication-complexity claims.
 
 use crate::common::emit_csv;
+use crate::harness;
 use dolbie_core::environment::StaticLinearEnvironment;
 use dolbie_core::DolbieConfig;
 use dolbie_metrics::Table;
@@ -25,7 +26,11 @@ pub fn comms() {
     ]);
     const ROUNDS: usize = 10;
     println!("  N     MW msgs/rnd  MW bytes/rnd  FD msgs/rnd  FD bytes/rnd  ring msgs/rnd");
-    for n in [2usize, 4, 8, 16, 32, 64] {
+    // The worker-count sweep fans out (the N = 64 fully-distributed run
+    // dominates); printing and the exact message-count asserts stay on the
+    // main thread, in sweep order.
+    const NS: [usize; 6] = [2, 4, 8, 16, 32, 64];
+    let sweeps = harness::parallel_map_items(&NS, |&n| {
         let slopes: Vec<f64> = (1..=n).map(|i| i as f64).collect();
         let env = StaticLinearEnvironment::from_slopes(slopes);
         let mw = MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
@@ -33,6 +38,9 @@ pub fn comms() {
         let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
             .run(ROUNDS);
         let ring = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(ROUNDS);
+        (mw, fd, ring)
+    });
+    for (&n, (mw, fd, ring)) in NS.iter().zip(&sweeps) {
         let mw_msgs = mw.total_messages() / ROUNDS;
         let fd_msgs = fd.total_messages() / ROUNDS;
         let ring_msgs = ring.total_messages() / ROUNDS;

@@ -1,6 +1,7 @@
 //! Experiment E1: the edge-computing task-offloading scenario (§III-B).
 
 use crate::common::{emit_csv, ALGORITHM_ORDER};
+use crate::harness;
 use dolbie_baselines::paper_suite;
 use dolbie_core::{run_episode, EpisodeOptions};
 use dolbie_edge::{EdgeConfig, EdgeScenario};
@@ -15,17 +16,21 @@ pub fn edge(quick: bool) {
         "== Example 2: task offloading, total completion time over {ROUNDS} rounds ({realizations} realizations) =="
     );
 
-    let mut totals: Vec<Vec<f64>> = vec![Vec::new(); ALGORITHM_ORDER.len()];
-    for seed in 0..realizations as u64 {
+    // Every (seed, algorithm) pair replays its own scenario copy; fan the
+    // grid out and refill `totals` in the sequential seed-major order.
+    let n_algs = ALGORITHM_ORDER.len();
+    let mut totals: Vec<Vec<f64>> = vec![Vec::new(); n_algs];
+    let flat = harness::parallel_map(realizations * n_algs, |i| {
+        let seed = (i / n_algs) as u64;
+        let k = i % n_algs;
         let env = EdgeScenario::sample(EdgeConfig::paper_like(), seed);
-        for (k, mut balancer) in
-            paper_suite(env.num_participants(), env.clone()).into_iter().enumerate()
-        {
-            let mut driver = env.clone();
-            let trace =
-                run_episode(balancer.as_mut(), &mut driver, EpisodeOptions::new(ROUNDS));
-            totals[k].push(trace.total_cost());
-        }
+        let mut balancer = paper_suite(env.num_participants(), env.clone()).swap_remove(k);
+        let mut driver = env;
+        let trace = run_episode(balancer.as_mut(), &mut driver, EpisodeOptions::new(ROUNDS));
+        trace.total_cost()
+    });
+    for (i, total) in flat.into_iter().enumerate() {
+        totals[i % n_algs].push(total);
     }
 
     let mut table =

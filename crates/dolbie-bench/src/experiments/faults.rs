@@ -8,6 +8,7 @@
 //! protocol re-balances around the failure and recovers.
 
 use crate::common::emit_csv;
+use crate::harness;
 use dolbie_core::DolbieConfig;
 use dolbie_metrics::Table;
 use dolbie_mlsim::{Cluster, ClusterConfig, MlModel};
@@ -22,15 +23,20 @@ pub fn faults() {
     cfg.num_workers = 10;
     let env = Cluster::sample(cfg, 77);
 
-    let healthy = MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
-        .run(ROUNDS);
+    // The three scenarios are independent protocol runs on copies of the
+    // same cluster; fan them out.
     let crash = Crash { worker: 2, from_round: 20, until_round: 35 };
-    let crashed = MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
-        .with_crash(crash)
-        .run(ROUNDS);
-    let timed_out = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
-        .with_cost_timeout(0.25)
-        .run(ROUNDS);
+    let mut scenarios = harness::parallel_map(3, |i| {
+        let mut sim = MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan());
+        match i {
+            0 => sim.run(ROUNDS),
+            1 => sim.with_crash(crash).run(ROUNDS),
+            _ => sim.with_cost_timeout(0.25).run(ROUNDS),
+        }
+    });
+    let timed_out = scenarios.pop().expect("three scenarios");
+    let crashed = scenarios.pop().expect("three scenarios");
+    let healthy = scenarios.pop().expect("three scenarios");
 
     let mut table = Table::new(vec![
         "round",

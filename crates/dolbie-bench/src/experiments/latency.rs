@@ -1,8 +1,10 @@
 //! Figures 3–5: per-round and cumulative latency of the six algorithms.
 
 use crate::common::{
-    emit_csv, emit_svg, paper_cluster, reduction_pct, run_suite, ALGORITHM_ORDER,
+    cluster_suite, emit_csv, emit_svg, paper_cluster, reduction_pct, run_suite, ALGORITHM_ORDER,
 };
+use crate::harness;
+use dolbie_mlsim::run_training;
 use dolbie_metrics::plot::{PlotConfig, Series};
 use dolbie_metrics::{per_round_summaries, Table};
 use dolbie_mlsim::{MlModel, TrainingConfig};
@@ -55,24 +57,36 @@ pub fn fig3() {
     }
 }
 
-fn ci_figure(cumulative: bool, name: &str, title: &str, realizations: usize) {
+/// Shared engine of Figs. 4–5: mean ± CI latency series over repeated
+/// cluster realizations. Public so the determinism regression test can run
+/// it at a small realization count under different thread settings.
+pub fn ci_figure(cumulative: bool, name: &str, title: &str, realizations: usize) {
     println!("== {title} ({realizations} realizations of processor sampling) ==");
-    // One latency series per algorithm per realization.
-    let mut series: Vec<Vec<Vec<f64>>> = vec![Vec::new(); ALGORITHM_ORDER.len()];
-    for seed in 0..realizations as u64 {
+    // One latency series per algorithm per realization. Every
+    // (seed, algorithm) pair is independent, so the whole grid fans out
+    // over the harness; collection order matches the sequential
+    // seed-major loop exactly.
+    let n_algs = ALGORITHM_ORDER.len();
+    let flat = harness::parallel_map(realizations * n_algs, |i| {
+        let seed = (i / n_algs) as u64;
+        let k = i % n_algs;
         let cluster = paper_cluster(MlModel::ResNet18, seed);
-        let outcomes = run_suite(&cluster, TrainingConfig::latency_only(ROUNDS));
-        for (k, outcome) in outcomes.iter().enumerate() {
-            let mut s = outcome.latencies();
-            if cumulative {
-                let mut acc = 0.0;
-                for v in &mut s {
-                    acc += *v;
-                    *v = acc;
-                }
+        let mut balancer = cluster_suite(&cluster).swap_remove(k);
+        let outcome =
+            run_training(balancer.as_mut(), cluster, TrainingConfig::latency_only(ROUNDS));
+        let mut s = outcome.latencies();
+        if cumulative {
+            let mut acc = 0.0;
+            for v in &mut s {
+                acc += *v;
+                *v = acc;
             }
-            series[k].push(s);
         }
+        s
+    });
+    let mut series: Vec<Vec<Vec<f64>>> = vec![Vec::new(); n_algs];
+    for (i, s) in flat.into_iter().enumerate() {
+        series[i % n_algs].push(s);
     }
 
     let mut columns = vec!["round".to_string()];

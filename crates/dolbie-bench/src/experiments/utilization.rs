@@ -1,9 +1,10 @@
 //! Figure 11: average time spent per worker (computation, communication,
 //! waiting) and the decision-overhead box statistics.
 
-use crate::common::{emit_csv, paper_cluster, reduction_pct, run_suite, ALGORITHM_ORDER};
+use crate::common::{cluster_suite, emit_csv, paper_cluster, reduction_pct, ALGORITHM_ORDER};
+use crate::harness;
 use dolbie_metrics::{Summary, Table};
-use dolbie_mlsim::{MlModel, TrainingConfig};
+use dolbie_mlsim::{run_training, MlModel, TrainingConfig};
 
 const ROUNDS: usize = 100;
 
@@ -12,22 +13,29 @@ pub fn fig11(quick: bool) {
     let realizations = if quick { 10 } else { 100 };
     println!("== Fig. 11: average time per worker over {ROUNDS} rounds ({realizations} realizations) ==");
 
-    // Accumulate mean breakdowns and idle times per algorithm.
+    // Accumulate mean breakdowns and idle times per algorithm. Each
+    // (seed, algorithm) cell is independent; the harness fans the grid out
+    // and hands results back in the sequential seed-major order.
     let n_algs = ALGORITHM_ORDER.len();
     let mut compute = vec![Vec::new(); n_algs];
     let mut comm = vec![Vec::new(); n_algs];
     let mut wait = vec![Vec::new(); n_algs];
     let mut overhead: Vec<Vec<f64>> = vec![Vec::new(); n_algs];
-    for seed in 0..realizations as u64 {
+    let flat = harness::parallel_map(realizations * n_algs, |i| {
+        let seed = (i / n_algs) as u64;
+        let k = i % n_algs;
         let cluster = paper_cluster(MlModel::ResNet18, seed);
-        let outcomes = run_suite(&cluster, TrainingConfig::latency_only(ROUNDS));
-        for (k, o) in outcomes.iter().enumerate() {
-            let mean = o.utilization.mean_breakdown();
-            compute[k].push(mean.computation);
-            comm[k].push(mean.communication);
-            wait[k].push(mean.waiting);
-            overhead[k].extend(o.overhead_micros.iter().copied());
-        }
+        let mut balancer = cluster_suite(&cluster).swap_remove(k);
+        let o = run_training(balancer.as_mut(), cluster, TrainingConfig::latency_only(ROUNDS));
+        let mean = o.utilization.mean_breakdown();
+        (mean.computation, mean.communication, mean.waiting, o.overhead_micros)
+    });
+    for (i, (c, m, w, micros)) in flat.into_iter().enumerate() {
+        let k = i % n_algs;
+        compute[k].push(c);
+        comm[k].push(m);
+        wait[k].push(w);
+        overhead[k].extend(micros);
     }
 
     let mut table = Table::new(vec![

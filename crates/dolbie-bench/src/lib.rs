@@ -18,3 +18,4 @@
 
 pub mod common;
 pub mod experiments;
+pub mod harness;

@@ -166,6 +166,14 @@ impl Allocation {
         &self.shares
     }
 
+    /// Overwrites this allocation with `other`'s shares, reusing the
+    /// existing storage (no heap traffic once the capacity matches —
+    /// the allocation-free episode hot path relies on this).
+    pub fn copy_from(&mut self, other: &Allocation) {
+        self.shares.clear();
+        self.shares.extend_from_slice(&other.shares);
+    }
+
     /// Iterator over the shares.
     pub fn iter(&self) -> std::slice::Iter<'_, f64> {
         self.shares.iter()
@@ -313,6 +321,18 @@ impl fmt::Display for Allocation {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn copy_from_matches_clone_and_reuses_storage() {
+        let a = Allocation::new(vec![0.5, 0.25, 0.25]).unwrap();
+        let mut b = Allocation::uniform(3);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        // Length changes are handled too.
+        let c = Allocation::uniform(5);
+        b.copy_from(&c);
+        assert_eq!(b, c);
+    }
 
     #[test]
     fn uniform_sums_to_one() {

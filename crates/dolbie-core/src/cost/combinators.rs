@@ -1,6 +1,7 @@
 //! Combinators that build compound costs from simpler ones.
 
 use super::CostFunction;
+use crate::solver::{invert_monotone, BisectionConfig};
 
 /// The sum of two cost functions, `f(x) = a(x) + b(x)`.
 ///
@@ -32,6 +33,36 @@ impl<A: CostFunction, B: CostFunction> SumCost<A, B> {
 impl<A: CostFunction, B: CostFunction> CostFunction for SumCost<A, B> {
     fn eval(&self, x: f64) -> f64 {
         self.a.eval(x) + self.b.eval(x)
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        // The component inverses bracket the answer far tighter than the
+        // default's full [0, 1] bisection: since both terms are
+        // non-decreasing, a(x) <= level - b(0) is necessary (and likewise
+        // for b), while splitting the slack evenly between the terms is
+        // sufficient.
+        let a0 = self.a.eval(0.0);
+        let b0 = self.b.eval(0.0);
+        if a0 + b0 > level {
+            return None;
+        }
+        let hi = self.a.max_share_within(level - b0)?.min(self.b.max_share_within(level - a0)?);
+        if self.eval(hi) <= level {
+            return Some(hi);
+        }
+        let half_slack = (level - a0 - b0) / 2.0;
+        let mut lo = self
+            .a
+            .max_share_within(a0 + half_slack)
+            .unwrap_or(0.0)
+            .min(self.b.max_share_within(b0 + half_slack).unwrap_or(0.0))
+            .min(hi);
+        if !(self.eval(lo) <= level) {
+            // Component inverses can overshoot by rounding; x = 0 is always
+            // a valid lower endpoint here (f(0) = a0 + b0 <= level).
+            lo = 0.0;
+        }
+        invert_monotone(|x| self.eval(x), level, lo, hi, BisectionConfig::new()).ok()
     }
 
     fn derivative(&self, x: f64) -> f64 {
@@ -145,6 +176,49 @@ mod tests {
         // f(x) = 2x + x²; f(0.5) = 1.25.
         let x = f.max_share_within(1.25).unwrap();
         assert!((x - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sum_inverse_round_trips_across_shapes() {
+        use super::super::{CostFunction as _, ReciprocalCost};
+        let sums: [SumCost<LinearCost, ReciprocalCost>; 3] = [
+            SumCost::new(LinearCost::new(2.0, 0.0), ReciprocalCost::new(0.0, 1.0, 1.5)),
+            SumCost::new(LinearCost::new(0.0, 0.3), ReciprocalCost::new(0.2, 0.5, 2.0)),
+            SumCost::new(LinearCost::new(5.0, 1.0), ReciprocalCost::new(0.0, 0.0, 3.0)),
+        ];
+        for (k, f) in sums.iter().enumerate() {
+            for x in [0.0, 0.1, 0.45, 0.8, 1.0] {
+                let level = f.eval(x);
+                let back = f.max_share_within(level).unwrap();
+                assert!((back - x).abs() < 1e-8, "sum {k}: x={x} back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_inverse_matches_full_bracket_bisection() {
+        use crate::solver::{invert_monotone, BisectionConfig};
+        let f = SumCost::new(LinearCost::new(1.5, 0.2), PowerCost::new(2.0, 3.0, 0.1));
+        for level in [0.31, 0.5, 1.0, 2.7, 10.0] {
+            let narrowed = f.max_share_within(level).unwrap();
+            let full = invert_monotone(|x| f.eval(x), level, 0.0, 1.0, BisectionConfig::new())
+                .unwrap();
+            assert!(
+                (narrowed - full).abs() <= 1e-9,
+                "level {level}: narrowed {narrowed} vs full {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn sum_inverse_edge_levels() {
+        let f = SumCost::new(LinearCost::new(2.0, 0.5), LinearCost::new(1.0, 0.25));
+        // Below f(0) = 0.75 there is no acceptable share.
+        assert_eq!(f.max_share_within(0.7), None);
+        // Exactly f(0): only the empty share qualifies.
+        assert!(f.max_share_within(0.75).unwrap().abs() < 1e-9);
+        // Above f(1) = 3.75: truncated to the full share.
+        assert_eq!(f.max_share_within(100.0), Some(1.0));
     }
 
     #[test]

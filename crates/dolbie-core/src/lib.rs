@@ -92,9 +92,15 @@ pub use error::{AllocationError, OracleError, SolverError};
 pub use observation::Observation;
 pub use bandit::BanditDolbie;
 pub use delayed::DelayedDolbie;
-pub use oracle::{instantaneous_minimizer, instantaneous_minimizer_capped, InstantOptimum};
+pub use oracle::{
+    instantaneous_minimizer, instantaneous_minimizer_cached, instantaneous_minimizer_capped,
+    InstantOptimum, OracleCache,
+};
 pub use regret::{theorem1_bound, RegretTracker};
-pub use runner::{run_episode, run_replications, EpisodeOptions, EpisodeTrace, RoundRecord};
+pub use runner::{
+    run_episode, run_episode_streaming, run_replications, EpisodeOptions, EpisodeSummary,
+    EpisodeTrace, RoundRecord,
+};
 
 #[cfg(test)]
 mod tests {

@@ -75,14 +75,32 @@ impl<'a> Observation<'a> {
     /// Panics if `cost_fns.len() != shares.num_workers()` or if the worker
     /// set is empty.
     pub fn from_costs(round: usize, shares: &'a Allocation, cost_fns: &'a [DynCost]) -> Self {
+        Self::from_costs_in(round, shares, cost_fns, Vec::new())
+    }
+
+    /// As [`from_costs`](Self::from_costs), but storing the local costs in
+    /// `scratch` (cleared first) so hot loops can recycle one buffer across
+    /// rounds; recover it afterwards with
+    /// [`into_local_costs`](Self::into_local_costs).
+    ///
+    /// # Panics
+    ///
+    /// As [`from_costs`](Self::from_costs).
+    pub fn from_costs_in(
+        round: usize,
+        shares: &'a Allocation,
+        cost_fns: &'a [DynCost],
+        mut scratch: Vec<f64>,
+    ) -> Self {
         assert_eq!(
             cost_fns.len(),
             shares.num_workers(),
             "one cost function per worker is required"
         );
         assert!(!cost_fns.is_empty(), "at least one worker is required");
-        let local_costs: Vec<f64> =
-            cost_fns.iter().enumerate().map(|(i, f)| f.eval(shares.share(i))).collect();
+        scratch.clear();
+        scratch.extend(cost_fns.iter().enumerate().map(|(i, f)| f.eval(shares.share(i))));
+        let local_costs = scratch;
         let mut straggler = 0;
         for (i, &c) in local_costs.iter().enumerate() {
             if c > local_costs[straggler] {
@@ -91,6 +109,13 @@ impl<'a> Observation<'a> {
         }
         let global_cost = local_costs[straggler];
         Self { round, shares, local_costs, cost_fns, straggler, global_cost }
+    }
+
+    /// Consumes the observation, handing back the local-cost storage — either
+    /// to move it into a record without copying or to recycle the buffer for
+    /// the next round's [`from_costs_in`](Self::from_costs_in).
+    pub fn into_local_costs(self) -> Vec<f64> {
+        self.local_costs
     }
 
     /// The round index `t` this observation belongs to.

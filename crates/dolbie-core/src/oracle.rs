@@ -25,6 +25,43 @@ pub struct InstantOptimum {
     pub allocation: Allocation,
 }
 
+/// Reusable state for warm-starting consecutive oracle solves.
+///
+/// Cost sequences drift slowly in every environment of this workspace, so
+/// the optimal level of round `t` is an excellent starting guess for round
+/// `t + 1`. [`instantaneous_minimizer_cached`] probes a narrow bracket
+/// around the cached level (expanding geometrically on a miss, falling back
+/// to the full `[max_i f_i(0), max_i f_i(1)]` bracket) instead of bisecting
+/// the full bracket from scratch, and recycles the capacity buffer between
+/// rounds.
+///
+/// The warm-started result agrees with the cold solve to within the
+/// [`BisectionConfig`] argument tolerance; an empty cache reproduces the
+/// cold solve exactly.
+#[derive(Debug, Clone, Default)]
+pub struct OracleCache {
+    last_level: Option<f64>,
+    room: Vec<f64>,
+}
+
+impl OracleCache {
+    /// An empty cache; the first solve through it runs cold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets the cached level (call when switching to an unrelated cost
+    /// sequence); the scratch storage is kept.
+    pub fn reset(&mut self) {
+        self.last_level = None;
+    }
+
+    /// The bisected level of the most recent solve, if any.
+    pub fn last_level(&self) -> Option<f64> {
+        self.last_level
+    }
+}
+
 /// Computes the instantaneous minimizer of `max_i f_i(x_i)` over the
 /// simplex for one round's cost functions.
 ///
@@ -53,7 +90,26 @@ pub struct InstantOptimum {
 /// # }
 /// ```
 pub fn instantaneous_minimizer(cost_fns: &[DynCost]) -> Result<InstantOptimum, OracleError> {
-    instantaneous_minimizer_capped(cost_fns, None)
+    solve(cost_fns, None, None)
+}
+
+/// [`instantaneous_minimizer`] warm-started from `cache`.
+///
+/// The first call through an empty cache is identical to the cold solve;
+/// subsequent calls bisect a narrow bracket around the previous optimal
+/// level, which converges in far fewer feasibility probes when consecutive
+/// cost functions are close (the common case for every environment here).
+/// The result agrees with [`instantaneous_minimizer`] to within the
+/// [`BisectionConfig`] argument tolerance.
+///
+/// # Errors
+///
+/// As [`instantaneous_minimizer`].
+pub fn instantaneous_minimizer_cached(
+    cost_fns: &[DynCost],
+    cache: &mut OracleCache,
+) -> Result<InstantOptimum, OracleError> {
+    solve(cost_fns, None, Some(cache))
 }
 
 /// [`instantaneous_minimizer`] under per-worker share caps
@@ -73,26 +129,31 @@ pub fn instantaneous_minimizer_capped(
     cost_fns: &[DynCost],
     share_caps: Option<&[f64]>,
 ) -> Result<InstantOptimum, OracleError> {
+    solve(cost_fns, share_caps, None)
+}
+
+fn solve(
+    cost_fns: &[DynCost],
+    share_caps: Option<&[f64]>,
+    mut cache: Option<&mut OracleCache>,
+) -> Result<InstantOptimum, OracleError> {
     let n = cost_fns.len();
     if n == 0 {
         return Err(OracleError::NoWorkers);
     }
-    let caps: Vec<f64> = match share_caps {
-        Some(c) => {
-            assert_eq!(c.len(), n, "one share cap per worker");
-            assert!(
-                c.iter().all(|&v| (0.0..=1.0).contains(&v)),
-                "share caps must lie in [0, 1]"
-            );
-            assert!(c.iter().sum::<f64>() >= 1.0 - 1e-9, "caps must cover the workload");
-            c.to_vec()
-        }
-        None => vec![1.0; n],
-    };
+    if let Some(c) = share_caps {
+        assert_eq!(c.len(), n, "one share cap per worker");
+        assert!(c.iter().all(|&v| (0.0..=1.0).contains(&v)), "share caps must lie in [0, 1]");
+        assert!(c.iter().sum::<f64>() >= 1.0 - 1e-9, "caps must cover the workload");
+    }
+    let cap = |i: usize| share_caps.map_or(1.0, |c| c[i]);
     if n == 1 {
         let level = cost_fns[0].eval(1.0);
         if !level.is_finite() {
             return Err(OracleError::NonFiniteCost { worker: 0 });
+        }
+        if let Some(c) = cache.as_deref_mut() {
+            c.last_level = Some(level);
         }
         return Ok(InstantOptimum { level, allocation: Allocation::singleton(1, 0) });
     }
@@ -104,7 +165,7 @@ pub fn instantaneous_minimizer_capped(
     let mut hi = f64::MIN;
     for (worker, f) in cost_fns.iter().enumerate() {
         let at_zero = f.eval(0.0);
-        let at_cap = f.eval(caps[worker]);
+        let at_cap = f.eval(cap(worker));
         if !at_zero.is_finite() || !at_cap.is_finite() {
             return Err(OracleError::NonFiniteCost { worker });
         }
@@ -112,18 +173,11 @@ pub fn instantaneous_minimizer_capped(
         hi = hi.max(at_cap);
     }
 
-    let capacities = |level: f64| -> Vec<f64> {
-        cost_fns
-            .iter()
-            .zip(&caps)
-            .map(|(f, &cap)| f.max_share_within(level).unwrap_or(0.0).min(cap))
-            .collect()
-    };
     let feasible = |level: f64| -> bool {
         let mut total = 0.0;
-        for (f, &cap) in cost_fns.iter().zip(&caps) {
+        for (i, f) in cost_fns.iter().enumerate() {
             match f.max_share_within(level) {
-                Some(c) => total += c.min(cap),
+                Some(c) => total += c.min(cap(i)),
                 // Some worker cannot even hold an empty share at this level.
                 None => return false,
             }
@@ -131,15 +185,72 @@ pub fn instantaneous_minimizer_capped(
         total >= 1.0
     };
 
-    let level = min_feasible_level(feasible, lo, hi, BisectionConfig::new())
+    let config = BisectionConfig::new();
+    // Warm start: if the cache holds a previous optimal level inside the
+    // bracket, expand geometrically around it until the boundary is
+    // straddled, then bisect only that narrow bracket. A stale guess
+    // degrades gracefully to the full bracket.
+    let (mut blo, mut bhi) = (lo, hi);
+    if let Some(guess) = cache.as_deref().and_then(|c| c.last_level) {
+        if guess.is_finite() && guess > lo && guess < hi {
+            let mut width = ((hi - lo) * 1e-3).max(config.x_tolerance);
+            if feasible(guess) {
+                bhi = guess;
+                loop {
+                    let probe = bhi - width;
+                    if probe <= blo {
+                        break;
+                    }
+                    if feasible(probe) {
+                        bhi = probe;
+                        width *= 8.0;
+                    } else {
+                        blo = probe;
+                        break;
+                    }
+                }
+            } else {
+                blo = guess;
+                loop {
+                    let probe = blo + width;
+                    if probe >= bhi {
+                        break;
+                    }
+                    if feasible(probe) {
+                        bhi = probe;
+                        break;
+                    }
+                    blo = probe;
+                    width *= 8.0;
+                }
+            }
+        }
+    }
+
+    let level = min_feasible_level(&feasible, blo, bhi, config)
         .expect("the all-caps level is always feasible");
 
-    let room = capacities(level);
+    // Per-worker room at the optimal level, reusing the cache's buffer.
+    let mut room = match cache.as_deref_mut() {
+        Some(c) => std::mem::take(&mut c.room),
+        None => Vec::new(),
+    };
+    room.clear();
+    room.extend(
+        cost_fns
+            .iter()
+            .enumerate()
+            .map(|(i, f)| f.max_share_within(level).unwrap_or(0.0).min(cap(i))),
+    );
     let total: f64 = room.iter().sum();
     debug_assert!(total >= 1.0 - 1e-9, "feasible level must cover the workload");
     // Scaling keeps x_i <= room_i (total >= 1), so every worker stays at or
     // below the level and within its cap; the sum is exactly one.
     let shares: Vec<f64> = room.iter().map(|c| c / total).collect();
+    if let Some(c) = cache.as_deref_mut() {
+        c.room = room;
+        c.last_level = Some(level);
+    }
     let allocation =
         Allocation::from_update(shares).expect("scaled capacities form a feasible allocation");
     let achieved = cost_fns
@@ -283,6 +394,69 @@ mod tests {
     }
 
     #[test]
+    fn empty_cache_reproduces_cold_solve_exactly() {
+        let costs: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(4.0, 0.1)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+            Box::new(LinearCost::new(2.5, 0.3)),
+        ];
+        let cold = instantaneous_minimizer(&costs).unwrap();
+        let mut cache = OracleCache::new();
+        let warm = instantaneous_minimizer_cached(&costs, &mut cache).unwrap();
+        assert_eq!(cold.level, warm.level, "first cached solve must be bitwise cold");
+        assert_eq!(cold.allocation, warm.allocation);
+        assert!(cache.last_level().is_some());
+    }
+
+    #[test]
+    fn warm_start_tracks_a_drifting_sequence() {
+        let mut cache = OracleCache::new();
+        for t in 0..50 {
+            let drift = 1.0 + 0.02 * t as f64;
+            let costs: Vec<DynCost> = vec![
+                Box::new(LinearCost::new(4.0 * drift, 0.0)),
+                Box::new(LinearCost::new(1.0, 0.1)),
+                Box::new(LinearCost::new(2.0 / drift, 0.0)),
+            ];
+            let cold = instantaneous_minimizer(&costs).unwrap();
+            let warm = instantaneous_minimizer_cached(&costs, &mut cache).unwrap();
+            assert!(
+                (cold.level - warm.level).abs() <= 1e-9,
+                "round {t}: cold {} vs warm {}",
+                cold.level,
+                warm.level
+            );
+            for i in 0..3 {
+                assert!(
+                    (cold.allocation.share(i) - warm.allocation.share(i)).abs() <= 1e-6,
+                    "round {t}, worker {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_guess_falls_back_to_full_bracket() {
+        let mut cache = OracleCache::new();
+        let a: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(0.01, 0.0)),
+            Box::new(LinearCost::new(0.02, 0.0)),
+        ];
+        let _ = instantaneous_minimizer_cached(&a, &mut cache).unwrap();
+        // A wildly different instance: the cached level is far outside the
+        // new boundary, in both directions.
+        let b: Vec<DynCost> = vec![
+            Box::new(LinearCost::new(100.0, 5.0)),
+            Box::new(LinearCost::new(200.0, 0.0)),
+        ];
+        let cold = instantaneous_minimizer(&b).unwrap();
+        let warm = instantaneous_minimizer_cached(&b, &mut cache).unwrap();
+        assert!((cold.level - warm.level).abs() <= 1e-6 * cold.level.abs().max(1.0));
+        cache.reset();
+        assert!(cache.last_level().is_none());
+    }
+
+    #[test]
     fn plateaued_costs_are_handled() {
         let plateau =
             PiecewiseLinearCost::new(vec![(0.0, 0.5), (0.5, 0.5), (1.0, 4.0)]).unwrap();
@@ -324,6 +498,44 @@ mod proptests {
                 .fold(f64::MIN, f64::max);
             prop_assert!(opt.level <= candidate_cost + 1e-6,
                 "oracle level {} beaten by random point {}", opt.level, candidate_cost);
+        }
+
+        /// Warm-started solves agree with cold solves within the bisection
+        /// tolerance across randomized drifting cost sequences, including
+        /// compound (sum) costs that exercise the bracket-narrowed inverse.
+        #[test]
+        fn warm_start_matches_cold_solve(
+            params in proptest::collection::vec((0.05f64..20.0, 0.0f64..2.0), 2..8),
+            drifts in proptest::collection::vec(0.5f64..1.5, 6),
+        ) {
+            use crate::cost::{ReciprocalCost, SumCost};
+            let mut cache = OracleCache::new();
+            for (t, &d) in drifts.iter().enumerate() {
+                let mut costs: Vec<DynCost> = params
+                    .iter()
+                    .map(|&(a, b)| Box::new(LinearCost::new(a * d, b)) as DynCost)
+                    .collect();
+                // One compound worker whose inverse has no closed form.
+                let (a0, b0) = params[0];
+                costs.push(Box::new(SumCost::new(
+                    LinearCost::new(a0 * d, 0.0),
+                    ReciprocalCost::new(0.0, b0 + 0.1, 1.5),
+                )));
+                let cold = instantaneous_minimizer(&costs).unwrap();
+                let warm = instantaneous_minimizer_cached(&costs, &mut cache).unwrap();
+                let scale = cold.level.abs().max(1.0);
+                prop_assert!(
+                    (cold.level - warm.level).abs() <= 1e-8 * scale,
+                    "round {t}: cold level {} vs warm level {}", cold.level, warm.level
+                );
+                for i in 0..costs.len() {
+                    prop_assert!(
+                        (cold.allocation.share(i) - warm.allocation.share(i)).abs() <= 1e-6,
+                        "round {t}, worker {i}: cold {} vs warm {}",
+                        cold.allocation.share(i), warm.allocation.share(i)
+                    );
+                }
+            }
         }
     }
 }

@@ -10,7 +10,7 @@ use crate::balancer::LoadBalancer;
 use crate::cost::round_lipschitz;
 use crate::environment::Environment;
 use crate::observation::Observation;
-use crate::oracle::{instantaneous_minimizer, InstantOptimum};
+use crate::oracle::{instantaneous_minimizer_cached, InstantOptimum, OracleCache};
 use crate::regret::RegretTracker;
 
 /// Options for [`run_episode`].
@@ -160,31 +160,99 @@ pub fn run_episode(
         "balancer and environment must agree on the worker count"
     );
     let mut records = Vec::with_capacity(options.rounds);
+    // The oracle warm-starts each round's solve from the previous level.
+    let mut oracle_cache = OracleCache::new();
     for round in 0..options.rounds {
         let played = balancer.allocation().clone();
         let costs = env.reveal(round);
         let observation = Observation::from_costs(round, &played, &costs);
         let (optimum, lipschitz) = if options.track_optimum {
-            let opt = instantaneous_minimizer(&costs)
+            let opt = instantaneous_minimizer_cached(&costs, &mut oracle_cache)
                 .expect("environment produced unusable cost functions");
             (Some(opt), Some(round_lipschitz(&costs)))
         } else {
             (None, None)
         };
-        let record = RoundRecord {
+        balancer.observe(&observation);
+        let global_cost = observation.global_cost();
+        let straggler = observation.straggler();
+        // The played allocation and the local-cost buffer move straight
+        // into the record — no per-round copies.
+        let local_costs = observation.into_local_costs();
+        records.push(RoundRecord {
             round,
-            allocation: played.clone(),
-            local_costs: observation.local_costs().to_vec(),
-            global_cost: observation.global_cost(),
-            straggler: observation.straggler(),
+            allocation: played,
+            local_costs,
+            global_cost,
+            straggler,
             optimum,
             lipschitz,
-        };
-        balancer.observe(&observation);
-        drop(observation);
-        records.push(record);
+        });
     }
     EpisodeTrace { algorithm: balancer.name().to_owned(), records }
+}
+
+/// Aggregate-only result of [`run_episode_streaming`].
+#[derive(Debug, Clone)]
+pub struct EpisodeSummary {
+    /// The balancer's display name.
+    pub algorithm: String,
+    /// Number of rounds played.
+    pub rounds: usize,
+    /// Total accumulated global cost `Σ_t f_t(x_t)`.
+    pub total_cost: f64,
+    /// The last round's global cost (`0.0` for an empty episode).
+    pub final_global_cost: f64,
+    /// The measured regret, if `options.track_optimum` was set.
+    pub regret: Option<RegretTracker>,
+}
+
+/// As [`run_episode`], but without materializing per-round records: one
+/// allocation buffer and one local-cost buffer are reused across all
+/// rounds, and (with `track_optimum`) the oracle is warm-started from the
+/// previous round's level. This is the allocation-free hot path for
+/// throughput-bound callers that only need episode aggregates.
+///
+/// # Panics
+///
+/// As [`run_episode`].
+pub fn run_episode_streaming(
+    balancer: &mut dyn LoadBalancer,
+    env: &mut dyn Environment,
+    options: EpisodeOptions,
+) -> EpisodeSummary {
+    assert_eq!(
+        balancer.allocation().num_workers(),
+        env.num_workers(),
+        "balancer and environment must agree on the worker count"
+    );
+    let mut oracle_cache = OracleCache::new();
+    let mut tracker = options.track_optimum.then(RegretTracker::new);
+    let mut played = balancer.allocation().clone();
+    let mut scratch: Vec<f64> = Vec::with_capacity(played.num_workers());
+    let mut total_cost = 0.0;
+    let mut final_global_cost = 0.0;
+    for round in 0..options.rounds {
+        played.copy_from(balancer.allocation());
+        let costs = env.reveal(round);
+        let observation = Observation::from_costs_in(round, &played, &costs, scratch);
+        total_cost += observation.global_cost();
+        final_global_cost = observation.global_cost();
+        if let Some(tracker) = tracker.as_mut() {
+            let opt = instantaneous_minimizer_cached(&costs, &mut oracle_cache)
+                .expect("environment produced unusable cost functions");
+            tracker.record(observation.global_cost(), opt.level, &opt.allocation);
+        }
+        balancer.observe(&observation);
+        scratch = observation.into_local_costs();
+    }
+    EpisodeSummary {
+        algorithm: balancer.name().to_owned(),
+        rounds: options.rounds,
+        total_cost,
+        final_global_cost,
+        regret: tracker,
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +324,37 @@ mod tests {
             assert_eq!(w[r.straggler], 0.0);
             assert!(w.iter().all(|&x| x >= 0.0));
         }
+    }
+
+    #[test]
+    fn streaming_matches_recorded_episode() {
+        let slopes = vec![3.0, 1.0, 2.0];
+        let mut d1 = Dolbie::new(3);
+        let mut env1 = StaticLinearEnvironment::from_slopes(slopes.clone());
+        let trace = run_episode(&mut d1, &mut env1, EpisodeOptions::new(40).with_optimum());
+        let mut d2 = Dolbie::new(3);
+        let mut env2 = StaticLinearEnvironment::from_slopes(slopes);
+        let summary =
+            run_episode_streaming(&mut d2, &mut env2, EpisodeOptions::new(40).with_optimum());
+        assert_eq!(summary.algorithm, trace.algorithm);
+        assert_eq!(summary.rounds, 40);
+        assert_eq!(summary.total_cost, trace.total_cost());
+        assert_eq!(summary.final_global_cost, trace.records[39].global_cost);
+        let streamed = summary.regret.expect("optimum tracked");
+        let recorded = trace.regret().expect("optimum tracked");
+        assert_eq!(streamed.dynamic_regret(), recorded.dynamic_regret());
+        assert_eq!(streamed.path_length(), recorded.path_length());
+    }
+
+    #[test]
+    fn streaming_empty_episode_is_well_defined() {
+        let mut d = Dolbie::new(2);
+        let mut env = StaticLinearEnvironment::from_slopes(vec![1.0, 2.0]);
+        let summary = run_episode_streaming(&mut d, &mut env, EpisodeOptions::new(0));
+        assert_eq!(summary.rounds, 0);
+        assert_eq!(summary.total_cost, 0.0);
+        assert_eq!(summary.final_global_cost, 0.0);
+        assert!(summary.regret.is_none());
     }
 
     #[test]

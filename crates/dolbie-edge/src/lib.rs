@@ -27,10 +27,82 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dolbie_core::cost::{DynCost, LinearCost, ReciprocalCost, SumCost};
+use dolbie_core::cost::{CostFunction, DynCost, LinearCost};
 use dolbie_core::Environment;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// The per-server offloading cost `f(x) = m·x + s·x / (c − x)`: an affine
+/// uplink-transmission term plus a queueing execution term that saturates
+/// as the assigned load approaches the server's capacity `c > 1`.
+///
+/// Unlike composing [`LinearCost`] with
+/// [`ReciprocalCost`](dolbie_core::cost::ReciprocalCost) via
+/// [`SumCost`](dolbie_core::cost::SumCost), this combined form supports an
+/// **exact closed-form inverse** (the smaller root of a quadratic), so the
+/// oracle's feasibility probes and the workers' eq. (4) updates never fall
+/// back to bisection on the edge scenario — the dominant cost of the `OPT`
+/// baseline there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerCost {
+    transmit: f64,
+    service: f64,
+    capacity: f64,
+}
+
+impl ServerCost {
+    /// Creates `f(x) = transmit·x + service·x / (capacity − x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transmit` or `service` is negative, `capacity <= 1`
+    /// (the cost must be finite on `[0, 1]`), or any parameter is
+    /// non-finite.
+    pub fn new(transmit: f64, service: f64, capacity: f64) -> Self {
+        assert!(
+            transmit.is_finite() && service.is_finite() && capacity.is_finite(),
+            "parameters must be finite"
+        );
+        assert!(transmit >= 0.0 && service >= 0.0, "rates must be non-negative");
+        assert!(capacity > 1.0, "capacity must exceed 1 so the cost is finite on [0, 1]");
+        Self { transmit, service, capacity }
+    }
+}
+
+impl CostFunction for ServerCost {
+    fn eval(&self, x: f64) -> f64 {
+        self.transmit * x + self.service * x / (self.capacity - x)
+    }
+
+    fn max_share_within(&self, level: f64) -> Option<f64> {
+        if level < 0.0 {
+            return None;
+        }
+        let (m, s, c) = (self.transmit, self.service, self.capacity);
+        if m == 0.0 {
+            if s == 0.0 {
+                return Some(1.0);
+            }
+            return Some((c * level / (s + level)).min(1.0));
+        }
+        // m·x + s·x/(c−x) = L  ⇔  m·x² − (m·c + s + L)·x + L·c = 0; the
+        // smaller root is the solution below the pole at x = c. Written in
+        // the cancellation-free form 2·L·c / (b + √(b² − 4·m·L·c)).
+        let b = m * c + s + level;
+        let disc = (b * b - 4.0 * m * level * c).max(0.0);
+        let x = 2.0 * level * c / (b + disc.sqrt());
+        Some(x.clamp(0.0, 1.0))
+    }
+
+    fn derivative(&self, x: f64) -> f64 {
+        let d = self.capacity - x;
+        self.transmit + self.service * self.capacity / (d * d)
+    }
+
+    fn lipschitz_bound(&self) -> f64 {
+        self.derivative(1.0)
+    }
+}
 
 /// Parameters of the offloading scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -163,12 +235,10 @@ impl Environment for EdgeScenario {
             };
             let speed = self.jittered(speed);
             let uplink = self.jittered(uplink);
-            // Transmission: linear in the offloaded fraction.
-            let transmission = LinearCost::new(d / uplink, 0.0);
-            // Execution: queueing delay that saturates near the server's
-            // capacity — scale = base service time, capacity > 1.
-            let execution = ReciprocalCost::new(0.0, w / speed, capacity);
-            costs.push(Box::new(SumCost::new(transmission, execution)));
+            // Transmission (linear in the offloaded fraction) plus
+            // execution (queueing delay saturating near the server's
+            // capacity), combined so the inverse stays closed-form.
+            costs.push(Box::new(ServerCost::new(d / uplink, w / speed, capacity)));
         }
         costs
     }
@@ -180,6 +250,39 @@ mod tests {
     use dolbie_baselines::paper_suite;
     use dolbie_core::cost::CostFunction;
     use dolbie_core::{run_episode, Dolbie, EpisodeOptions};
+
+    #[test]
+    fn server_cost_matches_sum_composition() {
+        use dolbie_core::cost::{ReciprocalCost, SumCost};
+        let combined = ServerCost::new(0.8, 1.4, 1.6);
+        let composed =
+            SumCost::new(LinearCost::new(0.8, 0.0), ReciprocalCost::new(0.0, 1.4, 1.6));
+        for k in 0..=10 {
+            let x = k as f64 / 10.0;
+            assert_eq!(combined.eval(x), composed.eval(x), "eval at {x}");
+            assert!((combined.derivative(x) - composed.derivative(x)).abs() < 1e-12);
+        }
+        assert_eq!(combined.lipschitz_bound(), composed.lipschitz_bound());
+    }
+
+    #[test]
+    fn server_cost_inverse_is_exact() {
+        for (m, s, c) in [(0.5, 1.0, 1.5), (2.0, 0.3, 2.5), (0.0, 1.0, 1.2), (1.0, 0.0, 2.0)] {
+            let f = ServerCost::new(m, s, c);
+            for k in 0..=10 {
+                let x = k as f64 / 10.0;
+                let level = f.eval(x);
+                let back = f.max_share_within(level).unwrap();
+                assert!(
+                    (back - x).abs() < 1e-10,
+                    "m={m} s={s} c={c}: x={x} back={back}"
+                );
+            }
+            assert_eq!(f.max_share_within(-0.1), None);
+            assert_eq!(f.max_share_within(1e12), Some(1.0));
+            assert!(f.max_share_within(0.0).unwrap().abs() < 1e-15);
+        }
+    }
 
     #[test]
     fn sampling_is_deterministic_and_seed_sensitive() {

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API this workspace's benches
+//! use: `Criterion::default()` with the `warm_up_time` / `measurement_time`
+//! / `sample_size` builders, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros (both the simple and the
+//! `name/config/targets` forms).
+//!
+//! Measurement is a plain calibrated timing loop: warm up for the
+//! configured duration to estimate per-iteration cost, then run
+//! `sample_size` samples sized to fill the measurement window and report
+//! the mean, minimum, and maximum per-iteration time on stdout. No plots,
+//! no statistics machinery, no baseline comparison — enough to see relative
+//! performance and keep `cargo bench` compiling offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how long each benchmark warms up before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many samples are collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named benchmark identifier (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> Self {
+        id.id
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.criterion, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark under this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.criterion, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No-op; exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_sample<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, config: &Criterion, f: &mut F) {
+    // Warm-up doubles the iteration count until the window is filled,
+    // which also calibrates the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut iters: u64 = 1;
+    let mut last = run_sample(f, iters);
+    while warm_start.elapsed() < config.warm_up {
+        iters = iters.saturating_mul(2);
+        last = run_sample(f, iters);
+    }
+    let per_iter = last.as_secs_f64() / iters as f64;
+
+    let samples = config.sample_size;
+    let total_iters = (config.measurement.as_secs_f64() / per_iter.max(1e-12)) as u64;
+    let iters_per_sample = (total_iters / samples as u64).max(1);
+
+    let mut mean_sum = 0.0;
+    let mut lo = f64::INFINITY;
+    let mut hi: f64 = 0.0;
+    for _ in 0..samples {
+        let t = run_sample(f, iters_per_sample).as_secs_f64() / iters_per_sample as f64;
+        mean_sum += t;
+        lo = lo.min(t);
+        hi = hi.max(t);
+    }
+    let mean = mean_sum / samples as f64;
+    println!(
+        "{name:<48} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_time(lo),
+        fmt_time(mean),
+        fmt_time(hi),
+        samples,
+        iters_per_sample,
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Defines a benchmark-group function from target functions, with an
+/// optional explicit `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main()` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5)
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("shim");
+        let mut hits = 0u64;
+        group.bench_function("count", |b| b.iter(|| hits = hits.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, n| {
+            b.iter(|| std::hint::black_box(*n * 2))
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.5e-9).ends_with("ns"));
+        assert!(fmt_time(2.5e-6).ends_with("µs"));
+        assert!(fmt_time(2.5e-3).ends_with("ms"));
+        assert!(fmt_time(2.5).ends_with('s'));
+    }
+}

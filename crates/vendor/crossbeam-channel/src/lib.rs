@@ -1,0 +1,111 @@
+//! Offline stand-in for the `crossbeam-channel` crate.
+//!
+//! The workspace only uses `unbounded()`, cloneable `Sender`s, and
+//! blocking `recv()` — exactly what `std::sync::mpsc` provides — so this
+//! shim wraps the std channel behind crossbeam's names and error types.
+
+#![forbid(unsafe_code)]
+
+use std::sync::mpsc;
+
+/// Error returned by [`Sender::send`] when the receiving side is gone.
+/// Carries back the unsent message, like crossbeam's.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Like upstream, `Debug` elides the message so `T: Debug` is not required.
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// The sending half of a channel. Clone freely; the channel disconnects
+/// when every clone is dropped.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, failing only if the receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+    }
+}
+
+/// The receiving half of a channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Receives without blocking, if a message is ready.
+    pub fn try_recv(&self) -> Result<T, RecvError> {
+        self.inner.try_recv().map_err(|_| RecvError)
+    }
+}
+
+/// Creates a channel with unbounded capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_with_clones() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap());
+        tx.send(3).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, [3, 7]);
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full workspace test suite,
+# then a quick paper_figures smoke run in --bench mode, which also
+# refreshes BENCH_paper_figures.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release --workspace
+
+echo "== tier-1: workspace tests =="
+cargo test --workspace -q
+
+echo "== tier-1: paper_figures smoke (quick fig3 fig4 regret, --bench) =="
+cargo run --release -p dolbie-bench --bin paper_figures -- --quick --bench fig3 fig4 regret
+
+echo "== tier-1: OK =="
