@@ -47,12 +47,7 @@ impl Abs {
     /// Panics if `n == 0` or `window == 0`.
     pub fn new(n: usize, window: usize) -> Self {
         assert!(window > 0, "tuning period must be positive");
-        Self {
-            x: Allocation::uniform(n),
-            window,
-            rounds_in_window: 0,
-            latency_sums: vec![0.0; n],
-        }
+        Self { x: Allocation::uniform(n), window, rounds_in_window: 0, latency_sums: vec![0.0; n] }
     }
 
     /// The tuning period `P`.
@@ -113,10 +108,8 @@ mod tests {
     #[test]
     fn updates_only_at_window_boundaries() {
         let mut abs = Abs::new(2, 3);
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(4.0, 0.0)),
-            Box::new(LinearCost::new(1.0, 0.0)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(4.0, 0.0)), Box::new(LinearCost::new(1.0, 0.0))];
         let initial = abs.allocation().clone();
         step(&mut abs, &costs, 0);
         assert_eq!(abs.allocation(), &initial, "no update mid-window");
@@ -163,10 +156,8 @@ mod tests {
     fn iteration_oscillates_away_from_fixed_point() {
         // Starting from uniform on a skewed instance, consecutive window
         // updates over-correct: the share of the slow worker swings.
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(16.0, 0.0)),
-            Box::new(LinearCost::new(1.0, 0.0)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(16.0, 0.0)), Box::new(LinearCost::new(1.0, 0.0))];
         let mut abs = Abs::new(2, 1);
         let mut shares = Vec::new();
         for t in 0..6 {
@@ -199,10 +190,8 @@ mod tests {
     fn zero_latency_worker_is_treated_as_fast() {
         // A pure-plateau worker reporting ~zero latency should attract
         // (essentially all) work without producing NaNs.
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(0.0, 0.0)),
-            Box::new(LinearCost::new(1.0, 0.0)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(0.0, 0.0)), Box::new(LinearCost::new(1.0, 0.0))];
         let mut abs = Abs::new(2, 1);
         step(&mut abs, &costs, 0);
         assert!(abs.allocation().share(0) > 0.999);

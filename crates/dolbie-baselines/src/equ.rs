@@ -56,9 +56,8 @@ mod tests {
     #[test]
     fn never_moves() {
         let mut equ = Equ::new(3);
-        let costs: Vec<DynCost> = (0..3)
-            .map(|i| Box::new(LinearCost::new(1.0 + i as f64, 0.0)) as DynCost)
-            .collect();
+        let costs: Vec<DynCost> =
+            (0..3).map(|i| Box::new(LinearCost::new(1.0 + i as f64, 0.0)) as DynCost).collect();
         for t in 0..5 {
             let played = equ.allocation().clone();
             let obs = Observation::from_costs(t, &played, &costs);

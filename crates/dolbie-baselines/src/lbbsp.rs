@@ -45,13 +45,7 @@ impl LbBsp {
     pub fn new(n: usize, delta: f64, patience: usize) -> Self {
         assert!(delta.is_finite() && delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
         assert!(patience > 0, "patience D must be positive");
-        Self {
-            x: Allocation::uniform(n),
-            delta,
-            patience,
-            consecutive: 0,
-            last_fastest: None,
-        }
+        Self { x: Allocation::uniform(n), delta, patience, consecutive: 0, last_fastest: None }
     }
 
     /// The fixed increment `Δ` (as a share of the total workload).
@@ -153,14 +147,10 @@ mod tests {
     #[test]
     fn counter_resets_when_fastest_changes() {
         let mut lb = LbBsp::new(2, 0.1, 2);
-        let a: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(4.0, 0.0)),
-            Box::new(LinearCost::new(1.0, 0.0)),
-        ];
-        let b: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(1.0, 0.0)),
-            Box::new(LinearCost::new(4.0, 0.0)),
-        ];
+        let a: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(4.0, 0.0)), Box::new(LinearCost::new(1.0, 0.0))];
+        let b: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(1.0, 0.0)), Box::new(LinearCost::new(4.0, 0.0))];
         step(&mut lb, &a, 0); // fastest = 1, streak 1
         step(&mut lb, &b, 1); // fastest = 0, streak resets to 1
         step(&mut lb, &a, 2); // fastest = 1, streak 1 again
@@ -172,10 +162,8 @@ mod tests {
     #[test]
     fn transfer_clamps_at_zero_share() {
         let mut lb = LbBsp::new(2, 0.4, 1);
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(100.0, 0.0)),
-            Box::new(LinearCost::new(0.01, 0.0)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(100.0, 0.0)), Box::new(LinearCost::new(0.01, 0.0))];
         for t in 0..10 {
             step(&mut lb, &costs, t);
             assert!(lb.allocation().iter().all(|&x| x >= 0.0));
@@ -191,10 +179,8 @@ mod tests {
         // Δ away from uniform: verify the quantization artifact the paper
         // points out.
         let mut lb = LbBsp::new(2, 0.05, 1);
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(3.0, 0.0)),
-            Box::new(LinearCost::new(1.0, 0.0)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(3.0, 0.0)), Box::new(LinearCost::new(1.0, 0.0))];
         for t in 0..100 {
             step(&mut lb, &costs, t);
         }

@@ -114,10 +114,8 @@ mod tests {
     #[test]
     fn converges_on_static_linear_instance() {
         let mut ogd = Ogd::new(2, 0.02);
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(4.0, 0.0)),
-            Box::new(LinearCost::new(1.0, 0.0)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(4.0, 0.0)), Box::new(LinearCost::new(1.0, 0.0))];
         let mut last = f64::MAX;
         for t in 0..2000 {
             last = step(&mut ogd, &costs, t);

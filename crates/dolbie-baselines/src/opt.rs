@@ -1,8 +1,7 @@
 //! The clairvoyant Dynamic Optimum (OPT) baseline.
 
 use dolbie_core::{
-    instantaneous_minimizer_cached, Allocation, Environment, LoadBalancer, Observation,
-    OracleCache,
+    instantaneous_minimizer_cached, Allocation, Environment, LoadBalancer, Observation, OracleCache,
 };
 
 /// The OPT baseline of §VI-B: "we assume a priori knowledge of all system
@@ -88,8 +87,7 @@ mod tests {
         let env = RotatingStragglerEnvironment::new(3, 4, 6.0, 1.0);
         let mut opt = ClairvoyantOpt::new(env.clone());
         let mut driver_env = env;
-        let trace =
-            run_episode(&mut opt, &mut driver_env, EpisodeOptions::new(20).with_optimum());
+        let trace = run_episode(&mut opt, &mut driver_env, EpisodeOptions::new(20).with_optimum());
         let tracker = trace.regret().unwrap();
         assert!(
             tracker.dynamic_regret().abs() < 1e-6,

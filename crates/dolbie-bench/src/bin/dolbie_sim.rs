@@ -139,12 +139,7 @@ fn build_env(args: &Args) -> Env {
             cfg.num_servers = args.workers.saturating_sub(1).max(1);
             Env::Edge(Box::new(EdgeScenario::sample(cfg, args.seed)))
         }
-        "rotating" => Env::Rotating(RotatingStragglerEnvironment::new(
-            args.workers,
-            10,
-            4.0,
-            1.0,
-        )),
+        "rotating" => Env::Rotating(RotatingStragglerEnvironment::new(args.workers, 10, 4.0, 1.0)),
         other => {
             eprintln!("unknown environment: {other}");
             usage();
@@ -172,7 +167,11 @@ fn build_balancer(args: &Args, env: &Env, n: usize) -> Box<dyn LoadBalancer> {
 fn report(trace: &EpisodeTrace, args: &Args) {
     println!(
         "{} on `{}` ({} workers, {} rounds, seed {})",
-        trace.algorithm, args.env, trace.records[0].allocation.num_workers(), args.rounds, args.seed
+        trace.algorithm,
+        args.env,
+        trace.records[0].allocation.num_workers(),
+        args.rounds,
+        args.seed
     );
     let costs = trace.global_costs();
     let show = |t: usize| {

@@ -17,15 +17,14 @@
 //! root.
 
 use dolbie_bench::experiments::{
-    ablation, accuracy, bandit, comms, edge_exp, faults, latency, per_worker, regret,
-    utilization,
+    ablation, accuracy, bandit, comms, edge_exp, faults, latency, per_worker, regret, utilization,
 };
 use dolbie_bench::{common, harness};
 use std::time::Instant;
 
 const TARGETS: [&str; 12] = [
-    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "regret",
-    "comms", "edge",
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "regret", "comms",
+    "edge",
 ];
 
 const EXTENSION_TARGETS: [&str; 3] = ["ablation", "faults", "bandit"];

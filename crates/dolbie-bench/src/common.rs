@@ -3,7 +3,9 @@
 use dolbie_baselines::paper_suite;
 use dolbie_core::LoadBalancer;
 use dolbie_metrics::{plot, Table};
-use dolbie_mlsim::{run_training, Cluster, ClusterConfig, MlModel, TrainingConfig, TrainingOutcome};
+use dolbie_mlsim::{
+    run_training, Cluster, ClusterConfig, MlModel, TrainingConfig, TrainingOutcome,
+};
 use std::path::{Path, PathBuf};
 
 /// The algorithm display order used throughout the paper's figures.

@@ -23,7 +23,9 @@ const ROUNDS: usize = 100;
 /// Runs the ablation across repeated cluster realizations.
 pub fn ablation(quick: bool) {
     let realizations = if quick { 10 } else { 50 };
-    println!("== Ablation: the risk-averse step-size rule of eq. (7) ({realizations} realizations) ==");
+    println!(
+        "== Ablation: the risk-averse step-size rule of eq. (7) ({realizations} realizations) =="
+    );
 
     let variants: Vec<(&str, DolbieConfig)> = vec![
         ("paper (eq. 7)", DolbieConfig::new()),
@@ -47,8 +49,7 @@ pub fn ablation(quick: bool) {
             let cluster = paper_cluster(MlModel::ResNet18, seed as u64);
             let n = dolbie_core::Environment::num_workers(&cluster);
             let mut dolbie = Dolbie::with_config(Allocation::uniform(n), *config);
-            let outcome =
-                run_training(&mut dolbie, cluster, TrainingConfig::latency_only(ROUNDS));
+            let outcome = run_training(&mut dolbie, cluster, TrainingConfig::latency_only(ROUNDS));
             // A "worse straggler" event: the global latency jumped by more
             // than the ambient fluctuation (20%) over the previous round —
             // the risk the paper's rule is designed to avoid.

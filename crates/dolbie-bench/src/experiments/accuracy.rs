@@ -65,8 +65,7 @@ pub fn accuracy_figure(model: MlModel, figure_name: &str, seed: u64) {
     }
     let target = if final_acc >= TARGET_ACCURACY { TARGET_ACCURACY } else { final_acc * 0.98 };
     println!("  time to {:.0}% training accuracy:", target * 100.0);
-    let times: Vec<Option<f64>> =
-        outcomes.iter().map(|o| o.time_to_accuracy(target)).collect();
+    let times: Vec<Option<f64>> = outcomes.iter().map(|o| o.time_to_accuracy(target)).collect();
     for (o, t) in outcomes.iter().zip(&times) {
         match t {
             Some(v) => println!("    {:8} {v:9.2} s", o.algorithm),

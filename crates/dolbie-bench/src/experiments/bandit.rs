@@ -19,7 +19,9 @@ use dolbie_mlsim::{run_training, MlModel, TrainingConfig};
 pub fn bandit(quick: bool) {
     let realizations = if quick { 10 } else { 50 };
     const ROUNDS: usize = 100;
-    println!("== Feedback models: full vs bandit vs delayed DOLBIE ({realizations} realizations) ==");
+    println!(
+        "== Feedback models: full vs bandit vs delayed DOLBIE ({realizations} realizations) =="
+    );
 
     let mut totals: Vec<(String, Vec<f64>)> = vec![
         ("EQU".into(), Vec::new()),

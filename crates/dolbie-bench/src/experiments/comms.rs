@@ -33,8 +33,8 @@ pub fn comms() {
     let sweeps = harness::parallel_map_items(&NS, |&n| {
         let slopes: Vec<f64> = (1..=n).map(|i| i as f64).collect();
         let env = StaticLinearEnvironment::from_slopes(slopes);
-        let mw = MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
-            .run(ROUNDS);
+        let mw =
+            MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(ROUNDS);
         let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
             .run(ROUNDS);
         let ring = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(ROUNDS);
@@ -47,17 +47,16 @@ pub fn comms() {
         let mw_bytes = mw.total_bytes() / ROUNDS;
         let fd_bytes = fd.total_bytes() / ROUNDS;
         let ring_bytes = ring.total_bytes() / ROUNDS;
-        println!("  {n:3}   {mw_msgs:11}  {mw_bytes:12}  {fd_msgs:11}  {fd_bytes:12}  {ring_msgs:13}");
+        println!(
+            "  {n:3}   {mw_msgs:11}  {mw_bytes:12}  {fd_msgs:11}  {fd_bytes:12}  {ring_msgs:13}"
+        );
         assert_eq!(mw_msgs, 3 * n, "master-worker must be exactly 3N messages");
         assert_eq!(
             fd_msgs,
             n * (n - 1) + (n - 1),
             "fully-distributed must be N(N-1) + (N-1) messages"
         );
-        assert!(
-            (2 * n..=2 * n + 1).contains(&ring_msgs),
-            "ring must be 2N or 2N+1 messages"
-        );
+        assert!((2 * n..=2 * n + 1).contains(&ring_msgs), "ring must be 2N or 2N+1 messages");
         table.push_row(vec![
             n.to_string(),
             mw_msgs.to_string(),

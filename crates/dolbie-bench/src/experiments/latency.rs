@@ -4,9 +4,9 @@ use crate::common::{
     cluster_suite, emit_csv, emit_svg, paper_cluster, reduction_pct, run_suite, ALGORITHM_ORDER,
 };
 use crate::harness;
-use dolbie_mlsim::run_training;
 use dolbie_metrics::plot::{PlotConfig, Series};
 use dolbie_metrics::{per_round_summaries, Table};
+use dolbie_mlsim::run_training;
 use dolbie_mlsim::{MlModel, TrainingConfig};
 
 const ROUNDS: usize = 100;
@@ -28,10 +28,8 @@ pub fn fig3() {
         table.push_numeric_row(&row);
     }
     emit_csv(&table, "fig3_per_round_latency");
-    let series: Vec<Series> = outcomes
-        .iter()
-        .map(|o| Series::from_values(o.algorithm.clone(), &o.latencies()))
-        .collect();
+    let series: Vec<Series> =
+        outcomes.iter().map(|o| Series::from_values(o.algorithm.clone(), &o.latencies())).collect();
     emit_svg(
         "fig3_per_round_latency",
         &PlotConfig::new("Fig. 3: per-round latency (ResNet18)", "round", "latency (s)")
@@ -46,7 +44,9 @@ pub fn fig3() {
     for o in &outcomes {
         println!("    {:8} {:.4} s", o.algorithm, o.rounds[at].global_latency);
     }
-    println!("  DOLBIE reduction at round {at} (paper: 89.6/82.2/67.4/47.6% vs EQU/OGD/LB-BSP/ABS):");
+    println!(
+        "  DOLBIE reduction at round {at} (paper: 89.6/82.2/67.4/47.6% vs EQU/OGD/LB-BSP/ABS):"
+    );
     for name in ["EQU", "OGD", "LB-BSP", "ABS"] {
         let base = outcomes
             .iter()
@@ -114,21 +114,15 @@ pub fn ci_figure(cumulative: bool, name: &str, title: &str, realizations: usize)
             Series::from_values(alg.to_string(), &means).with_band(bands)
         })
         .collect();
-    emit_svg(
-        name,
-        &PlotConfig::new(title, "round", "latency (s)").with_log_y(),
-        &svg_series,
-    );
+    emit_svg(name, &PlotConfig::new(title, "round", "latency (s)").with_log_y(), &svg_series);
 
     let last = ROUNDS - 1;
-    println!("  round {last} ({} latency), mean ± 95% CI:", if cumulative { "cumulative" } else { "per-round" });
+    println!(
+        "  round {last} ({} latency), mean ± 95% CI:",
+        if cumulative { "cumulative" } else { "per-round" }
+    );
     for (alg, s) in ALGORITHM_ORDER.iter().zip(&summaries) {
-        println!(
-            "    {:8} {:9.4} ± {:.4} s",
-            alg,
-            s[last].mean(),
-            s[last].ci95_half_width()
-        );
+        println!("    {:8} {:9.4} ± {:.4} s", alg, s[last].mean(), s[last].ci95_half_width());
     }
 }
 

@@ -17,11 +17,8 @@ fn per_worker_figure(batch_sizes: bool, name: &str, title: &str) {
     for o in &outcomes {
         for r in &o.rounds {
             for (w, processor) in processors.iter().enumerate() {
-                let value = if batch_sizes {
-                    r.batch_fractions[w] * batch
-                } else {
-                    r.worker_latencies[w]
-                };
+                let value =
+                    if batch_sizes { r.batch_fractions[w] * batch } else { r.worker_latencies[w] };
                 table.push_row(vec![
                     o.algorithm.clone(),
                     w.to_string(),
@@ -42,10 +39,8 @@ fn per_worker_figure(batch_sizes: bool, name: &str, title: &str) {
     for o in &outcomes {
         let last = o.rounds.last().unwrap();
         if batch_sizes {
-            let smallest =
-                last.batch_fractions.iter().cloned().fold(f64::MAX, f64::min) * batch;
-            let largest =
-                last.batch_fractions.iter().cloned().fold(f64::MIN, f64::max) * batch;
+            let smallest = last.batch_fractions.iter().cloned().fold(f64::MAX, f64::min) * batch;
+            let largest = last.batch_fractions.iter().cloned().fold(f64::MIN, f64::max) * batch;
             println!(
                 "    {:8} batch sizes range {:7.2} .. {:7.2} samples",
                 o.algorithm, smallest, largest

@@ -14,10 +14,8 @@ fn make_adversary(kind: &str, n: usize) -> Box<dyn Environment> {
         "rotating" => Box::new(RotatingStragglerEnvironment::new(n, 10, 3.0, 1.0)),
         "piecewise" => {
             // Two mirrored regimes shifting every 25 rounds.
-            let fast_first: Vec<f64> =
-                (0..n).map(|i| if i < n / 2 { 1.0 } else { 3.0 }).collect();
-            let slow_first: Vec<f64> =
-                (0..n).map(|i| if i < n / 2 { 3.0 } else { 1.0 }).collect();
+            let fast_first: Vec<f64> = (0..n).map(|i| if i < n / 2 { 1.0 } else { 3.0 }).collect();
+            let slow_first: Vec<f64> = (0..n).map(|i| if i < n / 2 { 3.0 } else { 1.0 }).collect();
             Box::new(PiecewiseStationaryEnvironment::new(vec![fast_first, slow_first], 25))
         }
         "sinusoidal" => {
@@ -70,8 +68,7 @@ pub fn regret(quick: bool) {
             dolbie_core::Allocation::uniform(n),
             dolbie_core::DolbieConfig::new().with_initial_alpha(0.01),
         );
-        let trace =
-            run_episode(&mut dolbie, env.as_mut(), EpisodeOptions::new(t).with_optimum());
+        let trace = run_episode(&mut dolbie, env.as_mut(), EpisodeOptions::new(t).with_optimum());
         let tracker = trace.regret().expect("optimum tracked");
         let lipschitz = trace.max_lipschitz().expect("lipschitz tracked");
         let bound = theorem1_bound(n, lipschitz, tracker.path_length(), dolbie.alphas_used());

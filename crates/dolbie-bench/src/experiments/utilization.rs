@@ -11,7 +11,9 @@ const ROUNDS: usize = 100;
 /// Fig. 11: both panels.
 pub fn fig11(quick: bool) {
     let realizations = if quick { 10 } else { 100 };
-    println!("== Fig. 11: average time per worker over {ROUNDS} rounds ({realizations} realizations) ==");
+    println!(
+        "== Fig. 11: average time per worker over {ROUNDS} rounds ({realizations} realizations) =="
+    );
 
     // Accumulate mean breakdowns and idle times per algorithm. Each
     // (seed, algorithm) cell is independent; the harness fans the grid out
@@ -88,9 +90,7 @@ pub fn fig11(quick: bool) {
     }
 
     let dolbie_idx = 4;
-    println!(
-        "  DOLBIE idle-time reduction (paper: 84.6/71.1/67.2/42.8% vs EQU/OGD/LB-BSP/ABS):"
-    );
+    println!("  DOLBIE idle-time reduction (paper: 84.6/71.1/67.2/42.8% vs EQU/OGD/LB-BSP/ABS):");
     for name in ["EQU", "OGD", "LB-BSP", "ABS"] {
         let idx = ALGORITHM_ORDER.iter().position(|a| a == &name).unwrap();
         println!(

@@ -9,8 +9,8 @@ use dolbie_bench::{common, harness};
 fn parallel_figure_csv_is_byte_identical_to_sequential() {
     let read = |name: &str| {
         let path = common::results_dir().join(format!("{name}.csv"));
-        let bytes = std::fs::read(&path)
-            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let bytes =
+            std::fs::read(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
         // Clean up both the CSV and the companion SVG.
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(common::results_dir().join(format!("{name}.svg")));
@@ -18,27 +18,14 @@ fn parallel_figure_csv_is_byte_identical_to_sequential() {
     };
 
     harness::set_threads(1);
-    latency::ci_figure(
-        false,
-        "test_determinism_seq",
-        "determinism regression (sequential)",
-        2,
-    );
+    latency::ci_figure(false, "test_determinism_seq", "determinism regression (sequential)", 2);
     let sequential = read("test_determinism_seq");
 
     harness::set_threads(4);
-    latency::ci_figure(
-        false,
-        "test_determinism_par",
-        "determinism regression (4 threads)",
-        2,
-    );
+    latency::ci_figure(false, "test_determinism_par", "determinism regression (4 threads)", 2);
     harness::set_threads(0);
     let parallel = read("test_determinism_par");
 
     assert!(!sequential.is_empty(), "figure produced an empty CSV");
-    assert_eq!(
-        sequential, parallel,
-        "4-thread CSV bytes must match the sequential run exactly"
-    );
+    assert_eq!(sequential, parallel, "4-thread CSV bytes must match the sequential run exactly");
 }

@@ -231,11 +231,7 @@ impl Allocation {
             other.shares.len(),
             "allocations must cover the same worker set"
         );
-        self.shares
-            .iter()
-            .zip(other.shares.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum()
+        self.shares.iter().zip(other.shares.iter()).map(|(a, b)| (a - b).abs()).sum()
     }
 
     /// Euclidean norm of the share vector; always in `(1/sqrt(N), 1]` on the

@@ -57,9 +57,7 @@ impl LocalModel {
     /// the current share (Lemma 1(ii) analogue under the estimate).
     fn max_share_within(&self, level: f64, current: f64) -> f64 {
         match self.slope {
-            Some(slope) if slope > 1e-12 => {
-                ((level - self.intercept) / slope).clamp(current, 1.0)
-            }
+            Some(slope) if slope > 1e-12 => ((level - self.intercept) / slope).clamp(current, 1.0),
             Some(_) => {
                 // Flat estimate: any share fits if the intercept does.
                 if self.intercept <= level {
@@ -156,9 +154,8 @@ impl LoadBalancer for BanditDolbie {
                 *g *= scale;
             }
         }
-        let mut next: Vec<f64> = (0..n)
-            .map(|i| if i == s { 0.0 } else { self.x.share(i) + gains[i] })
-            .collect();
+        let mut next: Vec<f64> =
+            (0..n).map(|i| if i == s { 0.0 } else { self.x.share(i) + gains[i] }).collect();
         let others: f64 = next.iter().sum();
         next[s] = (1.0 - others).max(0.0);
         self.x = Allocation::from_update(next).expect("bandit update preserves feasibility");
@@ -193,10 +190,7 @@ mod tests {
             last = step(&mut bandit, &costs, t);
         }
         let opt = instantaneous_minimizer(&costs).unwrap().level;
-        assert!(
-            last < opt * 1.2,
-            "bandit DOLBIE should approach the optimum: {last} vs {opt}"
-        );
+        assert!(last < opt * 1.2, "bandit DOLBIE should approach the optimum: {last} vs {opt}");
     }
 
     #[test]
@@ -241,10 +235,8 @@ mod tests {
     fn first_round_without_model_is_a_noop_for_unbootstrapable_workers() {
         // Worker 1 starts at share 0 (singleton allocation): no bootstrap
         // possible, so it must not move until it learns something.
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(2.0, 0.0)),
-            Box::new(LinearCost::new(1.0, 0.0)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(2.0, 0.0)), Box::new(LinearCost::new(1.0, 0.0))];
         let mut bandit =
             BanditDolbie::with_config(Allocation::singleton(2, 0), DolbieConfig::new());
         step(&mut bandit, &costs, 0);

@@ -57,7 +57,7 @@ impl<A: CostFunction, B: CostFunction> CostFunction for SumCost<A, B> {
             .unwrap_or(0.0)
             .min(self.b.max_share_within(b0 + half_slack).unwrap_or(0.0))
             .min(hi);
-        if !(self.eval(lo) <= level) {
+        if self.eval(lo).partial_cmp(&level).is_none_or(|o| o.is_gt()) {
             // Component inverses can overshoot by rounding; x = 0 is always
             // a valid lower endpoint here (f(0) = a0 + b0 <= level).
             lo = 0.0;
@@ -201,8 +201,8 @@ mod tests {
         let f = SumCost::new(LinearCost::new(1.5, 0.2), PowerCost::new(2.0, 3.0, 0.1));
         for level in [0.31, 0.5, 1.0, 2.7, 10.0] {
             let narrowed = f.max_share_within(level).unwrap();
-            let full = invert_monotone(|x| f.eval(x), level, 0.0, 1.0, BisectionConfig::new())
-                .unwrap();
+            let full =
+                invert_monotone(|x| f.eval(x), level, 0.0, 1.0, BisectionConfig::new()).unwrap();
             assert!(
                 (narrowed - full).abs() <= 1e-9,
                 "level {level}: narrowed {narrowed} vs full {full}"

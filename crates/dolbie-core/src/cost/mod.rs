@@ -226,10 +226,8 @@ mod tests {
 
     #[test]
     fn round_lipschitz_takes_max() {
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(2.0, 0.0)),
-            Box::new(LinearCost::new(5.0, 1.0)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(2.0, 0.0)), Box::new(LinearCost::new(5.0, 1.0))];
         assert!((round_lipschitz(&costs) - 5.0).abs() < 1e-9);
         assert_eq!(round_lipschitz(&[]), 0.0);
     }

@@ -92,12 +92,8 @@ impl DelayedDolbie {
         if scale <= 0.0 {
             return;
         }
-        let next: Vec<f64> = self
-            .x
-            .iter()
-            .zip(&update.deltas)
-            .map(|(&x, &d)| (x + scale * d).max(0.0))
-            .collect();
+        let next: Vec<f64> =
+            self.x.iter().zip(&update.deltas).map(|(&x, &d)| (x + scale * d).max(0.0)).collect();
         self.x = Allocation::from_update(next).expect("scaled zero-sum update stays feasible");
         self.alpha.tighten(n, self.x.share(update.straggler));
     }
@@ -231,10 +227,7 @@ mod tests {
                 step(&mut delayed, &costs, t);
                 let sum: f64 = delayed.allocation().iter().sum();
                 assert!((sum - 1.0).abs() < 1e-9, "delay {delay} round {t}");
-                assert!(
-                    delayed.allocation().iter().all(|&v| v >= 0.0),
-                    "delay {delay} round {t}"
-                );
+                assert!(delayed.allocation().iter().all(|&v| v >= 0.0), "delay {delay} round {t}");
             }
         }
     }

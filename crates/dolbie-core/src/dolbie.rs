@@ -486,10 +486,7 @@ mod tests {
         let cap = crate::step_size::paper_initial_alpha(&x);
         assert_eq!(DolbieConfig::paper_initial().resolve_initial_alpha(&x), cap);
         assert_eq!(DolbieConfig::new().resolve_initial_alpha(&x), cap / 2.0);
-        assert_eq!(
-            DolbieConfig::new().with_initial_alpha(0.007).resolve_initial_alpha(&x),
-            0.007
-        );
+        assert_eq!(DolbieConfig::new().with_initial_alpha(0.007).resolve_initial_alpha(&x), 0.007);
     }
 
     #[test]
@@ -516,7 +513,10 @@ mod tests {
             .enumerate()
             .map(|(i, f)| f.eval(live.allocation().share(i)))
             .fold(f64::MIN, f64::max);
-        assert!(live_cost < frozen_cost, "the live run converges further: {live_cost} vs {frozen_cost}");
+        assert!(
+            live_cost < frozen_cost,
+            "the live run converges further: {live_cost} vs {frozen_cost}"
+        );
     }
 
     #[test]
@@ -552,7 +552,11 @@ mod tests {
             .enumerate()
             .map(|(i, f)| f.eval(capped.allocation().share(i)))
             .fold(f64::MIN, f64::max);
-        assert!(level < opt.level * 1.15, "capped DOLBIE near capped OPT: {level} vs {}", opt.level);
+        assert!(
+            level < opt.level * 1.15,
+            "capped DOLBIE near capped OPT: {level} vs {}",
+            opt.level
+        );
     }
 
     #[test]

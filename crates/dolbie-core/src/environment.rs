@@ -302,10 +302,7 @@ mod tests {
 
     #[test]
     fn piecewise_stationary_shifts_regimes() {
-        let mut env = PiecewiseStationaryEnvironment::new(
-            vec![vec![5.0, 1.0], vec![1.0, 5.0]],
-            10,
-        );
+        let mut env = PiecewiseStationaryEnvironment::new(vec![vec![5.0, 1.0], vec![1.0, 5.0]], 10);
         assert_eq!(env.num_workers(), 2);
         assert_eq!(env.regime(0), 0);
         assert_eq!(env.regime(9), 0);

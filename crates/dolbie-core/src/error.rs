@@ -82,10 +82,7 @@ impl fmt::Display for SolverError {
                 write!(f, "invalid bisection bracket [{lo}, {hi}]")
             }
             SolverError::LevelBelowRange { level, f_lo } => {
-                write!(
-                    f,
-                    "level {level} is below the function value {f_lo} at the bracket start"
-                )
+                write!(f, "level {level} is below the function value {f_lo} at the bracket start")
             }
             SolverError::NonFiniteValue { x } => {
                 write!(f, "cost function returned a non-finite value at x = {x}")

@@ -86,12 +86,12 @@ pub mod step_size;
 
 pub use allocation::Allocation;
 pub use balancer::LoadBalancer;
+pub use bandit::BanditDolbie;
+pub use delayed::DelayedDolbie;
 pub use dolbie::{Dolbie, DolbieConfig, InitialAlpha};
 pub use environment::Environment;
 pub use error::{AllocationError, OracleError, SolverError};
 pub use observation::Observation;
-pub use bandit::BanditDolbie;
-pub use delayed::DelayedDolbie;
 pub use oracle::{
     instantaneous_minimizer, instantaneous_minimizer_cached, instantaneous_minimizer_capped,
     InstantOptimum, OracleCache,

@@ -227,7 +227,7 @@ fn solve(
         }
     }
 
-    let level = min_feasible_level(&feasible, blo, bhi, config)
+    let level = min_feasible_level(feasible, blo, bhi, config)
         .expect("the all-caps level is always feasible");
 
     // Per-worker room at the optimal level, reusing the cache's buffer.
@@ -247,7 +247,7 @@ fn solve(
     // Scaling keeps x_i <= room_i (total >= 1), so every worker stays at or
     // below the level and within its cap; the sum is exactly one.
     let shares: Vec<f64> = room.iter().map(|c| c / total).collect();
-    if let Some(c) = cache.as_deref_mut() {
+    if let Some(c) = cache {
         c.room = room;
         c.last_level = Some(level);
     }
@@ -284,10 +284,8 @@ mod tests {
     fn heterogeneous_intercepts() {
         // Worker 1 has a large fixed cost: at the optimum it still gets
         // some work iff its f(0) is below the balanced level.
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(1.0, 0.0)),
-            Box::new(LinearCost::new(1.0, 0.9)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(1.0, 0.0)), Box::new(LinearCost::new(1.0, 0.9))];
         let opt = instantaneous_minimizer(&costs).unwrap();
         // Balance: x0 = x1 + 0.9, x0 + x1 = 1 -> x0 = 0.95, level 0.95.
         assert!((opt.level - 0.95).abs() < 1e-6);
@@ -298,10 +296,8 @@ mod tests {
     fn worker_priced_out_gets_zero() {
         // Worker 1's fixed cost exceeds what worker 0 costs at full load:
         // optimum loads worker 0 fully.
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(1.0, 0.0)),
-            Box::new(LinearCost::new(1.0, 5.0)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(1.0, 0.0)), Box::new(LinearCost::new(1.0, 5.0))];
         let opt = instantaneous_minimizer(&costs).unwrap();
         assert!((opt.level - 5.0).abs() < 1e-6, "level is pinned by f_1(0) = 5");
         assert!(opt.allocation.share(0) > 0.999);
@@ -335,8 +331,7 @@ mod tests {
             assert!((c - opt.level).abs() < 1e-5, "worker {i}: {c} vs {}", opt.level);
         }
         // And the optimum beats the uniform split.
-        let uniform_cost =
-            costs.iter().map(|f| f.eval(1.0 / 3.0)).fold(f64::MIN, f64::max);
+        let uniform_cost = costs.iter().map(|f| f.eval(1.0 / 3.0)).fold(f64::MIN, f64::max);
         assert!(opt.level <= uniform_cost + 1e-9);
     }
 
@@ -358,10 +353,8 @@ mod tests {
     fn capped_oracle_respects_caps() {
         // Without caps, the fast worker would take 0.8; capped at 0.5 it
         // takes exactly its cap and the level rises accordingly.
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(4.0, 0.0)),
-            Box::new(LinearCost::new(1.0, 0.0)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(4.0, 0.0)), Box::new(LinearCost::new(1.0, 0.0))];
         let free = instantaneous_minimizer(&costs).unwrap();
         assert!((free.allocation.share(1) - 0.8).abs() < 1e-6);
         let capped = instantaneous_minimizer_capped(&costs, Some(&[1.0, 0.5])).unwrap();
@@ -386,10 +379,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "cover the workload")]
     fn infeasible_caps_panic() {
-        let costs: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(1.0, 0.0)),
-            Box::new(LinearCost::new(1.0, 0.0)),
-        ];
+        let costs: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(1.0, 0.0)), Box::new(LinearCost::new(1.0, 0.0))];
         let _ = instantaneous_minimizer_capped(&costs, Some(&[0.3, 0.3]));
     }
 
@@ -438,17 +429,13 @@ mod tests {
     #[test]
     fn stale_guess_falls_back_to_full_bracket() {
         let mut cache = OracleCache::new();
-        let a: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(0.01, 0.0)),
-            Box::new(LinearCost::new(0.02, 0.0)),
-        ];
+        let a: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(0.01, 0.0)), Box::new(LinearCost::new(0.02, 0.0))];
         let _ = instantaneous_minimizer_cached(&a, &mut cache).unwrap();
         // A wildly different instance: the cached level is far outside the
         // new boundary, in both directions.
-        let b: Vec<DynCost> = vec![
-            Box::new(LinearCost::new(100.0, 5.0)),
-            Box::new(LinearCost::new(200.0, 0.0)),
-        ];
+        let b: Vec<DynCost> =
+            vec![Box::new(LinearCost::new(100.0, 5.0)), Box::new(LinearCost::new(200.0, 0.0))];
         let cold = instantaneous_minimizer(&b).unwrap();
         let warm = instantaneous_minimizer_cached(&b, &mut cache).unwrap();
         assert!((cold.level - warm.level).abs() <= 1e-6 * cold.level.abs().max(1.0));
@@ -458,10 +445,8 @@ mod tests {
 
     #[test]
     fn plateaued_costs_are_handled() {
-        let plateau =
-            PiecewiseLinearCost::new(vec![(0.0, 0.5), (0.5, 0.5), (1.0, 4.0)]).unwrap();
-        let costs: Vec<DynCost> =
-            vec![Box::new(plateau), Box::new(LinearCost::new(1.0, 0.0))];
+        let plateau = PiecewiseLinearCost::new(vec![(0.0, 0.5), (0.5, 0.5), (1.0, 4.0)]).unwrap();
+        let costs: Vec<DynCost> = vec![Box::new(plateau), Box::new(LinearCost::new(1.0, 0.0))];
         let opt = instantaneous_minimizer(&costs).unwrap();
         // Worker 0 is free up to share 0.5 at cost 0.5; giving it 0.5 and
         // the rest to worker 1 costs max(0.5, 0.5) = 0.5.

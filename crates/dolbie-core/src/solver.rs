@@ -219,14 +219,8 @@ mod tests {
 
     #[test]
     fn non_finite_function_is_an_error() {
-        let err = invert_monotone(
-            |x| if x > 0.5 { f64::NAN } else { x },
-            0.9,
-            0.0,
-            1.0,
-            cfg(),
-        )
-        .unwrap_err();
+        let err = invert_monotone(|x| if x > 0.5 { f64::NAN } else { x }, 0.9, 0.0, 1.0, cfg())
+            .unwrap_err();
         assert!(matches!(err, SolverError::NonFiniteValue { .. }));
     }
 

@@ -255,8 +255,7 @@ mod tests {
     fn server_cost_matches_sum_composition() {
         use dolbie_core::cost::{ReciprocalCost, SumCost};
         let combined = ServerCost::new(0.8, 1.4, 1.6);
-        let composed =
-            SumCost::new(LinearCost::new(0.8, 0.0), ReciprocalCost::new(0.0, 1.4, 1.6));
+        let composed = SumCost::new(LinearCost::new(0.8, 0.0), ReciprocalCost::new(0.0, 1.4, 1.6));
         for k in 0..=10 {
             let x = k as f64 / 10.0;
             assert_eq!(combined.eval(x), composed.eval(x), "eval at {x}");
@@ -273,10 +272,7 @@ mod tests {
                 let x = k as f64 / 10.0;
                 let level = f.eval(x);
                 let back = f.max_share_within(level).unwrap();
-                assert!(
-                    (back - x).abs() < 1e-10,
-                    "m={m} s={s} c={c}: x={x} back={back}"
-                );
+                assert!((back - x).abs() < 1e-10, "m={m} s={s} c={c}: x={x} back={back}");
             }
             assert_eq!(f.max_share_within(-0.1), None);
             assert_eq!(f.max_share_within(1e12), Some(1.0));

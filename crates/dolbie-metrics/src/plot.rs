@@ -89,9 +89,8 @@ impl PlotConfig {
 }
 
 /// A categorical palette that stays readable on white (Okabe–Ito).
-const PALETTE: [&str; 8] = [
-    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000", "#F0E442",
-];
+const PALETTE: [&str; 8] =
+    ["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000", "#F0E442"];
 
 const MARGIN_LEFT: f64 = 72.0;
 const MARGIN_RIGHT: f64 = 24.0;
@@ -304,10 +303,7 @@ pub fn render_svg(config: &PlotConfig, series: &[Series]) -> String {
             let cmd = if i == 0 { 'M' } else { 'L' };
             let _ = write!(d, "{cmd}{:.1},{:.1} ", sx(x), sy(transform(y)));
         }
-        let _ = writeln!(
-            svg,
-            r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
-        );
+        let _ = writeln!(svg, r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.8"/>"#);
     }
     // Legend.
     for (k, s) in series.iter().enumerate() {
@@ -377,10 +373,7 @@ mod tests {
     #[test]
     fn log_scale_renders_decade_ticks() {
         let series = vec![Series::from_values("x", &[0.01, 0.1, 1.0, 10.0])];
-        let svg = render_svg(
-            &PlotConfig::new("Log", "round", "cost").with_log_y(),
-            &series,
-        );
+        let svg = render_svg(&PlotConfig::new("Log", "round", "cost").with_log_y(), &series);
         assert!(svg.contains(">0.010<") || svg.contains(">1.0e-2<"), "decade label present");
     }
 

@@ -111,13 +111,12 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let sign = d.signum();
                 let candidate = self.parabolic(i, sign);
-                let new_height = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, sign)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, sign)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += sign;
             }
@@ -204,10 +203,7 @@ mod tests {
             }
             let exact = exact_quantile(&samples, q);
             let est = p2.estimate().unwrap();
-            assert!(
-                (est - exact).abs() / exact < 0.15,
-                "q={q}: est {est} vs exact {exact}"
-            );
+            assert!((est - exact).abs() / exact < 0.15, "q={q}: est {est} vs exact {exact}");
         }
     }
 

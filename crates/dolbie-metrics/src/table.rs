@@ -88,11 +88,8 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "| {} |", self.columns.join(" | "));
-        let _ = writeln!(
-            out,
-            "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
-        );
+        let _ =
+            writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }

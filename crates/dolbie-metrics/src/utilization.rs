@@ -75,11 +75,8 @@ impl UtilizationTracker {
     pub fn record_round(&mut self, computation: &[f64], communication: &[f64]) {
         assert_eq!(computation.len(), self.breakdowns.len(), "one computation time per worker");
         assert_eq!(communication.len(), self.breakdowns.len(), "one communication time per worker");
-        let round_time = computation
-            .iter()
-            .zip(communication)
-            .map(|(&c, &m)| c + m)
-            .fold(f64::MIN, f64::max);
+        let round_time =
+            computation.iter().zip(communication).map(|(&c, &m)| c + m).fold(f64::MIN, f64::max);
         for (i, b) in self.breakdowns.iter_mut().enumerate() {
             b.computation += computation[i];
             b.communication += communication[i];

@@ -70,11 +70,7 @@ impl Dataset {
                     features.set(row, c, self.features.get(idx, c));
                 }
             }
-            Dataset {
-                features,
-                labels: self.labels[from..to].to_vec(),
-                classes: self.classes,
-            }
+            Dataset { features, labels: self.labels[from..to].to_vec(), classes: self.classes }
         };
         (take(0, cut), take(cut, self.len()))
     }

@@ -160,8 +160,7 @@ mod tests {
     fn ar1_multipliers_hover_around_one() {
         let mut f = Ar1Fluctuation::new(0.8, 0.1, 3);
         let n = 5_000;
-        let mean_log: f64 =
-            (0..n).map(|_| f.next_multiplier().ln()).sum::<f64>() / n as f64;
+        let mean_log: f64 = (0..n).map(|_| f.next_multiplier().ln()).sum::<f64>() / n as f64;
         assert!(mean_log.abs() < 0.05, "log-multipliers should center near 0: {mean_log}");
     }
 
@@ -170,8 +169,7 @@ mod tests {
         let mut f = Ar1Fluctuation::new(0.95, 0.05, 11);
         let xs: Vec<f64> = (0..2_000).map(|_| f.next_multiplier().ln()).collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let num: f64 =
-            xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+        let num: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
         let den: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
         let lag1 = num / den;
         assert!(lag1 > 0.7, "lag-1 autocorrelation should be high: {lag1}");

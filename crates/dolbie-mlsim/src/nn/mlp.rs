@@ -298,9 +298,9 @@ mod tests {
         let eps = 1e-6;
 
         let check = |getter: &dyn Fn(&Mlp) -> f64,
-                         setter: &dyn Fn(&mut Mlp, f64),
-                         analytic: f64,
-                         what: &str| {
+                     setter: &dyn Fn(&mut Mlp, f64),
+                     analytic: f64,
+                     what: &str| {
             let base = getter(&mlp);
             let mut plus = mlp.clone();
             setter(&mut plus, base + eps);
@@ -372,10 +372,7 @@ mod tests {
         };
         let plain = steps_to(None);
         let heavy = steps_to(Some(0.9));
-        assert!(
-            heavy < plain,
-            "momentum should converge faster: {heavy} vs {plain} steps"
-        );
+        assert!(heavy < plain, "momentum should converge faster: {heavy} vs {plain} steps");
     }
 
     #[test]

@@ -285,8 +285,7 @@ round,s0,s1,r0,r1
             TraceError::RaggedRows { round: 1 }
         );
         assert_eq!(
-            TraceEnvironment::new(MlModel::LeNet5, 1.0, vec![vec![1.0]], vec![])
-                .unwrap_err(),
+            TraceEnvironment::new(MlModel::LeNet5, 1.0, vec![vec![1.0]], vec![]).unwrap_err(),
             TraceError::ShapeMismatch
         );
         assert_eq!(

@@ -202,8 +202,7 @@ pub fn run_training(
 
         // Tuning phase: reveal the costs to the balancer, timing the
         // decision update itself (Fig. 11, lower panel).
-        let dyn_costs: Vec<DynCost> =
-            typed.iter().map(|c| Box::new(*c) as DynCost).collect();
+        let dyn_costs: Vec<DynCost> = typed.iter().map(|c| Box::new(*c) as DynCost).collect();
         let observation = Observation::from_costs(t, &allocation, &dyn_costs);
         timer.time(|| balancer.observe(&observation));
     }
@@ -267,8 +266,7 @@ mod tests {
         );
         // And waste less idle time.
         assert!(
-            dolbie_outcome.utilization.mean_idle_time()
-                < equ_outcome.utilization.mean_idle_time()
+            dolbie_outcome.utilization.mean_idle_time() < equ_outcome.utilization.mean_idle_time()
         );
     }
 

@@ -80,11 +80,7 @@ impl<E> EventQueue<E> {
     /// (events cannot fire in the past).
     pub fn schedule(&mut self, time: f64, event: E) {
         assert!(time.is_finite(), "event time must be finite");
-        assert!(
-            time + 1e-12 >= self.now,
-            "cannot schedule into the past: {time} < {}",
-            self.now
-        );
+        assert!(time + 1e-12 >= self.now, "cannot schedule into the past: {time} < {}", self.now);
         self.heap.push(Scheduled { time: time.max(self.now), seq: self.next_seq, event });
         self.next_seq += 1;
     }

@@ -10,10 +10,21 @@
 //! Per round this exchanges `N(N−1) + (N−1)` messages — the `O(N²)`
 //! communication complexity of §IV-C, traded for the removal of the single
 //! point of failure and for keeping decisions private from non-stragglers.
+//!
+//! Faults (extension): the simulator accepts the same
+//! [`FaultPlan`](crate::faults::FaultPlan) as the other architectures —
+//! crash windows freeze the crashed worker's share while the survivors
+//! balance among themselves, lossy links retransmit with ack/backoff, and
+//! membership collapse degrades gracefully: a lone survivor keeps its
+//! share and continues (matching the master-worker single-responder
+//! semantics), and a round with no survivors freezes every share instead
+//! of panicking. The plan's cost timeout is a coordinator-side concept and
+//! is ignored here — there is no master to enforce it.
 
 use crate::event::EventQueue;
+use crate::faults::{Crash, FaultPlan, LinkStats};
 use crate::latency::LatencyModel;
-use crate::master_worker::Crash;
+use crate::master_worker::frozen_round;
 use crate::message::{Message, NodeId, Payload};
 use crate::trace::{ProtocolRound, ProtocolTrace};
 use dolbie_core::observation::max_acceptable_share;
@@ -71,7 +82,7 @@ pub struct FullyDistributedSim<E, L> {
     latency: L,
     shares: Vec<f64>,
     local_alphas: Vec<f64>,
-    crashes: Vec<Crash>,
+    plan: FaultPlan,
 }
 
 impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
@@ -92,8 +103,23 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
             latency,
             shares: initial.into_inner(),
             local_alphas: vec![alpha; n],
-            crashes: Vec::new(),
+            plan: FaultPlan::none(),
         }
+    }
+
+    /// Installs a complete fault plan (crashes, lossy links). The plan's
+    /// cost timeout is ignored — there is no coordinator to enforce it.
+    /// Replaces any plan set earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a crash window names a worker index out of range.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        if let Some(max) = plan.max_crash_worker() {
+            assert!(max < self.shares.len(), "crash worker out of range");
+        }
+        self.plan = plan;
+        self
     }
 
     /// Injects a crash window (extension): the worker neither executes nor
@@ -107,7 +133,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
     /// Panics if the worker index is out of range.
     pub fn with_crash(mut self, crash: Crash) -> Self {
         assert!(crash.worker < self.shares.len(), "crash worker out of range");
-        self.crashes.push(crash);
+        self.plan.crashes.push(crash);
         self
     }
 
@@ -124,13 +150,49 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
         for t in 0..rounds {
             let fns = self.env.reveal(t);
             assert_eq!(fns.len(), n, "environment must cover every worker");
-            let crashed: Vec<bool> =
-                (0..n).map(|i| self.crashes.iter().any(|c| c.covers(i, t))).collect();
+            let crashed: Vec<bool> = (0..n).map(|i| self.plan.crashed(i, t)).collect();
             let alive_count = crashed.iter().filter(|&&c| !c).count();
-            assert!(alive_count >= 2, "round {t} needs at least two responsive workers");
             let local_costs: Vec<f64> = (0..n)
                 .map(|i| if crashed[i] { 0.0 } else { fns[i].eval(self.shares[i]) })
                 .collect();
+            if alive_count == 0 {
+                // Membership collapsed: freeze every share and continue.
+                trace.push(frozen_round(t, &self.shares, local_costs, &ready_at, n));
+                continue;
+            }
+            if alive_count == 1 {
+                // A lone survivor has no peers to coordinate with: it is
+                // trivially the straggler, absorbs the remainder of the
+                // frozen shares (its own current share, exactly), and
+                // continues — the master-worker single-responder
+                // semantics, without a panic.
+                let survivor = crashed.iter().position(|&c| !c).expect("one alive");
+                let finish = ready_at[survivor] + local_costs[survivor];
+                ready_at[survivor] = finish;
+                let others: f64 = (0..n).filter(|&j| j != survivor).map(|j| self.shares[j]).sum();
+                let s_share = (1.0 - others).max(0.0);
+                self.shares[survivor] = s_share;
+                self.local_alphas[survivor] =
+                    self.local_alphas[survivor].min(feasibility_cap(n, s_share));
+                let executed = Allocation::from_update(self.shares.clone())
+                    .expect("frozen shares stay feasible");
+                trace.push(ProtocolRound {
+                    round: t,
+                    allocation: executed,
+                    local_costs: local_costs.clone(),
+                    global_cost: local_costs[survivor],
+                    straggler: survivor,
+                    messages: 0,
+                    bytes: 0,
+                    retries: 0,
+                    acks: 0,
+                    duplicates: 0,
+                    compute_finished: finish,
+                    control_finished: finish,
+                    active: crashed.iter().map(|&c| !c).collect(),
+                });
+                continue;
+            }
 
             let mut queue: EventQueue<Ev> = EventQueue::new();
             for i in 0..n {
@@ -152,8 +214,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
             }
             let mut next_shares = self.shares.clone();
             let mut next_alphas = self.local_alphas.clone();
-            let mut messages = 0usize;
-            let mut bytes = 0usize;
+            let mut stats = LinkStats::default();
             let mut compute_finished = 0.0f64;
             let mut straggler_done_at = 0.0f64;
             let mut last_resolution_at = 0.0f64;
@@ -168,15 +229,15 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
             }
 
             let send = |queue: &mut EventQueue<Ev>,
-                            latency: &mut L,
-                            messages: &mut usize,
-                            bytes: &mut usize,
-                            msg: Message| {
-                *messages += 1;
-                *bytes += msg.size_bytes();
+                        latency: &mut L,
+                        plan: &FaultPlan,
+                        stats: &mut LinkStats,
+                        msg: Message| {
                 let delay = latency.delay(&msg);
                 assert!(delay >= 0.0, "latency model produced a negative delay");
-                queue.schedule(queue.now() + delay, Ev::Deliver(msg));
+                let outcome = plan.transmit(&msg, delay);
+                stats.record(&msg, &outcome);
+                queue.schedule(queue.now() + outcome.delivery_delay, Ev::Deliver(msg));
             };
 
             // A worker resolves as soon as it holds every broadcast (and,
@@ -197,8 +258,8 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                             send(
                                 &mut queue,
                                 &mut self.latency,
-                                &mut messages,
-                                &mut bytes,
+                                &self.plan,
+                                &mut stats,
                                 Message {
                                     from: NodeId::Worker(worker),
                                     to: NodeId::Worker(j),
@@ -228,10 +289,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                             }
                             Payload::Decision { share } => {
                                 let state = &mut states[me];
-                                assert!(
-                                    state.decisions[sender].is_none(),
-                                    "duplicate decision"
-                                );
+                                assert!(state.decisions[sender].is_none(), "duplicate decision");
                                 state.decisions[sender] = Some(share);
                                 state.decisions_received += 1;
                             }
@@ -244,23 +302,26 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                         }
                         // Lines 5-7: every worker derives the same view
                         // (crashed peers contribute no step size).
-                        let alpha_t = state
-                            .alphas
-                            .iter()
-                            .flatten()
-                            .fold(f64::INFINITY, |acc, &a| acc.min(a));
+                        let alpha_t =
+                            state.alphas.iter().flatten().fold(f64::INFINITY, |acc, &a| acc.min(a));
                         if me != straggler {
                             // Lines 8-10.
                             let x_i = self.shares[me];
                             let target = max_acceptable_share(&fns[me], x_i, global_cost);
                             let updated = x_i - alpha_t * (x_i - target);
                             next_shares[me] = updated;
-                            next_alphas[me] = self.local_alphas[me];
+                            // Adopt the consensus step size so the round's
+                            // minimum is replicated at every node — without
+                            // this a crash of the historical-minimum holder
+                            // would silently loosen later rounds' α, unlike
+                            // the master-worker protocol whose master
+                            // remembers every tightening.
+                            next_alphas[me] = alpha_t;
                             send(
                                 &mut queue,
                                 &mut self.latency,
-                                &mut messages,
-                                &mut bytes,
+                                &self.plan,
+                                &mut stats,
                                 Message {
                                     from: NodeId::Worker(me),
                                     to: NodeId::Worker(straggler),
@@ -288,8 +349,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                             }
                             let s_share = (1.0 - others).max(0.0);
                             next_shares[me] = s_share;
-                            next_alphas[me] =
-                                self.local_alphas[me].min(feasibility_cap(n, s_share));
+                            next_alphas[me] = alpha_t.min(feasibility_cap(n, s_share));
                             state.resolved = true;
                             resolved_count += 1;
                             ready_at[me] = now;
@@ -317,9 +377,10 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                         };
                     }
                     let s_share = (1.0 - others).max(0.0);
+                    let alpha_t =
+                        s_state.alphas.iter().flatten().fold(f64::INFINITY, |acc, &a| acc.min(a));
                     next_shares[straggler] = s_share;
-                    next_alphas[straggler] =
-                        self.local_alphas[straggler].min(feasibility_cap(n, s_share));
+                    next_alphas[straggler] = alpha_t.min(feasibility_cap(n, s_share));
                     s_state.resolved = true;
                     resolved_count += 1;
                     ready_at[straggler] = queue.now();
@@ -337,8 +398,11 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                 local_costs,
                 global_cost,
                 straggler,
-                messages,
-                bytes,
+                messages: stats.messages,
+                bytes: stats.bytes,
+                retries: stats.retries,
+                acks: stats.acks,
+                duplicates: stats.duplicates,
                 compute_finished,
                 control_finished: last_resolution_at.max(straggler_done_at),
                 active: crashed.iter().map(|&c| !c).collect(),
@@ -361,11 +425,8 @@ mod tests {
     #[test]
     fn message_count_is_quadratic() {
         for n in [2usize, 3, 5, 8] {
-            let env = StaticLinearEnvironment::from_slopes(
-                (1..=n).map(|i| i as f64).collect(),
-            );
-            let mut sim =
-                FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan());
+            let env = StaticLinearEnvironment::from_slopes((1..=n).map(|i| i as f64).collect());
+            let mut sim = FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan());
             let trace = sim.run(3);
             let expected = n * (n - 1) + (n - 1);
             for r in &trace.rounds {
@@ -377,10 +438,10 @@ mod tests {
     #[test]
     fn trajectory_matches_sequential_and_master_worker() {
         let env = RotatingStragglerEnvironment::new(5, 4, 7.0, 1.0);
-        let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
-            .run(40);
-        let mw = MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
-            .run(40);
+        let fd =
+            FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(40);
+        let mw =
+            MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(40);
         let mut sequential = Dolbie::new(5);
         let mut driver = env;
         let reference = run_episode(&mut sequential, &mut driver, EpisodeOptions::new(40));
@@ -404,10 +465,9 @@ mod tests {
         // indirectly through identical long-horizon trajectories on an
         // adversarial instance where α tightens repeatedly.
         let env = RotatingStragglerEnvironment::new(3, 1, 10.0, 0.5);
-        let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
-            .run(60);
-        let mw =
-            MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(60);
+        let fd =
+            FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(60);
+        let mw = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(60);
         let last_fd = fd.rounds.last().unwrap();
         let last_mw = mw.rounds.last().unwrap();
         assert!(last_fd.allocation.l2_distance(&last_mw.allocation) < 1e-9);
@@ -430,12 +490,29 @@ mod tests {
     }
 
     #[test]
+    fn decisions_survive_lossy_links_unchanged() {
+        let env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0, 2.0, 3.0]);
+        let clean =
+            FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(15);
+        let lossy = FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_fault_plan(
+                FaultPlan::seeded(7).with_drop_probability(0.25).with_duplicate_probability(0.05),
+            )
+            .run(15);
+        for (a, b) in clean.rounds.iter().zip(&lossy.rounds) {
+            assert!(a.allocation.l2_distance(&b.allocation) == 0.0, "round {}", a.round);
+            assert_eq!(a.messages, b.messages, "logical counts agree");
+        }
+        assert!(lossy.total_retries() > 0);
+        assert!(lossy.makespan() > clean.makespan());
+    }
+
+    #[test]
     fn byte_volume_exceeds_master_worker() {
         let env = StaticLinearEnvironment::from_slopes(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
-            .run(5);
-        let mw =
-            MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(5);
+        let fd =
+            FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(5);
+        let mw = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(5);
         assert!(fd.total_bytes() > mw.total_bytes());
         assert!(fd.total_messages() > mw.total_messages());
     }
@@ -443,14 +520,9 @@ mod tests {
     #[test]
     fn crash_window_freezes_share_and_survivors_rebalance() {
         let env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0, 2.0, 1.5]);
-        let trace =
-            FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan())
-                .with_crash(crate::master_worker::Crash {
-                    worker: 2,
-                    from_round: 6,
-                    until_round: 14,
-                })
-                .run(25);
+        let trace = FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(Crash { worker: 2, from_round: 6, until_round: 14 })
+            .run(25);
         let frozen = trace.rounds[6].allocation.share(2);
         for t in 6..14 {
             let r = &trace.rounds[t];
@@ -472,7 +544,7 @@ mod tests {
         // The two architectures implement the same recovery policy, so
         // their trajectories agree even through the crash window.
         let env = StaticLinearEnvironment::from_slopes(vec![5.0, 1.0, 2.0, 3.0, 1.2]);
-        let crash = crate::master_worker::Crash { worker: 1, from_round: 4, until_round: 10 };
+        let crash = Crash { worker: 1, from_round: 4, until_round: 10 };
         let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
             .with_crash(crash)
             .run(20);
@@ -488,6 +560,45 @@ mod tests {
                 m.allocation
             );
         }
+    }
+
+    #[test]
+    fn lone_survivor_round_freezes_and_continues() {
+        // Two of three workers crash: the pre-fix simulator panicked on
+        // `alive_count >= 2`; now the survivor carries its share through
+        // the round and the cluster re-balances after recovery — the same
+        // semantics as the master-worker protocol (asserted below).
+        let env = StaticLinearEnvironment::from_slopes(vec![3.0, 1.0, 2.0]);
+        let crash_a = Crash { worker: 0, from_round: 4, until_round: 7 };
+        let crash_b = Crash { worker: 2, from_round: 4, until_round: 7 };
+        let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(crash_a)
+            .with_crash(crash_b)
+            .run(12);
+        let mw = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(crash_a)
+            .with_crash(crash_b)
+            .run(12);
+        for t in 4..7 {
+            let r = &fd.rounds[t];
+            assert_eq!(r.active, vec![false, true, false], "round {t}: only worker 1 participates");
+            assert_eq!(r.straggler, 1, "a lone survivor is trivially the straggler");
+            assert_eq!(r.messages, 0, "no peers, no protocol traffic");
+            let sum: f64 = r.allocation.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(
+                (r.allocation.share(1) - fd.rounds[4].allocation.share(1)).abs() < 1e-12,
+                "round {t}: the survivor's share is stable while alone"
+            );
+        }
+        for (f, m) in fd.rounds.iter().zip(&mw.rounds) {
+            assert!(
+                f.allocation.l2_distance(&m.allocation) < 1e-9,
+                "round {}: FD and MW degrade identically",
+                f.round
+            );
+        }
+        assert!(fd.rounds[11].active.iter().all(|&a| a), "everyone rejoined");
     }
 
     #[test]

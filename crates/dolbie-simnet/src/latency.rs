@@ -84,11 +84,8 @@ impl JitteredLatency {
 
 impl LatencyModel for JitteredLatency {
     fn delay(&mut self, message: &Message) -> f64 {
-        let jitter = if self.jitter_max > 0.0 {
-            self.rng.gen_range(0.0..=self.jitter_max)
-        } else {
-            0.0
-        };
+        let jitter =
+            if self.jitter_max > 0.0 { self.rng.gen_range(0.0..=self.jitter_max) } else { 0.0 };
         self.fixed.delay(message) + jitter
     }
 }
@@ -175,7 +172,11 @@ impl PerLinkLatency {
                             far
                         } else {
                             let d = from.abs_diff(to);
-                            if d == 1 || d == n - 1 { near } else { far }
+                            if d == 1 || d == n - 1 {
+                                near
+                            } else {
+                                far
+                            }
                         }
                     })
                     .collect()
@@ -295,7 +296,8 @@ mod tests {
 
     #[test]
     fn degraded_node_stretches_matching_messages() {
-        let mut m = DegradedNode::new(FixedLatency::new(1.0, f64::INFINITY), NodeId::Worker(0), 3.0, 2, 5);
+        let mut m =
+            DegradedNode::new(FixedLatency::new(1.0, f64::INFINITY), NodeId::Worker(0), 3.0, 2, 5);
         assert_eq!(m.delay(&msg(0)), 1.0, "before the window");
         assert_eq!(m.delay(&msg(2)), 3.0, "inside the window");
         assert_eq!(m.delay(&msg(4)), 3.0);
@@ -313,11 +315,7 @@ mod tests {
     #[test]
     fn per_link_latency_uses_the_matrix() {
         let mut m = PerLinkLatency::new(
-            vec![
-                vec![0.0, 0.001, 0.5],
-                vec![0.001, 0.0, 0.5],
-                vec![0.5, 0.5, 0.0],
-            ],
+            vec![vec![0.0, 0.001, 0.5], vec![0.001, 0.0, 0.5], vec![0.5, 0.5, 0.0]],
             f64::INFINITY,
         );
         // Worker 0 -> worker 1: near link.

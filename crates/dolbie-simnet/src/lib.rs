@@ -10,14 +10,21 @@
 //!   broadcast, decisions sent only to the straggler. `N(N−1) + (N−1)`
 //!   messages per round, `Θ(N²)` bytes, no single point of failure.
 //! - [`RingSim`] — an extension architecture: a leaderless token ring
-//!   with `2N + 1` messages but `O(N)` protocol depth, trading latency
-//!   for both low message volume and no coordinator.
+//!   with `2N + 1` messages per round — `2N` when the ring head is itself
+//!   the straggler, since no assignment hop is needed — but `O(N)`
+//!   protocol depth, trading latency for both low message volume and no
+//!   coordinator.
 //! - [`threaded`] — Algorithm 1 executed across real OS threads over
 //!   crossbeam channels, verifying that the protocol is deterministic
 //!   under true concurrency.
-//! - [`latency::DegradedNode`] — fault injection (slow links/NICs), used to
-//!   demonstrate that DOLBIE's *decisions* are delay-invariant even when
-//!   the wall clock is not.
+//! - [`faults::FaultPlan`] — a deterministic, seeded fault-injection plan
+//!   (crash windows, per-link drop/duplication probabilities, cost
+//!   timeouts) accepted by all three protocol simulators; lossy links are
+//!   survived with ack/retry-with-backoff and membership collapse
+//!   degrades gracefully (shares freeze, the run continues).
+//! - [`latency::DegradedNode`] — latency-side fault injection (slow
+//!   links/NICs), used to demonstrate that DOLBIE's *decisions* are
+//!   delay-invariant even when the wall clock is not.
 //!
 //! All three implementations are tested to produce trajectories identical
 //! to the sequential engine in `dolbie-core`, which is what licenses the
@@ -27,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod faults;
 pub mod fully_distributed;
 pub mod latency;
 pub mod master_worker;
@@ -35,9 +43,10 @@ pub mod ring;
 pub mod threaded;
 pub mod trace;
 
+pub use faults::{Crash, FaultPlan, LinkStats, RetryPolicy};
 pub use fully_distributed::FullyDistributedSim;
 pub use latency::{DegradedNode, FixedLatency, JitteredLatency, LatencyModel, PerLinkLatency};
-pub use master_worker::{Crash, MasterWorkerSim};
-pub use ring::RingSim;
+pub use master_worker::MasterWorkerSim;
 pub use message::{Message, NodeId, Payload};
+pub use ring::RingSim;
 pub use trace::{ProtocolRound, ProtocolTrace};

@@ -19,12 +19,27 @@
 //! Because the ring accumulates shares in ascending worker order — the
 //! same order the other implementations use — the trajectory is
 //! *identical* to master-worker, fully-distributed, and the sequential
-//! engine (tested). Total: `2N + 1` messages per round, `Θ(N)` bytes,
-//! but the decision phase takes `2N` sequential hops instead of a
-//! constant number.
+//! engine (tested). Total: `2N + 1` messages per round — `2N` when the
+//! ring head (worker 0) is itself the straggler, since the final
+//! assignment hop is not needed — `Θ(N)` bytes, but the decision phase
+//! takes `2N` sequential hops instead of a constant number.
+//!
+//! Faults (extension): the simulator accepts the same
+//! [`FaultPlan`](crate::faults::FaultPlan) as the other architectures.
+//! Crashed workers are spliced out of the ring — the token circulates
+//! among the `A` survivors in ascending worker order, the lowest-indexed
+//! survivor acts as the ring head, and the crashed workers' shares stay
+//! frozen while the survivors rebalance the remainder (`2A + 1` messages,
+//! `2A` when the head is the straggler). Lossy links retransmit with
+//! ack/backoff, and membership collapse degrades gracefully exactly like
+//! the other two architectures: a lone survivor keeps its share, an empty
+//! membership freezes every share, and the run continues. The plan's cost
+//! timeout is a coordinator-side concept and is ignored here.
 
 use crate::event::EventQueue;
+use crate::faults::{Crash, FaultPlan, LinkStats};
 use crate::latency::LatencyModel;
+use crate::master_worker::frozen_round;
 use crate::message::{Message, NodeId, Payload};
 use crate::trace::{ProtocolRound, ProtocolTrace};
 use dolbie_core::observation::max_acceptable_share;
@@ -59,6 +74,7 @@ pub struct RingSim<E, L> {
     latency: L,
     shares: Vec<f64>,
     local_alphas: Vec<f64>,
+    plan: FaultPlan,
 }
 
 impl<E: Environment, L: LatencyModel> RingSim<E, L> {
@@ -72,7 +88,41 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
         assert!(n >= 2, "the ring protocol needs at least two workers");
         let initial = Allocation::uniform(n);
         let alpha = config.resolve_initial_alpha(&initial);
-        Self { env, latency, shares: initial.into_inner(), local_alphas: vec![alpha; n] }
+        Self {
+            env,
+            latency,
+            shares: initial.into_inner(),
+            local_alphas: vec![alpha; n],
+            plan: FaultPlan::none(),
+        }
+    }
+
+    /// Installs a complete fault plan (crashes, lossy links). The plan's
+    /// cost timeout is ignored — there is no coordinator to enforce it.
+    /// Replaces any plan set earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a crash window names a worker index out of range.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        if let Some(max) = plan.max_crash_worker() {
+            assert!(max < self.shares.len(), "crash worker out of range");
+        }
+        self.plan = plan;
+        self
+    }
+
+    /// Injects a crash window (extension): the worker is spliced out of
+    /// the ring during `[from_round, until_round)`, its share frozen, and
+    /// the token circulates among the survivors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker index is out of range.
+    pub fn with_crash(mut self, crash: Crash) -> Self {
+        assert!(crash.worker < self.shares.len(), "crash worker out of range");
+        self.plan.crashes.push(crash);
+        self
     }
 
     /// Runs the protocol for `rounds` rounds.
@@ -88,12 +138,61 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
         for t in 0..rounds {
             let fns = self.env.reveal(t);
             assert_eq!(fns.len(), n, "environment must cover every worker");
-            let local_costs: Vec<f64> =
-                (0..n).map(|i| fns[i].eval(self.shares[i])).collect();
+            let crashed: Vec<bool> = (0..n).map(|i| self.plan.crashed(i, t)).collect();
+            let alive: Vec<usize> = (0..n).filter(|&i| !crashed[i]).collect();
+            let local_costs: Vec<f64> = (0..n)
+                .map(|i| if crashed[i] { 0.0 } else { fns[i].eval(self.shares[i]) })
+                .collect();
+            if alive.is_empty() {
+                // Membership collapsed: freeze every share and continue.
+                trace.push(frozen_round(t, &self.shares, local_costs, &ready_at, n));
+                continue;
+            }
+            if alive.len() == 1 {
+                // A ring of one has no token to pass: the survivor is
+                // trivially the straggler, keeps the remainder of the
+                // frozen shares, and continues (master-worker semantics).
+                let survivor = alive[0];
+                let finish = ready_at[survivor] + local_costs[survivor];
+                ready_at[survivor] = finish;
+                let others: f64 = (0..n).filter(|&j| j != survivor).map(|j| self.shares[j]).sum();
+                let s_share = (1.0 - others).max(0.0);
+                self.shares[survivor] = s_share;
+                self.local_alphas[survivor] =
+                    self.local_alphas[survivor].min(feasibility_cap(n, s_share));
+                let executed = Allocation::from_update(self.shares.clone())
+                    .expect("frozen shares stay feasible");
+                trace.push(ProtocolRound {
+                    round: t,
+                    allocation: executed,
+                    local_costs: local_costs.clone(),
+                    global_cost: local_costs[survivor],
+                    straggler: survivor,
+                    messages: 0,
+                    bytes: 0,
+                    retries: 0,
+                    acks: 0,
+                    duplicates: 0,
+                    compute_finished: finish,
+                    control_finished: finish,
+                    active: crashed.iter().map(|&c| !c).collect(),
+                });
+                continue;
+            }
+
+            // The ring of survivors, in ascending worker order; the
+            // lowest-indexed survivor is the head (originates the token
+            // and computes the straggler remainder).
+            let head = alive[0];
+            let mut succ = vec![usize::MAX; n];
+            for (k, &w) in alive.iter().enumerate() {
+                succ[w] = alive[(k + 1) % alive.len()];
+            }
+            let frozen_sum: f64 = (0..n).filter(|&j| crashed[j]).map(|j| self.shares[j]).sum();
 
             let mut queue: EventQueue<Ev> = EventQueue::new();
-            for (i, (&ready, &cost)) in ready_at.iter().zip(&local_costs).enumerate() {
-                queue.schedule(ready + cost, Ev::ComputeDone { worker: i });
+            for &i in &alive {
+                queue.schedule(ready_at[i] + local_costs[i], Ev::ComputeDone { worker: i });
             }
 
             let mut computed = vec![false; n];
@@ -102,24 +201,26 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
             let mut pending_aggregate: Option<(usize, f64, usize, f64)> = None;
             let mut next_shares = self.shares.clone();
             let mut next_alphas = self.local_alphas.clone();
-            let mut messages = 0usize;
-            let mut bytes = 0usize;
+            let mut stats = LinkStats::default();
             let mut compute_finished = 0.0f64;
             let mut control_finished = 0.0f64;
             let mut round_done = false;
             let mut global_cost = f64::MIN;
             let mut straggler = 0usize;
+            // The consensus α the straggler saw on its pass-2 hop, applied
+            // when its assignment arrives.
+            let mut straggler_alpha = f64::INFINITY;
 
             let send = |queue: &mut EventQueue<Ev>,
                         latency: &mut L,
-                        messages: &mut usize,
-                        bytes: &mut usize,
+                        plan: &FaultPlan,
+                        stats: &mut LinkStats,
                         msg: Message| {
-                *messages += 1;
-                *bytes += msg.size_bytes();
                 let delay = latency.delay(&msg);
                 assert!(delay >= 0.0, "latency model produced a negative delay");
-                queue.schedule(queue.now() + delay, Ev::Deliver(msg));
+                let outcome = plan.transmit(&msg, delay);
+                stats.record(&msg, &outcome);
+                queue.schedule(queue.now() + outcome.delivery_delay, Ev::Deliver(msg));
             };
 
             while let Some(scheduled) = queue.pop() {
@@ -131,21 +232,21 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                     Ev::ComputeDone { worker } => {
                         compute_finished = compute_finished.max(now);
                         computed[worker] = true;
-                        if worker == 0 {
-                            // Worker 0 originates the aggregation token.
+                        if worker == head {
+                            // The head originates the aggregation token.
                             send(
                                 &mut queue,
                                 &mut self.latency,
-                                &mut messages,
-                                &mut bytes,
+                                &self.plan,
+                                &mut stats,
                                 Message {
-                                    from: NodeId::Worker(0),
-                                    to: NodeId::Worker(1 % n),
+                                    from: NodeId::Worker(head),
+                                    to: NodeId::Worker(succ[head]),
                                     round: t,
                                     payload: Payload::RingAggregate {
-                                        max_cost: local_costs[0],
-                                        straggler: 0,
-                                        min_alpha: self.local_alphas[0],
+                                        max_cost: local_costs[head],
+                                        straggler: head,
+                                        min_alpha: self.local_alphas[head],
                                     },
                                 },
                             );
@@ -164,11 +265,11 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                 send(
                                     &mut queue,
                                     &mut self.latency,
-                                    &mut messages,
-                                    &mut bytes,
+                                    &self.plan,
+                                    &mut stats,
                                     Message {
                                         from: NodeId::Worker(worker),
-                                        to: NodeId::Worker((worker + 1) % n),
+                                        to: NodeId::Worker(succ[worker]),
                                         round: t,
                                         payload: Payload::RingAggregate {
                                             max_cost,
@@ -188,31 +289,37 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                         };
                         match msg.payload {
                             Payload::RingAggregate { max_cost, straggler: arg, min_alpha } => {
-                                if me == 0 {
-                                    // Pass 1 complete: worker 0 knows the
+                                if me == head {
+                                    // Pass 1 complete: the head knows the
                                     // round scalars and starts pass 2 with
                                     // its own eq. (5) update folded in.
                                     global_cost = max_cost;
                                     straggler = arg;
                                     let alpha = min_alpha;
+                                    // Adopt the consensus step size so the
+                                    // round's minimum survives a later
+                                    // crash of whichever worker produced
+                                    // it (every node does this as the
+                                    // update token passes).
+                                    next_alphas[head] = alpha;
                                     let mut sum = 0.0;
-                                    if straggler != 0 {
-                                        let x0 = self.shares[0];
+                                    if straggler != head {
+                                        let x0 = self.shares[head];
                                         let target =
-                                            max_acceptable_share(&fns[0], x0, global_cost);
+                                            max_acceptable_share(&fns[head], x0, global_cost);
                                         let updated = x0 - alpha * (x0 - target);
-                                        next_shares[0] = updated;
-                                        ready_at[0] = now;
+                                        next_shares[head] = updated;
+                                        ready_at[head] = now;
                                         sum += updated;
                                     }
                                     send(
                                         &mut queue,
                                         &mut self.latency,
-                                        &mut messages,
-                                        &mut bytes,
+                                        &self.plan,
+                                        &mut stats,
                                         Message {
-                                            from: NodeId::Worker(0),
-                                            to: NodeId::Worker(1 % n),
+                                            from: NodeId::Worker(head),
+                                            to: NodeId::Worker(succ[head]),
                                             round: t,
                                             payload: Payload::RingUpdate {
                                                 global_cost,
@@ -233,11 +340,11 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                     send(
                                         &mut queue,
                                         &mut self.latency,
-                                        &mut messages,
-                                        &mut bytes,
+                                        &self.plan,
+                                        &mut stats,
                                         Message {
                                             from: NodeId::Worker(me),
-                                            to: NodeId::Worker((me + 1) % n),
+                                            to: NodeId::Worker(succ[me]),
                                             round: t,
                                             payload: Payload::RingAggregate {
                                                 max_cost,
@@ -258,25 +365,25 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                 alpha,
                                 sum_shares,
                             } => {
-                                if me == 0 {
-                                    // Pass 2 complete: deliver the
-                                    // remainder to the straggler.
-                                    let s_share = (1.0 - sum_shares).max(0.0);
-                                    if s == 0 {
-                                        next_shares[0] = s_share;
-                                        next_alphas[0] = self.local_alphas[0]
-                                            .min(feasibility_cap(n, s_share));
-                                        ready_at[0] = now;
+                                if me == head {
+                                    // Pass 2 complete: the straggler's
+                                    // remainder excludes the shares frozen
+                                    // by crashed workers.
+                                    let s_share = (1.0 - sum_shares - frozen_sum).max(0.0);
+                                    if s == head {
+                                        next_shares[head] = s_share;
+                                        next_alphas[head] = alpha.min(feasibility_cap(n, s_share));
+                                        ready_at[head] = now;
                                         control_finished = now;
                                         round_done = true;
                                     } else {
                                         send(
                                             &mut queue,
                                             &mut self.latency,
-                                            &mut messages,
-                                            &mut bytes,
+                                            &self.plan,
+                                            &mut stats,
                                             Message {
-                                                from: NodeId::Worker(0),
+                                                from: NodeId::Worker(head),
                                                 to: NodeId::Worker(s),
                                                 round: t,
                                                 payload: Payload::StragglerAssignment {
@@ -289,21 +396,23 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                     let mut sum = sum_shares;
                                     if me != s {
                                         let x_i = self.shares[me];
-                                        let target =
-                                            max_acceptable_share(&fns[me], x_i, l_t);
+                                        let target = max_acceptable_share(&fns[me], x_i, l_t);
                                         let updated = x_i - alpha * (x_i - target);
                                         next_shares[me] = updated;
+                                        next_alphas[me] = alpha;
                                         ready_at[me] = now;
                                         sum += updated;
+                                    } else {
+                                        straggler_alpha = alpha;
                                     }
                                     send(
                                         &mut queue,
                                         &mut self.latency,
-                                        &mut messages,
-                                        &mut bytes,
+                                        &self.plan,
+                                        &mut stats,
                                         Message {
                                             from: NodeId::Worker(me),
-                                            to: NodeId::Worker((me + 1) % n),
+                                            to: NodeId::Worker(succ[me]),
                                             round: t,
                                             payload: Payload::RingUpdate {
                                                 global_cost: l_t,
@@ -316,9 +425,12 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                 }
                             }
                             Payload::StragglerAssignment { share } => {
+                                assert!(
+                                    straggler_alpha.is_finite(),
+                                    "assignment must follow the update token"
+                                );
                                 next_shares[me] = share;
-                                next_alphas[me] =
-                                    self.local_alphas[me].min(feasibility_cap(n, share));
+                                next_alphas[me] = straggler_alpha.min(feasibility_cap(n, share));
                                 ready_at[me] = now;
                                 control_finished = now;
                                 round_done = true;
@@ -338,11 +450,14 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                 local_costs,
                 global_cost,
                 straggler,
-                messages,
-                bytes,
+                messages: stats.messages,
+                bytes: stats.bytes,
+                retries: stats.retries,
+                acks: stats.acks,
+                duplicates: stats.duplicates,
                 compute_finished,
                 control_finished,
-                active: vec![true; n],
+                active: crashed.iter().map(|&c| !c).collect(),
             });
             self.shares = next_shares;
             self.local_alphas = next_alphas;
@@ -361,8 +476,7 @@ mod tests {
     #[test]
     fn message_count_is_2n_plus_1() {
         for n in [2usize, 3, 5, 8] {
-            let env =
-                StaticLinearEnvironment::from_slopes((1..=n).map(|i| i as f64).collect());
+            let env = StaticLinearEnvironment::from_slopes((1..=n).map(|i| i as f64).collect());
             let mut sim = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan());
             let trace = sim.run(4);
             for r in &trace.rounds {
@@ -376,11 +490,28 @@ mod tests {
     }
 
     #[test]
+    fn message_count_is_exact_for_every_straggler_position() {
+        // Engineer each straggler position in turn and assert the exact
+        // count: 2N + 1 hops, minus the assignment hop when the head
+        // (worker 0) is itself the straggler.
+        let n = 5usize;
+        for s in 0..n {
+            let slopes: Vec<f64> =
+                (0..n).map(|i| if i == s { 50.0 } else { 1.0 + 0.1 * i as f64 }).collect();
+            let env = StaticLinearEnvironment::from_slopes(slopes);
+            let trace = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(1);
+            let r = &trace.rounds[0];
+            assert_eq!(r.straggler, s, "the engineered straggler position");
+            let expected = if s == 0 { 2 * n } else { 2 * n + 1 };
+            assert_eq!(r.messages, expected, "straggler at position {s}");
+        }
+    }
+
+    #[test]
     fn trajectory_matches_master_worker() {
         let env = RotatingStragglerEnvironment::new(6, 4, 7.0, 1.0);
         let ring = RingSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(40);
-        let mw =
-            MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(40);
+        let mw = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(40);
         for (r, m) in ring.rounds.iter().zip(&mw.rounds) {
             assert!(
                 r.allocation.l2_distance(&m.allocation) < 1e-9,
@@ -427,6 +558,116 @@ mod tests {
         let trace = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(5);
         // 2N+1 messages of <= 44 bytes each.
         assert!(trace.rounds[0].bytes <= (2 * n + 1) * 44);
+    }
+
+    #[test]
+    fn decisions_survive_lossy_links_unchanged() {
+        let env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0, 2.0, 3.0]);
+        let clean = RingSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(15);
+        let lossy = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_fault_plan(
+                FaultPlan::seeded(11).with_drop_probability(0.25).with_duplicate_probability(0.05),
+            )
+            .run(15);
+        for (a, b) in clean.rounds.iter().zip(&lossy.rounds) {
+            assert!(a.allocation.l2_distance(&b.allocation) == 0.0, "round {}", a.round);
+            assert_eq!(a.messages, b.messages, "logical counts agree");
+        }
+        assert!(lossy.total_retries() > 0);
+        assert!(lossy.makespan() > clean.makespan());
+    }
+
+    #[test]
+    fn crash_splices_worker_out_of_the_ring() {
+        let env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0, 2.0, 1.5]);
+        let trace = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(Crash { worker: 2, from_round: 6, until_round: 14 })
+            .run(25);
+        let frozen = trace.rounds[6].allocation.share(2);
+        for t in 6..14 {
+            let r = &trace.rounds[t];
+            assert!(!r.active[2], "round {t}");
+            assert!((r.allocation.share(2) - frozen).abs() < 1e-12, "round {t}");
+            let sum: f64 = r.allocation.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            // The token circulates among A = 3 survivors: 2A hops plus
+            // the assignment hop unless the head is the straggler.
+            let expected = if r.straggler == 0 { 6 } else { 7 };
+            assert_eq!(r.messages, expected, "round {t}");
+        }
+        assert!(trace.rounds[24].active[2], "worker rejoined");
+    }
+
+    #[test]
+    fn crashed_head_hands_the_ring_to_the_next_survivor() {
+        // Worker 0 (the usual head/originator) crashes: worker 1 must
+        // take over token origination and remainder computation.
+        let env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0, 2.0, 1.5]);
+        let crash = Crash { worker: 0, from_round: 3, until_round: 8 };
+        let ring = RingSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(crash)
+            .run(15);
+        let mw = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(crash)
+            .run(15);
+        for t in 3..8 {
+            let r = &ring.rounds[t];
+            assert!(!r.active[0], "round {t}");
+            let sum: f64 = r.allocation.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        for (r, m) in ring.rounds.iter().zip(&mw.rounds) {
+            assert!(
+                r.allocation.l2_distance(&m.allocation) < 1e-9,
+                "round {}: ring and MW degrade identically",
+                r.round
+            );
+        }
+    }
+
+    #[test]
+    fn crash_equivalence_with_master_worker() {
+        let env = StaticLinearEnvironment::from_slopes(vec![5.0, 1.0, 2.0, 3.0, 1.2]);
+        let crash = Crash { worker: 1, from_round: 4, until_round: 10 };
+        let ring = RingSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(crash)
+            .run(20);
+        let mw = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(crash)
+            .run(20);
+        for (r, m) in ring.rounds.iter().zip(&mw.rounds) {
+            assert!(
+                r.allocation.l2_distance(&m.allocation) < 1e-9,
+                "round {}: ring {} vs mw {}",
+                r.round,
+                r.allocation,
+                m.allocation
+            );
+        }
+    }
+
+    #[test]
+    fn lone_survivor_and_empty_membership_freeze_and_continue() {
+        let env = StaticLinearEnvironment::from_slopes(vec![3.0, 1.0, 2.0]);
+        let trace = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(Crash { worker: 0, from_round: 4, until_round: 7 })
+            .with_crash(Crash { worker: 2, from_round: 4, until_round: 7 })
+            .with_crash(Crash { worker: 1, from_round: 5, until_round: 6 })
+            .run(12);
+        // Round 4 and 6: one survivor; round 5: nobody alive.
+        for t in [4usize, 6] {
+            let r = &trace.rounds[t];
+            assert_eq!(r.active, vec![false, true, false], "round {t}");
+            assert_eq!(r.messages, 0, "round {t}: a ring of one passes no token");
+            let sum: f64 = r.allocation.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        let dead = &trace.rounds[5];
+        assert!(dead.active.iter().all(|&a| !a));
+        assert_eq!(dead.messages, 0);
+        let sum: f64 = dead.allocation.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "frozen shares stay feasible");
+        assert!(trace.rounds[11].active.iter().all(|&a| a), "everyone rejoined");
     }
 
     #[test]

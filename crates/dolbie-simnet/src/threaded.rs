@@ -108,9 +108,7 @@ pub fn run_threaded_master_worker<E: Environment>(
         assert_eq!(fns.len(), n, "environment must cover every worker");
         // Hand each worker its revealed cost function for the round.
         for (worker, cost_fn) in fns.drain(..).enumerate().rev() {
-            to_worker_txs[worker]
-                .send(ToWorker::Round { cost_fn })
-                .expect("worker thread alive");
+            to_worker_txs[worker].send(ToWorker::Round { cost_fn }).expect("worker thread alive");
         }
         // Lines 9-11: collect local costs.
         let mut local_costs = vec![0.0f64; n];
@@ -130,12 +128,8 @@ pub fn run_threaded_master_worker<E: Environment>(
         }
         // Line 12.
         for (j, tx) in to_worker_txs.iter().enumerate() {
-            tx.send(ToWorker::Coordination {
-                global_cost,
-                alpha,
-                is_straggler: j == straggler,
-            })
-            .expect("worker thread alive");
+            tx.send(ToWorker::Coordination { global_cost, alpha, is_straggler: j == straggler })
+                .expect("worker thread alive");
         }
         // Lines 13-14.
         let mut decisions: Vec<Option<f64>> = vec![None; n];
@@ -163,8 +157,8 @@ pub fn run_threaded_master_worker<E: Environment>(
         // Line 16 / eq. (7).
         alpha = alpha.min(feasibility_cap(n, s_share));
 
-        let executed = Allocation::from_update(shares.clone())
-            .expect("protocol preserves feasibility");
+        let executed =
+            Allocation::from_update(shares.clone()).expect("protocol preserves feasibility");
         shares = next_shares;
         records.push(ThreadedRound {
             round: t,

@@ -15,10 +15,19 @@ pub struct ProtocolRound {
     pub global_cost: f64,
     /// The straggler `s_t`.
     pub straggler: usize,
-    /// Protocol messages exchanged this round.
+    /// Logical protocol messages exchanged this round (the §IV-C counts).
     pub messages: usize,
-    /// Protocol bytes exchanged this round.
+    /// Wire bytes exchanged this round, including link-layer
+    /// retransmissions, duplicates, and acks under a lossy fault plan.
     pub bytes: usize,
+    /// Link-layer data retransmissions beyond each message's first
+    /// attempt (0 on lossless links).
+    pub retries: usize,
+    /// Link-layer acknowledgement frames (0 on lossless links).
+    pub acks: usize,
+    /// Network-duplicated data copies, deduplicated before the protocol
+    /// saw them (0 on lossless links).
+    pub duplicates: usize,
     /// Simulated time at which the last worker finished executing.
     pub compute_finished: f64,
     /// Simulated time at which the decision phase completed (every worker
@@ -32,8 +41,13 @@ pub struct ProtocolRound {
 impl ProtocolRound {
     /// The decision-phase overhead: wall-clock spent coordinating after the
     /// last worker finished computing.
+    ///
+    /// Clamped at zero: in a timeout round the excluded worker's abandoned
+    /// execution counts toward `compute_finished` and can outlast the
+    /// decision phase, in which case the round had no idle coordination
+    /// tail at all — compute time is never attributed to control.
     pub fn control_overhead(&self) -> f64 {
-        self.control_finished - self.compute_finished
+        (self.control_finished - self.compute_finished).max(0.0)
     }
 }
 
@@ -56,6 +70,23 @@ impl ProtocolTrace {
     /// Total bytes over the run.
     pub fn total_bytes(&self) -> usize {
         self.rounds.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Total link-layer retransmissions over the run.
+    pub fn total_retries(&self) -> usize {
+        self.rounds.iter().map(|r| r.retries).sum()
+    }
+
+    /// Total link-layer acknowledgement frames over the run.
+    pub fn total_acks(&self) -> usize {
+        self.rounds.iter().map(|r| r.acks).sum()
+    }
+
+    /// Rounds in which at least one worker sat out the decision phase
+    /// (crashed or timed out) — the "recovery rounds" of the fault
+    /// experiments.
+    pub fn degraded_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.active.iter().any(|&a| !a)).count()
     }
 
     /// The sequence of executed allocations, for trajectory comparisons.
@@ -95,6 +126,9 @@ mod tests {
             straggler: 0,
             messages: msgs,
             bytes,
+            retries: 0,
+            acks: 0,
+            duplicates: 0,
             compute_finished: t as f64 + 1.0,
             control_finished: t as f64 + 1.25,
             active: vec![true; 2],
@@ -109,11 +143,33 @@ mod tests {
         };
         assert_eq!(trace.total_messages(), 12);
         assert_eq!(trace.total_bytes(), 200);
+        assert_eq!(trace.total_retries(), 0);
+        assert_eq!(trace.total_acks(), 0);
+        assert_eq!(trace.degraded_rounds(), 0);
         assert_eq!(trace.allocations().len(), 2);
         assert!((trace.total_cost() - 2.0).abs() < 1e-12);
         assert!((trace.makespan() - 2.25).abs() < 1e-12);
         assert!((trace.mean_control_overhead() - 0.25).abs() < 1e-12);
         assert!((trace.rounds[0].control_overhead() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_overhead_is_clamped_when_compute_outlasts_control() {
+        let mut r = round(0, 3, 10);
+        r.compute_finished = 5.0;
+        r.control_finished = 1.5;
+        assert_eq!(r.control_overhead(), 0.0, "compute time is not control overhead");
+    }
+
+    #[test]
+    fn degraded_rounds_count_partial_participation() {
+        let mut degraded = round(1, 4, 80);
+        degraded.active = vec![true, false];
+        let trace = ProtocolTrace {
+            architecture: "master-worker",
+            rounds: vec![round(0, 6, 100), degraded],
+        };
+        assert_eq!(trace.degraded_rounds(), 1);
     }
 
     #[test]

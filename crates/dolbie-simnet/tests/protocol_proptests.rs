@@ -6,9 +6,7 @@ use dolbie_core::cost::{DynCost, LatencyCost, LinearCost};
 use dolbie_core::environment::FnEnvironment;
 use dolbie_core::{run_episode, Dolbie, DolbieConfig, EpisodeOptions};
 use dolbie_simnet::threaded::run_threaded_master_worker;
-use dolbie_simnet::{
-    FixedLatency, FullyDistributedSim, JitteredLatency, MasterWorkerSim, RingSim,
-};
+use dolbie_simnet::{FixedLatency, FullyDistributedSim, JitteredLatency, MasterWorkerSim, RingSim};
 use proptest::prelude::*;
 
 /// Deterministic, seed-derived per-round latency costs.

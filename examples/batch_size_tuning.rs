@@ -40,9 +40,8 @@ fn main() {
 
     let equ = results.iter().find(|o| o.algorithm == "EQU").expect("EQU ran");
     let dolbie = results.iter().find(|o| o.algorithm == "DOLBIE").expect("DOLBIE ran");
-    let speedup = (equ.total_wall_clock() - dolbie.total_wall_clock())
-        / equ.total_wall_clock()
-        * 100.0;
+    let speedup =
+        (equ.total_wall_clock() - dolbie.total_wall_clock()) / equ.total_wall_clock() * 100.0;
     println!("\nDOLBIE cut total training wall-clock by {speedup:.1}% vs equal assignment.");
     assert!(dolbie.total_wall_clock() < equ.total_wall_clock());
 }

@@ -8,8 +8,8 @@
 
 use dolbie::core::cost::{CostFunction, EmpiricalCost};
 use dolbie::core::{
-    instantaneous_minimizer_capped, run_episode, Allocation, BanditDolbie, Dolbie,
-    DolbieConfig, EpisodeOptions, LoadBalancer, Observation,
+    instantaneous_minimizer_capped, run_episode, Allocation, BanditDolbie, Dolbie, DolbieConfig,
+    EpisodeOptions, LoadBalancer, Observation,
 };
 use dolbie::mlsim::{MlModel, TraceEnvironment};
 
@@ -24,8 +24,8 @@ round,s0,s1,s2,r0,r1,r2
 2, 1600, 150, 590, 2.1e9, 7e8, 1.5e9
 3, 1550, 185, 610, 1.9e9, 8e8, 1.6e9
 ";
-    let mut env = TraceEnvironment::from_csv(MlModel::ResNet18, 256.0, csv)
-        .expect("well-formed trace");
+    let mut env =
+        TraceEnvironment::from_csv(MlModel::ResNet18, 256.0, csv).expect("well-formed trace");
     println!("replaying a {}-round measured trace over 3 workers", env.trace_len());
 
     // 2) Cap worker 0 (say it must keep capacity for another tenant).
@@ -76,10 +76,8 @@ round,s0,s1,s2,r0,r1,r2
     );
 
     // It can drive a DOLBIE round directly.
-    let fns: Vec<dolbie::core::cost::DynCost> = vec![
-        Box::new(fitted),
-        Box::new(dolbie::core::cost::LinearCost::new(0.6, 0.05)),
-    ];
+    let fns: Vec<dolbie::core::cost::DynCost> =
+        vec![Box::new(fitted), Box::new(dolbie::core::cost::LinearCost::new(0.6, 0.05))];
     let mut dolbie = Dolbie::new(2);
     let played = dolbie.allocation().clone();
     let obs = Observation::from_costs(0, &played, &fns);

@@ -18,10 +18,10 @@ fn main() {
     // The slow worker rotates every 5 rounds: a genuinely dynamic system.
     let env = RotatingStragglerEnvironment::new(n, 5, 6.0, 1.0);
 
-    let mw = MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
-        .run(rounds);
-    let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
-        .run(rounds);
+    let mw =
+        MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(rounds);
+    let fd =
+        FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(rounds);
     let ring = RingSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(rounds);
     let threaded = run_threaded_master_worker(env, DolbieConfig::new(), rounds);
 
@@ -55,10 +55,7 @@ fn main() {
     }
     println!("\nmax trajectory deviation across the four implementations: {max_dev:.2e}");
     assert!(max_dev < 1e-9, "implementations must agree");
-    println!(
-        "final allocation: {}",
-        mw.rounds.last().expect("ran {rounds} rounds").allocation
-    );
+    println!("final allocation: {}", mw.rounds.last().expect("ran {rounds} rounds").allocation);
     println!(
         "§IV-C confirmed: O(N) master-worker vs O(N²) fully-distributed messaging\n\
          (plus the O(N)-messages / O(N)-depth ring extension), identical decisions."

@@ -27,10 +27,7 @@ fn main() {
 
     println!("\nround   global cost   allocation");
     for record in trace.records.iter().step_by(10) {
-        println!(
-            "{:5}   {:11.4}   {}",
-            record.round, record.global_cost, record.allocation
-        );
+        println!("{:5}   {:11.4}   {}", record.round, record.global_cost, record.allocation);
     }
     let last = trace.records.last().expect("ran 60 rounds");
     println!("{:5}   {:11.4}   {}", last.round, last.global_cost, last.allocation);

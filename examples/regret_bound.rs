@@ -18,8 +18,7 @@ fn main() {
                 Allocation::uniform(n),
                 DolbieConfig::new().with_initial_alpha(0.01),
             );
-            let trace =
-                run_episode(&mut dolbie, &mut env, EpisodeOptions::new(t).with_optimum());
+            let trace = run_episode(&mut dolbie, &mut env, EpisodeOptions::new(t).with_optimum());
             let tracker = trace.regret().expect("optimum tracked");
             let bound = theorem1_bound(
                 n,

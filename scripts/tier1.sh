@@ -5,6 +5,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== tier-1: format check =="
+cargo fmt --check
+
+echo "== tier-1: clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
 echo "== tier-1: release build =="
 cargo build --release --workspace
 

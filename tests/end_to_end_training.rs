@@ -10,7 +10,9 @@ fn outcomes(model: MlModel, seed: u64, rounds: usize) -> Vec<dolbie::mlsim::Trai
     let cluster = Cluster::sample(cfg, seed);
     paper_suite(12, cluster.clone())
         .into_iter()
-        .map(|mut b| run_training(b.as_mut(), cluster.clone(), TrainingConfig::latency_only(rounds)))
+        .map(|mut b| {
+            run_training(b.as_mut(), cluster.clone(), TrainingConfig::latency_only(rounds))
+        })
         .collect()
 }
 

@@ -24,8 +24,8 @@ fn all_five_implementations_agree_on_the_cluster_environment() {
     let env = cluster();
     let mw =
         MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(ROUNDS);
-    let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
-        .run(ROUNDS);
+    let fd =
+        FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(ROUNDS);
     let ring = RingSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(ROUNDS);
     let threaded = run_threaded_master_worker(env.clone(), DolbieConfig::new(), ROUNDS);
     let mut sequential = Dolbie::new(N);
@@ -64,8 +64,7 @@ fn message_complexity_matches_section_4c() {
     let env = cluster();
     let mw =
         MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(ROUNDS);
-    let fd =
-        FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(ROUNDS);
+    let fd = FullyDistributedSim::new(env, DolbieConfig::new(), FixedLatency::lan()).run(ROUNDS);
     assert_eq!(mw.total_messages(), ROUNDS * 3 * N);
     assert_eq!(fd.total_messages(), ROUNDS * (N * (N - 1) + (N - 1)));
     assert!(fd.total_bytes() > mw.total_bytes());
@@ -75,8 +74,7 @@ fn message_complexity_matches_section_4c() {
 fn network_jitter_changes_wall_clock_but_not_decisions() {
     let env = cluster();
     let calm =
-        MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::instant())
-            .run(ROUNDS);
+        MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::instant()).run(ROUNDS);
     let stormy = MasterWorkerSim::new(
         env,
         DolbieConfig::new(),
@@ -110,4 +108,40 @@ fn degraded_node_fault_injection_preserves_decisions() {
         );
     }
     assert!(degraded.makespan() > healthy.makespan(), "but the fault costs wall-clock");
+}
+
+#[test]
+fn one_fault_plan_drives_all_three_architectures_identically() {
+    use dolbie::simnet::{Crash, FaultPlan};
+    let env = cluster();
+    let plan = FaultPlan::seeded(31)
+        .with_crash(Crash { worker: 4, from_round: 8, until_round: 18 })
+        .with_drop_probability(0.08)
+        .with_duplicate_probability(0.02);
+    let mw = MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
+        .with_fault_plan(plan.clone())
+        .run(ROUNDS);
+    let fd = FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan())
+        .with_fault_plan(plan.clone())
+        .run(ROUNDS);
+    let ring = RingSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+        .with_fault_plan(plan)
+        .run(ROUNDS);
+
+    for t in 0..ROUNDS {
+        assert!(
+            mw.rounds[t].allocation.l2_distance(&fd.rounds[t].allocation) < 1e-9,
+            "master-worker and fully-distributed diverged at {t}"
+        );
+        assert!(
+            mw.rounds[t].allocation.l2_distance(&ring.rounds[t].allocation) < 1e-9,
+            "master-worker and ring diverged at {t}"
+        );
+        let sum: f64 = mw.rounds[t].allocation.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "round {t} must stay feasible");
+    }
+    for trace in [&mw, &fd, &ring] {
+        assert_eq!(trace.degraded_rounds(), 10, "{}", trace.architecture);
+        assert!(trace.total_retries() > 0, "{} must retry on lossy links", trace.architecture);
+    }
 }

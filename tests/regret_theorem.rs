@@ -10,10 +10,8 @@ use dolbie::edge::{EdgeConfig, EdgeScenario};
 use dolbie::mlsim::{Cluster, ClusterConfig, MlModel};
 
 fn check_bound(env: &mut dyn Environment, n: usize, rounds: usize, label: &str) {
-    let mut dolbie = Dolbie::with_config(
-        Allocation::uniform(n),
-        DolbieConfig::new().with_initial_alpha(0.01),
-    );
+    let mut dolbie =
+        Dolbie::with_config(Allocation::uniform(n), DolbieConfig::new().with_initial_alpha(0.01));
     let trace = run_episode(&mut dolbie, env, EpisodeOptions::new(rounds).with_optimum());
     let tracker = trace.regret().expect("optimum tracked");
     let bound = theorem1_bound(
@@ -71,8 +69,5 @@ fn regret_grows_sublinearly_per_round_on_static_costs() {
     };
     let short = per_round(50);
     let long = per_round(500);
-    assert!(
-        long < short * 0.5,
-        "per-round regret should decay on static costs: {short} -> {long}"
-    );
+    assert!(long < short * 0.5, "per-round regret should decay on static costs: {short} -> {long}");
 }
