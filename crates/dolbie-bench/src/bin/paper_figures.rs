@@ -17,7 +17,8 @@
 //! root.
 
 use dolbie_bench::experiments::{
-    ablation, accuracy, bandit, comms, edge_exp, faults, latency, per_worker, regret, utilization,
+    ablation, accuracy, bandit, comms, edge_exp, faults, large_n, latency, per_worker, regret,
+    utilization,
 };
 use dolbie_bench::{common, harness};
 use std::time::Instant;
@@ -27,7 +28,7 @@ const TARGETS: [&str; 12] = [
     "edge",
 ];
 
-const EXTENSION_TARGETS: [&str; 3] = ["ablation", "faults", "bandit"];
+const EXTENSION_TARGETS: [&str; 4] = ["ablation", "faults", "bandit", "large_n"];
 
 fn usage() -> ! {
     eprintln!(
@@ -59,6 +60,7 @@ fn run(target: &str, quick: bool) {
         "ablation" => ablation::ablation(quick),
         "faults" => faults::faults(),
         "bandit" => bandit::bandit(quick),
+        "large_n" => large_n::large_n(quick),
         other => {
             eprintln!("unknown target: {other}");
             usage();
@@ -75,7 +77,9 @@ struct BenchRow {
 
 fn write_bench_json(rows: &[BenchRow], threads: usize, quick: bool) {
     let path = common::workspace_root().join("BENCH_paper_figures.json");
+    let cpu_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut body = String::from("{\n");
+    body.push_str(&format!("  \"cpu_cores\": {cpu_cores},\n"));
     body.push_str(&format!("  \"threads\": {threads},\n"));
     body.push_str(&format!("  \"quick\": {quick},\n"));
     body.push_str("  \"targets\": [\n");
@@ -146,6 +150,12 @@ fn main() {
         .collect();
 
     if bench {
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) == 1 {
+            eprintln!(
+                "[warn] this machine reports a single CPU core: multi-thread timings will sit \
+                 near 1.0x the single-thread ones; that is the hardware, not a harness regression"
+            );
+        }
         let mut rows = Vec::with_capacity(expanded.len());
         for target in &expanded {
             harness::set_threads(1);

@@ -1,0 +1,247 @@
+//! Experiment X2: large-N single-episode scaling.
+//!
+//! PR 1 parallelized *across* experiments; this experiment measures the
+//! large-N engine that parallelizes *within* a round. For each fleet size
+//! N ∈ {10^3, 10^4, 10^5, 10^6} it runs one episode twice over an
+//! identical seeded heterogeneous latency fleet — once with the sequential
+//! `Dolbie`, once with the chunked `ChunkedDolbie` on the work-stealing
+//! harness — asserts the two trajectories are *bitwise* identical, and
+//! reports worker-rounds/second and peak RSS. Results go to
+//! `results/large_n_scaling.csv` and `BENCH_large_n.json` in the workspace
+//! root (the companion of `BENCH_paper_figures.json`).
+
+use crate::common::{emit_csv, workspace_root};
+use crate::harness;
+use dolbie_core::cost::{DynCost, LatencyCost};
+use dolbie_core::engine::DEFAULT_CHUNK_SIZE;
+use dolbie_core::{run_episode_with_static_costs, ChunkedDolbie, Dolbie, LoadBalancer};
+use dolbie_metrics::Table;
+use std::time::Instant;
+
+/// One measured fleet size.
+struct ScalingRow {
+    n: usize,
+    rounds: usize,
+    sequential_seconds: f64,
+    chunked_seconds: f64,
+    peak_rss_bytes: u64,
+}
+
+impl ScalingRow {
+    fn worker_rounds(&self) -> f64 {
+        (self.n * self.rounds) as f64
+    }
+}
+
+/// splitmix64: the same seeded generator used across the bench suite for
+/// deterministic parameters without pulling in `rand` here.
+fn splitmix(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z = z ^ (z >> 31);
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A heterogeneous fleet under the §VI-A latency model (closed-form
+/// eq. (4) inverse, so the per-round work is the engine, not bisection):
+/// speeds spread 8x, seeded and deterministic.
+fn latency_fleet(n: usize, seed: u64) -> Vec<DynCost> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            let speed = 64.0 + 448.0 * splitmix(&mut state);
+            Box::new(LatencyCost::new(256.0, speed, 0.05)) as DynCost
+        })
+        .collect()
+}
+
+/// Peak resident set size of this process (Linux `VmHWM`), if available.
+/// The high-water mark is monotone process-wide, which is why the sweep
+/// runs fleet sizes in increasing order.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Runs one fleet size with both engines and asserts bitwise equivalence
+/// of the full final state and the episode aggregate.
+fn measure(n: usize, rounds: usize, seed: u64) -> ScalingRow {
+    let costs = latency_fleet(n, seed);
+
+    let mut sequential = Dolbie::new(n);
+    let start = Instant::now();
+    let seq_summary = run_episode_with_static_costs(&mut sequential, &costs, rounds, None);
+    let sequential_seconds = start.elapsed().as_secs_f64();
+
+    let mut chunked = ChunkedDolbie::new(n);
+    let start = Instant::now();
+    let chunked_summary =
+        run_episode_with_static_costs(&mut chunked, &costs, rounds, Some(DEFAULT_CHUNK_SIZE));
+    let chunked_seconds = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        seq_summary.total_cost.to_bits(),
+        chunked_summary.total_cost.to_bits(),
+        "N = {n}: chunked episode cost diverged from the sequential engine"
+    );
+    for i in 0..n {
+        assert_eq!(
+            sequential.allocation().share(i).to_bits(),
+            chunked.allocation().share(i).to_bits(),
+            "N = {n}: share of worker {i} diverged"
+        );
+    }
+    assert_eq!(
+        sequential.alphas_used(),
+        chunked.alphas_used(),
+        "N = {n}: the α schedules diverged"
+    );
+
+    ScalingRow {
+        n,
+        rounds,
+        sequential_seconds,
+        chunked_seconds,
+        peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+    }
+}
+
+fn write_bench_json(rows: &[ScalingRow], quick: bool) {
+    let path = workspace_root().join("BENCH_large_n.json");
+    let cpu_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let threads = harness::threads();
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"cpu_cores\": {cpu_cores},\n"));
+    body.push_str(&format!("  \"threads\": {threads},\n"));
+    body.push_str(&format!("  \"quick\": {quick},\n"));
+    body.push_str(&format!("  \"chunk_size\": {DEFAULT_CHUNK_SIZE},\n"));
+    body.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"n\": {}, \"rounds\": {}, \"sequential_seconds\": {:.3}, \
+             \"chunked_seconds\": {:.3}, \"worker_rounds_per_sec_sequential\": {:.3e}, \
+             \"worker_rounds_per_sec_chunked\": {:.3e}, \"peak_rss_mb\": {:.1}, \
+             \"bitwise_match\": true}}{}\n",
+            row.n,
+            row.rounds,
+            row.sequential_seconds,
+            row.chunked_seconds,
+            row.worker_rounds() / row.sequential_seconds.max(1e-9),
+            row.worker_rounds() / row.chunked_seconds.max(1e-9),
+            row.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  failed to write {}: {e}", path.display()),
+    }
+    if cpu_cores == 1 {
+        eprintln!(
+            "  [warn] this machine reports 1 CPU core: chunked/sequential ratios near 1.0x \
+             reflect the hardware, not an engine regression"
+        );
+    }
+}
+
+/// Runs the large-N scaling sweep. `quick` caps the sweep at N = 10^5
+/// with short horizons (the tier-1 smoke); the full sweep ends at the
+/// acceptance configuration N = 10^6 × 10^3 rounds.
+pub fn large_n(quick: bool) {
+    println!("== X2: large-N episode scaling (SoA engine, chunked intra-round parallelism) ==");
+    let sweep: &[(usize, usize)] = if quick {
+        &[(1_000, 500), (10_000, 200), (100_000, 100)]
+    } else {
+        &[(1_000, 10_000), (10_000, 10_000), (100_000, 1_000), (1_000_000, 1_000)]
+    };
+    let mut table = Table::new(vec![
+        "N",
+        "rounds",
+        "sequential_seconds",
+        "chunked_seconds",
+        "worker_rounds_per_sec_sequential",
+        "worker_rounds_per_sec_chunked",
+        "peak_rss_mb",
+    ]);
+    println!(
+        "  threads = {}, chunk = {DEFAULT_CHUNK_SIZE}; every row asserts the chunked engine \
+         bitwise-matches the sequential one",
+        harness::threads()
+    );
+    println!("  N        rounds   seq s      chunked s  seq wr/s     chunked wr/s  peak RSS");
+    let mut rows = Vec::with_capacity(sweep.len());
+    for &(n, rounds) in sweep {
+        let row = measure(n, rounds, 0x1a6e);
+        println!(
+            "  {:8} {:7}  {:9.3}  {:9.3}  {:11.3e}  {:12.3e}  {:6.1} MB",
+            row.n,
+            row.rounds,
+            row.sequential_seconds,
+            row.chunked_seconds,
+            row.worker_rounds() / row.sequential_seconds.max(1e-9),
+            row.worker_rounds() / row.chunked_seconds.max(1e-9),
+            row.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        );
+        table.push_row(vec![
+            row.n.to_string(),
+            row.rounds.to_string(),
+            format!("{:.3}", row.sequential_seconds),
+            format!("{:.3}", row.chunked_seconds),
+            format!("{:.3e}", row.worker_rounds() / row.sequential_seconds.max(1e-9)),
+            format!("{:.3e}", row.worker_rounds() / row.chunked_seconds.max(1e-9)),
+            format!("{:.1}", row.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+        rows.push(row);
+    }
+    if let Some(acceptance) = rows.iter().find(|r| r.n == 1_000_000 && r.rounds == 1_000) {
+        println!(
+            "  acceptance: N = 10^6 x 10^3 rounds sequential in {:.1} s (target < 60 s)",
+            acceptance.sequential_seconds
+        );
+    }
+    emit_csv(&table, "large_n_scaling");
+    write_bench_json(&rows, quick);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_is_deterministic_and_heterogeneous() {
+        let a = latency_fleet(64, 7);
+        let b = latency_fleet(64, 7);
+        let speeds = |fleet: &[DynCost]| -> Vec<u64> {
+            fleet.iter().map(|f| format!("{f:?}").len() as u64).collect()
+        };
+        assert_eq!(speeds(&a), speeds(&b), "same seed, same fleet");
+        let evals: Vec<f64> = a.iter().map(|f| f.eval(0.5)).collect();
+        let min = evals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = evals.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > min * 1.5, "speeds must spread: {min}..{max}");
+    }
+
+    #[test]
+    fn measure_asserts_bitwise_equality_and_counts() {
+        let row = measure(257, 20, 3);
+        assert_eq!(row.n, 257);
+        assert_eq!(row.rounds, 20);
+        assert!(row.sequential_seconds >= 0.0 && row.chunked_seconds >= 0.0);
+    }
+
+    #[test]
+    fn peak_rss_is_readable_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap_or(0) > 0, "VmHWM should be present");
+        }
+    }
+}

@@ -7,6 +7,7 @@ pub mod bandit;
 pub mod comms;
 pub mod edge_exp;
 pub mod faults;
+pub mod large_n;
 pub mod latency;
 pub mod per_worker;
 pub mod regret;

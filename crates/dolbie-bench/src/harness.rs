@@ -1,183 +1,38 @@
 //! Deterministic parallel fan-out over independent experiment tasks.
 //!
-//! Every figure of §VI replays many independent seeded realizations; this
-//! module runs them across threads without changing a single output byte.
-//! Three properties make that safe:
-//!
-//! - **Pure tasks.** Each task is a function of its index alone (the index
-//!   is the seed, or indexes a precomputed configuration table), so the
-//!   execution schedule cannot leak into a result.
-//! - **Ordered collection.** Results land in a per-index slot and are
-//!   returned in index order, so downstream CSV writing, summary tables and
-//!   confidence intervals see exactly the sequential iteration order.
-//! - **Work stealing.** Workers claim indices from a shared atomic counter,
-//!   so a slow realization (e.g. a pathological cluster sample) does not
-//!   idle the other cores the way a static block partition would.
-//!
-//! The thread count is a process-wide setting (`--threads N` in the
-//! binaries): [`set_threads`] pins it, and an unset count resolves to the
-//! machine's available parallelism. With one thread [`parallel_map`]
-//! degenerates to a plain sequential loop on the calling thread.
-//!
-//! Only `std` is used — the build environment is offline, so `rayon`-style
-//! registries are deliberately out of reach.
+//! The harness itself now lives in [`dolbie_core::parallel`], promoted
+//! there so a single thread-count setting and scheduling discipline serves
+//! both the across-experiment fan-out here and the intra-round chunked
+//! passes of the large-N episode engine
+//! ([`dolbie_core::ChunkedDolbie`](dolbie_core::engine::ChunkedDolbie)).
+//! This module re-exports it under the established `harness::` path so
+//! experiment code and the binaries keep reading naturally.
 
-use std::panic::resume_unwind;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// 0 means "not set": fall back to available parallelism.
-static THREADS: AtomicUsize = AtomicUsize::new(0);
-
-/// Pins the number of worker threads used by [`parallel_map`].
-///
-/// `0` resets to the default (the machine's available parallelism); any
-/// other value is used as-is. Affects every subsequent experiment in the
-/// process.
-pub fn set_threads(n: usize) {
-    THREADS.store(n, Ordering::SeqCst);
-}
-
-/// The number of worker threads [`parallel_map`] will use.
-pub fn threads() -> usize {
-    match THREADS.load(Ordering::SeqCst) {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        n => n,
-    }
-}
-
-/// Runs `task` for every index in `0..tasks` and returns the results in
-/// index order, fanning out over [`threads`] scoped worker threads.
-///
-/// `task` must derive its result from the index alone (not from any
-/// execution-order-dependent state): under that contract the returned
-/// vector is identical for every thread count, which is what keeps the
-/// experiment CSVs byte-stable.
-///
-/// # Panics
-///
-/// Propagates the first observed panic from a worker thread.
-pub fn parallel_map<T, F>(tasks: usize, task: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = threads().min(tasks);
-    if workers <= 1 {
-        return (0..tasks).map(task).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks {
-                        break;
-                    }
-                    let result = task(i);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
-                })
-            })
-            .collect();
-        for handle in handles {
-            if let Err(panic) = handle.join() {
-                resume_unwind(panic);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every claimed index stores a result")
-        })
-        .collect()
-}
-
-/// [`parallel_map`] over a slice: runs `task` on every item and returns
-/// the results in item order.
-pub fn parallel_map_items<I, T, F>(items: &[I], task: F) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(&I) -> T + Sync,
-{
-    parallel_map(items.len(), |i| task(&items[i]))
-}
+pub use dolbie_core::parallel::{
+    parallel_for_each, parallel_map, parallel_map_items, set_threads, threads,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The bench-side `--threads` knob and the core engine's intra-round
+    /// parallelism must share one setting: pinning through this shim is
+    /// observed by the core module and vice versa.
     #[test]
-    fn results_come_back_in_index_order() {
-        set_threads(4);
-        let out = parallel_map(64, |i| {
-            // Stagger completion so later indices often finish first.
-            std::thread::sleep(std::time::Duration::from_micros((64 - i as u64) * 10));
-            i * i
-        });
-        set_threads(0);
-        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_matches_sequential() {
-        set_threads(1);
-        let seq = parallel_map(100, |i| (i as f64).sqrt());
-        set_threads(4);
-        let par = parallel_map(100, |i| (i as f64).sqrt());
-        set_threads(0);
-        assert_eq!(seq, par);
-    }
-
-    #[test]
-    fn zero_and_tiny_task_counts_work() {
-        set_threads(8);
-        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
-        assert_eq!(parallel_map(1, |i| i + 1), vec![1]);
-        set_threads(0);
-    }
-
-    #[test]
-    fn items_variant_preserves_order() {
+    fn thread_setting_is_shared_with_the_core_harness() {
         set_threads(3);
-        let items = vec!["a", "bb", "ccc", "dddd"];
-        let lens = parallel_map_items(&items, |s| s.len());
+        assert_eq!(dolbie_core::parallel::threads(), 3);
+        dolbie_core::parallel::set_threads(5);
+        assert_eq!(threads(), 5);
         set_threads(0);
-        assert_eq!(lens, vec![1, 2, 3, 4]);
     }
 
     #[test]
-    fn every_task_runs_exactly_once() {
-        use std::sync::atomic::AtomicUsize;
-        set_threads(6);
-        let count = AtomicUsize::new(0);
-        let out = parallel_map(1000, |i| {
-            count.fetch_add(1, Ordering::Relaxed);
-            i
-        });
+    fn fan_out_still_works_through_the_shim() {
+        set_threads(2);
+        let out = parallel_map(10, |i| i * 3);
         set_threads(0);
-        assert_eq!(count.load(Ordering::Relaxed), 1000);
-        assert_eq!(out.len(), 1000);
-    }
-
-    #[test]
-    fn worker_panic_propagates() {
-        set_threads(4);
-        let result = std::panic::catch_unwind(|| {
-            parallel_map(16, |i| {
-                if i == 7 {
-                    panic!("task failure");
-                }
-                i
-            })
-        });
-        set_threads(0);
-        assert!(result.is_err());
+        assert_eq!(out, (0..10).map(|i| i * 3).collect::<Vec<_>>());
     }
 }

@@ -166,6 +166,14 @@ impl Allocation {
         &self.shares
     }
 
+    /// Mutable view of the shares for in-crate update rules (the SoA
+    /// episode engine writes shares in place instead of rebuilding the
+    /// vector each round). Callers must restore the simplex invariant
+    /// before the allocation is observed again.
+    pub(crate) fn shares_mut(&mut self) -> &mut [f64] {
+        &mut self.shares
+    }
+
     /// Overwrites this allocation with `other`'s shares, reusing the
     /// existing storage (no heap traffic once the capacity matches —
     /// the allocation-free episode hot path relies on this).

@@ -20,11 +20,17 @@
 //! The update is gradient-free and projection-free: the only per-worker
 //! work is one monotone inverse (closed-form for the latency model of
 //! §VI-A, bisection otherwise).
+//!
+//! The per-round arithmetic itself lives in [`engine`](crate::engine) as a
+//! structure-of-arrays implementation shared with the chunked large-N
+//! balancer [`ChunkedDolbie`](crate::ChunkedDolbie); this module keeps the
+//! user-facing configuration and the sequential wrapper.
 
 use crate::allocation::Allocation;
 use crate::balancer::LoadBalancer;
+use crate::engine::SoaEngine;
 use crate::observation::Observation;
-use crate::step_size::{paper_initial_alpha, StepSize};
+use crate::step_size::paper_initial_alpha;
 
 /// How to choose the initial step size `α_1`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,12 +148,7 @@ pub struct DolbieStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Dolbie {
-    x: Allocation,
-    alpha: StepSize,
-    config: DolbieConfig,
-    alphas_used: Vec<f64>,
-    stats: DolbieStats,
-    share_caps: Option<Vec<f64>>,
+    engine: SoaEngine,
 }
 
 impl Dolbie {
@@ -164,15 +165,7 @@ impl Dolbie {
     /// Creates DOLBIE from an arbitrary feasible initial partition and a
     /// configuration.
     pub fn with_config(initial: Allocation, config: DolbieConfig) -> Self {
-        let alpha = StepSize::new(config.resolve_initial_alpha(&initial));
-        Self {
-            x: initial,
-            alpha,
-            config,
-            alphas_used: Vec::new(),
-            stats: DolbieStats::default(),
-            share_caps: None,
-        }
+        Self { engine: SoaEngine::new(initial, config) }
     }
 
     /// Adds per-worker share caps `x_i <= caps[i]` (a capacity-constraint
@@ -188,30 +181,24 @@ impl Dolbie {
     /// allocation infeasible, contains values outside `[0, 1]`, or cannot
     /// cover the workload (`Σ caps < 1`).
     pub fn with_share_caps(mut self, caps: Vec<f64>) -> Self {
-        assert_eq!(caps.len(), self.x.num_workers(), "one cap per worker");
-        assert!(caps.iter().all(|&c| (0.0..=1.0).contains(&c)), "caps must lie in [0, 1]");
-        assert!(caps.iter().sum::<f64>() >= 1.0 - 1e-9, "caps must cover the workload");
-        for (i, (&cap, &share)) in caps.iter().zip(self.x.iter()).enumerate() {
-            assert!(share <= cap + 1e-9, "initial share of worker {i} exceeds its cap");
-        }
-        self.share_caps = Some(caps);
+        self.engine.set_share_caps(caps);
         self
     }
 
     /// The current step size `α_t`.
     pub fn alpha(&self) -> f64 {
-        self.alpha.value().max(self.config.alpha_floor)
+        self.engine.alpha()
     }
 
     /// The step sizes actually applied in each observed round — the
     /// sequence `{α_t}` appearing in the Theorem 1 bound.
     pub fn alphas_used(&self) -> &[f64] {
-        &self.alphas_used
+        self.engine.alphas_used()
     }
 
     /// Update counters.
     pub fn stats(&self) -> DolbieStats {
-        self.stats
+        self.engine.stats()
     }
 }
 
@@ -221,64 +208,11 @@ impl LoadBalancer for Dolbie {
     }
 
     fn allocation(&self) -> &Allocation {
-        &self.x
+        self.engine.allocation()
     }
 
     fn observe(&mut self, observation: &Observation<'_>) {
-        let n = observation.num_workers();
-        assert_eq!(n, self.x.num_workers(), "observation covers a different worker set");
-        self.stats.rounds += 1;
-        let alpha = self.alpha();
-        self.alphas_used.push(alpha);
-        if n == 1 {
-            return;
-        }
-
-        let s = observation.straggler();
-        let straggler_share = self.x.share(s);
-
-        // Eq. (5): risk-averse assistance by every non-straggler.
-        let mut gains = vec![0.0; n];
-        let mut total_gain = 0.0;
-        for i in 0..n {
-            if i == s {
-                continue;
-            }
-            let mut target = observation.max_acceptable_share(i);
-            if let Some(caps) = &self.share_caps {
-                target = target.min(caps[i]).max(self.x.share(i));
-            }
-            let gain = alpha * (target - self.x.share(i));
-            debug_assert!(gain >= -1e-12, "x'_{{i,t}} >= x_{{i,t}} must hold (Lemma 1 ii)");
-            gains[i] = gain.max(0.0);
-            total_gain += gains[i];
-        }
-
-        // Floating-point / alpha-floor guard: eq. (7) proves
-        // total_gain <= x_{s,t} in exact arithmetic; rescale if rounding
-        // (or the floor extension) breaks it so constraint (3) holds
-        // exactly.
-        if total_gain > straggler_share && total_gain > 0.0 {
-            let scale = straggler_share / total_gain;
-            for g in &mut gains {
-                *g *= scale;
-            }
-            total_gain = straggler_share;
-            self.stats.guard_activations += 1;
-        }
-
-        // Eq. (6): the straggler absorbs the remainder.
-        let mut next: Vec<f64> = (0..n)
-            .map(|i| if i == s { self.x.share(s) - total_gain } else { self.x.share(i) + gains[i] })
-            .collect();
-        // Pin the sum exactly to 1 through the straggler's coordinate, as
-        // line 14 of Algorithm 1 does (`x_s = 1 − Σ_{i≠s} x_i`).
-        let others: f64 = next.iter().enumerate().filter(|&(i, _)| i != s).map(|(_, v)| v).sum();
-        next[s] = (1.0 - others).max(0.0);
-        self.x = Allocation::from_update(next).expect("DOLBIE update preserves feasibility");
-
-        // Eq. (7): tighten the step size with the straggler's new share.
-        self.alpha.tighten(n, self.x.share(s));
+        self.engine.observe_round(observation, None);
     }
 }
 

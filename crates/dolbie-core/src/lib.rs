@@ -53,6 +53,10 @@
 //! - [`balancer`] — the [`LoadBalancer`] trait shared with every baseline.
 //! - [`dolbie`] — the DOLBIE update (Algorithms 1–2 decision logic),
 //!   with optional per-worker capacity caps.
+//! - [`engine`] — the shared structure-of-arrays round engine and the
+//!   chunked large-N balancer [`ChunkedDolbie`].
+//! - [`numeric`] — fixed-shape compensated (Neumaier/pairwise) summation.
+//! - [`parallel`] — the deterministic work-stealing fan-out harness.
 //! - [`bandit`] — a bandit-feedback extension (value-only observations).
 //! - [`delayed`] — a delayed-feedback extension (observations apply `d`
 //!   rounds late).
@@ -75,10 +79,13 @@ pub mod bandit;
 pub mod cost;
 pub mod delayed;
 pub mod dolbie;
+pub mod engine;
 pub mod environment;
 pub mod error;
+pub mod numeric;
 pub mod observation;
 pub mod oracle;
+pub mod parallel;
 pub mod regret;
 pub mod runner;
 pub mod solver;
@@ -89,8 +96,10 @@ pub use balancer::LoadBalancer;
 pub use bandit::BanditDolbie;
 pub use delayed::DelayedDolbie;
 pub use dolbie::{Dolbie, DolbieConfig, InitialAlpha};
+pub use engine::ChunkedDolbie;
 pub use environment::Environment;
 pub use error::{AllocationError, OracleError, SolverError};
+pub use numeric::{pairwise_neumaier_sum, pairwise_neumaier_sum_parallel, NeumaierSum};
 pub use observation::Observation;
 pub use oracle::{
     instantaneous_minimizer, instantaneous_minimizer_cached, instantaneous_minimizer_capped,
@@ -98,8 +107,8 @@ pub use oracle::{
 };
 pub use regret::{theorem1_bound, RegretTracker};
 pub use runner::{
-    run_episode, run_episode_streaming, run_replications, EpisodeOptions, EpisodeSummary,
-    EpisodeTrace, RoundRecord,
+    run_episode, run_episode_streaming, run_episode_with_static_costs, run_replications,
+    EpisodeOptions, EpisodeSummary, EpisodeTrace, RoundRecord,
 };
 
 #[cfg(test)]

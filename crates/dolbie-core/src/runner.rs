@@ -7,7 +7,7 @@
 
 use crate::allocation::Allocation;
 use crate::balancer::LoadBalancer;
-use crate::cost::round_lipschitz;
+use crate::cost::{round_lipschitz, DynCost};
 use crate::environment::Environment;
 use crate::observation::Observation;
 use crate::oracle::{instantaneous_minimizer_cached, InstantOptimum, OracleCache};
@@ -255,6 +255,57 @@ pub fn run_episode_streaming(
     }
 }
 
+/// As [`run_episode_streaming`], but for a *static* cost profile passed as
+/// a plain slice: no [`Environment`] boxing, no per-round cost-function
+/// allocations — at N = 10^6 workers the `Environment::reveal` contract
+/// (a fresh `Vec<DynCost>` per round) would alone cost a billion
+/// allocations over 10^3 rounds. This is the large-N throughput driver
+/// used by the `large_n` bench suite.
+///
+/// `chunk_size: Some(c)` builds each round's observation with
+/// [`Observation::from_costs_chunked`] (parallel cost evaluation and
+/// straggler argmax); `None` uses the sequential
+/// [`Observation::from_costs_in`]. Both produce bitwise-identical
+/// episodes.
+///
+/// # Panics
+///
+/// Panics if the balancer and the cost slice disagree on the worker count.
+pub fn run_episode_with_static_costs(
+    balancer: &mut dyn LoadBalancer,
+    cost_fns: &[DynCost],
+    rounds: usize,
+    chunk_size: Option<usize>,
+) -> EpisodeSummary {
+    assert_eq!(
+        balancer.allocation().num_workers(),
+        cost_fns.len(),
+        "balancer and cost profile must agree on the worker count"
+    );
+    let mut played = balancer.allocation().clone();
+    let mut scratch: Vec<f64> = Vec::with_capacity(cost_fns.len());
+    let mut total_cost = 0.0;
+    let mut final_global_cost = 0.0;
+    for round in 0..rounds {
+        played.copy_from(balancer.allocation());
+        let observation = match chunk_size {
+            Some(c) => Observation::from_costs_chunked(round, &played, cost_fns, scratch, c),
+            None => Observation::from_costs_in(round, &played, cost_fns, scratch),
+        };
+        total_cost += observation.global_cost();
+        final_global_cost = observation.global_cost();
+        balancer.observe(&observation);
+        scratch = observation.into_local_costs();
+    }
+    EpisodeSummary {
+        algorithm: balancer.name().to_owned(),
+        rounds,
+        total_cost,
+        final_global_cost,
+        regret: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,5 +431,35 @@ mod tests {
         let mut d = Dolbie::new(2);
         let mut env = StaticLinearEnvironment::from_slopes(vec![1.0, 2.0, 3.0]);
         let _ = run_episode(&mut d, &mut env, EpisodeOptions::new(1));
+    }
+
+    #[test]
+    fn static_cost_driver_matches_streaming_episode() {
+        use crate::cost::LinearCost;
+        let slopes = [3.0, 1.0, 2.0];
+        let costs: Vec<DynCost> =
+            slopes.iter().map(|&s| Box::new(LinearCost::new(s, 0.0)) as DynCost).collect();
+        let mut d1 = Dolbie::new(3);
+        let mut env = StaticLinearEnvironment::from_slopes(slopes.to_vec());
+        let streamed = run_episode_streaming(&mut d1, &mut env, EpisodeOptions::new(40));
+        let mut d2 = Dolbie::new(3);
+        let via_slice = run_episode_with_static_costs(&mut d2, &costs, 40, None);
+        assert_eq!(via_slice.total_cost, streamed.total_cost);
+        assert_eq!(via_slice.final_global_cost, streamed.final_global_cost);
+        assert_eq!(via_slice.rounds, 40);
+        // The chunked observation path walks the identical episode.
+        let mut d3 = crate::ChunkedDolbie::new(3).with_chunk_size(2);
+        let chunked = run_episode_with_static_costs(&mut d3, &costs, 40, Some(2));
+        assert_eq!(chunked.total_cost.to_bits(), via_slice.total_cost.to_bits());
+        assert_eq!(d2.allocation().as_slice(), d3.allocation().as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "agree on the worker count")]
+    fn static_cost_driver_rejects_mismatched_counts() {
+        use crate::cost::LinearCost;
+        let costs: Vec<DynCost> = vec![Box::new(LinearCost::new(1.0, 0.0))];
+        let mut d = Dolbie::new(2);
+        let _ = run_episode_with_static_costs(&mut d, &costs, 1, None);
     }
 }

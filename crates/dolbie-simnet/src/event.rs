@@ -72,6 +72,26 @@ impl<E> EventQueue<E> {
         Self { heap: BinaryHeap::new(), next_seq: 0, now: 0.0 }
     }
 
+    /// Creates an empty queue with room for `capacity` events.
+    ///
+    /// The protocol simulations know each round's expected message count
+    /// up front (e.g. `3N` for master–worker, `N(N−1) + N − 1` for
+    /// fully-distributed), so pre-reserving here removes every heap
+    /// reallocation from the per-round hot path.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(capacity), next_seq: 0, now: 0.0 }
+    }
+
+    /// Reserves room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `event` at absolute simulated time `time`.
     ///
     /// # Panics
@@ -90,6 +110,24 @@ impl<E> EventQueue<E> {
         let next = self.heap.pop()?;
         self.now = next.time;
         Some(next)
+    }
+
+    /// Pops every event with `time <= deadline` into `out`, in schedule
+    /// order, advancing the clock to the last drained event's time.
+    ///
+    /// This is the batch fast path for "deliver everything due by `t`":
+    /// one call replaces a peek/pop loop at the call site, and `out` is
+    /// appended to (not cleared) so a caller-owned buffer can be recycled
+    /// across rounds without reallocating.
+    pub fn drain_until(&mut self, deadline: f64, out: &mut Vec<Scheduled<E>>) {
+        while let Some(next) = self.heap.peek() {
+            if next.time > deadline {
+                break;
+            }
+            let next = self.heap.pop().expect("peeked event must pop");
+            self.now = next.time;
+            out.push(next);
+        }
     }
 
     /// The current simulated time (the time of the last popped event).
@@ -170,5 +208,59 @@ mod tests {
     fn default_is_empty() {
         let q: EventQueue<()> = EventQueue::default();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_until_takes_due_events_in_order_and_advances_the_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(3.0, 3);
+        q.schedule(2.0, 2);
+        q.schedule(2.0, 22);
+        let mut due = Vec::new();
+        q.drain_until(2.0, &mut due);
+        assert_eq!(due.iter().map(|s| s.event).collect::<Vec<_>>(), vec![1, 2, 22]);
+        assert_eq!(q.now(), 2.0);
+        assert_eq!(q.len(), 1);
+        // The buffer is appended to, not cleared, so it can be recycled.
+        q.drain_until(5.0, &mut due);
+        assert_eq!(due.iter().map(|s| s.event).collect::<Vec<_>>(), vec![1, 2, 22, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_until_before_first_event_is_a_no_op() {
+        let mut q = EventQueue::new();
+        q.schedule(4.0, ());
+        let mut due = Vec::new();
+        q.drain_until(3.9, &mut due);
+        assert!(due.is_empty());
+        assert_eq!(q.now(), 0.0);
+        assert_eq!(q.len(), 1);
+    }
+
+    /// Pre-reserving the round's expected message count means scheduling
+    /// that many events never grows the heap — the capacity regression
+    /// guard for the per-round hot path.
+    #[test]
+    fn with_capacity_prevents_reallocation_for_the_expected_load() {
+        let expected = 3 * 100; // master–worker round at N = 100
+        let mut q = EventQueue::with_capacity(expected);
+        let initial = q.capacity();
+        assert!(initial >= expected);
+        for i in 0..expected {
+            q.schedule(i as f64 * 0.25, i);
+        }
+        assert_eq!(q.capacity(), initial, "scheduling the expected load must not reallocate");
+        let mut drained = Vec::with_capacity(expected);
+        q.drain_until(f64::INFINITY, &mut drained);
+        assert_eq!(drained.len(), expected);
+    }
+
+    #[test]
+    fn reserve_grows_capacity() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.reserve(64);
+        assert!(q.capacity() >= 64);
     }
 }

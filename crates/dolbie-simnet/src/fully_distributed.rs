@@ -194,7 +194,10 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                 continue;
             }
 
-            let mut queue: EventQueue<Ev> = EventQueue::new();
+            // Expected load: every live worker broadcasts its cost to the
+            // other n−1 peers, plus the compute-done markers themselves.
+            let mut queue: EventQueue<Ev> =
+                EventQueue::with_capacity(alive_count * (n - 1) + alive_count);
             for i in 0..n {
                 if !crashed[i] {
                     queue.schedule(ready_at[i] + local_costs[i], Ev::ComputeDone { worker: i });

@@ -151,7 +151,10 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                 continue;
             }
 
-            let mut queue: EventQueue<Ev> = EventQueue::new();
+            // A full round is cost + share + ack per live worker, plus
+            // retries and an optional timeout; reserve up front so the
+            // heap never reallocates mid-round.
+            let mut queue: EventQueue<Ev> = EventQueue::with_capacity(3 * alive_count + 1);
             let mut round_base = 0.0f64;
             for i in 0..n {
                 if crashed[i] {

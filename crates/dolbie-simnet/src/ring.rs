@@ -190,7 +190,9 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
             }
             let frozen_sum: f64 = (0..n).filter(|&j| crashed[j]).map(|j| self.shares[j]).sum();
 
-            let mut queue: EventQueue<Ev> = EventQueue::new();
+            // Two token passes around the ring of survivors plus each
+            // survivor's compute-done marker.
+            let mut queue: EventQueue<Ev> = EventQueue::with_capacity(3 * alive.len() + 1);
             for &i in &alive {
                 queue.schedule(ready_at[i] + local_costs[i], Ev::ComputeDone { worker: i });
             }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_large_n.json and results/large_n_scaling.csv: the
+# full large-N scaling sweep (N up to 10^6, 10^3 rounds — the acceptance
+# configuration), with every row asserting the chunked SoA engine is
+# bitwise-identical to the sequential Dolbie.
+#
+# Usage: scripts/bench_large_n.sh [--quick] [--threads N]
+# Extra arguments are forwarded to the paper_figures binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p dolbie-bench --bin paper_figures -- "$@" large_n

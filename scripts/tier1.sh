@@ -20,4 +20,18 @@ cargo test --workspace -q
 echo "== tier-1: paper_figures smoke (quick fig3 fig4 regret, --bench) =="
 cargo run --release -p dolbie-bench --bin paper_figures -- --quick --bench fig3 fig4 regret
 
+echo "== tier-1: large-N engine pin invariant (N=1e5 x 1e4 rounds, release) =="
+cargo test --release -p dolbie-core --lib -q -- --ignored \
+    sum_stays_pinned_after_1e4_rounds_at_1e5_workers
+
+echo "== tier-1: large-N smoke (quick sweep to N=1e5, bitwise vs sequential, <10 s) =="
+smoke_start=$SECONDS
+cargo run --release -p dolbie-bench --bin paper_figures -- --quick large_n
+smoke_elapsed=$((SECONDS - smoke_start))
+echo "large-N smoke took ${smoke_elapsed}s"
+if [ "$smoke_elapsed" -ge 10 ]; then
+    echo "FAIL: large-N smoke exceeded the 10 s budget" >&2
+    exit 1
+fi
+
 echo "== tier-1: OK =="
