@@ -17,8 +17,8 @@
 //! root.
 
 use dolbie_bench::experiments::{
-    ablation, accuracy, bandit, comms, edge_exp, faults, large_n, latency, per_worker, regret,
-    utilization,
+    ablation, accuracy, bandit, chaos, churn, comms, edge_exp, faults, large_n, latency,
+    per_worker, regret, utilization,
 };
 use dolbie_bench::{common, harness};
 use std::time::Instant;
@@ -28,7 +28,7 @@ const TARGETS: [&str; 12] = [
     "edge",
 ];
 
-const EXTENSION_TARGETS: [&str; 4] = ["ablation", "faults", "bandit", "large_n"];
+const EXTENSION_TARGETS: [&str; 6] = ["ablation", "faults", "bandit", "large_n", "chaos", "churn"];
 
 fn usage() -> ! {
     eprintln!(
@@ -61,6 +61,8 @@ fn run(target: &str, quick: bool) {
         "faults" => faults::faults(),
         "bandit" => bandit::bandit(quick),
         "large_n" => large_n::large_n(quick),
+        "chaos" => chaos::chaos(quick),
+        "churn" => churn::churn(),
         other => {
             eprintln!("unknown target: {other}");
             usage();

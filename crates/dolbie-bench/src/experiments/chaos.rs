@@ -1,0 +1,523 @@
+//! Experiment X4 (extension): the chaos-sweep invariant harness.
+//!
+//! Hundreds of random `FaultPlan × MembershipSchedule` combinations —
+//! lossy links, duplicate deliveries, crash windows, and worker
+//! leave/join epochs, all derived from pure hashes of the case index — are
+//! run through all three protocol architectures, and five invariants are
+//! machine-checked on every trace:
+//!
+//! 1. **simplex feasibility** — every executed allocation satisfies
+//!    `|Σx − 1| < 1e-9` with `x_i ≥ 0`;
+//! 2. **α monotonicity** — the recorded system step size never increases
+//!    within a run (the eq. (7) invariant, through every epoch boundary);
+//! 3. **no stranded share** — a worker outside the membership view holds
+//!    exactly `0.0` and never participates;
+//! 4. **architecture agreement** — crash-free cases (type A) must agree
+//!    *bitwise* across master-worker, fully-distributed, and ring;
+//!    cases with crash windows (type B) hold the two leaderless
+//!    architectures to `1e-9` agreement (the master-worker protocol is
+//!    exempt there: its master can remember an α tightening that a
+//!    straggler crash erases from every peer — the documented corner of
+//!    the fault subsystem, see `tests/fault_props.rs`);
+//! 5. **termination** — every run produces exactly its scheduled number
+//!    of rounds (no deadlock, no panic).
+//!
+//! A failing case is automatically *shrunk* — events, crash windows, link
+//! loss, and rounds are greedily removed while the failure reproduces —
+//! and the minimal case is printed as a copy-pasteable reproducer before
+//! the sweep aborts.
+//!
+//! The sweep fans out across `--threads` workers; case outcomes are pure
+//! functions of the case index, so `results/chaos_invariants.csv` is
+//! byte-identical at any thread count.
+
+use crate::common::emit_csv;
+use crate::harness;
+use dolbie_core::cost::{DynCost, LatencyCost, LinearCost};
+use dolbie_core::environment::FnEnvironment;
+use dolbie_core::DolbieConfig;
+use dolbie_metrics::Table;
+use dolbie_simnet::{
+    Crash, FaultPlan, FixedLatency, FullyDistributedSim, MasterWorkerSim, MembershipChange,
+    MembershipSchedule, ProtocolTrace, RingSim,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Cases in the full sweep. One in four carries crash windows (type B),
+/// leaving well over 200 crash-free (type A) cases for the bitwise
+/// three-architecture claim.
+const FULL_CASES: usize = 280;
+/// Cases in the `--quick` smoke sweep (the tier-1 gate).
+const QUICK_CASES: usize = 20;
+/// Master seed the whole sweep is derived from.
+const MASTER_SEED: u64 = 0xD01B_1E00;
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn hash(seed: u64, salt: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(salt))
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One randomized chaos case: a fleet size, a horizon, a seeded
+/// environment, and the fault plan × membership schedule to survive.
+#[derive(Debug, Clone)]
+pub struct ChaosCase {
+    /// Case index within the sweep (names the case in the CSV).
+    pub id: usize,
+    /// Fleet size.
+    pub n: usize,
+    /// Horizon in rounds.
+    pub rounds: usize,
+    /// Seed for the per-round cost functions.
+    pub env_seed: u64,
+    /// Link faults and crash windows.
+    pub plan: FaultPlan,
+    /// Worker churn epochs.
+    pub schedule: MembershipSchedule,
+}
+
+impl ChaosCase {
+    /// Type A cases are crash-free: churn and lossy links only. Only they
+    /// claim bitwise three-architecture agreement.
+    pub fn is_type_a(&self) -> bool {
+        self.plan.crashes.is_empty()
+    }
+}
+
+/// Derives case `id` of the sweep — a pure function, so any subset of the
+/// sweep can be regenerated independently and in any order.
+pub fn case_from_seed(id: usize, master_seed: u64) -> ChaosCase {
+    let s = splitmix64(master_seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let n = 2 + (hash(s, 1) % 6) as usize;
+    let rounds = 12 + (hash(s, 2) % 19) as usize;
+    let mut plan = FaultPlan::seeded(hash(s, 5))
+        .with_drop_probability(unit(hash(s, 3)) * 0.5)
+        .with_duplicate_probability(unit(hash(s, 4)) * 0.25);
+    if id % 4 == 3 {
+        let count = 1 + (hash(s, 6) % 2) as usize;
+        for k in 0..count {
+            let h = hash(s, 16 + k as u64);
+            let from = (h >> 8) as usize % rounds;
+            let len = 1 + (h >> 24) as usize % (rounds / 2).max(1);
+            plan = plan.with_crash(Crash {
+                worker: h as usize % n,
+                from_round: from,
+                until_round: (from + len).min(rounds),
+            });
+        }
+    }
+    let schedule = MembershipSchedule::random(hash(s, 7), n, rounds, 0.08, 0.12);
+    ChaosCase { id, n, rounds, env_seed: hash(s, 8), plan, schedule }
+}
+
+/// The deterministic per-round cost functions a case runs against.
+pub fn env_for(seed: u64, n: usize) -> FnEnvironment<impl FnMut(usize) -> Vec<DynCost>> {
+    FnEnvironment::new(n, move |round| {
+        (0..n)
+            .map(|i| {
+                let h = hash(seed, ((round as u64) << 8) | i as u64);
+                if h & 1 == 0 {
+                    let speed = 50.0 + (h % 2000) as f64;
+                    let comm = ((h >> 13) % 100) as f64 / 1000.0;
+                    Box::new(LatencyCost::new(256.0, speed, comm)) as DynCost
+                } else {
+                    let slope = 0.1 + (h % 500) as f64 / 100.0;
+                    Box::new(LinearCost::new(slope, ((h >> 9) % 5) as f64 * 0.02)) as DynCost
+                }
+            })
+            .collect()
+    })
+}
+
+/// The five machine-checked invariants, as a pure function of the three
+/// traces — separable so the negative tests can feed it corrupted traces.
+pub fn check_invariants(
+    case: &ChaosCase,
+    mw: &ProtocolTrace,
+    fd: &ProtocolTrace,
+    ring: &ProtocolTrace,
+) -> Result<(), String> {
+    // (5) termination.
+    for tr in [mw, fd, ring] {
+        if tr.rounds.len() != case.rounds {
+            return Err(format!(
+                "termination: {} produced {} of {} rounds",
+                tr.architecture,
+                tr.rounds.len(),
+                case.rounds
+            ));
+        }
+    }
+    for tr in [mw, fd, ring] {
+        let mut prev_alpha = f64::INFINITY;
+        for r in &tr.rounds {
+            // (1) simplex feasibility.
+            let sum: f64 = r.allocation.iter().sum();
+            if (sum - 1.0).abs() >= 1e-9 {
+                return Err(format!(
+                    "feasibility: {} round {} sums to {sum:.12}",
+                    tr.architecture, r.round
+                ));
+            }
+            for (i, &x) in r.allocation.iter().enumerate() {
+                if x < 0.0 {
+                    return Err(format!(
+                        "feasibility: {} round {} gives worker {i} share {x:e}",
+                        tr.architecture, r.round
+                    ));
+                }
+            }
+            // (2) α monotonicity.
+            if r.alpha > prev_alpha {
+                return Err(format!(
+                    "alpha: {} round {} raised α {prev_alpha:.12} -> {:.12}",
+                    tr.architecture, r.round, r.alpha
+                ));
+            }
+            prev_alpha = r.alpha;
+            // (3) no stranded share.
+            let members = case.schedule.members_at(case.n, r.round);
+            for (i, &m) in members.iter().enumerate() {
+                if !m && r.allocation.share(i) != 0.0 {
+                    return Err(format!(
+                        "stranded share: {} round {} leaves {:.3e} on departed worker {i}",
+                        tr.architecture,
+                        r.round,
+                        r.allocation.share(i)
+                    ));
+                }
+                if !m && r.active[i] {
+                    return Err(format!(
+                        "stranded share: {} round {} marks departed worker {i} active",
+                        tr.architecture, r.round
+                    ));
+                }
+            }
+        }
+    }
+    // (4) architecture agreement.
+    for t in 0..case.rounds {
+        let (m, f, r) = (&mw.rounds[t], &fd.rounds[t], &ring.rounds[t]);
+        if case.is_type_a() {
+            if m.allocation.l2_distance(&f.allocation) != 0.0
+                || f.allocation.l2_distance(&r.allocation) != 0.0
+            {
+                return Err(format!("agreement: type A architectures diverge at round {t}"));
+            }
+            if m.straggler != f.straggler || f.straggler != r.straggler {
+                return Err(format!("agreement: type A stragglers diverge at round {t}"));
+            }
+            if m.alpha.to_bits() != f.alpha.to_bits() || f.alpha.to_bits() != r.alpha.to_bits() {
+                return Err(format!("agreement: type A α diverges at round {t}"));
+            }
+        } else if f.allocation.l2_distance(&r.allocation) >= 1e-9 {
+            return Err(format!("agreement: FD and ring diverge at round {t} (type B)"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs one case through all three architectures and checks the
+/// invariants; a panic anywhere (deadlock assert, infeasible allocation)
+/// is converted into a failure.
+pub fn run_case(case: &ChaosCase) -> Result<(), String> {
+    let case = case.clone();
+    catch_unwind(AssertUnwindSafe(move || {
+        let mw = MasterWorkerSim::new(
+            env_for(case.env_seed, case.n),
+            DolbieConfig::new(),
+            FixedLatency::lan(),
+        )
+        .with_fault_plan(case.plan.clone())
+        .with_membership(case.schedule.clone())
+        .run(case.rounds);
+        let fd = FullyDistributedSim::new(
+            env_for(case.env_seed, case.n),
+            DolbieConfig::new(),
+            FixedLatency::lan(),
+        )
+        .with_fault_plan(case.plan.clone())
+        .with_membership(case.schedule.clone())
+        .run(case.rounds);
+        let ring =
+            RingSim::new(env_for(case.env_seed, case.n), DolbieConfig::new(), FixedLatency::lan())
+                .with_fault_plan(case.plan.clone())
+                .with_membership(case.schedule.clone())
+                .run(case.rounds);
+        check_invariants(&case, &mw, &fd, &ring)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic".into());
+        Err(format!("panic: {msg}"))
+    })
+}
+
+/// Non-panicking version of `MembershipSchedule::validate`, for vetting
+/// shrink candidates (deleting a join can make a later leave empty the
+/// set, which the simulators reject).
+fn schedule_is_valid(schedule: &MembershipSchedule, n: usize) -> bool {
+    if schedule.max_worker().is_some_and(|max| max >= n) {
+        return false;
+    }
+    let mut members = vec![true; n];
+    let rounds: Vec<usize> = schedule.events.iter().map(|e| e.round).collect();
+    for t in rounds {
+        schedule.apply_round(t, &mut members);
+        if !members.iter().any(|&m| m) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Greedily shrinks a failing case to a local minimum: drop membership
+/// events, drop crash windows, silence the lossy link, and halve the
+/// horizon, keeping each reduction only while the failure reproduces.
+pub fn shrink(case: &ChaosCase) -> ChaosCase {
+    let mut current = case.clone();
+    loop {
+        let mut improved = false;
+        for i in 0..current.schedule.events.len() {
+            let mut cand = current.clone();
+            cand.schedule.events.remove(i);
+            if schedule_is_valid(&cand.schedule, cand.n) && run_case(&cand).is_err() {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        for i in 0..current.plan.crashes.len() {
+            let mut cand = current.clone();
+            cand.plan.crashes.remove(i);
+            if run_case(&cand).is_err() {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        for zero in [
+            |c: &mut ChaosCase| c.plan.drop_probability = 0.0,
+            |c: &mut ChaosCase| c.plan.duplicate_probability = 0.0,
+        ] {
+            let mut cand = current.clone();
+            zero(&mut cand);
+            if cand.plan != current.plan && run_case(&cand).is_err() {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        if current.rounds > 2 {
+            let mut cand = current.clone();
+            cand.rounds /= 2;
+            if run_case(&cand).is_err() {
+                current = cand;
+                improved = true;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// Renders a case as a copy-pasteable `#[test]` reproducer.
+pub fn reproducer(case: &ChaosCase) -> String {
+    let mut out = String::new();
+    out.push_str("#[test]\nfn chaos_reproducer() {\n");
+    out.push_str(&format!(
+        "    // sweep case {} (n = {}, {} rounds)\n",
+        case.id, case.n, case.rounds
+    ));
+    out.push_str(&format!(
+        "    let plan = FaultPlan::seeded({:#018x})\n        .with_drop_probability({:?})\n        .with_duplicate_probability({:?})",
+        case.plan.seed, case.plan.drop_probability, case.plan.duplicate_probability
+    ));
+    for c in &case.plan.crashes {
+        out.push_str(&format!(
+            "\n        .with_crash(Crash {{ worker: {}, from_round: {}, until_round: {} }})",
+            c.worker, c.from_round, c.until_round
+        ));
+    }
+    out.push_str(";\n    let schedule = MembershipSchedule::none()");
+    for e in &case.schedule.events {
+        match e.change {
+            MembershipChange::Leave(kind) => out.push_str(&format!(
+                "\n        .with_leave({}, {}, LeaveKind::{kind:?})",
+                e.round, e.worker
+            )),
+            MembershipChange::Join => {
+                out.push_str(&format!("\n        .with_join({}, {})", e.round, e.worker))
+            }
+        }
+    }
+    out.push_str(";\n");
+    out.push_str(&format!(
+        "    let case = ChaosCase {{ id: {}, n: {}, rounds: {}, env_seed: {:#018x}, plan, schedule }};\n",
+        case.id, case.n, case.rounds, case.env_seed
+    ));
+    out.push_str("    assert!(chaos::run_case(&case).is_ok());\n}\n");
+    out
+}
+
+/// Runs the chaos sweep, emits `results/<name>.csv`, and panics with a
+/// shrunk reproducer if any invariant fails — making the quick sweep a
+/// hard CI gate.
+pub fn chaos_named(quick: bool, name: &str) {
+    let total = if quick { QUICK_CASES } else { FULL_CASES };
+    println!("== Chaos sweep: {total} random FaultPlan x MembershipSchedule cases ==");
+    let results = harness::parallel_map(total, |id| {
+        let case = case_from_seed(id, MASTER_SEED);
+        let outcome = run_case(&case);
+        (case, outcome)
+    });
+
+    let mut table = Table::new(vec![
+        "case",
+        "kind",
+        "n",
+        "rounds",
+        "membership_events",
+        "crash_windows",
+        "drop_probability",
+        "duplicate_probability",
+        "passed",
+    ]);
+    let mut type_a = 0usize;
+    let mut failures: Vec<(&ChaosCase, &String)> = Vec::new();
+    for (case, outcome) in &results {
+        if case.is_type_a() {
+            type_a += 1;
+        }
+        if let Err(msg) = outcome {
+            failures.push((case, msg));
+        }
+        table.push_row(vec![
+            case.id.to_string(),
+            if case.is_type_a() { "A".into() } else { "B".into() },
+            case.n.to_string(),
+            case.rounds.to_string(),
+            case.schedule.events.len().to_string(),
+            case.plan.crashes.len().to_string(),
+            format!("{:.4}", case.plan.drop_probability),
+            format!("{:.4}", case.plan.duplicate_probability),
+            (outcome.is_ok() as u8).to_string(),
+        ]);
+    }
+    emit_csv(&table, name);
+    println!(
+        "  {} / {total} cases passed all five invariants ({type_a} type A bitwise, {} type B)",
+        total - failures.len(),
+        total - type_a
+    );
+
+    if let Some((case, msg)) = failures.first() {
+        println!("  FAILURE: case {}: {msg}", case.id);
+        println!("  shrinking to a minimal reproducer...");
+        let minimal = shrink(case);
+        let final_msg = run_case(&minimal).expect_err("shrunk case still fails");
+        println!("--- minimal reproducer ({final_msg}) ---");
+        println!("{}", reproducer(&minimal));
+        panic!("chaos sweep found {} invariant violation(s)", failures.len());
+    }
+}
+
+/// The default entry point: writes `results/chaos_invariants.csv`.
+pub fn chaos(quick: bool) {
+    chaos_named(quick, "chaos_invariants");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_cases_are_deterministic_and_mixed() {
+        let a: Vec<ChaosCase> = (0..24).map(|i| case_from_seed(i, MASTER_SEED)).collect();
+        for case in &a {
+            let again = case_from_seed(case.id, MASTER_SEED);
+            assert_eq!(case.schedule, again.schedule, "case {}", case.id);
+            assert_eq!(case.plan.seed, again.plan.seed, "case {}", case.id);
+            assert!(case.n >= 2, "the protocols need two workers");
+        }
+        assert!(a.iter().any(|c| c.is_type_a()));
+        assert!(a.iter().any(|c| !c.is_type_a()));
+        assert!(a.iter().any(|c| !c.schedule.is_none()), "the sweep must contain churn");
+    }
+
+    #[test]
+    fn a_small_prefix_of_the_sweep_passes() {
+        for id in 0..8 {
+            let case = case_from_seed(id, MASTER_SEED);
+            if let Err(msg) = run_case(&case) {
+                panic!("case {id} failed: {msg}\n{}", reproducer(&shrink(&case)));
+            }
+        }
+    }
+
+    /// The negative test the acceptance criteria require: a corrupted
+    /// trace — the kind a broken engine would emit — must be caught by
+    /// the checker, invariant by invariant.
+    #[test]
+    fn corrupted_traces_are_caught() {
+        let case = case_from_seed(0, MASTER_SEED);
+        let build = |arch| {
+            let mut mw = MasterWorkerSim::new(
+                env_for(case.env_seed, case.n),
+                DolbieConfig::new(),
+                FixedLatency::lan(),
+            )
+            .with_fault_plan(case.plan.clone())
+            .with_membership(case.schedule.clone());
+            let mut t = mw.run(case.rounds);
+            t.architecture = arch;
+            t
+        };
+        let (mw, fd, ring) = (build("master-worker"), build("fully-distributed"), build("ring"));
+        assert!(check_invariants(&case, &mw, &fd, &ring).is_ok(), "identical traces must pass");
+
+        // A step size that grows mid-run (a broken eq. (7) cap).
+        let mut bad = mw.clone();
+        let last = bad.rounds.len() - 1;
+        bad.rounds[last].alpha = bad.rounds[0].alpha + 1.0;
+        let err = check_invariants(&case, &bad, &fd, &ring).expect_err("rising α must be caught");
+        assert!(err.contains("alpha"), "got: {err}");
+
+        // A truncated run (deadlock that was papered over).
+        let mut bad = mw.clone();
+        bad.rounds.pop();
+        let err = check_invariants(&case, &bad, &fd, &ring).expect_err("lost round must be caught");
+        assert!(err.contains("termination"), "got: {err}");
+
+        // Divergent trajectories (a protocol that stopped agreeing).
+        let mut bad = mw.clone();
+        bad.rounds[last].straggler = (bad.rounds[last].straggler + 1) % case.n;
+        if case.is_type_a() {
+            let err = check_invariants(&case, &bad, &fd, &ring)
+                .expect_err("divergent straggler must be caught");
+            assert!(err.contains("agreement"), "got: {err}");
+        }
+    }
+}

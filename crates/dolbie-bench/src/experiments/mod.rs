@@ -4,6 +4,8 @@
 pub mod ablation;
 pub mod accuracy;
 pub mod bandit;
+pub mod chaos;
+pub mod churn;
 pub mod comms;
 pub mod edge_exp;
 pub mod faults;

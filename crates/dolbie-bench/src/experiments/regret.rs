@@ -86,13 +86,17 @@ pub fn regret(quick: bool) {
             n.to_string(),
             format!("{regret:.4}"),
             format!("{path_length:.4}"),
-            if bound.is_finite() { format!("{bound:.2}") } else { "inf".into() },
+            // `unbounded`, not a bare `inf`: the Theorem 1 bound diverges
+            // by design when P_T grows linearly (the adversary defeats the
+            // comparator), and downstream CSV readers should not have to
+            // guess which float parser's infinity spelling they will meet.
+            if bound.is_finite() { format!("{bound:.2}") } else { "unbounded".into() },
             format!("{ratio:.4}"),
             format!("{:.6}", regret / t as f64),
         ]);
         println!(
             "  {kind:10} T={t:4} N={n:3}: regret {regret:10.3}  P_T {path_length:8.3}  bound {:>12}  ratio {ratio:.3}",
-            if bound.is_finite() { format!("{bound:.1}") } else { "inf".into() },
+            if bound.is_finite() { format!("{bound:.1}") } else { "unbounded".into() },
         );
     }
     emit_csv(&table, "regret_theorem1");

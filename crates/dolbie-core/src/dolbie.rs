@@ -190,6 +190,26 @@ impl Dolbie {
         self.engine.alpha()
     }
 
+    /// Crosses a membership epoch boundary: departing workers' shares are
+    /// redistributed proportionally over the continuing members
+    /// ([`renormalize_onto_members`](crate::membership::renormalize_onto_members)),
+    /// joiners enter at share exactly `0.0` (the eq. (5)/(6) update grows
+    /// them), and `α` shrinks to the eq. (7) cap re-derived against the
+    /// new member count
+    /// ([`membership_alpha_cap`](crate::membership::membership_alpha_cap)),
+    /// so it never increases. Subsequent rounds must be observed through
+    /// [`Observation::from_costs_masked`] with the same member mask so
+    /// that non-members are excluded from the straggler argmax.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members.len()` differs from the worker count, no worker
+    /// remains a member, or share caps are installed (caps describe a
+    /// fixed fleet; combining them with churn is unsupported).
+    pub fn apply_membership(&mut self, members: &[bool]) {
+        self.engine.apply_membership(members);
+    }
+
     /// The step sizes actually applied in each observed round — the
     /// sequence `{α_t}` appearing in the Theorem 1 bound.
     pub fn alphas_used(&self) -> &[f64] {

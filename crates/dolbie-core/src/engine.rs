@@ -43,6 +43,7 @@
 use crate::allocation::Allocation;
 use crate::balancer::LoadBalancer;
 use crate::dolbie::{DolbieConfig, DolbieStats};
+use crate::membership::{membership_alpha_cap, renormalize_onto_members};
 use crate::numeric::{pairwise_neumaier_sum, pairwise_neumaier_sum_parallel, NeumaierSum};
 use crate::observation::{max_acceptable_share, Observation};
 use crate::parallel::parallel_for_each;
@@ -70,6 +71,12 @@ pub(crate) struct SoaEngine {
     alphas_used: Vec<f64>,
     stats: DolbieStats,
     share_caps: Option<Vec<f64>>,
+    /// Active-membership mask: inactive workers hold share exactly 0 and
+    /// take no eq. (5) gain. All-true until `apply_membership` is called.
+    active: Vec<bool>,
+    /// Number of `true` entries in `active` — the `M` of the re-derived
+    /// eq. (7) cap.
+    active_count: usize,
     /// Running compensated total `T ≈ Σ_i x_i` behind the O(1) pin.
     total: NeumaierSum,
 }
@@ -78,7 +85,8 @@ impl SoaEngine {
     pub(crate) fn new(initial: Allocation, config: DolbieConfig) -> Self {
         let alpha = StepSize::new(config.resolve_initial_alpha(&initial));
         let total = NeumaierSum::from_value(pairwise_neumaier_sum(initial.as_slice()));
-        let gains = vec![0.0; initial.num_workers()];
+        let n = initial.num_workers();
+        let gains = vec![0.0; n];
         Self {
             x: initial,
             gains,
@@ -87,6 +95,8 @@ impl SoaEngine {
             alphas_used: Vec::new(),
             stats: DolbieStats::default(),
             share_caps: None,
+            active: vec![true; n],
+            active_count: n,
             total,
         }
     }
@@ -102,6 +112,32 @@ impl SoaEngine {
             assert!(share <= cap + 1e-9, "initial share of worker {i} exceeds its cap");
         }
         self.share_caps = Some(caps);
+    }
+
+    /// Crosses a membership epoch boundary: re-normalizes the shares onto
+    /// the simplex of `members` (departing mass redistributed
+    /// proportionally, joiners at exactly 0), re-seeds the running Σx
+    /// total from the fixed-shape sum, and shrinks `α` to the cap
+    /// re-derived against the new member count. Pure and deterministic —
+    /// sequential and chunked engines transition bitwise-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members.len()` differs from the worker count, no worker
+    /// remains a member, or share caps are installed (per-worker caps
+    /// describe a fixed fleet; combining them with churn is unsupported).
+    pub(crate) fn apply_membership(&mut self, members: &[bool]) {
+        assert_eq!(members.len(), self.x.num_workers(), "one membership flag per worker");
+        assert!(
+            self.share_caps.is_none(),
+            "membership changes are not supported together with share caps"
+        );
+        renormalize_onto_members(self.x.shares_mut(), members);
+        self.active.clear();
+        self.active.extend_from_slice(members);
+        self.active_count = members.iter().filter(|&&m| m).count();
+        self.total = NeumaierSum::from_value(pairwise_neumaier_sum(self.x.as_slice()));
+        self.alpha.shrink_to(membership_alpha_cap(self.x.as_slice(), members));
     }
 
     pub(crate) fn allocation(&self) -> &Allocation {
@@ -149,10 +185,11 @@ impl SoaEngine {
         {
             let xs = self.x.as_slice();
             let caps = self.share_caps.as_deref();
+            let active = self.active.as_slice();
             let fill = |base: usize, out: &mut [f64]| {
                 for (off, g) in out.iter_mut().enumerate() {
                     let i = base + off;
-                    if i == s {
+                    if i == s || !active[i] {
                         *g = 0.0;
                         continue;
                     }
@@ -248,8 +285,9 @@ impl SoaEngine {
             self.total = NeumaierSum::from_value(sum_fixed(self.x.as_slice()));
         }
 
-        // Eq. (7): tighten the step size with the straggler's new share.
-        self.alpha.tighten(n, new_straggler_share);
+        // Eq. (7): tighten the step size with the straggler's new share,
+        // against the *active* member count (equal to n absent churn).
+        self.alpha.tighten(self.active_count, new_straggler_share);
     }
 }
 
@@ -340,6 +378,18 @@ impl ChunkedDolbie {
     /// The current step size `α_t`.
     pub fn alpha(&self) -> f64 {
         self.engine.alpha()
+    }
+
+    /// Crosses a membership epoch boundary, exactly as
+    /// [`Dolbie::apply_membership`](crate::Dolbie::apply_membership) —
+    /// the chunked engine transitions bitwise-identically to the
+    /// sequential one.
+    ///
+    /// # Panics
+    ///
+    /// As [`Dolbie::apply_membership`](crate::Dolbie::apply_membership).
+    pub fn apply_membership(&mut self, members: &[bool]) {
+        self.engine.apply_membership(members);
     }
 
     /// The step sizes actually applied in each observed round.
@@ -502,6 +552,85 @@ mod tests {
             );
         }
         assert_eq!(sequential.stats(), chunked.stats());
+    }
+
+    /// Membership epochs preserve the chunked/sequential bitwise
+    /// equivalence: a leave (worker 3), a crash-style leave (worker 0)
+    /// and a rejoin (worker 3) produce identical shares and α schedules
+    /// at every chunk size and thread count, with the Σx = 1 pin intact.
+    #[test]
+    fn chunked_engine_matches_sequential_bitwise_through_churn() {
+        let n = 41;
+        let rounds = 90;
+        let costs = latency_fleet(n, 29);
+        let boundary = |t: usize| -> Option<Vec<bool>> {
+            match t {
+                20 => Some((0..n).map(|i| i != 3).collect()),
+                35 => Some((0..n).map(|i| i != 3 && i != 0).collect()),
+                60 => Some((0..n).map(|i| i != 0).collect()),
+                _ => None,
+            }
+        };
+        let mut members = vec![true; n];
+        let mut sequential = Dolbie::new(n);
+        let mut reference =
+            Trajectory { share_bits: Vec::new(), stragglers: Vec::new(), alpha_bits: Vec::new() };
+        for t in 0..rounds {
+            if let Some(m) = boundary(t) {
+                members = m;
+                sequential.apply_membership(&members);
+            }
+            let played = sequential.allocation().clone();
+            let obs = Observation::from_costs_masked(t, &played, &costs, &members, Vec::new());
+            reference.stragglers.push(obs.straggler());
+            sequential.observe(&obs);
+            reference
+                .share_bits
+                .push(sequential.allocation().iter().map(|v| v.to_bits()).collect());
+        }
+        reference.alpha_bits = sequential.alphas_used().iter().map(|a| a.to_bits()).collect();
+        let sum = pairwise_neumaier_sum(sequential.allocation().as_slice());
+        assert!((sum - 1.0).abs() < 1e-12, "|Σx − 1| = {:e}", (sum - 1.0).abs());
+        // Worker 3 rejoined at round 60 and must have grown from zero.
+        assert!(sequential.allocation().share(3) > 0.0, "rejoined worker never regained work");
+        assert_eq!(sequential.allocation().share(0), 0.0, "departed worker holds share");
+
+        for chunk in [1usize, 7, n] {
+            for threads in [1usize, 4] {
+                set_threads(threads);
+                let mut members = vec![true; n];
+                let mut d = ChunkedDolbie::new(n).with_chunk_size(chunk);
+                let mut got = Trajectory {
+                    share_bits: Vec::new(),
+                    stragglers: Vec::new(),
+                    alpha_bits: Vec::new(),
+                };
+                for t in 0..rounds {
+                    if let Some(m) = boundary(t) {
+                        members = m;
+                        d.apply_membership(&members);
+                    }
+                    let played = d.allocation().clone();
+                    let obs =
+                        Observation::from_costs_masked(t, &played, &costs, &members, Vec::new());
+                    got.stragglers.push(obs.straggler());
+                    d.observe(&obs);
+                    got.share_bits.push(d.allocation().iter().map(|v| v.to_bits()).collect());
+                }
+                got.alpha_bits = d.alphas_used().iter().map(|a| a.to_bits()).collect();
+                set_threads(0);
+                assert_eq!(got.stragglers, reference.stragglers, "chunk {chunk}, {threads} thr");
+                assert_eq!(got.alpha_bits, reference.alpha_bits, "chunk {chunk}, {threads} thr");
+                assert_eq!(got.share_bits, reference.share_bits, "chunk {chunk}, {threads} thr");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported together with share caps")]
+    fn membership_with_share_caps_is_rejected() {
+        let mut d = ChunkedDolbie::new(4).with_share_caps(vec![1.0; 4]);
+        d.apply_membership(&[true, true, true, false]);
     }
 
     #[test]

@@ -55,6 +55,8 @@
 //!   with optional per-worker capacity caps.
 //! - [`engine`] — the shared structure-of-arrays round engine and the
 //!   chunked large-N balancer [`ChunkedDolbie`].
+//! - [`membership`] — simplex-safe re-normalization for elastic worker
+//!   membership (epoch boundaries: leaves, joins, rejoins).
 //! - [`numeric`] — fixed-shape compensated (Neumaier/pairwise) summation.
 //! - [`parallel`] — the deterministic work-stealing fan-out harness.
 //! - [`bandit`] — a bandit-feedback extension (value-only observations).
@@ -82,6 +84,7 @@ pub mod dolbie;
 pub mod engine;
 pub mod environment;
 pub mod error;
+pub mod membership;
 pub mod numeric;
 pub mod observation;
 pub mod oracle;
@@ -99,6 +102,7 @@ pub use dolbie::{Dolbie, DolbieConfig, InitialAlpha};
 pub use engine::ChunkedDolbie;
 pub use environment::Environment;
 pub use error::{AllocationError, OracleError, SolverError};
+pub use membership::{membership_alpha_cap, renormalize_onto_members};
 pub use numeric::{pairwise_neumaier_sum, pairwise_neumaier_sum_parallel, NeumaierSum};
 pub use observation::Observation;
 pub use oracle::{

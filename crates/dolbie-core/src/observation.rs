@@ -180,6 +180,55 @@ impl<'a> Observation<'a> {
         Self { round, shares, local_costs, cost_fns, straggler, global_cost }
     }
 
+    /// As [`from_costs_in`](Self::from_costs_in), but over an elastic
+    /// membership: non-members get a local cost of exactly `0.0` without
+    /// evaluating their cost function, and the straggler argmax runs over
+    /// members only (lowest member index on ties). Pair it with
+    /// [`apply_membership`](crate::Dolbie::apply_membership).
+    ///
+    /// A member holding share 0 (a fresh joiner) is still a straggler
+    /// candidate — its cost is evaluated at 0, typically the fixed
+    /// overhead term — which is exactly how the eq. (5)/(6) update pulls
+    /// work onto it.
+    ///
+    /// # Panics
+    ///
+    /// As [`from_costs`](Self::from_costs); additionally panics if
+    /// `members.len() != cost_fns.len()` or no worker is a member.
+    pub fn from_costs_masked(
+        round: usize,
+        shares: &'a Allocation,
+        cost_fns: &'a [DynCost],
+        members: &[bool],
+        mut scratch: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            cost_fns.len(),
+            shares.num_workers(),
+            "one cost function per worker is required"
+        );
+        assert_eq!(members.len(), cost_fns.len(), "one membership flag per worker");
+        assert!(!cost_fns.is_empty(), "at least one worker is required");
+        scratch.clear();
+        scratch.extend(cost_fns.iter().enumerate().map(|(i, f)| {
+            if members[i] {
+                f.eval(shares.share(i))
+            } else {
+                0.0
+            }
+        }));
+        let local_costs = scratch;
+        let mut straggler = None;
+        for (i, &c) in local_costs.iter().enumerate() {
+            if members[i] && straggler.is_none_or(|s: usize| c > local_costs[s]) {
+                straggler = Some(i);
+            }
+        }
+        let straggler = straggler.expect("at least one member is required");
+        let global_cost = local_costs[straggler];
+        Self { round, shares, local_costs, cost_fns, straggler, global_cost }
+    }
+
     /// Consumes the observation, handing back the local-cost storage — either
     /// to move it into a record without copying or to recycle the buffer for
     /// the next round's [`from_costs_in`](Self::from_costs_in).

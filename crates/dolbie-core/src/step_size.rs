@@ -87,6 +87,17 @@ impl StepSize {
         self.value = self.value.min(feasibility_cap(num_workers, straggler_share));
         self.value
     }
+
+    /// Applies an externally derived cap: `α ← min{α, cap}`. Used at
+    /// membership epoch boundaries, where the cap is re-derived against
+    /// the new active member set
+    /// ([`membership_alpha_cap`](crate::membership::membership_alpha_cap)).
+    /// Like [`tighten`](Self::tighten), this can only decrease the value.
+    /// Returns the new value.
+    pub fn shrink_to(&mut self, cap: f64) -> f64 {
+        self.value = self.value.min(cap.clamp(0.0, 1.0));
+        self.value
+    }
 }
 
 #[cfg(test)]

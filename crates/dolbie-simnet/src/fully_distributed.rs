@@ -12,7 +12,7 @@
 //! point of failure and for keeping decisions private from non-stragglers.
 //!
 //! Faults (extension): the simulator accepts the same
-//! [`FaultPlan`](crate::faults::FaultPlan) as the other architectures —
+//! [`FaultPlan`] as the other architectures —
 //! crash windows freeze the crashed worker's share while the survivors
 //! balance among themselves, lossy links retransmit with ack/backoff, and
 //! membership collapse degrades gracefully: a lone survivor keeps its
@@ -24,7 +24,8 @@
 use crate::event::EventQueue;
 use crate::faults::{Crash, FaultPlan, LinkStats};
 use crate::latency::LatencyModel;
-use crate::master_worker::frozen_round;
+use crate::master_worker::{frozen_round, guarded_straggler_pin};
+use crate::membership::{epoch_transition, MembershipSchedule, DEFAULT_DETECTION_TIMEOUT};
 use crate::message::{Message, NodeId, Payload};
 use crate::trace::{ProtocolRound, ProtocolTrace};
 use dolbie_core::observation::max_acceptable_share;
@@ -83,6 +84,7 @@ pub struct FullyDistributedSim<E, L> {
     shares: Vec<f64>,
     local_alphas: Vec<f64>,
     plan: FaultPlan,
+    membership: MembershipSchedule,
 }
 
 impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
@@ -104,7 +106,25 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
             shares: initial.into_inner(),
             local_alphas: vec![alpha; n],
             plan: FaultPlan::none(),
+            membership: MembershipSchedule::none(),
         }
+    }
+
+    /// Installs a membership schedule: at epoch boundaries the workers
+    /// rebuild their all-to-all broadcast topology around the new member
+    /// set, departing shares are redistributed proportionally, joiners
+    /// enter at share zero, and every member synchronizes its local step
+    /// size to `min` over the outgoing members' values capped against the
+    /// new member count. Replaces any schedule set earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule names a worker out of range or would empty
+    /// the active set.
+    pub fn with_membership(mut self, schedule: MembershipSchedule) -> Self {
+        schedule.validate(self.shares.len());
+        self.membership = schedule;
+        self
     }
 
     /// Installs a complete fault plan (crashes, lossy links). The plan's
@@ -146,18 +166,50 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
         let n = self.shares.len();
         let mut trace = Vec::with_capacity(rounds);
         let mut ready_at = vec![0.0f64; n];
+        // Active membership view (epoch state, distinct from crash windows).
+        let mut members = vec![true; n];
 
         for t in 0..rounds {
+            // Epoch boundary: rebuild the broadcast topology around the
+            // new member set and run the shared state transition.
+            let previous_members = members.clone();
+            let boundary = self.membership.apply_round(t, &mut members);
+            if boundary.changed {
+                epoch_transition(
+                    &mut self.shares,
+                    &mut self.local_alphas,
+                    &previous_members,
+                    &members,
+                );
+                if boundary.crash_detected {
+                    let detection = self.plan.cost_timeout.unwrap_or(DEFAULT_DETECTION_TIMEOUT);
+                    for (r, &m) in ready_at.iter_mut().zip(&members) {
+                        if m {
+                            *r += detection;
+                        }
+                    }
+                }
+            }
+            let member_count = members.iter().filter(|&&m| m).count();
+
             let fns = self.env.reveal(t);
             assert_eq!(fns.len(), n, "environment must cover every worker");
-            let crashed: Vec<bool> = (0..n).map(|i| self.plan.crashed(i, t)).collect();
-            let alive_count = crashed.iter().filter(|&&c| !c).count();
-            let local_costs: Vec<f64> = (0..n)
-                .map(|i| if crashed[i] { 0.0 } else { fns[i].eval(self.shares[i]) })
-                .collect();
+            let down: Vec<bool> = (0..n).map(|i| !members[i] || self.plan.crashed(i, t)).collect();
+            let alive_count = down.iter().filter(|&&c| !c).count();
+            let local_costs: Vec<f64> =
+                (0..n).map(|i| if down[i] { 0.0 } else { fns[i].eval(self.shares[i]) }).collect();
+            let member_alpha = |alphas: &[f64]| {
+                alphas
+                    .iter()
+                    .zip(&members)
+                    .filter(|&(_, &m)| m)
+                    .map(|(&a, _)| a)
+                    .fold(f64::INFINITY, f64::min)
+            };
             if alive_count == 0 {
                 // Membership collapsed: freeze every share and continue.
-                trace.push(frozen_round(t, &self.shares, local_costs, &ready_at, n));
+                let alpha = member_alpha(&self.local_alphas);
+                trace.push(frozen_round(t, &self.shares, local_costs, &ready_at, n, alpha));
                 continue;
             }
             if alive_count == 1 {
@@ -166,14 +218,14 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                 // frozen shares (its own current share, exactly), and
                 // continues — the master-worker single-responder
                 // semantics, without a panic.
-                let survivor = crashed.iter().position(|&c| !c).expect("one alive");
+                let survivor = down.iter().position(|&c| !c).expect("one alive");
                 let finish = ready_at[survivor] + local_costs[survivor];
                 ready_at[survivor] = finish;
                 let others: f64 = (0..n).filter(|&j| j != survivor).map(|j| self.shares[j]).sum();
                 let s_share = (1.0 - others).max(0.0);
                 self.shares[survivor] = s_share;
                 self.local_alphas[survivor] =
-                    self.local_alphas[survivor].min(feasibility_cap(n, s_share));
+                    self.local_alphas[survivor].min(feasibility_cap(member_count, s_share));
                 let executed = Allocation::from_update(self.shares.clone())
                     .expect("frozen shares stay feasible");
                 trace.push(ProtocolRound {
@@ -189,7 +241,8 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                     duplicates: 0,
                     compute_finished: finish,
                     control_finished: finish,
-                    active: crashed.iter().map(|&c| !c).collect(),
+                    active: down.iter().map(|&c| !c).collect(),
+                    alpha: member_alpha(&self.local_alphas),
                 });
                 continue;
             }
@@ -199,7 +252,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
             let mut queue: EventQueue<Ev> =
                 EventQueue::with_capacity(alive_count * (n - 1) + alive_count);
             for i in 0..n {
-                if !crashed[i] {
+                if !down[i] {
                     queue.schedule(ready_at[i] + local_costs[i], Ev::ComputeDone { worker: i });
                 }
             }
@@ -208,7 +261,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                 (0..n).map(|_| WorkerRoundState::new(n)).collect();
             // Seed each worker's own observation (lines 2-3).
             for i in 0..n {
-                if crashed[i] {
+                if down[i] {
                     continue;
                 }
                 states[i].costs[i] = Some(local_costs[i]);
@@ -225,7 +278,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
             let mut global_cost = f64::MIN;
             let mut straggler = 0usize;
             for (j, &c) in local_costs.iter().enumerate() {
-                if !crashed[j] && c > global_cost {
+                if !down[j] && c > global_cost {
                     global_cost = c;
                     straggler = j;
                 }
@@ -254,8 +307,8 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                     Ev::ComputeDone { worker } => {
                         compute_finished = compute_finished.max(now);
                         // Line 4: broadcast (l_i, ᾱ_i) to all live peers.
-                        for (j, &peer_crashed) in crashed.iter().enumerate() {
-                            if j == worker || peer_crashed {
+                        for (j, &peer_down) in down.iter().enumerate() {
+                            if j == worker || peer_down {
                                 continue;
                             }
                             send(
@@ -337,22 +390,11 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                             ready_at[me] = now;
                             last_resolution_at = last_resolution_at.max(now);
                         } else if state.decisions_received == alive_count - 1 {
-                            // Lines 11-13; crashed workers' shares are
-                            // frozen and counted as-is.
-                            let mut others = 0.0;
-                            for (j, d) in state.decisions.iter().enumerate() {
-                                if j == me {
-                                    continue;
-                                }
-                                others += if crashed[j] {
-                                    self.shares[j]
-                                } else {
-                                    d.expect("all live decisions present")
-                                };
-                            }
-                            let s_share = (1.0 - others).max(0.0);
-                            next_shares[me] = s_share;
-                            next_alphas[me] = alpha_t.min(feasibility_cap(n, s_share));
+                            // Lines 11-13; every live peer's decision is in
+                            // `next_shares` (written before it was sent),
+                            // crashed workers' shares sit there frozen.
+                            let s_share = guarded_straggler_pin(&self.shares, &mut next_shares, me);
+                            next_alphas[me] = alpha_t.min(feasibility_cap(member_count, s_share));
                             state.resolved = true;
                             resolved_count += 1;
                             ready_at[me] = now;
@@ -368,22 +410,10 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                     && s_state.broadcasts_received == alive_count
                     && s_state.decisions_received == alive_count - 1
                 {
-                    let mut others = 0.0;
-                    for (j, d) in s_state.decisions.iter().enumerate() {
-                        if j == straggler {
-                            continue;
-                        }
-                        others += if crashed[j] {
-                            self.shares[j]
-                        } else {
-                            d.expect("all live decisions present")
-                        };
-                    }
-                    let s_share = (1.0 - others).max(0.0);
+                    let s_share = guarded_straggler_pin(&self.shares, &mut next_shares, straggler);
                     let alpha_t =
                         s_state.alphas.iter().flatten().fold(f64::INFINITY, |acc, &a| acc.min(a));
-                    next_shares[straggler] = s_share;
-                    next_alphas[straggler] = alpha_t.min(feasibility_cap(n, s_share));
+                    next_alphas[straggler] = alpha_t.min(feasibility_cap(member_count, s_share));
                     s_state.resolved = true;
                     resolved_count += 1;
                     ready_at[straggler] = queue.now();
@@ -408,7 +438,8 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                 duplicates: stats.duplicates,
                 compute_finished,
                 control_finished: last_resolution_at.max(straggler_done_at),
-                active: crashed.iter().map(|&c| !c).collect(),
+                active: down.iter().map(|&c| !c).collect(),
+                alpha: member_alpha(&next_alphas),
             });
             self.shares = next_shares;
             self.local_alphas = next_alphas;

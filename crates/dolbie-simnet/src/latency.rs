@@ -155,7 +155,7 @@ impl PerLinkLatency {
 
     /// A ring-shaped fabric over `n` workers: hops between ring neighbors
     /// (`|i − j| = 1 mod n`) cost `near`, every other link — including all
-    /// master links — costs `far`. The natural habitat of [`RingSim`]
+    /// master links — costs `far`. The natural habitat of [`RingSim`](crate::RingSim)
     /// (`crate::RingSim`).
     ///
     /// # Panics

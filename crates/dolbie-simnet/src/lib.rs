@@ -22,6 +22,13 @@
 //!   timeouts) accepted by all three protocol simulators; lossy links are
 //!   survived with ack/retry-with-backoff and membership collapse
 //!   degrades gracefully (shares freeze, the run continues).
+//! - [`membership::MembershipSchedule`] — elastic membership (extension):
+//!   a deterministic, seeded schedule of worker leave/join epochs honored
+//!   by all three protocol simulators. Departing shares are redistributed
+//!   proportionally onto the survivors, joiners enter at share zero and
+//!   are grown by the ordinary eq. (5)/(6) updates, and the eq. (7) step
+//!   size cap is re-derived against the active member count (never
+//!   loosened).
 //! - [`latency::DegradedNode`] — latency-side fault injection (slow
 //!   links/NICs), used to demonstrate that DOLBIE's *decisions* are
 //!   delay-invariant even when the wall clock is not.
@@ -38,6 +45,7 @@ pub mod faults;
 pub mod fully_distributed;
 pub mod latency;
 pub mod master_worker;
+pub mod membership;
 pub mod message;
 pub mod ring;
 pub mod threaded;
@@ -47,6 +55,10 @@ pub use faults::{Crash, FaultPlan, LinkStats, RetryPolicy};
 pub use fully_distributed::FullyDistributedSim;
 pub use latency::{DegradedNode, FixedLatency, JitteredLatency, LatencyModel, PerLinkLatency};
 pub use master_worker::MasterWorkerSim;
+pub use membership::{
+    EpochChange, LeaveKind, MembershipChange, MembershipEvent, MembershipSchedule,
+    DEFAULT_DETECTION_TIMEOUT,
+};
 pub use message::{Message, NodeId, Payload};
 pub use ring::RingSim;
 pub use trace::{ProtocolRound, ProtocolTrace};

@@ -22,7 +22,7 @@
 //! ## Fault tolerance (extension)
 //!
 //! The paper assumes responsive workers. This simulator additionally
-//! accepts a shared [`FaultPlan`](crate::faults::FaultPlan) — worker
+//! accepts a shared [`FaultPlan`] — worker
 //! crashes ([`Crash`] windows), a master-side cost timeout, and lossy
 //! links with ack/retry-with-backoff. When a worker does not report in
 //! time, the master excludes it from the round — its share is frozen, the
@@ -39,6 +39,7 @@
 use crate::event::EventQueue;
 use crate::faults::{FaultPlan, LinkStats};
 use crate::latency::LatencyModel;
+use crate::membership::{epoch_transition, MembershipSchedule, DEFAULT_DETECTION_TIMEOUT};
 use crate::message::{Message, NodeId, Payload};
 use crate::trace::{ProtocolRound, ProtocolTrace};
 use dolbie_core::observation::max_acceptable_share;
@@ -76,6 +77,7 @@ pub struct MasterWorkerSim<E, L> {
     shares: Vec<f64>,
     alpha: f64,
     plan: FaultPlan,
+    membership: MembershipSchedule,
 }
 
 impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
@@ -84,7 +86,29 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
         let n = env.num_workers();
         let initial = Allocation::uniform(n);
         let alpha = config.resolve_initial_alpha(&initial);
-        Self { env, latency, shares: initial.into_inner(), alpha, plan: FaultPlan::none() }
+        Self {
+            env,
+            latency,
+            shares: initial.into_inner(),
+            alpha,
+            plan: FaultPlan::none(),
+            membership: MembershipSchedule::none(),
+        }
+    }
+
+    /// Installs a membership schedule: at scheduled epoch boundaries
+    /// workers leave (their shares redistributed proportionally) or
+    /// (re)join at share zero, and `α` shrinks to the cap re-derived
+    /// against the new member count. Replaces any schedule set earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule names a worker out of range or would empty
+    /// the active set.
+    pub fn with_membership(mut self, schedule: MembershipSchedule) -> Self {
+        schedule.validate(self.shares.len());
+        self.membership = schedule;
+        self
     }
 
     /// Installs a complete fault plan (crashes, cost timeout, lossy
@@ -136,18 +160,38 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
         let mut trace = Vec::with_capacity(rounds);
         // Per-worker time at which it may begin executing the round.
         let mut ready_at = vec![0.0f64; n];
+        // Active membership view (epoch state, distinct from crash windows).
+        let mut members = vec![true; n];
 
         for t in 0..rounds {
+            // Epoch boundary: apply scheduled leaves/joins, re-normalize
+            // onto the new member simplex, shrink α to the re-derived cap.
+            let boundary = self.membership.apply_round(t, &mut members);
+            if boundary.changed {
+                let mut alpha_state = [self.alpha];
+                self.alpha =
+                    epoch_transition(&mut self.shares, &mut alpha_state, &[true], &members);
+                if boundary.crash_detected {
+                    // Survivors discover the departure via timeout.
+                    let detection = self.plan.cost_timeout.unwrap_or(DEFAULT_DETECTION_TIMEOUT);
+                    for (r, &m) in ready_at.iter_mut().zip(&members) {
+                        if m {
+                            *r += detection;
+                        }
+                    }
+                }
+            }
+            let member_count = members.iter().filter(|&&m| m).count();
+
             let fns = self.env.reveal(t);
             assert_eq!(fns.len(), n, "environment must cover every worker");
-            let crashed: Vec<bool> = (0..n).map(|i| self.plan.crashed(i, t)).collect();
-            let alive_count = crashed.iter().filter(|&&c| !c).count();
-            let local_costs: Vec<f64> = (0..n)
-                .map(|i| if crashed[i] { 0.0 } else { fns[i].eval(self.shares[i]) })
-                .collect();
+            let down: Vec<bool> = (0..n).map(|i| !members[i] || self.plan.crashed(i, t)).collect();
+            let alive_count = down.iter().filter(|&&c| !c).count();
+            let local_costs: Vec<f64> =
+                (0..n).map(|i| if down[i] { 0.0 } else { fns[i].eval(self.shares[i]) }).collect();
             if alive_count == 0 {
                 // Membership collapsed: freeze every share and continue.
-                trace.push(frozen_round(t, &self.shares, local_costs, &ready_at, n));
+                trace.push(frozen_round(t, &self.shares, local_costs, &ready_at, n, self.alpha));
                 continue;
             }
 
@@ -157,7 +201,7 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
             let mut queue: EventQueue<Ev> = EventQueue::with_capacity(3 * alive_count + 1);
             let mut round_base = 0.0f64;
             for i in 0..n {
-                if crashed[i] {
+                if down[i] {
                     continue;
                 }
                 queue.schedule(ready_at[i] + local_costs[i], Ev::ComputeDone { worker: i });
@@ -205,7 +249,7 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                     coordination_sent = true;
                     participants.copy_from_slice(&costs_received);
                     for j in 0..n {
-                        if crashed[j] || participants[j] {
+                        if down[j] || participants[j] {
                             continue;
                         }
                         // Timed out: the worker's in-flight execution is
@@ -253,23 +297,17 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
             // (immediately if the straggler is the only participant).
             macro_rules! finalize_round {
                 () => {{
-                    let mut others = 0.0;
                     for j in 0..n {
-                        if j == straggler {
-                            continue;
-                        }
-                        if participants[j] {
-                            let share = decisions[j].expect("participant reported");
-                            next_shares[j] = share;
-                            others += share;
-                        } else {
-                            // Frozen share of a crashed/timed-out worker.
-                            others += next_shares[j];
+                        if j != straggler && participants[j] {
+                            next_shares[j] = decisions[j].expect("participant reported");
                         }
                     }
-                    let s_share = (1.0 - others).max(0.0);
-                    next_shares[straggler] = s_share;
-                    self.alpha = self.alpha.min(feasibility_cap(n, s_share));
+                    // Crashed/timed-out workers keep their frozen entry in
+                    // `next_shares`; the guarded pin counts them as-is.
+                    let s_share = guarded_straggler_pin(&self.shares, &mut next_shares, straggler);
+                    // Eq. (7) against the active member count (== n when
+                    // no membership schedule is installed).
+                    self.alpha = self.alpha.min(feasibility_cap(member_count, s_share));
                     send(
                         &mut queue,
                         &mut self.latency,
@@ -411,6 +449,7 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                 compute_finished,
                 control_finished,
                 active: participants.clone(),
+                alpha: self.alpha,
             });
             self.shares = next_shares;
         }
@@ -427,6 +466,7 @@ pub(crate) fn frozen_round(
     local_costs: Vec<f64>,
     ready_at: &[f64],
     n: usize,
+    alpha: f64,
 ) -> ProtocolRound {
     // The cluster clock does not advance while everyone is down.
     let stall = ready_at.iter().fold(0.0f64, |acc, &r| acc.max(r));
@@ -444,7 +484,50 @@ pub(crate) fn frozen_round(
         compute_finished: stall,
         control_finished: stall,
         active: vec![false; n],
+        alpha,
     }
+}
+
+/// Eq. (6) pin with the engine's feasibility guard, shared by all three
+/// architectures so guarded rounds stay bitwise identical across them.
+///
+/// `next` holds every non-straggler's candidate share — the eq. (5)
+/// update for the round's deciders, the frozen share for crashed,
+/// timed-out, and departed workers. Eq. (7) proves the combined gain
+/// fits inside the straggler's share in exact arithmetic, but a
+/// zero-share joiner that becomes the straggler right after an epoch
+/// boundary can hold a smaller share than the one α was last capped
+/// against; mirror the engine's guard (`dolbie_core::engine`) and
+/// rescale the gains so constraint (3) survives. In the wire protocol
+/// the correction factor rides on the straggler assignment / pass-2
+/// token; the sims apply it to the bookkeeping directly. The sums run
+/// in ascending worker order at every call site, which is what keeps
+/// the three architectures' trajectories bit-for-bit equal.
+pub(crate) fn guarded_straggler_pin(old: &[f64], next: &mut [f64], straggler: usize) -> f64 {
+    let mut total_gain = 0.0;
+    for (j, (&o, &x)) in old.iter().zip(next.iter()).enumerate() {
+        if j != straggler {
+            total_gain += x - o;
+        }
+    }
+    let s_old = old[straggler];
+    if total_gain > s_old && total_gain > 0.0 {
+        let scale = s_old / total_gain;
+        for (j, (&o, x)) in old.iter().zip(next.iter_mut()).enumerate() {
+            if j != straggler {
+                *x = o + scale * (*x - o);
+            }
+        }
+    }
+    let mut others = 0.0;
+    for (j, &x) in next.iter().enumerate() {
+        if j != straggler {
+            others += x;
+        }
+    }
+    let s_share = (1.0 - others).max(0.0);
+    next[straggler] = s_share;
+    s_share
 }
 
 #[cfg(test)]
@@ -703,5 +786,73 @@ mod tests {
         // The cluster resumes balancing afterwards.
         assert!(trace.rounds[3].active.iter().all(|&a| a));
         assert!(trace.rounds[3].messages > 0);
+    }
+
+    #[test]
+    fn single_survivor_rounds_keep_the_frozen_remainder() {
+        // alive_count == 1: the lone responder is trivially the straggler
+        // and absorbs the remainder of the frozen shares — the same
+        // degradation the leaderless architectures implement (asserted in
+        // their own lone-survivor tests and the crash-equivalence suites).
+        let env = StaticLinearEnvironment::from_slopes(vec![3.0, 1.0, 2.0]);
+        let crash_a = Crash { worker: 0, from_round: 4, until_round: 7 };
+        let crash_b = Crash { worker: 2, from_round: 4, until_round: 7 };
+        let trace = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(crash_a)
+            .with_crash(crash_b)
+            .run(12);
+        let frozen = trace.rounds[4].allocation.share(1);
+        for t in 4..7 {
+            let r = &trace.rounds[t];
+            assert_eq!(r.active, vec![false, true, false], "round {t}: lone survivor");
+            assert_eq!(r.straggler, 1, "a lone survivor is trivially the straggler");
+            assert!(
+                (r.allocation.share(1) - frozen).abs() < 1e-12,
+                "round {t}: the survivor's share is stable while alone"
+            );
+            let sum: f64 = r.allocation.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "round {t}: feasibility through collapse");
+        }
+        assert!(trace.rounds[11].active.iter().all(|&a| a), "everyone rejoined");
+        let mut prev = f64::INFINITY;
+        for r in &trace.rounds {
+            assert!(r.alpha <= prev, "round {}: alpha rose through collapse", r.round);
+            prev = r.alpha;
+        }
+    }
+
+    #[test]
+    fn zero_survivor_rounds_freeze_everything_and_continue() {
+        // alive_count == 0: full membership collapse freezes every share,
+        // sends nothing, stalls the clock, and the run resumes when the
+        // workers come back — mirroring the leaderless architectures.
+        let env = StaticLinearEnvironment::from_slopes(vec![3.0, 1.0, 2.0]);
+        let trace = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+            .with_crash(Crash { worker: 0, from_round: 4, until_round: 7 })
+            .with_crash(Crash { worker: 1, from_round: 5, until_round: 6 })
+            .with_crash(Crash { worker: 2, from_round: 4, until_round: 7 })
+            .run(12);
+        // The shares executed in round 4 (produced by round 3's update,
+        // when everyone was alive) stay frozen for the whole window.
+        let frozen = trace.rounds[4].allocation.clone();
+        let dead = &trace.rounds[5];
+        assert!(dead.active.iter().all(|&a| !a), "nobody participates");
+        assert_eq!(dead.messages, 0, "a dead cluster sends nothing");
+        assert_eq!(dead.global_cost, 0.0, "nothing executes");
+        let sum: f64 = dead.allocation.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "frozen shares stay feasible");
+        for t in 4..7 {
+            let r = &trace.rounds[t];
+            assert!(
+                (r.allocation.share(0) - frozen.share(0)).abs() < 1e-12,
+                "round {t}: crashed shares are frozen, not redistributed"
+            );
+        }
+        assert!(trace.rounds[11].active.iter().all(|&a| a), "everyone rejoined");
+        let mut prev = f64::INFINITY;
+        for r in &trace.rounds {
+            assert!(r.alpha <= prev, "round {}: alpha rose through collapse", r.round);
+            prev = r.alpha;
+        }
     }
 }

@@ -25,7 +25,7 @@
 //! takes `2N` sequential hops instead of a constant number.
 //!
 //! Faults (extension): the simulator accepts the same
-//! [`FaultPlan`](crate::faults::FaultPlan) as the other architectures.
+//! [`FaultPlan`] as the other architectures.
 //! Crashed workers are spliced out of the ring — the token circulates
 //! among the `A` survivors in ascending worker order, the lowest-indexed
 //! survivor acts as the ring head, and the crashed workers' shares stay
@@ -39,7 +39,8 @@
 use crate::event::EventQueue;
 use crate::faults::{Crash, FaultPlan, LinkStats};
 use crate::latency::LatencyModel;
-use crate::master_worker::frozen_round;
+use crate::master_worker::{frozen_round, guarded_straggler_pin};
+use crate::membership::{epoch_transition, MembershipSchedule, DEFAULT_DETECTION_TIMEOUT};
 use crate::message::{Message, NodeId, Payload};
 use crate::trace::{ProtocolRound, ProtocolTrace};
 use dolbie_core::observation::max_acceptable_share;
@@ -75,6 +76,7 @@ pub struct RingSim<E, L> {
     shares: Vec<f64>,
     local_alphas: Vec<f64>,
     plan: FaultPlan,
+    membership: MembershipSchedule,
 }
 
 impl<E: Environment, L: LatencyModel> RingSim<E, L> {
@@ -94,7 +96,25 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
             shares: initial.into_inner(),
             local_alphas: vec![alpha; n],
             plan: FaultPlan::none(),
+            membership: MembershipSchedule::none(),
         }
+    }
+
+    /// Installs a membership schedule: at epoch boundaries the ring is
+    /// rebuilt around the new member set (lowest-indexed member becomes the
+    /// head), departing shares are redistributed proportionally, joiners
+    /// enter at share zero, and every member synchronizes its local step
+    /// size to `min` over the outgoing members' values capped against the
+    /// new member count. Replaces any schedule set earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule names a worker out of range or would empty
+    /// the active set.
+    pub fn with_membership(mut self, schedule: MembershipSchedule) -> Self {
+        schedule.validate(self.shares.len());
+        self.membership = schedule;
+        self
     }
 
     /// Installs a complete fault plan (crashes, lossy links). The plan's
@@ -134,18 +154,50 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
         let n = self.shares.len();
         let mut trace = Vec::with_capacity(rounds);
         let mut ready_at = vec![0.0f64; n];
+        // Active membership view (epoch state, distinct from crash windows).
+        let mut members = vec![true; n];
 
         for t in 0..rounds {
+            // Epoch boundary: rebuild the ring around the new member set
+            // and run the shared state transition.
+            let previous_members = members.clone();
+            let boundary = self.membership.apply_round(t, &mut members);
+            if boundary.changed {
+                epoch_transition(
+                    &mut self.shares,
+                    &mut self.local_alphas,
+                    &previous_members,
+                    &members,
+                );
+                if boundary.crash_detected {
+                    let detection = self.plan.cost_timeout.unwrap_or(DEFAULT_DETECTION_TIMEOUT);
+                    for (r, &m) in ready_at.iter_mut().zip(&members) {
+                        if m {
+                            *r += detection;
+                        }
+                    }
+                }
+            }
+            let member_count = members.iter().filter(|&&m| m).count();
+
             let fns = self.env.reveal(t);
             assert_eq!(fns.len(), n, "environment must cover every worker");
-            let crashed: Vec<bool> = (0..n).map(|i| self.plan.crashed(i, t)).collect();
-            let alive: Vec<usize> = (0..n).filter(|&i| !crashed[i]).collect();
-            let local_costs: Vec<f64> = (0..n)
-                .map(|i| if crashed[i] { 0.0 } else { fns[i].eval(self.shares[i]) })
-                .collect();
+            let down: Vec<bool> = (0..n).map(|i| !members[i] || self.plan.crashed(i, t)).collect();
+            let alive: Vec<usize> = (0..n).filter(|&i| !down[i]).collect();
+            let local_costs: Vec<f64> =
+                (0..n).map(|i| if down[i] { 0.0 } else { fns[i].eval(self.shares[i]) }).collect();
+            let member_alpha = |alphas: &[f64]| {
+                alphas
+                    .iter()
+                    .zip(&members)
+                    .filter(|&(_, &m)| m)
+                    .map(|(&a, _)| a)
+                    .fold(f64::INFINITY, f64::min)
+            };
             if alive.is_empty() {
                 // Membership collapsed: freeze every share and continue.
-                trace.push(frozen_round(t, &self.shares, local_costs, &ready_at, n));
+                let alpha = member_alpha(&self.local_alphas);
+                trace.push(frozen_round(t, &self.shares, local_costs, &ready_at, n, alpha));
                 continue;
             }
             if alive.len() == 1 {
@@ -159,7 +211,7 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                 let s_share = (1.0 - others).max(0.0);
                 self.shares[survivor] = s_share;
                 self.local_alphas[survivor] =
-                    self.local_alphas[survivor].min(feasibility_cap(n, s_share));
+                    self.local_alphas[survivor].min(feasibility_cap(member_count, s_share));
                 let executed = Allocation::from_update(self.shares.clone())
                     .expect("frozen shares stay feasible");
                 trace.push(ProtocolRound {
@@ -175,7 +227,8 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                     duplicates: 0,
                     compute_finished: finish,
                     control_finished: finish,
-                    active: crashed.iter().map(|&c| !c).collect(),
+                    active: down.iter().map(|&c| !c).collect(),
+                    alpha: member_alpha(&self.local_alphas),
                 });
                 continue;
             }
@@ -188,7 +241,6 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
             for (k, &w) in alive.iter().enumerate() {
                 succ[w] = alive[(k + 1) % alive.len()];
             }
-            let frozen_sum: f64 = (0..n).filter(|&j| crashed[j]).map(|j| self.shares[j]).sum();
 
             // Two token passes around the ring of survivors plus each
             // survivor's compute-done marker.
@@ -368,13 +420,16 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                 sum_shares,
                             } => {
                                 if me == head {
-                                    // Pass 2 complete: the straggler's
-                                    // remainder excludes the shares frozen
-                                    // by crashed workers.
-                                    let s_share = (1.0 - sum_shares - frozen_sum).max(0.0);
+                                    // Pass 2 complete: pin the straggler
+                                    // against the candidates the token
+                                    // collected (every live worker's update
+                                    // is in `next_shares` by now; crashed
+                                    // workers' shares sit there frozen).
+                                    let s_share =
+                                        guarded_straggler_pin(&self.shares, &mut next_shares, s);
                                     if s == head {
-                                        next_shares[head] = s_share;
-                                        next_alphas[head] = alpha.min(feasibility_cap(n, s_share));
+                                        next_alphas[head] =
+                                            alpha.min(feasibility_cap(member_count, s_share));
                                         ready_at[head] = now;
                                         control_finished = now;
                                         round_done = true;
@@ -432,7 +487,8 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                     "assignment must follow the update token"
                                 );
                                 next_shares[me] = share;
-                                next_alphas[me] = straggler_alpha.min(feasibility_cap(n, share));
+                                next_alphas[me] =
+                                    straggler_alpha.min(feasibility_cap(member_count, share));
                                 ready_at[me] = now;
                                 control_finished = now;
                                 round_done = true;
@@ -459,7 +515,8 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                 duplicates: stats.duplicates,
                 compute_finished,
                 control_finished,
-                active: crashed.iter().map(|&c| !c).collect(),
+                active: down.iter().map(|&c| !c).collect(),
+                alpha: member_alpha(&next_alphas),
             });
             self.shares = next_shares;
             self.local_alphas = next_alphas;
@@ -669,7 +726,25 @@ mod tests {
         assert_eq!(dead.messages, 0);
         let sum: f64 = dead.allocation.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "frozen shares stay feasible");
+        // The lone survivor keeps its share for the whole collapse window
+        // (a ring of one has nobody to rebalance with), and the frozen
+        // peers' shares come out of it untouched.
+        for w in 0..3 {
+            for t in 5..7 {
+                assert!(
+                    (trace.rounds[t].allocation.share(w) - trace.rounds[4].allocation.share(w))
+                        .abs()
+                        < 1e-12,
+                    "round {t}: worker {w}'s share drifted during the collapse"
+                );
+            }
+        }
         assert!(trace.rounds[11].active.iter().all(|&a| a), "everyone rejoined");
+        let mut prev = f64::INFINITY;
+        for r in &trace.rounds {
+            assert!(r.alpha <= prev, "round {}: alpha rose through collapse", r.round);
+            prev = r.alpha;
+        }
     }
 
     #[test]

@@ -34,8 +34,14 @@ pub struct ProtocolRound {
     /// knows its next share).
     pub control_finished: f64,
     /// Which workers participated in the round's decision phase (all true
-    /// unless crash/timeout fault injection excluded someone).
+    /// unless crash/timeout fault injection or a membership schedule
+    /// excluded someone).
     pub active: Vec<bool>,
+    /// The system step size `α` at the end of the round (the master's
+    /// state, or the minimum over the workers' local values in the
+    /// leaderless architectures). Non-increasing over a run — the eq. (7)
+    /// invariant the chaos harness machine-checks through churn.
+    pub alpha: f64,
 }
 
 impl ProtocolRound {
@@ -132,6 +138,7 @@ mod tests {
             compute_finished: t as f64 + 1.0,
             control_finished: t as f64 + 1.25,
             active: vec![true; 2],
+            alpha: 0.5,
         }
     }
 

@@ -1,0 +1,190 @@
+//! Elastic-membership equivalence: all three protocol architectures carry
+//! identical state through worker leave/join epochs, and they agree with
+//! the sequential engine driven through `apply_membership` +
+//! `Observation::from_costs_masked`.
+
+use dolbie_core::environment::{RotatingStragglerEnvironment, StaticLinearEnvironment};
+use dolbie_core::{Dolbie, DolbieConfig, Environment, LoadBalancer, Observation};
+use dolbie_simnet::{
+    FixedLatency, FullyDistributedSim, LeaveKind, MasterWorkerSim, MembershipSchedule,
+    ProtocolTrace, RingSim,
+};
+
+const ROUNDS: usize = 40;
+
+fn schedule() -> MembershipSchedule {
+    MembershipSchedule::none()
+        .with_leave(8, 2, LeaveKind::Graceful)
+        .with_leave(15, 0, LeaveKind::CrashDetected)
+        .with_join(24, 2)
+        .with_join(31, 0)
+}
+
+fn env() -> RotatingStragglerEnvironment {
+    RotatingStragglerEnvironment::new(6, 4, 7.0, 1.0)
+}
+
+/// The five per-trace churn facts every architecture must exhibit:
+/// feasibility each round, exact zeros for non-members, non-increasing
+/// recorded `α`, and participation matching the schedule.
+fn assert_churn_invariants(trace: &ProtocolTrace, sched: &MembershipSchedule, n: usize) {
+    let mut prev_alpha = f64::INFINITY;
+    for r in &trace.rounds {
+        let members = sched.members_at(n, r.round);
+        let sum: f64 = r.allocation.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "{} round {}: sum {sum}", trace.architecture, r.round);
+        for (i, &m) in members.iter().enumerate() {
+            if !m {
+                assert_eq!(
+                    r.allocation.share(i),
+                    0.0,
+                    "{} round {}: non-member {i} holds share",
+                    trace.architecture,
+                    r.round
+                );
+                assert!(
+                    !r.active[i],
+                    "{} round {}: non-member {i} active",
+                    trace.architecture, r.round
+                );
+            }
+        }
+        assert!(
+            r.alpha <= prev_alpha,
+            "{} round {}: alpha rose {prev_alpha} -> {}",
+            trace.architecture,
+            r.round,
+            r.alpha
+        );
+        prev_alpha = r.alpha;
+    }
+}
+
+#[test]
+fn three_architectures_agree_bitwise_through_churn() {
+    let mw = MasterWorkerSim::new(env(), DolbieConfig::new(), FixedLatency::lan())
+        .with_membership(schedule())
+        .run(ROUNDS);
+    let fd = FullyDistributedSim::new(env(), DolbieConfig::new(), FixedLatency::lan())
+        .with_membership(schedule())
+        .run(ROUNDS);
+    let ring = RingSim::new(env(), DolbieConfig::new(), FixedLatency::lan())
+        .with_membership(schedule())
+        .run(ROUNDS);
+
+    let sched = schedule();
+    for trace in [&mw, &fd, &ring] {
+        assert_churn_invariants(trace, &sched, 6);
+    }
+    for ((m, f), r) in mw.rounds.iter().zip(&fd.rounds).zip(&ring.rounds) {
+        assert!(
+            m.allocation.l2_distance(&f.allocation) == 0.0,
+            "round {}: MW {} vs FD {}",
+            m.round,
+            m.allocation,
+            f.allocation
+        );
+        assert!(
+            f.allocation.l2_distance(&r.allocation) == 0.0,
+            "round {}: FD {} vs ring {}",
+            f.round,
+            f.allocation,
+            r.allocation
+        );
+        assert_eq!(m.straggler, f.straggler, "round {}", m.round);
+        assert_eq!(f.straggler, r.straggler, "round {}", f.round);
+        assert_eq!(m.alpha.to_bits(), f.alpha.to_bits(), "round {}", m.round);
+        assert_eq!(f.alpha.to_bits(), r.alpha.to_bits(), "round {}", f.round);
+    }
+}
+
+#[test]
+fn sequential_engine_matches_master_worker_through_churn() {
+    let mw = MasterWorkerSim::new(env(), DolbieConfig::new(), FixedLatency::lan())
+        .with_membership(schedule())
+        .run(ROUNDS);
+
+    let sched = schedule();
+    let mut driver = env();
+    let mut d = Dolbie::new(6);
+    let mut members = vec![true; 6];
+    for t in 0..ROUNDS {
+        if sched.apply_round(t, &mut members).changed {
+            d.apply_membership(&members);
+        }
+        let fns = driver.reveal(t);
+        let played = d.allocation().clone();
+        let obs = Observation::from_costs_masked(t, &played, &fns, &members, Vec::new());
+        let r = &mw.rounds[t];
+        assert!(
+            r.allocation.l2_distance(&played) < 1e-9,
+            "round {t}: MW {} vs sequential {played}",
+            r.allocation
+        );
+        assert_eq!(r.straggler, obs.straggler(), "round {t}");
+        d.observe(&obs);
+        assert!(
+            (r.alpha - d.alpha()).abs() < 1e-9,
+            "round {t}: MW alpha {} vs sequential {}",
+            r.alpha,
+            d.alpha()
+        );
+    }
+}
+
+#[test]
+fn rejoined_worker_regrows_its_share_from_zero() {
+    let sched = MembershipSchedule::none().with_leave(5, 1, LeaveKind::Graceful).with_join(12, 1);
+    let trace = MasterWorkerSim::new(env(), DolbieConfig::new(), FixedLatency::lan())
+        .with_membership(sched)
+        .run(30);
+    for t in 5..12 {
+        assert_eq!(trace.rounds[t].allocation.share(1), 0.0, "round {t}: departed");
+    }
+    assert_eq!(trace.rounds[12].allocation.share(1), 0.0, "rejoins at exactly zero");
+    assert!(
+        trace.rounds[29].allocation.share(1) > 0.01,
+        "eq. (5)/(6) regrow the joiner: {}",
+        trace.rounds[29].allocation.share(1)
+    );
+}
+
+#[test]
+fn crash_detected_leave_costs_wall_clock_but_not_decisions() {
+    let base = MembershipSchedule::none();
+    let graceful = base.clone().with_leave(6, 3, LeaveKind::Graceful).with_join(14, 3);
+    let detected = base.with_leave(6, 3, LeaveKind::CrashDetected).with_join(14, 3);
+    let a = MasterWorkerSim::new(env(), DolbieConfig::new(), FixedLatency::lan())
+        .with_membership(graceful)
+        .run(20);
+    let b = MasterWorkerSim::new(env(), DolbieConfig::new(), FixedLatency::lan())
+        .with_membership(detected)
+        .run(20);
+    for (x, y) in a.rounds.iter().zip(&b.rounds) {
+        assert!(
+            x.allocation.l2_distance(&y.allocation) == 0.0,
+            "round {}: detection latency must not change decisions",
+            x.round
+        );
+    }
+    assert!(
+        b.makespan() > a.makespan(),
+        "crash detection stalls the survivors: {} vs {}",
+        b.makespan(),
+        a.makespan()
+    );
+}
+
+#[test]
+fn empty_schedule_reproduces_the_plain_trace_bitwise() {
+    let env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0, 2.0, 3.0]);
+    let plain = MasterWorkerSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(15);
+    let with_none = MasterWorkerSim::new(env, DolbieConfig::new(), FixedLatency::lan())
+        .with_membership(MembershipSchedule::none())
+        .run(15);
+    for (a, b) in plain.rounds.iter().zip(&with_none.rounds) {
+        assert!(a.allocation.l2_distance(&b.allocation) == 0.0, "round {}", a.round);
+        assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "round {}", a.round);
+        assert_eq!(a.messages, b.messages, "round {}", a.round);
+    }
+}

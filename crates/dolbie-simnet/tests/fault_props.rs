@@ -7,7 +7,8 @@ use dolbie_core::cost::{DynCost, LatencyCost, LinearCost};
 use dolbie_core::environment::FnEnvironment;
 use dolbie_core::DolbieConfig;
 use dolbie_simnet::{
-    Crash, FaultPlan, FixedLatency, FullyDistributedSim, MasterWorkerSim, ProtocolTrace, RingSim,
+    Crash, FaultPlan, FixedLatency, FullyDistributedSim, MasterWorkerSim, Message, NodeId, Payload,
+    ProtocolTrace, RetryPolicy, RingSim,
 };
 use proptest::prelude::*;
 
@@ -243,5 +244,89 @@ proptest! {
         for (a, b) in clean.rounds.iter().zip(&ring_lossy.rounds) {
             prop_assert!(a.allocation.l2_distance(&b.allocation) < 1e-9);
         }
+    }
+
+    /// `FaultPlan::transmit` is a pure function of (plan, message): with
+    /// drop, duplication, and a custom retry policy all active at once,
+    /// transmitting the same message twice — in any order, interleaved
+    /// with other traffic — yields identical outcomes, and the wire
+    /// accounting stays internally consistent.
+    #[test]
+    fn transmit_is_deterministic_under_combined_faults(
+        fault_seed in 0u64..u64::MAX,
+        drop_p in 0.01f64..0.7,
+        dup_p in 0.01f64..0.5,
+        ack_timeout in 0.01f64..0.2,
+        max_attempts in 2usize..12,
+    ) {
+        let plan = FaultPlan::seeded(fault_seed)
+            .with_drop_probability(drop_p)
+            .with_duplicate_probability(dup_p)
+            .with_retry(RetryPolicy::new(ack_timeout, 2.0, max_attempts));
+        let latency = 0.003;
+        let messages: Vec<Message> = (0..ROUNDS)
+            .flat_map(|t| {
+                [
+                    Message {
+                        from: NodeId::Worker(t % 4),
+                        to: NodeId::Master,
+                        round: t,
+                        payload: Payload::LocalCost { cost: 0.5 + t as f64 },
+                    },
+                    Message {
+                        from: NodeId::Master,
+                        to: NodeId::Worker((t + 1) % 4),
+                        round: t,
+                        payload: Payload::Coordination {
+                            global_cost: 1.0,
+                            alpha: 0.25,
+                            is_straggler: t % 2 == 0,
+                        },
+                    },
+                    Message {
+                        from: NodeId::Worker(t % 4),
+                        to: NodeId::Worker((t + 2) % 4),
+                        round: t,
+                        payload: Payload::Decision { share: 0.3 },
+                    },
+                ]
+            })
+            .collect();
+        // First sweep in order, second sweep in reverse: path-independence
+        // is what lets the event-driven simulators replay identically no
+        // matter how deliveries interleave.
+        let first: Vec<_> = messages.iter().map(|m| plan.transmit(m, latency)).collect();
+        let second: Vec<_> = messages.iter().rev().map(|m| plan.transmit(m, latency)).collect();
+        for (m, (a, b)) in messages.iter().zip(first.iter().zip(second.iter().rev())) {
+            prop_assert_eq!(
+                a.delivery_delay.to_bits(),
+                b.delivery_delay.to_bits(),
+                "round {} payload replayed differently",
+                m.round
+            );
+            prop_assert_eq!(a.retries, b.retries);
+            prop_assert_eq!(a.acks, b.acks);
+            prop_assert_eq!(a.duplicates, b.duplicates);
+            prop_assert_eq!(a.extra_bytes, b.extra_bytes);
+            // Accounting invariants of the retry machinery.
+            prop_assert!(a.delivery_delay >= latency, "delivery includes the link latency");
+            prop_assert!(a.retries < max_attempts, "attempts are bounded");
+            prop_assert!(a.acks >= 1, "the forced final attempt is always acked");
+            prop_assert!(
+                a.acks <= a.retries + 1 + a.duplicates,
+                "every ack answers an arriving data copy"
+            );
+        }
+        // A different seed must not replay the same outcomes wholesale.
+        let other = FaultPlan::seeded(fault_seed ^ 0x5bd1_e995)
+            .with_drop_probability(drop_p)
+            .with_duplicate_probability(dup_p)
+            .with_retry(RetryPolicy::new(ack_timeout, 2.0, max_attempts));
+        let replayed: Vec<_> = messages.iter().map(|m| other.transmit(m, latency)).collect();
+        prop_assert!(
+            first != replayed,
+            "seed-insensitive link layer: all {} outcomes identical",
+            first.len()
+        );
     }
 }

@@ -11,6 +11,9 @@ cargo fmt --check
 echo "== tier-1: clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 
+echo "== tier-1: rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== tier-1: release build =="
 cargo build --release --workspace
 
@@ -31,6 +34,16 @@ smoke_elapsed=$((SECONDS - smoke_start))
 echo "large-N smoke took ${smoke_elapsed}s"
 if [ "$smoke_elapsed" -ge 10 ]; then
     echo "FAIL: large-N smoke exceeded the 10 s budget" >&2
+    exit 1
+fi
+
+echo "== tier-1: chaos smoke (~20 random fault x membership cases, five invariants, <10 s) =="
+smoke_start=$SECONDS
+cargo run --release -p dolbie-bench --bin paper_figures -- --quick chaos
+smoke_elapsed=$((SECONDS - smoke_start))
+echo "chaos smoke took ${smoke_elapsed}s"
+if [ "$smoke_elapsed" -ge 10 ]; then
+    echo "FAIL: chaos smoke exceeded the 10 s budget" >&2
     exit 1
 fi
 
