@@ -17,7 +17,7 @@
 //! root.
 
 use dolbie_bench::experiments::{
-    ablation, accuracy, bandit, chaos, churn, comms, edge_exp, faults, large_n, latency,
+    ablation, accuracy, bandit, chaos, churn, comms, edge_exp, faults, large_n, latency, net,
     per_worker, regret, utilization,
 };
 use dolbie_bench::{common, harness};
@@ -28,7 +28,8 @@ const TARGETS: [&str; 12] = [
     "edge",
 ];
 
-const EXTENSION_TARGETS: [&str; 6] = ["ablation", "faults", "bandit", "large_n", "chaos", "churn"];
+const EXTENSION_TARGETS: [&str; 7] =
+    ["ablation", "faults", "bandit", "large_n", "chaos", "churn", "net"];
 
 fn usage() -> ! {
     eprintln!(
@@ -63,6 +64,7 @@ fn run(target: &str, quick: bool) {
         "large_n" => large_n::large_n(quick),
         "chaos" => chaos::chaos(quick),
         "churn" => churn::churn(),
+        "net" => net::net(quick),
         other => {
             eprintln!("unknown target: {other}");
             usage();
@@ -121,8 +123,19 @@ fn main() {
             "--quick" => quick = true,
             "--bench" => bench = true,
             "--threads" => {
-                let value = it.next().unwrap_or_else(|| usage());
-                threads = Some(value.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| usage()));
+                let Some(value) = it.next() else {
+                    eprintln!("--threads requires a value (a positive worker-thread count)");
+                    usage();
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => threads = Some(n),
+                    _ => {
+                        eprintln!(
+                            "invalid value for --threads: {value:?} (expected a positive integer)"
+                        );
+                        usage();
+                    }
+                }
             }
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {

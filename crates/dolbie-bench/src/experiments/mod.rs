@@ -11,6 +11,7 @@ pub mod edge_exp;
 pub mod faults;
 pub mod large_n;
 pub mod latency;
+pub mod net;
 pub mod per_worker;
 pub mod regret;
 pub mod utilization;

@@ -42,7 +42,7 @@
 
 use crate::allocation::Allocation;
 use crate::balancer::LoadBalancer;
-use crate::dolbie::{DolbieConfig, DolbieStats};
+use crate::dolbie::{DolbieConfig, DolbieStats, ReportedRound};
 use crate::membership::{membership_alpha_cap, renormalize_onto_members};
 use crate::numeric::{pairwise_neumaier_sum, pairwise_neumaier_sum_parallel, NeumaierSum};
 use crate::observation::{max_acceptable_share, Observation};
@@ -160,6 +160,16 @@ impl SoaEngine {
     /// sequential loops; `Some(c)` runs them in `c`-worker chunks on the
     /// work-stealing harness. Both paths produce bitwise-identical state
     /// (see the module docs).
+    /// Round preamble shared by [`observe_round`](Self::observe_round) and
+    /// [`apply_reported`](Self::apply_reported): bumps the round counter and
+    /// records the step size the round is played with.
+    fn begin_round(&mut self) -> f64 {
+        self.stats.rounds += 1;
+        let alpha = self.alpha();
+        self.alphas_used.push(alpha);
+        alpha
+    }
+
     pub(crate) fn observe_round(
         &mut self,
         observation: &Observation<'_>,
@@ -167,15 +177,12 @@ impl SoaEngine {
     ) {
         let n = observation.num_workers();
         assert_eq!(n, self.x.num_workers(), "observation covers a different worker set");
-        self.stats.rounds += 1;
-        let alpha = self.alpha();
-        self.alphas_used.push(alpha);
+        let alpha = self.begin_round();
         if n == 1 {
             return;
         }
 
         let s = observation.straggler();
-        let straggler_share = self.x.share(s);
         let global_cost = observation.global_cost();
         let cost_fns = observation.cost_fns();
         let chunk = chunk_size.map(|c| c.max(1));
@@ -213,6 +220,47 @@ impl SoaEngine {
             }
         }
 
+        self.finish_round(s, chunk);
+    }
+
+    /// One DOLBIE round driven by externally reported eq. (5) gains instead
+    /// of locally evaluated cost functions — the master-side bookkeeping of
+    /// a wire-protocol run, where each worker computes its own gain and
+    /// sends back only scalars. The arithmetic after Pass A is shared with
+    /// [`observe_round`](Self::observe_round), so provided every reported
+    /// gain equals `(α · (x'_{i,t} − x_{i,t})).max(0)` computed at the same
+    /// shares, the resulting state is bitwise identical to a locally
+    /// observed round.
+    ///
+    /// Gains at the straggler's index and at inactive members are forced to
+    /// exactly `0.0`, matching Pass A.
+    pub(crate) fn apply_reported(&mut self, straggler: usize, gains: &[f64]) -> ReportedRound {
+        let n = self.x.num_workers();
+        assert_eq!(gains.len(), n, "one reported gain per worker");
+        assert!(straggler < n, "straggler index out of range");
+        assert!(self.active[straggler], "the straggler must be an active member");
+        self.begin_round();
+        if n == 1 {
+            return ReportedRound { straggler_share: self.x.share(0), rescale: None };
+        }
+        for (i, (g, &reported)) in self.gains.iter_mut().zip(gains).enumerate() {
+            *g = if i == straggler || !self.active[i] {
+                0.0
+            } else {
+                debug_assert!(reported >= 0.0, "eq. (5) gains are non-negative");
+                reported
+            };
+        }
+        self.finish_round(straggler, None)
+    }
+
+    /// The order-sensitive tail of a round, shared by both entry points:
+    /// the eq. (6) remainder, the feasibility guard, the Σx = 1 pin, the
+    /// gain application, and the eq. (7) tightening. `self.gains` must
+    /// already hold the round's gains with `gains[s] = 0`.
+    fn finish_round(&mut self, s: usize, chunk: Option<usize>) -> ReportedRound {
+        let straggler_share = self.x.share(s);
+
         // Eq. (6) remainder: the one order-sensitive sum, via the
         // fixed-shape compensated reduction.
         let sum_fixed = |values: &[f64]| match chunk {
@@ -224,8 +272,10 @@ impl SoaEngine {
         // Floating-point / alpha-floor guard: eq. (7) proves
         // total_gain <= x_{s,t} in exact arithmetic; rescale if rounding
         // (or the floor extension) breaks it so constraint (3) holds.
+        let mut rescale = None;
         if total_gain > straggler_share && total_gain > 0.0 {
             let scale = straggler_share / total_gain;
+            rescale = Some(scale);
             match chunk {
                 None => {
                     for g in &mut self.gains {
@@ -288,6 +338,8 @@ impl SoaEngine {
         // Eq. (7): tighten the step size with the straggler's new share,
         // against the *active* member count (equal to n absent churn).
         self.alpha.tighten(self.active_count, new_straggler_share);
+
+        ReportedRound { straggler_share: new_straggler_share, rescale }
     }
 }
 

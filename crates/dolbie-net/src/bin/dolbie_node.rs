@@ -1,0 +1,216 @@
+//! `dolbie_node` — run one DOLBIE node role over real TCP.
+//!
+//! ```text
+//! dolbie_node master --listen 127.0.0.1:4100 --workers 4 [--rounds 500]
+//!                    [--env-seed 7] [--env chaos|ramp] [--drop-p 0.1]
+//!                    [--dup-p 0.05] [--fault-seed 21] [--verify]
+//! dolbie_node worker --connect 127.0.0.1:4100
+//! ```
+//!
+//! The master prints `listening on <addr>` once bound (with the resolved
+//! port when `--listen` named port 0), accepts exactly `--workers`
+//! connections, runs the horizon, and prints a per-run summary. With
+//! `--verify` it replays the same environment through the sequential
+//! engine and exits 1 unless the TCP trajectory is bitwise identical.
+//! Malformed flags exit 2 with a message naming the flag and value.
+
+use dolbie_core::{run_episode, Dolbie, DolbieConfig, EpisodeOptions};
+use dolbie_net::env::{EnvKind, WireEnvSpec};
+use dolbie_net::master::{run_master, MasterConfig};
+use dolbie_net::transport::connect_with_backoff;
+use dolbie_net::worker::{run_worker, WorkerOptions};
+use dolbie_simnet::faults::FaultPlan;
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dolbie_node master --listen ADDR --workers N [--rounds T] [--env chaos|ramp]\n\
+         \x20                  [--env-seed S] [--drop-p P] [--dup-p P] [--fault-seed S] [--verify]\n\
+         \x20 dolbie_node worker --connect ADDR"
+    );
+    std::process::exit(2);
+}
+
+fn bad(flag: &str, value: &str, expected: &str) -> ! {
+    eprintln!("error: invalid value '{value}' for {flag}: expected {expected}");
+    std::process::exit(2);
+}
+
+fn take_value(flag: &str, it: &mut std::env::Args) -> String {
+    it.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse_addr(flag: &str, value: &str) -> SocketAddr {
+    value.parse().unwrap_or_else(|_| bad(flag, value, "a socket address like 127.0.0.1:4100"))
+}
+
+fn parse_usize(flag: &str, value: &str, min: usize) -> usize {
+    match value.parse::<usize>() {
+        Ok(v) if v >= min => v,
+        _ => bad(flag, value, &format!("an integer >= {min}")),
+    }
+}
+
+fn parse_prob(flag: &str, value: &str) -> f64 {
+    match value.parse::<f64>() {
+        Ok(p) if (0.0..1.0).contains(&p) => p,
+        _ => bad(flag, value, "a probability in [0, 1)"),
+    }
+}
+
+fn parse_u64(flag: &str, value: &str) -> u64 {
+    value.parse().unwrap_or_else(|_| bad(flag, value, "an unsigned integer"))
+}
+
+fn main() {
+    let mut args = std::env::args();
+    let _ = args.next();
+    match args.next().as_deref() {
+        Some("master") => master_main(args),
+        Some("worker") => worker_main(args),
+        _ => usage(),
+    }
+}
+
+fn master_main(mut args: std::env::Args) {
+    let mut listen: Option<SocketAddr> = None;
+    let mut workers: Option<usize> = None;
+    let mut rounds = 500usize;
+    let mut env_kind = EnvKind::ChaosMix;
+    let mut env_seed = 7u64;
+    let mut drop_p = 0.0;
+    let mut dup_p = 0.0;
+    let mut fault_seed = 0u64;
+    let mut verify = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = Some(parse_addr("--listen", &take_value("--listen", &mut args))),
+            "--workers" => {
+                workers = Some(parse_usize("--workers", &take_value("--workers", &mut args), 1))
+            }
+            "--rounds" => rounds = parse_usize("--rounds", &take_value("--rounds", &mut args), 1),
+            "--env" => {
+                let value = take_value("--env", &mut args);
+                env_kind = match value.as_str() {
+                    "chaos" => EnvKind::ChaosMix,
+                    "ramp" => EnvKind::StaticRamp,
+                    _ => bad("--env", &value, "'chaos' or 'ramp'"),
+                };
+            }
+            "--env-seed" => {
+                env_seed = parse_u64("--env-seed", &take_value("--env-seed", &mut args))
+            }
+            "--drop-p" => drop_p = parse_prob("--drop-p", &take_value("--drop-p", &mut args)),
+            "--dup-p" => dup_p = parse_prob("--dup-p", &take_value("--dup-p", &mut args)),
+            "--fault-seed" => {
+                fault_seed = parse_u64("--fault-seed", &take_value("--fault-seed", &mut args))
+            }
+            "--verify" => verify = true,
+            other => {
+                eprintln!("error: unknown flag '{other}' for dolbie_node master");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(listen), Some(workers)) = (listen, workers) else { usage() };
+
+    let env = WireEnvSpec { kind: env_kind, seed: env_seed };
+    let mut fault = FaultPlan::seeded(fault_seed);
+    if drop_p > 0.0 {
+        fault = fault.with_drop_probability(drop_p);
+    }
+    if dup_p > 0.0 {
+        fault = fault.with_duplicate_probability(dup_p);
+    }
+    let cfg = MasterConfig::new(workers, rounds, env).with_fault_plan(fault);
+
+    let listener = TcpListener::bind(listen).unwrap_or_else(|e| {
+        eprintln!("error: cannot listen on {listen}: {e}");
+        std::process::exit(1);
+    });
+    let local = listener.local_addr().expect("bound listener has an address");
+    println!("listening on {local}");
+
+    let report = run_master(&listener, &cfg).unwrap_or_else(|e| {
+        eprintln!("error: master run failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "completed {} rounds over {} workers in {:.3} s ({:.0} rounds/s)",
+        report.trace.rounds.len(),
+        workers,
+        report.wall_clock,
+        report.trace.rounds.len() as f64 / report.wall_clock.max(1e-9),
+    );
+    println!(
+        "wire: {} frames / {} bytes sent, {} frames / {} bytes received, \
+         {} retransmissions, {} duplicates, {} acks",
+        report.wire.frames_sent,
+        report.wire.bytes_sent,
+        report.wire.frames_received,
+        report.wire.bytes_received,
+        report.wire.retransmissions,
+        report.wire.duplicates,
+        report.wire.acks,
+    );
+    println!("epochs crossed: {}", report.epochs);
+    println!("final allocation: {}", report.final_allocation);
+
+    if verify {
+        if report.epochs > 0 {
+            eprintln!("verify: skipped — membership changed mid-run, no sequential twin exists");
+            std::process::exit(1);
+        }
+        let mut sequential =
+            Dolbie::with_config(dolbie_core::Allocation::uniform(workers), DolbieConfig::new());
+        let mut driver = env.environment(workers);
+        let reference = run_episode(&mut sequential, &mut driver, EpisodeOptions::new(rounds));
+        for (t, round) in report.trace.rounds.iter().enumerate() {
+            for i in 0..workers {
+                let net = round.allocation.share(i).to_bits();
+                let seq = reference.records[t].allocation.share(i).to_bits();
+                if net != seq {
+                    eprintln!(
+                        "verify: FAILED at round {t}, worker {i}: net {net:#018x} != sequential {seq:#018x}"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("verify: OK — {rounds} rounds bitwise identical to the sequential engine");
+    }
+}
+
+fn worker_main(mut args: std::env::Args) {
+    let mut connect: Option<SocketAddr> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => {
+                connect = Some(parse_addr("--connect", &take_value("--connect", &mut args)))
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}' for dolbie_node worker");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(connect) = connect else { usage() };
+
+    let stream =
+        connect_with_backoff(connect, 10, Duration::from_millis(50), 0).unwrap_or_else(|e| {
+            eprintln!("error: cannot reach master at {connect}: {e}");
+            std::process::exit(1);
+        });
+    let report = run_worker(stream, &WorkerOptions::default()).unwrap_or_else(|e| {
+        eprintln!("error: worker run failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "worker {} done: {} rounds, final share {:.6}, {} epochs crossed",
+        report.worker_id, report.rounds_seen, report.final_share, report.epochs_seen
+    );
+}

@@ -1,0 +1,79 @@
+//! In-process loopback runs: a real TCP master and `N` real TCP workers
+//! on OS threads, all over 127.0.0.1 — the harness behind the parity and
+//! chaos tests and the tier-1 smoke.
+//!
+//! Nothing here is simulated: the bytes cross the kernel's loopback
+//! interface through the same wire/transport/master/worker code paths the
+//! multi-process `dolbie_node` binary uses.
+
+use crate::master::{run_master, MasterConfig, NetRunReport};
+use crate::transport::connect_with_backoff;
+use crate::worker::{run_worker, WorkerOptions, WorkerReport};
+use crate::NetError;
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// Options of one loopback run.
+#[derive(Debug, Clone)]
+pub struct LoopbackOptions {
+    /// The master's configuration (fleet size, horizon, environment,
+    /// fault plan, deadlines).
+    pub master: MasterConfig,
+    /// Worker-side options, shared by every worker thread.
+    pub worker: WorkerOptions,
+    /// Kills worker-thread `k` right after it reports its local cost of
+    /// the given round (crash-path testing). Note worker ids are assigned
+    /// in accept order, so the *wire* id of the killed worker may differ
+    /// from `k`; the round is what matters.
+    pub kill: Option<(usize, usize)>,
+}
+
+impl LoopbackOptions {
+    /// A lossless loopback run from a master configuration.
+    pub fn new(master: MasterConfig) -> Self {
+        Self { master, worker: WorkerOptions::default(), kill: None }
+    }
+}
+
+/// The master's report plus every worker thread's outcome.
+#[derive(Debug)]
+pub struct LoopbackRun {
+    /// The master-side run report (trajectory, epochs, wire totals).
+    pub report: NetRunReport,
+    /// Per-thread worker outcomes; a deliberately killed worker reports
+    /// through its injected early return, so `Err` here means a genuine
+    /// failure.
+    pub workers: Vec<Result<WorkerReport, NetError>>,
+}
+
+/// Runs master + `N` workers over loopback TCP, master on the calling
+/// thread, and reaps everything before returning.
+pub fn run_loopback(opts: &LoopbackOptions) -> Result<LoopbackRun, NetError> {
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(crate::transport::TransportError::from)?;
+    let addr = listener.local_addr().map_err(crate::transport::TransportError::from)?;
+
+    let mut handles = Vec::with_capacity(opts.master.num_workers);
+    for k in 0..opts.master.num_workers {
+        let mut worker_opts = opts.worker.clone();
+        if let Some((victim, round)) = opts.kill {
+            if victim == k {
+                worker_opts.die_after_round = Some(round);
+            }
+        }
+        handles.push(std::thread::spawn(move || -> Result<WorkerReport, NetError> {
+            let stream = connect_with_backoff(addr, 10, Duration::from_millis(10), k as u64)
+                .map_err(crate::transport::TransportError::from)?;
+            run_worker(stream, &worker_opts)
+        }));
+    }
+
+    let master_result = run_master(&listener, &opts.master);
+    let workers: Vec<Result<WorkerReport, NetError>> = handles
+        .into_iter()
+        .map(|h| {
+            h.join().unwrap_or_else(|_| Err(NetError::Protocol("worker thread panicked".into())))
+        })
+        .collect();
+    Ok(LoopbackRun { report: master_result?, workers })
+}

@@ -1,0 +1,533 @@
+//! The DOLBIE wire protocol: length-prefixed binary frames with a
+//! version/magic handshake.
+//!
+//! Every §IV-B message of Algorithm 1 has an explicit frame — `LocalCost`,
+//! `Coordination {global_cost, alpha, is_straggler}`, `Decision`,
+//! `Assignment`, `Shutdown` — plus the frames the real runtime needs
+//! around them: the `Hello`/`Welcome` handshake, a `RoundStart` barrier,
+//! the rare `Adjust` rescale (the engine's simplex guard), `Epoch`
+//! membership announcements, and the `Data`/`Ack` envelope of the lossy
+//! link layer.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! +----------------+------+-------------------------------+
+//! | length: u32 LE | kind | fields, little-endian         |
+//! +----------------+------+-------------------------------+
+//! ```
+//!
+//! The length counts the body (kind byte included, prefix excluded) and
+//! must not exceed [`MAX_FRAME_BYTES`]. Decoding is strict: truncated
+//! bodies, trailing bytes, unknown kinds, out-of-range discriminants,
+//! oversized lengths, and a bad magic/version in the handshake are all
+//! distinct [`WireError`]s, never a partial parse. `f64` fields travel as
+//! their IEEE-754 bit patterns, so shares and costs cross the wire
+//! bitwise-exactly — the foundation of the trajectory-parity claim.
+
+use crate::env::WireEnvSpec;
+
+/// Protocol magic carried by both handshake frames.
+pub const MAGIC: u32 = 0xD01B_1E55;
+
+/// Protocol version carried by both handshake frames.
+pub const VERSION: u16 = 1;
+
+/// Hard cap on a frame body; larger length prefixes are rejected before
+/// any allocation.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// A decode failure. Every variant names the precise violation so fuzzed
+/// or hostile bytes produce diagnosable rejections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the frame did.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The claimed body length.
+        len: usize,
+    },
+    /// The kind byte names no known frame.
+    UnknownKind(u8),
+    /// A handshake frame carried the wrong magic.
+    BadMagic {
+        /// The magic actually received.
+        got: u32,
+    },
+    /// A handshake frame carried an unsupported protocol version.
+    BadVersion {
+        /// The version actually received.
+        got: u16,
+    },
+    /// The body was longer than its frame kind prescribes.
+    TrailingBytes,
+    /// A field held an out-of-range value (named in the payload).
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "truncated frame"),
+            Self::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap")
+            }
+            Self::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            Self::BadMagic { got } => write!(f, "bad protocol magic {got:#010x}"),
+            Self::BadVersion { got } => {
+                write!(f, "unsupported protocol version {got} (this node speaks {VERSION})")
+            }
+            Self::TrailingBytes => write!(f, "trailing bytes after frame body"),
+            Self::BadValue(what) => write!(f, "out-of-range field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One protocol frame.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_net::wire::Frame;
+///
+/// let frame = Frame::Coordination {
+///     round: 7,
+///     global_cost: 3.25,
+///     alpha: 0.5,
+///     is_straggler: false,
+/// };
+/// let bytes = frame.encode();
+/// let (back, used) = Frame::decode(&bytes).unwrap();
+/// assert_eq!(back, frame);
+/// assert_eq!(used, bytes.len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker → master: first frame on a fresh connection.
+    Hello {
+        /// Protocol version the worker speaks.
+        version: u16,
+    },
+    /// Master → worker: handshake acceptance and run parameters.
+    Welcome {
+        /// The worker's assigned identity (its accept-order index).
+        worker_id: u32,
+        /// Fleet size `N`.
+        num_workers: u32,
+        /// Horizon `T`.
+        rounds: u64,
+        /// The seeded environment both sides derive costs from.
+        env: WireEnvSpec,
+        /// The worker's authoritative initial share.
+        initial_share: f64,
+        /// Socket-layer drop probability (0 disables the lossy envelope).
+        drop_probability: f64,
+        /// Socket-layer duplication probability.
+        duplicate_probability: f64,
+        /// Seed of the socket-layer fault decisions.
+        fault_seed: u64,
+    },
+    /// Master → worker: the per-round barrier. Carries the membership
+    /// epoch so post-churn rounds are unambiguous on the wire.
+    RoundStart {
+        /// Current membership epoch.
+        epoch: u32,
+        /// Round index `t`.
+        round: u64,
+    },
+    /// Worker → master: line 4 of Algorithm 1, `l_{i,t} = f_{i,t}(x_{i,t})`.
+    LocalCost {
+        /// The worker's current membership epoch (stale-frame filter).
+        epoch: u32,
+        /// Round index `t`.
+        round: u64,
+        /// The observed local cost.
+        cost: f64,
+    },
+    /// Master → worker: line 12 of Algorithm 1.
+    Coordination {
+        /// Round index `t`.
+        round: u64,
+        /// Global cost `l_t = max_i l_{i,t}`.
+        global_cost: f64,
+        /// Step size `α_t`.
+        alpha: f64,
+        /// Whether the recipient is this round's straggler.
+        is_straggler: bool,
+    },
+    /// Worker → master: line 7 of Algorithm 1 (non-stragglers only).
+    Decision {
+        /// The worker's current membership epoch (stale-frame filter).
+        epoch: u32,
+        /// Round index `t`.
+        round: u64,
+        /// The tentative next share `x_{i,t+1}`.
+        share: f64,
+        /// The eq. (5) gain `α_t (x'_{i,t} − x_{i,t})` the master feeds
+        /// its mirrored engine.
+        gain: f64,
+    },
+    /// Master → straggler: line 15 of Algorithm 1, the pinned share.
+    Assignment {
+        /// Round index `t`.
+        round: u64,
+        /// The straggler's next share.
+        share: f64,
+    },
+    /// Master → non-stragglers: the engine's simplex guard fired; replay
+    /// `x_{i,t+1} = x_{i,t} + gain · scale`.
+    Adjust {
+        /// Round index `t`.
+        round: u64,
+        /// The guard's rescale factor.
+        scale: f64,
+    },
+    /// Master → survivors: a membership epoch boundary after a crash.
+    /// The carried share is authoritative and overrides any tentative
+    /// in-round state.
+    Epoch {
+        /// The new epoch number.
+        epoch: u32,
+        /// The round that will be (re)started next.
+        round: u64,
+        /// The recipient's post-renormalization share.
+        share: f64,
+        /// The member mask over original worker ids.
+        members: Vec<bool>,
+    },
+    /// Master → worker: orderly end of the run.
+    Shutdown,
+    /// Lossy-link envelope: one physical transmission attempt of an inner
+    /// frame. Never nests.
+    Data {
+        /// Link-layer sequence number (per direction, strictly increasing).
+        seq: u64,
+        /// Zero-based transmission attempt of this copy.
+        attempt: u32,
+        /// The enveloped protocol frame.
+        inner: Box<Frame>,
+    },
+    /// Lossy-link acknowledgement of a delivered [`Frame::Data`] copy.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+const KIND_HELLO: u8 = 0;
+const KIND_WELCOME: u8 = 1;
+const KIND_ROUND_START: u8 = 2;
+const KIND_LOCAL_COST: u8 = 3;
+const KIND_COORDINATION: u8 = 4;
+const KIND_DECISION: u8 = 5;
+const KIND_ASSIGNMENT: u8 = 6;
+const KIND_ADJUST: u8 = 7;
+const KIND_EPOCH: u8 = 8;
+const KIND_SHUTDOWN: u8 = 9;
+const KIND_DATA: u8 = 10;
+const KIND_ACK: u8 = 11;
+
+impl Frame {
+    /// Encodes the frame as length prefix + body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        self.encode_body(&mut body);
+        assert!(body.len() <= MAX_FRAME_BYTES, "encoder produced an oversized frame");
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`, returning it and the
+    /// number of bytes consumed (prefix included).
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::Oversized { len });
+        }
+        let Some(body) = buf.get(4..4 + len) else {
+            return Err(WireError::Truncated);
+        };
+        Ok((Self::decode_body(body)?, 4 + len))
+    }
+
+    /// Decodes a frame body (the bytes after the length prefix).
+    pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+        let mut r = Reader { body, at: 0 };
+        let frame = decode_inner(&mut r, false)?;
+        if r.at != body.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(frame)
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::Hello { version } => {
+                out.push(KIND_HELLO);
+                out.extend_from_slice(&MAGIC.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Self::Welcome {
+                worker_id,
+                num_workers,
+                rounds,
+                env,
+                initial_share,
+                drop_probability,
+                duplicate_probability,
+                fault_seed,
+            } => {
+                out.push(KIND_WELCOME);
+                out.extend_from_slice(&MAGIC.to_le_bytes());
+                out.extend_from_slice(&VERSION.to_le_bytes());
+                out.extend_from_slice(&worker_id.to_le_bytes());
+                out.extend_from_slice(&num_workers.to_le_bytes());
+                out.extend_from_slice(&rounds.to_le_bytes());
+                out.push(env.kind_code());
+                out.extend_from_slice(&env.seed.to_le_bytes());
+                out.extend_from_slice(&initial_share.to_bits().to_le_bytes());
+                out.extend_from_slice(&drop_probability.to_bits().to_le_bytes());
+                out.extend_from_slice(&duplicate_probability.to_bits().to_le_bytes());
+                out.extend_from_slice(&fault_seed.to_le_bytes());
+            }
+            Self::RoundStart { epoch, round } => {
+                out.push(KIND_ROUND_START);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+            }
+            Self::LocalCost { epoch, round, cost } => {
+                out.push(KIND_LOCAL_COST);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&cost.to_bits().to_le_bytes());
+            }
+            Self::Coordination { round, global_cost, alpha, is_straggler } => {
+                out.push(KIND_COORDINATION);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&global_cost.to_bits().to_le_bytes());
+                out.extend_from_slice(&alpha.to_bits().to_le_bytes());
+                out.push(u8::from(*is_straggler));
+            }
+            Self::Decision { epoch, round, share, gain } => {
+                out.push(KIND_DECISION);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&share.to_bits().to_le_bytes());
+                out.extend_from_slice(&gain.to_bits().to_le_bytes());
+            }
+            Self::Assignment { round, share } => {
+                out.push(KIND_ASSIGNMENT);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&share.to_bits().to_le_bytes());
+            }
+            Self::Adjust { round, scale } => {
+                out.push(KIND_ADJUST);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&scale.to_bits().to_le_bytes());
+            }
+            Self::Epoch { epoch, round, share, members } => {
+                out.push(KIND_EPOCH);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&share.to_bits().to_le_bytes());
+                out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+                out.extend(members.iter().map(|&m| u8::from(m)));
+            }
+            Self::Shutdown => out.push(KIND_SHUTDOWN),
+            Self::Data { seq, attempt, inner } => {
+                out.push(KIND_DATA);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
+                inner.encode_body(out);
+            }
+            Self::Ack { seq } => {
+                out.push(KIND_ACK);
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take<const K: usize>(&mut self) -> Result<[u8; K], WireError> {
+        let Some(slice) = self.body.get(self.at..self.at + K) else {
+            return Err(WireError::Truncated);
+        };
+        self.at += K;
+        Ok(slice.try_into().expect("slice length checked"))
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take()?))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn boolean(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::BadValue(what)),
+        }
+    }
+}
+
+fn decode_inner(r: &mut Reader<'_>, enveloped: bool) -> Result<Frame, WireError> {
+    match r.u8()? {
+        KIND_HELLO => {
+            let magic = r.u32()?;
+            if magic != MAGIC {
+                return Err(WireError::BadMagic { got: magic });
+            }
+            let version = r.u16()?;
+            if version != VERSION {
+                return Err(WireError::BadVersion { got: version });
+            }
+            Ok(Frame::Hello { version })
+        }
+        KIND_WELCOME => {
+            let magic = r.u32()?;
+            if magic != MAGIC {
+                return Err(WireError::BadMagic { got: magic });
+            }
+            let version = r.u16()?;
+            if version != VERSION {
+                return Err(WireError::BadVersion { got: version });
+            }
+            Ok(Frame::Welcome {
+                worker_id: r.u32()?,
+                num_workers: r.u32()?,
+                rounds: r.u64()?,
+                env: {
+                    let kind = r.u8()?;
+                    let seed = r.u64()?;
+                    WireEnvSpec::from_code(kind, seed)
+                        .ok_or(WireError::BadValue("environment kind"))?
+                },
+                initial_share: r.f64()?,
+                drop_probability: r.f64()?,
+                duplicate_probability: r.f64()?,
+                fault_seed: r.u64()?,
+            })
+        }
+        KIND_ROUND_START => Ok(Frame::RoundStart { epoch: r.u32()?, round: r.u64()? }),
+        KIND_LOCAL_COST => {
+            Ok(Frame::LocalCost { epoch: r.u32()?, round: r.u64()?, cost: r.f64()? })
+        }
+        KIND_COORDINATION => Ok(Frame::Coordination {
+            round: r.u64()?,
+            global_cost: r.f64()?,
+            alpha: r.f64()?,
+            is_straggler: r.boolean("is_straggler flag")?,
+        }),
+        KIND_DECISION => Ok(Frame::Decision {
+            epoch: r.u32()?,
+            round: r.u64()?,
+            share: r.f64()?,
+            gain: r.f64()?,
+        }),
+        KIND_ASSIGNMENT => Ok(Frame::Assignment { round: r.u64()?, share: r.f64()? }),
+        KIND_ADJUST => Ok(Frame::Adjust { round: r.u64()?, scale: r.f64()? }),
+        KIND_EPOCH => {
+            let epoch = r.u32()?;
+            let round = r.u64()?;
+            let share = r.f64()?;
+            let count = r.u32()? as usize;
+            // A member byte each; anything claiming more members than the
+            // remaining body could hold is lying about its length.
+            if count > r.body.len() - r.at {
+                return Err(WireError::Truncated);
+            }
+            let mut members = Vec::with_capacity(count);
+            for _ in 0..count {
+                members.push(r.boolean("member flag")?);
+            }
+            Ok(Frame::Epoch { epoch, round, share, members })
+        }
+        KIND_SHUTDOWN => Ok(Frame::Shutdown),
+        KIND_DATA => {
+            if enveloped {
+                return Err(WireError::BadValue("nested Data envelope"));
+            }
+            let seq = r.u64()?;
+            let attempt = r.u32()?;
+            let inner = decode_inner(r, true)?;
+            if matches!(inner, Frame::Ack { .. }) {
+                return Err(WireError::BadValue("enveloped Ack"));
+            }
+            Ok(Frame::Data { seq, attempt, inner: Box::new(inner) })
+        }
+        KIND_ACK => {
+            if enveloped {
+                return Err(WireError::BadValue("enveloped Ack"));
+            }
+            Ok(Frame::Ack { seq: r.u64()? })
+        }
+        other => Err(WireError::UnknownKind(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_fields_round_trip_bitwise() {
+        for value in [0.1 + 0.2, f64::MIN_POSITIVE, 1.0 / 3.0, -0.0, f64::INFINITY] {
+            let frame = Frame::Assignment { round: 3, share: value };
+            let (back, _) = Frame::decode(&frame.encode()).unwrap();
+            let Frame::Assignment { share, .. } = back else { panic!("kind changed") };
+            assert_eq!(share.to_bits(), value.to_bits());
+        }
+    }
+
+    #[test]
+    fn envelope_nesting_is_rejected() {
+        let nested = Frame::Data {
+            seq: 1,
+            attempt: 0,
+            inner: Box::new(Frame::Data { seq: 2, attempt: 0, inner: Box::new(Frame::Shutdown) }),
+        };
+        assert_eq!(
+            Frame::decode(&nested.encode()),
+            Err(WireError::BadValue("nested Data envelope"))
+        );
+    }
+
+    #[test]
+    fn epoch_member_count_cannot_exceed_body() {
+        let frame = Frame::Epoch { epoch: 1, round: 5, share: 0.25, members: vec![true, false] };
+        let mut bytes = frame.encode();
+        // Corrupt the member count (offset: 4 prefix + 1 kind + 4 epoch +
+        // 8 round + 8 share) to claim far more members than follow.
+        bytes[25..29].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Frame::decode(&bytes), Err(WireError::Truncated));
+    }
+}

@@ -1,0 +1,161 @@
+//! The worker node role: one worker's half of Algorithm 1 over a socket.
+//!
+//! A worker is authoritative for exactly one scalar — its own share — and
+//! never reveals its cost *function*, only the scalars §IV-B prescribes:
+//! the observed local cost (line 4) and its risk-averse decision (line 7).
+//! The per-round cost function is derived locally from the
+//! [`WireEnvSpec`](crate::env::WireEnvSpec) the master ships in `Welcome`.
+//!
+//! The arithmetic here is the worker side of the engine's reported-round
+//! contract: `gain = (α · (x' − x)).max(0.0)`, `x ← x + gain`, with the
+//! rare `Adjust` replaying `x ← x_old + gain · scale` — bitwise the
+//! update the sequential engine applies, which is what makes the whole
+//! distributed trajectory bitwise-reproducible.
+
+use crate::transport::{FrameConn, Link, TransportError, WireStats, DEFAULT_FRAME_TIMEOUT};
+use crate::wire::{Frame, VERSION};
+use crate::NetError;
+use dolbie_core::cost::DynCost;
+use dolbie_core::observation::max_acceptable_share;
+use dolbie_simnet::faults::{FaultPlan, RetryPolicy};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Knobs of a worker run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Per-frame read deadline; `None` uses [`DEFAULT_FRAME_TIMEOUT`].
+    pub frame_timeout: Option<Duration>,
+    /// Overrides the lossy link's retransmission pacing (the fault plan
+    /// itself always comes from `Welcome`). Senders need not agree on
+    /// pacing, so tests can run a faster schedule than the default.
+    pub retry: Option<RetryPolicy>,
+    /// Fault injection for crash tests: drop the connection right after
+    /// reporting the local cost of this round, simulating a worker killed
+    /// mid-round.
+    pub die_after_round: Option<usize>,
+}
+
+/// What a worker saw over its run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerReport {
+    /// The identity the master assigned in `Welcome`.
+    pub worker_id: usize,
+    /// Rounds this worker participated in (counting restarts once).
+    pub rounds_seen: usize,
+    /// The worker's final authoritative share.
+    pub final_share: f64,
+    /// Membership epochs crossed.
+    pub epochs_seen: u32,
+    /// This connection's wire counters.
+    pub wire: WireStats,
+}
+
+/// Runs the worker protocol on `stream` until `Shutdown` (or injected
+/// death). Handshakes raw, then speaks through the fault plan announced
+/// in `Welcome`.
+pub fn run_worker(stream: TcpStream, opts: &WorkerOptions) -> Result<WorkerReport, NetError> {
+    let timeout = opts.frame_timeout.unwrap_or(DEFAULT_FRAME_TIMEOUT);
+    let mut conn = FrameConn::new(stream).map_err(TransportError::from)?;
+    conn.send(&Frame::Hello { version: VERSION })?;
+    let (worker_id, env, mut share, plan) = match conn.recv(timeout)? {
+        Frame::Welcome {
+            worker_id,
+            env,
+            initial_share,
+            drop_probability,
+            duplicate_probability,
+            fault_seed,
+            ..
+        } => {
+            let mut plan = FaultPlan::seeded(fault_seed);
+            if drop_probability > 0.0 {
+                plan = plan.with_drop_probability(drop_probability);
+            }
+            if duplicate_probability > 0.0 {
+                plan = plan.with_duplicate_probability(duplicate_probability);
+            }
+            if let Some(retry) = opts.retry {
+                plan = plan.with_retry(retry);
+            }
+            (worker_id as usize, env, initial_share, plan)
+        }
+        _ => return Err(NetError::Protocol("expected Welcome after Hello".into())),
+    };
+    let mut link = Link::with_plan(conn, plan, worker_id as u64 + 1, 0);
+
+    let mut cost_fn: Option<DynCost> = None;
+    // The pre-decision share and gain of the current round, kept for the
+    // rare `Adjust` replay.
+    let (mut x_old, mut gain) = (share, 0.0f64);
+    let mut rounds_seen = 0usize;
+    let mut epochs_seen = 0u32;
+    let mut my_epoch = 0u32;
+
+    loop {
+        match link.recv(timeout)? {
+            Frame::RoundStart { epoch, round } => {
+                if epoch != my_epoch {
+                    return Err(NetError::Protocol(format!(
+                        "round started under epoch {epoch}, worker is at {my_epoch}"
+                    )));
+                }
+                // Lines 1–4: execute, observe, report.
+                let f = env.cost_for(round as usize, worker_id);
+                let cost = f.eval(share);
+                cost_fn = Some(f);
+                rounds_seen += 1;
+                link.send(&Frame::LocalCost { epoch: my_epoch, round, cost })?;
+                if opts.die_after_round == Some(round as usize) {
+                    // Injected crash: vanish without a goodbye.
+                    return Ok(WorkerReport {
+                        worker_id,
+                        rounds_seen,
+                        final_share: share,
+                        epochs_seen,
+                        wire: link.stats(),
+                    });
+                }
+            }
+            Frame::Coordination { global_cost, alpha, is_straggler, round } => {
+                if is_straggler {
+                    // Line 8: the pin arrives as an Assignment.
+                    continue;
+                }
+                // Lines 5–7: risk-averse assistance, the engine's exact
+                // arithmetic.
+                let f = cost_fn
+                    .as_ref()
+                    .ok_or_else(|| NetError::Protocol("coordination before any round".into()))?;
+                x_old = share;
+                let target = max_acceptable_share(&**f, share, global_cost);
+                gain = (alpha * (target - share)).max(0.0);
+                share = x_old + gain;
+                link.send(&Frame::Decision { epoch: my_epoch, round, share, gain })?;
+            }
+            Frame::Assignment { share: pinned, .. } => {
+                share = pinned;
+            }
+            Frame::Adjust { scale, .. } => {
+                share = x_old + gain * scale;
+            }
+            Frame::Epoch { epoch, share: authoritative, .. } => {
+                // A crash elsewhere: adopt the post-renormalization share,
+                // discarding any tentative in-round state.
+                my_epoch = epoch;
+                share = authoritative;
+                epochs_seen += 1;
+            }
+            Frame::Shutdown => {
+                return Ok(WorkerReport {
+                    worker_id,
+                    rounds_seen,
+                    final_share: share,
+                    epochs_seen,
+                    wire: link.stats(),
+                });
+            }
+            _ => return Err(NetError::Protocol("unexpected frame at the worker".into())),
+        }
+    }
+}

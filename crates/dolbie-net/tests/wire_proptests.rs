@@ -1,0 +1,164 @@
+//! Wire-protocol robustness: round-trip property tests over every frame
+//! type, and strict rejection of malformed bytes.
+
+use dolbie_net::env::{EnvKind, WireEnvSpec};
+use dolbie_net::wire::{Frame, WireError, MAX_FRAME_BYTES, VERSION};
+use proptest::prelude::*;
+
+/// Builds one frame of each kind from fuzzed scalars. `f64` fields come
+/// from raw bit patterns so the whole value space (subnormals, infinities,
+/// NaNs) crosses the codec.
+fn frame_zoo(seq: u64, a: u64, b: u64, flag: bool, members: &[bool]) -> Vec<Frame> {
+    let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+    vec![
+        Frame::Hello { version: VERSION },
+        Frame::Welcome {
+            worker_id: (seq % 1024) as u32,
+            num_workers: (a % 4096) as u32,
+            rounds: b,
+            env: WireEnvSpec {
+                kind: if flag { EnvKind::ChaosMix } else { EnvKind::StaticRamp },
+                seed: a ^ b,
+            },
+            initial_share: x,
+            drop_probability: y,
+            duplicate_probability: x,
+            fault_seed: seq,
+        },
+        Frame::RoundStart { epoch: (a % 97) as u32, round: b },
+        Frame::LocalCost { epoch: (b % 97) as u32, round: a, cost: y },
+        Frame::Coordination { round: seq, global_cost: x, alpha: y, is_straggler: flag },
+        Frame::Decision { epoch: (a % 7) as u32, round: seq, share: x, gain: y },
+        Frame::Assignment { round: a, share: y },
+        Frame::Adjust { round: b, scale: x },
+        Frame::Epoch { epoch: (seq % 31) as u32, round: a, share: y, members: members.to_vec() },
+        Frame::Shutdown,
+        Frame::Data {
+            seq,
+            attempt: (a % 16) as u32,
+            inner: Box::new(Frame::LocalCost { epoch: 0, round: b, cost: x }),
+        },
+        Frame::Ack { seq },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every frame kind round-trips: decode(encode(f)) reproduces the
+    /// exact bytes (bit-stable even through NaN payloads) and consumes
+    /// the whole buffer.
+    #[test]
+    fn all_frame_types_round_trip(
+        seq in 0u64..u64::MAX,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        flag in proptest::bool::ANY,
+        members in proptest::collection::vec(proptest::bool::ANY, 0..9),
+    ) {
+        for frame in frame_zoo(seq, a, b, flag, &members) {
+            let bytes = frame.encode();
+            let (decoded, used) = Frame::decode(&bytes).expect("well-formed frame");
+            prop_assert_eq!(used, bytes.len());
+            // Bytes, not PartialEq: NaN-carrying frames compare unequal
+            // under IEEE semantics yet must round-trip bit-exactly.
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+    }
+
+    /// Every strict prefix of every frame is rejected as truncated —
+    /// never mis-parsed.
+    #[test]
+    fn every_truncation_is_rejected(
+        seq in 0u64..u64::MAX,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        flag in proptest::bool::ANY,
+        members in proptest::collection::vec(proptest::bool::ANY, 0..5),
+    ) {
+        for frame in frame_zoo(seq, a, b, flag, &members) {
+            let bytes = frame.encode();
+            for cut in 0..bytes.len() {
+                prop_assert_eq!(
+                    Frame::decode(&bytes[..cut]),
+                    Err(WireError::Truncated),
+                    "prefix of {} bytes must be truncated", cut
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut bytes = Frame::Hello { version: VERSION }.encode();
+    // Magic sits right after the 4-byte prefix and 1-byte kind.
+    bytes[5..9].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+    assert_eq!(Frame::decode(&bytes), Err(WireError::BadMagic { got: 0xDEAD_BEEF }));
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let mut bytes = Frame::Hello { version: VERSION }.encode();
+    bytes[9..11].copy_from_slice(&999u16.to_le_bytes());
+    assert_eq!(Frame::decode(&bytes), Err(WireError::BadVersion { got: 999 }));
+}
+
+#[test]
+fn welcome_checks_magic_and_version_too() {
+    let welcome = Frame::Welcome {
+        worker_id: 0,
+        num_workers: 4,
+        rounds: 10,
+        env: WireEnvSpec { kind: EnvKind::ChaosMix, seed: 1 },
+        initial_share: 0.25,
+        drop_probability: 0.0,
+        duplicate_probability: 0.0,
+        fault_seed: 0,
+    };
+    let mut bad_magic = welcome.encode();
+    bad_magic[5..9].copy_from_slice(&1u32.to_le_bytes());
+    assert_eq!(Frame::decode(&bad_magic), Err(WireError::BadMagic { got: 1 }));
+    let mut bad_version = welcome.encode();
+    bad_version[9..11].copy_from_slice(&0u16.to_le_bytes());
+    assert_eq!(Frame::decode(&bad_version), Err(WireError::BadVersion { got: 0 }));
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_any_body() {
+    let len = (MAX_FRAME_BYTES + 1) as u32;
+    let bytes = len.to_le_bytes();
+    assert_eq!(Frame::decode(&bytes), Err(WireError::Oversized { len: MAX_FRAME_BYTES + 1 }));
+    // Even u32::MAX — no allocation attempt, just a clean error.
+    assert_eq!(
+        Frame::decode(&u32::MAX.to_le_bytes()),
+        Err(WireError::Oversized { len: u32::MAX as usize })
+    );
+}
+
+#[test]
+fn unknown_kind_is_rejected() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.push(0x7F);
+    assert_eq!(Frame::decode(&bytes), Err(WireError::UnknownKind(0x7F)));
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let shutdown = Frame::Shutdown.encode();
+    let mut padded = Vec::new();
+    padded.extend_from_slice(&2u32.to_le_bytes()); // claims kind + 1 junk byte
+    padded.push(shutdown[4]);
+    padded.push(0xAB);
+    assert_eq!(Frame::decode(&padded), Err(WireError::TrailingBytes));
+}
+
+#[test]
+fn out_of_range_booleans_are_rejected() {
+    let mut bytes =
+        Frame::Coordination { round: 1, global_cost: 1.0, alpha: 0.5, is_straggler: true }.encode();
+    let last = bytes.len() - 1;
+    bytes[last] = 7; // is_straggler must be 0 or 1
+    assert_eq!(Frame::decode(&bytes), Err(WireError::BadValue("is_straggler flag")));
+}

@@ -284,24 +284,81 @@ impl FaultPlan {
     /// Pure per-message fault decision: `true` with probability `p`,
     /// independent of execution order.
     fn chance(&self, message: &Message, attempt: usize, channel: Channel, p: f64) -> bool {
+        self.hashed_chance(
+            [
+                message.round as u64,
+                node_code(message.from),
+                node_code(message.to),
+                payload_kind(&message.payload),
+                attempt as u64,
+                channel as u64,
+            ],
+            p,
+        )
+    }
+
+    /// Whether a real socket-layer data transmission is dropped.
+    ///
+    /// This is the wire-runtime (`dolbie-net`) counterpart of the
+    /// simulator-internal decision stream: the same plan drives the same
+    /// kind of pure, order-independent per-attempt fate, but keyed on a
+    /// link-layer sequence number and node codes instead of a simulated
+    /// [`Message`], because the wire runtime frames its own traffic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dolbie_simnet::faults::FaultPlan;
+    ///
+    /// let plan = FaultPlan::seeded(7).with_drop_probability(0.5);
+    /// // Pure: the same transmission always meets the same fate.
+    /// assert_eq!(plan.wire_drop(3, 0, 1, 0), plan.wire_drop(3, 0, 1, 0));
+    /// // Lossless plans never drop.
+    /// assert!(!FaultPlan::none().wire_drop(3, 0, 1, 0));
+    /// ```
+    pub fn wire_drop(&self, seq: u64, from: u64, to: u64, attempt: usize) -> bool {
+        self.hashed_chance(
+            [seq, from, to, WIRE_KIND, attempt as u64, Channel::Data as u64],
+            self.drop_probability,
+        )
+    }
+
+    /// Whether a delivered socket-layer data copy is duplicated in flight.
+    /// Same decision model as [`FaultPlan::wire_drop`].
+    pub fn wire_duplicate(&self, seq: u64, from: u64, to: u64, attempt: usize) -> bool {
+        self.hashed_chance(
+            [seq, from, to, WIRE_KIND, attempt as u64, Channel::Duplicate as u64],
+            self.duplicate_probability,
+        )
+    }
+
+    /// Whether the acknowledgement of a delivered socket-layer copy is
+    /// dropped on the way back. Same decision model as
+    /// [`FaultPlan::wire_drop`].
+    pub fn wire_ack_drop(&self, seq: u64, from: u64, to: u64, attempt: usize) -> bool {
+        self.hashed_chance(
+            [seq, from, to, WIRE_KIND, attempt as u64, Channel::Ack as u64],
+            self.drop_probability,
+        )
+    }
+
+    /// The shared pure-hash Bernoulli draw behind every fault decision.
+    fn hashed_chance(&self, words: [u64; 6], p: f64) -> bool {
         if p <= 0.0 {
             return false;
         }
         let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
-        for word in [
-            message.round as u64,
-            node_code(message.from),
-            node_code(message.to),
-            payload_kind(&message.payload),
-            attempt as u64,
-            channel as u64,
-        ] {
+        for word in words {
             h = splitmix64(h ^ word);
         }
         let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         unit < p
     }
 }
+
+/// Payload-kind code reserved for the wire runtime's decision stream, so
+/// socket-layer fates never collide with any simulated [`Payload`] kind.
+const WIRE_KIND: u64 = 0xD0;
 
 /// One logical message's trip through the link layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -491,6 +548,55 @@ mod tests {
         assert_eq!(stats.messages, 32);
         assert_eq!(stats.bytes, expected_bytes);
         assert!(stats.acks >= 32, "lossy links ack every delivery");
+    }
+
+    #[test]
+    fn wire_decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(11).with_drop_probability(0.5).with_duplicate_probability(0.5);
+        let b = FaultPlan::seeded(12).with_drop_probability(0.5).with_duplicate_probability(0.5);
+        let stream = |plan: &FaultPlan| -> Vec<(bool, bool, bool)> {
+            (0..256u64)
+                .map(|seq| {
+                    (
+                        plan.wire_drop(seq, 0, 3, 0),
+                        plan.wire_duplicate(seq, 0, 3, 0),
+                        plan.wire_ack_drop(seq, 0, 3, 0),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(stream(&a), stream(&a), "pure decisions replay identically");
+        assert_ne!(stream(&a), stream(&b), "different seeds diverge");
+        // Each of the three channels is an independent stream: at 50% each,
+        // every channel fires somewhere in 256 draws.
+        let s = stream(&a);
+        assert!(s.iter().any(|&(d, _, _)| d));
+        assert!(s.iter().any(|&(_, dup, _)| dup));
+        assert!(s.iter().any(|&(_, _, ack)| ack));
+        // And they are not the same stream.
+        assert!(s.iter().any(|&(d, dup, _)| d != dup));
+    }
+
+    #[test]
+    fn wire_decisions_vary_with_every_key_component() {
+        let plan = FaultPlan::seeded(13).with_drop_probability(0.5);
+        let base: Vec<bool> = (0..128u64).map(|s| plan.wire_drop(s, 0, 1, 0)).collect();
+        let other_to: Vec<bool> = (0..128u64).map(|s| plan.wire_drop(s, 0, 2, 0)).collect();
+        let other_from: Vec<bool> = (0..128u64).map(|s| plan.wire_drop(s, 1, 1, 0)).collect();
+        let other_attempt: Vec<bool> = (0..128u64).map(|s| plan.wire_drop(s, 0, 1, 1)).collect();
+        assert_ne!(base, other_to);
+        assert_ne!(base, other_from);
+        assert_ne!(base, other_attempt);
+    }
+
+    #[test]
+    fn lossless_wire_plan_never_drops_or_duplicates() {
+        let plan = FaultPlan::none();
+        for seq in 0..64u64 {
+            assert!(!plan.wire_drop(seq, 0, 1, 0));
+            assert!(!plan.wire_duplicate(seq, 0, 1, 0));
+            assert!(!plan.wire_ack_drop(seq, 0, 1, 0));
+        }
     }
 
     #[test]

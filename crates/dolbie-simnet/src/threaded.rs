@@ -11,6 +11,12 @@
 //! demonstrating that DOLBIE's decision logic is deterministic under real
 //! concurrency: the protocol has a full barrier per phase, so thread
 //! interleaving cannot change the outcome.
+//!
+//! Worker failure is detected, not waited out: each worker reports over its
+//! own channel, so a worker thread that dies mid-round (e.g. a panicking
+//! cost function) drops its sender and the master surfaces a structured
+//! [`ThreadedError`] instead of blocking forever on a channel that can no
+//! longer produce a message.
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use dolbie_core::cost::DynCost;
@@ -39,6 +45,33 @@ enum ToMaster {
     Decision { worker: usize, share: f64 },
 }
 
+/// A failure of the threaded runtime, surfaced instead of a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadedError {
+    /// A worker thread died mid-run (its channel disconnected) — most
+    /// commonly a panicking cost function. Names the worker and the round
+    /// in which the master noticed.
+    WorkerDisconnected {
+        /// The worker whose channel went dead.
+        worker: usize,
+        /// The round the master was coordinating when it noticed.
+        round: usize,
+    },
+}
+
+impl std::fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WorkerDisconnected { worker, round } => write!(
+                f,
+                "worker {worker} disconnected in round {round} (its thread panicked or exited)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ThreadedError {}
+
 /// One round's outcome as recorded by the master.
 #[derive(Debug, Clone)]
 pub struct ThreadedRound {
@@ -57,10 +90,16 @@ pub struct ThreadedRound {
 /// Runs master-worker DOLBIE over real threads for `rounds` rounds and
 /// returns the per-round records.
 ///
+/// Each worker reports over a dedicated channel; a worker thread that
+/// panics mid-round is detected through its disconnected channel and
+/// reported as [`ThreadedError::WorkerDisconnected`] — the master never
+/// blocks on a dead worker, and the surviving threads are shut down before
+/// the error is returned.
+///
 /// # Panics
 ///
-/// Panics if the environment has no workers, if a worker thread panics, or
-/// if a channel closes unexpectedly (both would indicate a protocol bug).
+/// Panics if the environment has no workers or reveals the wrong number of
+/// cost functions (protocol misuse, not a runtime fault).
 ///
 /// # Examples
 ///
@@ -70,32 +109,58 @@ pub struct ThreadedRound {
 /// use dolbie_core::DolbieConfig;
 ///
 /// let env = StaticLinearEnvironment::from_slopes(vec![3.0, 1.0]);
-/// let rounds = run_threaded_master_worker(env, DolbieConfig::new(), 5);
+/// let rounds = run_threaded_master_worker(env, DolbieConfig::new(), 5).unwrap();
 /// assert_eq!(rounds.len(), 5);
 /// ```
 pub fn run_threaded_master_worker<E: Environment>(
     mut env: E,
     config: DolbieConfig,
     rounds: usize,
-) -> Vec<ThreadedRound> {
+) -> Result<Vec<ThreadedRound>, ThreadedError> {
     let n = env.num_workers();
     assert!(n > 0, "at least one worker required");
 
-    let (to_master_tx, to_master_rx): (Sender<ToMaster>, Receiver<ToMaster>) = unbounded();
     let mut to_worker_txs: Vec<Sender<ToWorker>> = Vec::with_capacity(n);
+    let mut from_worker_rxs: Vec<Receiver<ToMaster>> = Vec::with_capacity(n);
     let mut handles = Vec::with_capacity(n);
 
     for worker_id in 0..n {
         let (tx, rx): (Sender<ToWorker>, Receiver<ToWorker>) = unbounded();
+        let (reply_tx, reply_rx): (Sender<ToMaster>, Receiver<ToMaster>) = unbounded();
         to_worker_txs.push(tx);
-        let master_tx = to_master_tx.clone();
+        from_worker_rxs.push(reply_rx);
         let initial_share = 1.0 / n as f64;
         handles.push(thread::spawn(move || {
-            worker_loop(worker_id, initial_share, rx, master_tx);
+            worker_loop(worker_id, initial_share, rx, reply_tx);
         }));
     }
-    drop(to_master_tx);
 
+    let result = drive_master(&mut env, config, rounds, n, &to_worker_txs, &from_worker_rxs);
+
+    // Wind the fleet down on both paths: drop the senders so any healthy
+    // worker's `recv` disconnects and its loop exits, then reap the
+    // threads. A panicked worker's `join` error is expected on the error
+    // path and deliberately discarded — the structured error carries the
+    // diagnosis.
+    for tx in &to_worker_txs {
+        let _ = tx.send(ToWorker::Shutdown);
+    }
+    drop(to_worker_txs);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    result
+}
+
+/// The master's round loop, separated so cleanup runs on every exit path.
+fn drive_master<E: Environment>(
+    env: &mut E,
+    config: DolbieConfig,
+    rounds: usize,
+    n: usize,
+    to_worker_txs: &[Sender<ToWorker>],
+    from_worker_rxs: &[Receiver<ToMaster>],
+) -> Result<Vec<ThreadedRound>, ThreadedError> {
     let initial = Allocation::uniform(n);
     let mut alpha = config.resolve_initial_alpha(&initial);
     // The master mirrors the share vector only to produce the trace and the
@@ -104,17 +169,22 @@ pub fn run_threaded_master_worker<E: Environment>(
     let mut records = Vec::with_capacity(rounds);
 
     for t in 0..rounds {
+        let dead = |worker: usize| ThreadedError::WorkerDisconnected { worker, round: t };
         let mut fns = env.reveal(t);
         assert_eq!(fns.len(), n, "environment must cover every worker");
         // Hand each worker its revealed cost function for the round.
         for (worker, cost_fn) in fns.drain(..).enumerate().rev() {
-            to_worker_txs[worker].send(ToWorker::Round { cost_fn }).expect("worker thread alive");
+            to_worker_txs[worker].send(ToWorker::Round { cost_fn }).map_err(|_| dead(worker))?;
         }
-        // Lines 9-11: collect local costs.
+        // Lines 9-11: collect local costs, each worker on its own channel —
+        // a dead worker disconnects instead of silencing a shared queue.
         let mut local_costs = vec![0.0f64; n];
-        for _ in 0..n {
-            match to_master_rx.recv().expect("worker thread alive") {
-                ToMaster::LocalCost { worker, cost } => local_costs[worker] = cost,
+        for (worker, rx) in from_worker_rxs.iter().enumerate() {
+            match rx.recv().map_err(|_| dead(worker))? {
+                ToMaster::LocalCost { worker: reporter, cost } => {
+                    debug_assert_eq!(reporter, worker);
+                    local_costs[worker] = cost;
+                }
                 ToMaster::Decision { .. } => unreachable!("decision before coordination"),
             }
         }
@@ -129,23 +199,22 @@ pub fn run_threaded_master_worker<E: Environment>(
         // Line 12.
         for (j, tx) in to_worker_txs.iter().enumerate() {
             tx.send(ToWorker::Coordination { global_cost, alpha, is_straggler: j == straggler })
-                .expect("worker thread alive");
+                .map_err(|_| dead(j))?;
         }
         // Lines 13-14.
-        let mut decisions: Vec<Option<f64>> = vec![None; n];
-        for _ in 0..n.saturating_sub(1) {
-            match to_master_rx.recv().expect("worker thread alive") {
-                ToMaster::Decision { worker, share } => decisions[worker] = Some(share),
-                ToMaster::LocalCost { .. } => unreachable!("stale cost report"),
-            }
-        }
         let mut next_shares = shares.clone();
         let mut others = 0.0;
-        for (j, d) in decisions.iter().enumerate() {
-            if j != straggler {
-                let share = d.expect("every non-straggler reported");
-                others += share;
-                next_shares[j] = share;
+        for (worker, rx) in from_worker_rxs.iter().enumerate() {
+            if worker == straggler {
+                continue;
+            }
+            match rx.recv().map_err(|_| dead(worker))? {
+                ToMaster::Decision { worker: reporter, share } => {
+                    debug_assert_eq!(reporter, worker);
+                    others += share;
+                    next_shares[worker] = share;
+                }
+                ToMaster::LocalCost { .. } => unreachable!("stale cost report"),
             }
         }
         let s_share = (1.0 - others).max(0.0);
@@ -153,7 +222,7 @@ pub fn run_threaded_master_worker<E: Environment>(
         // Line 15.
         to_worker_txs[straggler]
             .send(ToWorker::Assignment { share: s_share })
-            .expect("worker thread alive");
+            .map_err(|_| dead(straggler))?;
         // Line 16 / eq. (7).
         alpha = alpha.min(feasibility_cap(n, s_share));
 
@@ -168,32 +237,23 @@ pub fn run_threaded_master_worker<E: Environment>(
             straggler,
         });
     }
-
-    for tx in &to_worker_txs {
-        tx.send(ToWorker::Shutdown).expect("worker thread alive");
-    }
-    for handle in handles {
-        handle.join().expect("worker thread exited cleanly");
-    }
-    records
+    Ok(records)
 }
 
-fn worker_loop(
-    _worker_id: usize,
-    mut share: f64,
-    rx: Receiver<ToWorker>,
-    master: Sender<ToMaster>,
-) {
+fn worker_loop(worker_id: usize, mut share: f64, rx: Receiver<ToWorker>, master: Sender<ToMaster>) {
     let mut current_fn: Option<DynCost> = None;
+    // A disconnected channel in either direction means the master is gone
+    // (run aborted); exit quietly instead of panicking the worker too.
     loop {
-        match rx.recv().expect("master alive") {
+        let Ok(message) = rx.recv() else { return };
+        match message {
             ToWorker::Round { cost_fn } => {
                 // Lines 1-4: execute, observe the local cost, report it.
                 let cost = cost_fn.eval(share);
                 current_fn = Some(cost_fn);
-                master
-                    .send(ToMaster::LocalCost { worker: _worker_id, cost })
-                    .expect("master alive");
+                if master.send(ToMaster::LocalCost { worker: worker_id, cost }).is_err() {
+                    return;
+                }
             }
             ToWorker::Coordination { global_cost, alpha, is_straggler } => {
                 if is_straggler {
@@ -204,9 +264,9 @@ fn worker_loop(
                 let f = current_fn.as_ref().expect("round started before coordination");
                 let target = max_acceptable_share(f, share, global_cost);
                 share -= alpha * (share - target);
-                master
-                    .send(ToMaster::Decision { worker: _worker_id, share })
-                    .expect("master alive");
+                if master.send(ToMaster::Decision { worker: worker_id, share }).is_err() {
+                    return;
+                }
             }
             ToWorker::Assignment { share: assigned } => {
                 share = assigned;
@@ -219,13 +279,16 @@ fn worker_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dolbie_core::environment::{RotatingStragglerEnvironment, StaticLinearEnvironment};
+    use dolbie_core::cost::CostFunction;
+    use dolbie_core::environment::{
+        FnEnvironment, RotatingStragglerEnvironment, StaticLinearEnvironment,
+    };
     use dolbie_core::{run_episode, Dolbie, EpisodeOptions};
 
     #[test]
     fn threaded_trajectory_matches_sequential() {
         let env = RotatingStragglerEnvironment::new(6, 3, 9.0, 1.0);
-        let threaded = run_threaded_master_worker(env.clone(), DolbieConfig::new(), 25);
+        let threaded = run_threaded_master_worker(env.clone(), DolbieConfig::new(), 25).unwrap();
         let mut sequential = Dolbie::new(6);
         let mut driver = env;
         let reference = run_episode(&mut sequential, &mut driver, EpisodeOptions::new(25));
@@ -253,8 +316,8 @@ mod tests {
     #[test]
     fn repeated_runs_are_deterministic() {
         let env = StaticLinearEnvironment::from_slopes(vec![4.0, 1.0, 2.0]);
-        let a = run_threaded_master_worker(env.clone(), DolbieConfig::new(), 15);
-        let b = run_threaded_master_worker(env, DolbieConfig::new(), 15);
+        let a = run_threaded_master_worker(env.clone(), DolbieConfig::new(), 15).unwrap();
+        let b = run_threaded_master_worker(env, DolbieConfig::new(), 15).unwrap();
         for (x, y) in a.iter().zip(&b) {
             assert!(x.allocation.l2_distance(&y.allocation) < 1e-15);
         }
@@ -263,7 +326,7 @@ mod tests {
     #[test]
     fn many_workers_terminate_cleanly() {
         let env = StaticLinearEnvironment::from_slopes((1..=32).map(|i| i as f64).collect());
-        let rounds = run_threaded_master_worker(env, DolbieConfig::new(), 5);
+        let rounds = run_threaded_master_worker(env, DolbieConfig::new(), 5).unwrap();
         assert_eq!(rounds.len(), 5);
         // Costs improve even in 5 rounds on a static instance.
         assert!(rounds.last().unwrap().global_cost <= rounds[0].global_cost);
@@ -272,10 +335,47 @@ mod tests {
     #[test]
     fn single_worker_degenerates_gracefully() {
         let env = StaticLinearEnvironment::from_slopes(vec![2.0]);
-        let rounds = run_threaded_master_worker(env, DolbieConfig::new(), 3);
+        let rounds = run_threaded_master_worker(env, DolbieConfig::new(), 3).unwrap();
         for r in &rounds {
             assert_eq!(r.allocation.share(0), 1.0);
             assert_eq!(r.straggler, 0);
         }
+    }
+
+    /// A cost function that panics when evaluated — the trigger for the
+    /// worker-thread-death regression below.
+    #[derive(Debug)]
+    struct PanickingCost;
+
+    impl CostFunction for PanickingCost {
+        fn eval(&self, _share: f64) -> f64 {
+            panic!("injected cost-function panic");
+        }
+
+        fn max_share_within(&self, _budget: f64) -> Option<f64> {
+            None
+        }
+    }
+
+    /// Regression: a worker thread that panics mid-round must surface as a
+    /// structured error naming the worker, not hang the master forever on
+    /// a channel that will never produce a message.
+    #[test]
+    fn panicking_worker_is_reported_not_hung() {
+        let env = FnEnvironment::new(3, |round| {
+            (0..3)
+                .map(|i| {
+                    if round == 2 && i == 1 {
+                        Box::new(PanickingCost) as DynCost
+                    } else {
+                        Box::new(dolbie_core::cost::LinearCost::new(1.0 + i as f64, 0.0)) as DynCost
+                    }
+                })
+                .collect()
+        });
+        let err = run_threaded_master_worker(env, DolbieConfig::new(), 10)
+            .expect_err("a dead worker must fail the run");
+        assert_eq!(err, ThreadedError::WorkerDisconnected { worker: 1, round: 2 });
+        assert!(err.to_string().contains("worker 1"), "error names the worker: {err}");
     }
 }

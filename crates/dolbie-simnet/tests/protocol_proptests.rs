@@ -48,7 +48,8 @@ proptest! {
             .run(ROUNDS);
         let ring = RingSim::new(env_for(seed, n), DolbieConfig::new(), FixedLatency::lan())
             .run(ROUNDS);
-        let threaded = run_threaded_master_worker(env_for(seed, n), DolbieConfig::new(), ROUNDS);
+        let threaded = run_threaded_master_worker(env_for(seed, n), DolbieConfig::new(), ROUNDS)
+            .expect("healthy workers never disconnect");
 
         let mut sequential = Dolbie::new(n);
         let mut driver = env_for(seed, n);

@@ -23,7 +23,8 @@ fn main() {
     let fd =
         FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(rounds);
     let ring = RingSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(rounds);
-    let threaded = run_threaded_master_worker(env, DolbieConfig::new(), rounds);
+    let threaded = run_threaded_master_worker(env, DolbieConfig::new(), rounds)
+        .expect("healthy workers never disconnect");
 
     println!("architecture        messages/round   bytes/round   makespan");
     println!(

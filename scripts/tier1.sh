@@ -47,4 +47,14 @@ if [ "$smoke_elapsed" -ge 10 ]; then
     exit 1
 fi
 
+echo "== tier-1: net smoke (real loopback TCP, bitwise vs sequential, <10 s) =="
+smoke_start=$SECONDS
+cargo run --release -p dolbie-bench --bin paper_figures -- --quick net
+smoke_elapsed=$((SECONDS - smoke_start))
+echo "net smoke took ${smoke_elapsed}s"
+if [ "$smoke_elapsed" -ge 10 ]; then
+    echo "FAIL: net smoke exceeded the 10 s budget" >&2
+    exit 1
+fi
+
 echo "== tier-1: OK =="

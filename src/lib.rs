@@ -11,6 +11,9 @@
 //! - [`simnet`] — the master-worker and fully-distributed message-passing
 //!   protocols on a deterministic discrete-event simulator and a threaded
 //!   runtime.
+//! - [`net`] — the real TCP runtime: versioned wire protocol, socket-level
+//!   fault handling, master/worker node roles with bitwise trajectory
+//!   parity.
 //! - [`mlsim`] — the distributed-ML evaluation substrate (heterogeneous
 //!   hardware model + from-scratch neural-network trainer).
 //! - [`edge`] — the edge-computing task-offloading scenario.
@@ -26,6 +29,7 @@ pub use dolbie_core as core;
 pub use dolbie_edge as edge;
 pub use dolbie_metrics as metrics;
 pub use dolbie_mlsim as mlsim;
+pub use dolbie_net as net;
 pub use dolbie_simnet as simnet;
 
 pub use dolbie_core::{

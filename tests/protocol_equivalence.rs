@@ -27,7 +27,8 @@ fn all_five_implementations_agree_on_the_cluster_environment() {
     let fd =
         FullyDistributedSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(ROUNDS);
     let ring = RingSim::new(env.clone(), DolbieConfig::new(), FixedLatency::lan()).run(ROUNDS);
-    let threaded = run_threaded_master_worker(env.clone(), DolbieConfig::new(), ROUNDS);
+    let threaded = run_threaded_master_worker(env.clone(), DolbieConfig::new(), ROUNDS)
+        .expect("healthy workers never disconnect");
     let mut sequential = Dolbie::new(N);
     let mut driver = env;
     let reference = run_episode(&mut sequential, &mut driver, EpisodeOptions::new(ROUNDS));
