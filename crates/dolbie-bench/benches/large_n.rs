@@ -1,6 +1,7 @@
 //! Large-N engine microbenchmarks: per-round cost of the sequential
-//! `Dolbie` vs the chunked SoA engine (`ChunkedDolbie`), and the
-//! fixed-shape compensated summation primitive they share.
+//! `Dolbie`, the chunked SoA engine (`ChunkedDolbie`), the fused and
+//! SIMD round kernels (`FusedDolbie`), and the fixed-shape compensated
+//! summation primitive they all share.
 //!
 //! Criterion keeps the fleets small enough to iterate quickly
 //! (N <= 10^5); the full sweep to N = 10^6 with RSS tracking is the
@@ -10,6 +11,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dolbie_core::cost::{DynCost, LatencyCost};
 use dolbie_core::engine::DEFAULT_CHUNK_SIZE;
+use dolbie_core::kernel::{FusedDolbie, KernelVariant};
 use dolbie_core::{pairwise_neumaier_sum, run_episode_with_static_costs, ChunkedDolbie, Dolbie};
 use std::hint::black_box;
 
@@ -53,6 +55,19 @@ fn bench_round_throughput(c: &mut Criterion) {
                     ROUNDS,
                     Some(DEFAULT_CHUNK_SIZE),
                 ));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fused", n), &n, |b, _| {
+            b.iter(|| {
+                let mut kernel = FusedDolbie::from_costs(&costs).unwrap();
+                black_box(kernel.run(ROUNDS));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("simd", n), &n, |b, _| {
+            b.iter(|| {
+                let mut kernel =
+                    FusedDolbie::from_costs(&costs).unwrap().with_variant(KernelVariant::Simd);
+                black_box(kernel.run(ROUNDS));
             });
         });
     }

@@ -16,11 +16,13 @@
 //! writes the measurements to `BENCH_paper_figures.json` in the workspace
 //! root.
 
+use dolbie_bench::experiments::large_n::LargeNOptions;
 use dolbie_bench::experiments::{
     ablation, accuracy, bandit, chaos, churn, comms, edge_exp, faults, large_n, latency, net,
     per_worker, regret, utilization,
 };
 use dolbie_bench::{common, harness};
+use dolbie_core::kernel::KernelVariant;
 use std::time::Instant;
 
 const TARGETS: [&str; 12] = [
@@ -33,18 +35,29 @@ const EXTENSION_TARGETS: [&str; 7] =
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper_figures [--quick] [--threads N] [--bench] <target>...\n\
+        "usage: paper_figures [--quick] [--threads N] [--bench] [--kernel K] [--gate] <target>...\n\
          targets: {}, {}, all\n\
          --quick    reduces realization counts for a fast smoke run\n\
          --threads  worker threads for the realization fan-out (default: all cores)\n\
-         --bench    times each target at 1 and N threads; writes BENCH_paper_figures.json",
+         --bench    times each target at 1 and N threads; writes BENCH_paper_figures.json\n\
+         --kernel   large_n round kernels: split, fused, simd, all, or a comma list (default: all)\n\
+         --gate     large_n only: fail if quick throughput regresses >20% below BENCH_large_n.json",
         TARGETS.join(", "),
         EXTENSION_TARGETS.join(", ")
     );
     std::process::exit(2);
 }
 
-fn run(target: &str, quick: bool) {
+/// Per-run options beyond the target list; only `large_n` consumes the
+/// kernel selection and the gate.
+struct RunOptions {
+    quick: bool,
+    kernels: Vec<KernelVariant>,
+    gate: bool,
+}
+
+fn run(target: &str, options: &RunOptions) {
+    let quick = options.quick;
     match target {
         "fig3" => latency::fig3(),
         "fig4" => latency::fig4(quick),
@@ -61,7 +74,11 @@ fn run(target: &str, quick: bool) {
         "ablation" => ablation::ablation(quick),
         "faults" => faults::faults(),
         "bandit" => bandit::bandit(quick),
-        "large_n" => large_n::large_n(quick),
+        "large_n" => large_n::large_n_with(&LargeNOptions {
+            quick,
+            kernels: options.kernels.clone(),
+            gate: options.gate,
+        }),
         "chaos" => chaos::chaos(quick),
         "churn" => churn::churn(),
         "net" => net::net(quick),
@@ -115,6 +132,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut bench = false;
+    let mut gate = false;
+    let mut kernels: Vec<KernelVariant> = Vec::new();
     let mut threads: Option<usize> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -122,6 +141,30 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--bench" => bench = true,
+            "--gate" => gate = true,
+            "--kernel" => {
+                let Some(value) = it.next() else {
+                    eprintln!("--kernel requires a value (split, fused, simd, all)");
+                    usage();
+                };
+                for part in value.split(',') {
+                    if part == "all" {
+                        kernels.extend(KernelVariant::all());
+                        continue;
+                    }
+                    match KernelVariant::parse(part) {
+                        Some(k) if !kernels.contains(&k) => kernels.push(k),
+                        Some(_) => {}
+                        None => {
+                            eprintln!(
+                                "invalid value for --kernel: {part:?} (expected split, fused, \
+                                 simd, or all)"
+                            );
+                            usage();
+                        }
+                    }
+                }
+            }
             "--threads" => {
                 let Some(value) = it.next() else {
                     eprintln!("--threads requires a value (a positive worker-thread count)");
@@ -151,6 +194,10 @@ fn main() {
     let threads =
         threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     harness::set_threads(threads);
+    if kernels.is_empty() {
+        kernels.extend(KernelVariant::all());
+    }
+    let options = RunOptions { quick, kernels, gate };
 
     // Expand `all` preserving the canonical ordering.
     let expanded: Vec<&str> = targets
@@ -175,11 +222,11 @@ fn main() {
         for target in &expanded {
             harness::set_threads(1);
             let start = Instant::now();
-            run(target, quick);
+            run(target, &options);
             let seconds_one_thread = start.elapsed().as_secs_f64();
             harness::set_threads(threads);
             let start = Instant::now();
-            run(target, quick);
+            run(target, &options);
             let seconds = start.elapsed().as_secs_f64();
             println!(
                 "[bench] {target}: {seconds:.3} s at {threads} threads, {seconds_one_thread:.3} s at 1 thread ({:.2}x)",
@@ -190,7 +237,7 @@ fn main() {
         write_bench_json(&rows, threads, quick);
     } else {
         for target in &expanded {
-            run(target, quick);
+            run(target, &options);
         }
     }
 }

@@ -94,6 +94,10 @@ impl CostFunction for LatencyCost {
     fn lipschitz_bound(&self) -> f64 {
         self.batch_size / self.speed
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

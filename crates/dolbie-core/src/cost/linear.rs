@@ -69,6 +69,10 @@ impl CostFunction for LinearCost {
     fn lipschitz_bound(&self) -> f64 {
         self.slope
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -114,6 +114,17 @@ pub trait CostFunction: fmt::Debug + Send + Sync {
         }
         best
     }
+
+    /// Concrete-type escape hatch for the fused kernel
+    /// ([`kernel::CostSlab::from_costs`](crate::kernel::CostSlab::from_costs)):
+    /// families whose closed-form inverse the kernel can lay out as flat
+    /// parameter slabs return `Some(self)` so callers may downcast; the
+    /// default `None` keeps every other implementation on the generic
+    /// trait-object path. Purely an optimization hook — it never changes
+    /// semantics.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 impl<T: CostFunction + ?Sized> CostFunction for &T {
@@ -132,6 +143,10 @@ impl<T: CostFunction + ?Sized> CostFunction for &T {
     fn lipschitz_bound(&self) -> f64 {
         (**self).lipschitz_bound()
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
+    }
 }
 
 impl<T: CostFunction + ?Sized> CostFunction for Box<T> {
@@ -149,6 +164,10 @@ impl<T: CostFunction + ?Sized> CostFunction for Box<T> {
 
     fn lipschitz_bound(&self) -> f64 {
         (**self).lipschitz_bound()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
     }
 }
 

@@ -61,24 +61,28 @@ pub const TOTAL_REFRESH_INTERVAL: usize = 256;
 pub const DEFAULT_CHUNK_SIZE: usize = 4096;
 
 /// The shared structure-of-arrays round state and update logic.
+///
+/// Fields are `pub(crate)` so the fused kernel
+/// ([`kernel`](crate::kernel)) can drive the *same* state through its
+/// merged sweeps — one set of invariants, two schedules.
 #[derive(Debug, Clone)]
 pub(crate) struct SoaEngine {
-    x: Allocation,
+    pub(crate) x: Allocation,
     /// Per-worker eq. (5) gains, reused across rounds (`gains[s] = 0`).
-    gains: Vec<f64>,
-    alpha: StepSize,
-    config: DolbieConfig,
-    alphas_used: Vec<f64>,
-    stats: DolbieStats,
-    share_caps: Option<Vec<f64>>,
+    pub(crate) gains: Vec<f64>,
+    pub(crate) alpha: StepSize,
+    pub(crate) config: DolbieConfig,
+    pub(crate) alphas_used: Vec<f64>,
+    pub(crate) stats: DolbieStats,
+    pub(crate) share_caps: Option<Vec<f64>>,
     /// Active-membership mask: inactive workers hold share exactly 0 and
     /// take no eq. (5) gain. All-true until `apply_membership` is called.
-    active: Vec<bool>,
+    pub(crate) active: Vec<bool>,
     /// Number of `true` entries in `active` — the `M` of the re-derived
     /// eq. (7) cap.
-    active_count: usize,
+    pub(crate) active_count: usize,
     /// Running compensated total `T ≈ Σ_i x_i` behind the O(1) pin.
-    total: NeumaierSum,
+    pub(crate) total: NeumaierSum,
 }
 
 impl SoaEngine {
@@ -160,10 +164,11 @@ impl SoaEngine {
     /// sequential loops; `Some(c)` runs them in `c`-worker chunks on the
     /// work-stealing harness. Both paths produce bitwise-identical state
     /// (see the module docs).
-    /// Round preamble shared by [`observe_round`](Self::observe_round) and
-    /// [`apply_reported`](Self::apply_reported): bumps the round counter and
-    /// records the step size the round is played with.
-    fn begin_round(&mut self) -> f64 {
+    /// Round preamble shared by [`observe_round`](Self::observe_round),
+    /// [`apply_reported`](Self::apply_reported) and the fused kernel:
+    /// bumps the round counter and records the step size the round is
+    /// played with.
+    pub(crate) fn begin_round(&mut self) -> f64 {
         self.stats.rounds += 1;
         let alpha = self.alpha();
         self.alphas_used.push(alpha);

@@ -1,0 +1,1342 @@
+//! The fused, cache-blocked, SIMD round kernel.
+//!
+//! # Why a second round engine
+//!
+//! The split engine ([`ChunkedDolbie`](crate::ChunkedDolbie) +
+//! [`Observation`](crate::Observation)) walks the round state in five or
+//! six separate linear passes — copy the played allocation, evaluate the
+//! costs through `Box<dyn CostFunction>` virtual calls, scan the
+//! local-cost array for the straggler, invert each cost through another
+//! virtual call (Pass A), reduce the gains, apply them (Pass B). At
+//! N = 10^6 the round state no longer fits in cache, so every pass pays
+//! full memory bandwidth, and the two virtual calls per worker per round
+//! scatter-read boxed cost objects all over the heap. BENCH_large_n.json
+//! shows the result: throughput *falls* from 9.5e7 worker-rounds/s at
+//! N = 1e5 to 5.2e7 at N = 1e6.
+//!
+//! [`FusedDolbie`] removes both walls for cost families with closed-form
+//! eq. (5) inverses:
+//!
+//! 1. **Parameter slabs** ([`CostSlab`]): the cost parameters live in flat
+//!    structure-of-arrays `Vec<f64>`s, so evaluation and inversion are
+//!    straight-line arithmetic on sequential streams — no pointer chasing,
+//!    no virtual dispatch.
+//! 2. **Pass fusion with deferred application**: each round runs exactly
+//!    two sweeps over the worker arrays. Sweep 1 applies the *previous*
+//!    round's gains and straggler pin (deferred from the last call),
+//!    evaluates the costs and folds the straggler argmax — one read-write
+//!    pass over `x`, one read pass over the slab, and the local costs
+//!    never touch memory at all. Sweep 2 computes the eq. (5) gains
+//!    *branchlessly* and reduces them into per-[`SUM_BLOCK`] compensated
+//!    partials while the block is still in L1. The remaining work — the
+//!    eq. (6) remainder combine, the feasibility guard, the Σx = 1 pin,
+//!    eq. (7) — is O(1) or O(N/128).
+//! 3. **SIMD lanes** ([`KernelVariant::Simd`]): the eval/inverse/gain
+//!    arithmetic runs four lanes at a time, either through nightly
+//!    `core::simd` (cargo feature `portable-simd`) or through a
+//!    hand-rolled four-wide fallback on stable that LLVM auto-vectorizes.
+//!
+//! # The bitwise-determinism boundary
+//!
+//! The kernel produces trajectories **bitwise identical** to the
+//! sequential [`Dolbie`](crate::Dolbie) at every chunk size, thread count
+//! and membership mask (tested exhaustively in `tests/kernel_parity.rs`).
+//! Determinism is preserved because every transformation stays on the
+//! right side of a simple boundary:
+//!
+//! - *Lane-safe*: the eval, inverse and gain arithmetic is elementwise —
+//!   each worker's values depend only on that worker's inputs, and IEEE
+//!   754 `mul`/`div`/`sub`/`min`/`max` are identical per lane whether
+//!   executed scalar or vector. Vectorizing these loops cannot change a
+//!   single bit.
+//! - *Order-sensitive, kept scalar*: the straggler argmax breaks ties to
+//!   the lowest index, so its comparisons run in index order over the
+//!   (vector-computed) cost values; the compensated reductions keep the
+//!   fixed [`SUM_BLOCK`]-block + pairwise-tree shape of
+//!   [`pairwise_neumaier_sum`], with the block partials produced inline by
+//!   sweep 2. Chunk boundaries only decide which task computes a block,
+//!   never the reduction shape.
+//! - *Branchless inverse equivalence*: the slab inverse computes the same
+//!   expression as the branchy
+//!   [`max_share_within`](crate::cost::CostFunction::max_share_within) +
+//!   [`max_acceptable_share`](crate::observation::max_acceptable_share)
+//!   path for every parameter case, including the `None` (infeasible) and
+//!   zero-slope cases, via IEEE semantics of `f64::min`/`f64::max` over
+//!   `±inf`/NaN intermediates (unit-tested edge by edge below).
+//! - *Masked rounds stay scalar in sweep 1*: after
+//!   [`apply_membership`](FusedDolbie::apply_membership) the argmax runs
+//!   the scalar member-only scan; gains are still computed branchlessly
+//!   (and lane-wise) because inactive entries are forced to exactly `0.0`
+//!   before the block partial is taken.
+//!
+//! Deferred application is invisible from outside:
+//! [`allocation`](FusedDolbie::allocation),
+//! [`apply_membership`](FusedDolbie::apply_membership) and the periodic
+//! Σx refresh materialize the pending gains first, so every observable
+//! share slice equals the split engine's bit for bit.
+
+use crate::allocation::Allocation;
+use crate::cost::{DynCost, LatencyCost, LinearCost};
+use crate::dolbie::{DolbieConfig, DolbieStats};
+use crate::engine::{SoaEngine, TOTAL_REFRESH_INTERVAL};
+use crate::numeric::{
+    block_partial, combine_partials, pairwise_neumaier_sum, pairwise_neumaier_sum_parallel,
+    NeumaierSum, SUM_BLOCK,
+};
+use crate::parallel::parallel_for_each;
+use crate::runner::EpisodeSummary;
+
+/// Lane width of the explicit-SIMD paths (f64x4: one AVX2 register, two
+/// SSE2 registers).
+pub const LANES: usize = 4;
+
+#[cfg(feature = "portable-simd")]
+mod lanes {
+    //! Nightly path: thin wrappers over `core::simd::f64x4`. `simd_min` /
+    //! `simd_max` follow IEEE `minNum`/`maxNum` (NaN-ignoring), matching
+    //! `f64::min`/`f64::max` — the property the branchless inverse needs.
+    use core::simd::num::SimdFloat;
+
+    pub(super) type V = core::simd::f64x4;
+
+    #[inline(always)]
+    pub(super) fn load(s: &[f64]) -> V {
+        V::from_slice(s)
+    }
+    #[inline(always)]
+    pub(super) fn store(v: V, out: &mut [f64]) {
+        v.copy_to_slice(out);
+    }
+    #[inline(always)]
+    pub(super) fn splat(x: f64) -> V {
+        V::splat(x)
+    }
+    #[inline(always)]
+    pub(super) fn add(a: V, b: V) -> V {
+        a + b
+    }
+    #[inline(always)]
+    pub(super) fn sub(a: V, b: V) -> V {
+        a - b
+    }
+    #[inline(always)]
+    pub(super) fn mul(a: V, b: V) -> V {
+        a * b
+    }
+    #[inline(always)]
+    pub(super) fn div(a: V, b: V) -> V {
+        a / b
+    }
+    #[inline(always)]
+    pub(super) fn min(a: V, b: V) -> V {
+        a.simd_min(b)
+    }
+    #[inline(always)]
+    pub(super) fn max(a: V, b: V) -> V {
+        a.simd_max(b)
+    }
+    #[inline(always)]
+    pub(super) fn to_array(v: V) -> [f64; super::LANES] {
+        v.to_array()
+    }
+}
+
+#[cfg(not(feature = "portable-simd"))]
+mod lanes {
+    //! Stable fallback: a hand-rolled four-wide f64 "vector". Every op is
+    //! the scalar `f64` op applied per lane — bitwise equality with the
+    //! scalar path holds by definition — and the fixed four-wide shape
+    //! gives LLVM straight-line code it auto-vectorizes on the SSE2
+    //! baseline.
+
+    #[derive(Clone, Copy)]
+    pub(super) struct V([f64; super::LANES]);
+
+    #[inline(always)]
+    fn zip(a: V, b: V, f: impl Fn(f64, f64) -> f64) -> V {
+        V([f(a.0[0], b.0[0]), f(a.0[1], b.0[1]), f(a.0[2], b.0[2]), f(a.0[3], b.0[3])])
+    }
+
+    #[inline(always)]
+    pub(super) fn load(s: &[f64]) -> V {
+        V([s[0], s[1], s[2], s[3]])
+    }
+    #[inline(always)]
+    pub(super) fn store(v: V, out: &mut [f64]) {
+        out[..super::LANES].copy_from_slice(&v.0);
+    }
+    #[inline(always)]
+    pub(super) fn splat(x: f64) -> V {
+        V([x; super::LANES])
+    }
+    #[inline(always)]
+    pub(super) fn add(a: V, b: V) -> V {
+        zip(a, b, |x, y| x + y)
+    }
+    #[inline(always)]
+    pub(super) fn sub(a: V, b: V) -> V {
+        zip(a, b, |x, y| x - y)
+    }
+    #[inline(always)]
+    pub(super) fn mul(a: V, b: V) -> V {
+        zip(a, b, |x, y| x * y)
+    }
+    #[inline(always)]
+    pub(super) fn div(a: V, b: V) -> V {
+        zip(a, b, |x, y| x / y)
+    }
+    #[inline(always)]
+    pub(super) fn min(a: V, b: V) -> V {
+        zip(a, b, f64::min)
+    }
+    #[inline(always)]
+    pub(super) fn max(a: V, b: V) -> V {
+        zip(a, b, f64::max)
+    }
+    #[inline(always)]
+    pub(super) fn to_array(v: V) -> [f64; super::LANES] {
+        v.0
+    }
+}
+
+/// Which round kernel an experiment or driver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelVariant {
+    /// The original multi-pass engine ([`ChunkedDolbie`](crate::ChunkedDolbie)
+    /// / [`Dolbie`](crate::Dolbie)) driven through `Box<dyn CostFunction>`.
+    /// [`FusedDolbie`] does not run this variant; it names the baseline in
+    /// benchmarks and CLIs.
+    Split,
+    /// The fused two-sweep kernel with scalar inner loops.
+    Fused,
+    /// The fused two-sweep kernel with explicit four-wide lanes in the
+    /// eval/inverse/gain arithmetic (argmax and reductions stay scalar;
+    /// see the module docs for why that boundary preserves bitwise
+    /// parity).
+    Simd,
+}
+
+impl KernelVariant {
+    /// Parses a CLI spelling (`"split"`, `"fused"`, `"simd"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "split" => Some(Self::Split),
+            "fused" => Some(Self::Fused),
+            "simd" => Some(Self::Simd),
+            _ => None,
+        }
+    }
+
+    /// The canonical lower-case name (the same spelling [`parse`](Self::parse)
+    /// accepts and BENCH rows record).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Split => "split",
+            Self::Fused => "fused",
+            Self::Simd => "simd",
+        }
+    }
+
+    /// All variants, in baseline-first order.
+    pub fn all() -> [Self; 3] {
+        [Self::Split, Self::Fused, Self::Simd]
+    }
+}
+
+/// Flat structure-of-arrays cost parameters for a homogeneous fleet whose
+/// eq. (5) inverse has a closed form.
+///
+/// The slab is what lets the kernel replace two virtual calls per worker
+/// per round with straight-line arithmetic over sequential `f64` streams.
+/// Only cost families with closed-form inverses qualify; heterogeneous or
+/// bisection-based fleets stay on the split engine.
+#[derive(Debug, Clone)]
+pub enum CostSlab {
+    /// [`LatencyCost`] fleet: `f_i(x) = x·batch_i/speed_i + comm_i`.
+    Latency {
+        /// Per-worker global batch size `B` (non-negative, finite).
+        batch: Vec<f64>,
+        /// Per-worker processing speed `γ` (positive, finite).
+        speed: Vec<f64>,
+        /// Per-worker communication time `f^C` (non-negative, finite).
+        comm: Vec<f64>,
+    },
+    /// [`LinearCost`] fleet: `f_i(x) = slope_i·x + intercept_i`.
+    Linear {
+        /// Per-worker slope (non-negative, finite).
+        slope: Vec<f64>,
+        /// Per-worker intercept (finite).
+        intercept: Vec<f64>,
+    },
+}
+
+impl CostSlab {
+    /// Builds a latency slab from concrete [`LatencyCost`]s (whose
+    /// constructor has already validated the parameters).
+    pub fn latency(fleet: &[LatencyCost]) -> Self {
+        Self::Latency {
+            batch: fleet.iter().map(LatencyCost::batch_size).collect(),
+            speed: fleet.iter().map(LatencyCost::speed).collect(),
+            comm: fleet.iter().map(LatencyCost::comm_time).collect(),
+        }
+    }
+
+    /// Builds a linear slab from concrete [`LinearCost`]s.
+    pub fn linear(fleet: &[LinearCost]) -> Self {
+        Self::Linear {
+            slope: fleet.iter().map(LinearCost::slope).collect(),
+            intercept: fleet.iter().map(LinearCost::intercept).collect(),
+        }
+    }
+
+    /// Attempts to lay a boxed fleet out as a slab, via the
+    /// [`as_any`](crate::cost::CostFunction::as_any) downcast hook.
+    /// Returns `None` for an empty fleet, a family without a slab layout,
+    /// or a heterogeneous mix — callers fall back to the split engine.
+    pub fn from_costs(costs: &[DynCost]) -> Option<Self> {
+        let first = costs.first()?.as_any()?;
+        if first.downcast_ref::<LatencyCost>().is_some() {
+            let mut fleet = Vec::with_capacity(costs.len());
+            for f in costs {
+                fleet.push(*f.as_any()?.downcast_ref::<LatencyCost>()?);
+            }
+            return Some(Self::latency(&fleet));
+        }
+        if first.downcast_ref::<LinearCost>().is_some() {
+            let mut fleet = Vec::with_capacity(costs.len());
+            for f in costs {
+                fleet.push(*f.as_any()?.downcast_ref::<LinearCost>()?);
+            }
+            return Some(Self::linear(&fleet));
+        }
+        None
+    }
+
+    /// Number of workers in the fleet.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Latency { batch, .. } => batch.len(),
+            Self::Linear { slope, .. } => slope.len(),
+        }
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The family name (`"latency"` or `"linear"`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            Self::Latency { .. } => "latency",
+            Self::Linear { .. } => "linear",
+        }
+    }
+
+    /// Evaluates worker `i`'s cost at share `x` — bitwise identical to the
+    /// corresponding [`CostFunction::eval`](crate::cost::CostFunction::eval)
+    /// (same expression, same association order).
+    #[inline(always)]
+    pub fn eval(&self, i: usize, x: f64) -> f64 {
+        match self {
+            Self::Latency { batch, speed, comm } => x * batch[i] / speed[i] + comm[i],
+            Self::Linear { slope, intercept } => slope[i] * x + intercept[i],
+        }
+    }
+
+    fn assert_consistent(&self) {
+        let n = self.len();
+        match self {
+            Self::Latency { batch, speed, comm } => {
+                assert!(speed.len() == n && comm.len() == n && batch.len() == n);
+                assert!(
+                    batch.iter().all(|b| b.is_finite() && *b >= 0.0)
+                        && speed.iter().all(|s| s.is_finite() && *s > 0.0)
+                        && comm.iter().all(|c| c.is_finite() && *c >= 0.0),
+                    "latency slab parameters must satisfy the LatencyCost contract"
+                );
+            }
+            Self::Linear { slope, intercept } => {
+                assert!(slope.len() == n && intercept.len() == n);
+                assert!(
+                    slope.iter().all(|s| s.is_finite() && *s >= 0.0)
+                        && intercept.iter().all(|i| i.is_finite()),
+                    "linear slab parameters must satisfy the LinearCost contract"
+                );
+            }
+        }
+    }
+}
+
+/// The deferred tail of a round: the gains sitting in the engine's gain
+/// slice and the pinned straggler share, not yet written into `x`.
+#[derive(Debug, Clone, Copy)]
+struct PendingRound {
+    straggler: usize,
+    pinned_share: f64,
+}
+
+/// What one fused round reports: the straggler `s_t` and the global cost
+/// `l_t = max_i f_{i,t}(x_{i,t})` of the *played* allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedRound {
+    /// The straggler `s_t` (lowest index on ties).
+    pub straggler: usize,
+    /// The global cost `l_t`.
+    pub global_cost: f64,
+}
+
+/// First-max scan over one chunk, scalar, with the first element as the
+/// incumbent via a `-inf` seed — exactly the sequential lowest-index-wins
+/// scan of [`Observation`](crate::Observation).
+#[inline(always)]
+fn scalar_eval_loop(
+    apply: bool,
+    base: usize,
+    xc: &mut [f64],
+    gc: &[f64],
+    eval: impl Fn(usize, f64) -> f64,
+) -> (f64, usize) {
+    let mut best = (f64::NEG_INFINITY, base);
+    for (off, xv) in xc.iter_mut().enumerate() {
+        if apply {
+            *xv += gc[off];
+        }
+        let c = eval(base + off, *xv);
+        if c > best.0 {
+            best = (c, base + off);
+        }
+    }
+    best
+}
+
+/// As [`scalar_eval_loop`], but with the eval arithmetic four lanes at a
+/// time. The `c > best` comparisons still run in index order over the
+/// lane results, so the argmax keeps sequential tie-breaking bit for bit.
+#[inline(always)]
+fn lane_eval_loop(
+    apply: bool,
+    base: usize,
+    xc: &mut [f64],
+    gc: &[f64],
+    eval_lane: impl Fn(usize, lanes::V) -> lanes::V,
+    eval: impl Fn(usize, f64) -> f64,
+) -> (f64, usize) {
+    let len = xc.len();
+    let mut best = (f64::NEG_INFINITY, base);
+    let mut k = 0;
+    while k + LANES <= len {
+        let mut xv = lanes::load(&xc[k..k + LANES]);
+        if apply {
+            xv = lanes::add(xv, lanes::load(&gc[k..k + LANES]));
+            lanes::store(xv, &mut xc[k..k + LANES]);
+        }
+        let costs = lanes::to_array(eval_lane(base + k, xv));
+        for (off, &c) in costs.iter().enumerate() {
+            if c > best.0 {
+                best = (c, base + k + off);
+            }
+        }
+        k += LANES;
+    }
+    while k < len {
+        if apply {
+            xc[k] += gc[k];
+        }
+        let c = eval(base + k, xc[k]);
+        if c > best.0 {
+            best = (c, base + k);
+        }
+        k += 1;
+    }
+    best
+}
+
+/// Member-only first-max scan (the masked fallback of sweep 1); mirrors
+/// [`Observation::from_costs_masked`](crate::Observation::from_costs_masked)
+/// including the `is_none_or` seeding.
+#[inline(always)]
+fn masked_eval_loop(
+    active: &[bool],
+    apply: bool,
+    base: usize,
+    xc: &mut [f64],
+    gc: &[f64],
+    eval: impl Fn(usize, f64) -> f64,
+) -> Option<(f64, usize)> {
+    let mut best: Option<(f64, usize)> = None;
+    for (off, xv) in xc.iter_mut().enumerate() {
+        let i = base + off;
+        if apply {
+            *xv += gc[off];
+        }
+        if !active[i] {
+            continue;
+        }
+        let c = eval(i, *xv);
+        if best.is_none_or(|(bc, _)| c > bc) {
+            best = Some((c, i));
+        }
+    }
+    best
+}
+
+/// Branchless eq. (5) gains for one block, scalar.
+#[inline(always)]
+fn scalar_gain_loop(
+    base: usize,
+    xs: &[f64],
+    gb: &mut [f64],
+    alpha: f64,
+    target: impl Fn(usize, f64) -> f64,
+) {
+    for (off, g) in gb.iter_mut().enumerate() {
+        let i = base + off;
+        let xi = xs[i];
+        *g = (alpha * (target(i, xi) - xi)).max(0.0);
+    }
+}
+
+/// Branchless eq. (5) gains for one block, four lanes at a time.
+#[inline(always)]
+fn lane_gain_loop(
+    base: usize,
+    xs: &[f64],
+    gb: &mut [f64],
+    alpha: f64,
+    target_lane: impl Fn(usize, lanes::V) -> lanes::V,
+    target: impl Fn(usize, f64) -> f64,
+) {
+    let len = gb.len();
+    let av = lanes::splat(alpha);
+    let zero = lanes::splat(0.0);
+    let mut k = 0;
+    while k + LANES <= len {
+        let i = base + k;
+        let xv = lanes::load(&xs[i..i + LANES]);
+        let gv = lanes::max(lanes::mul(av, lanes::sub(target_lane(i, xv), xv)), zero);
+        lanes::store(gv, &mut gb[k..k + LANES]);
+        k += LANES;
+    }
+    while k < len {
+        let i = base + k;
+        let xi = xs[i];
+        gb[k] = (alpha * (target(i, xi) - xi)).max(0.0);
+        k += 1;
+    }
+}
+
+/// Read-only context shared by the per-chunk sweep bodies.
+#[derive(Clone, Copy)]
+struct RoundCtx<'a> {
+    slab: &'a CostSlab,
+    /// `Some(mask)` when any worker is inactive (post-`apply_membership`).
+    active: Option<&'a [bool]>,
+    simd: bool,
+}
+
+impl RoundCtx<'_> {
+    /// Sweep 1 body for one chunk: apply the deferred gains (when
+    /// `apply`), evaluate the costs, fold the chunk-local first-max
+    /// partial. Never stores the local costs.
+    fn eval_partial(
+        &self,
+        apply: bool,
+        base: usize,
+        xc: &mut [f64],
+        gc: &[f64],
+    ) -> Option<(f64, usize)> {
+        match self.slab {
+            CostSlab::Latency { batch, speed, comm } => {
+                let eval = |i: usize, x: f64| x * batch[i] / speed[i] + comm[i];
+                if let Some(active) = self.active {
+                    masked_eval_loop(active, apply, base, xc, gc, eval)
+                } else if self.simd {
+                    let eval_lane = |i: usize, xv: lanes::V| {
+                        lanes::add(
+                            lanes::div(
+                                lanes::mul(xv, lanes::load(&batch[i..i + LANES])),
+                                lanes::load(&speed[i..i + LANES]),
+                            ),
+                            lanes::load(&comm[i..i + LANES]),
+                        )
+                    };
+                    Some(lane_eval_loop(apply, base, xc, gc, eval_lane, eval))
+                } else {
+                    Some(scalar_eval_loop(apply, base, xc, gc, eval))
+                }
+            }
+            CostSlab::Linear { slope, intercept } => {
+                let eval = |i: usize, x: f64| slope[i] * x + intercept[i];
+                if let Some(active) = self.active {
+                    masked_eval_loop(active, apply, base, xc, gc, eval)
+                } else if self.simd {
+                    let eval_lane = |i: usize, xv: lanes::V| {
+                        lanes::add(
+                            lanes::mul(lanes::load(&slope[i..i + LANES]), xv),
+                            lanes::load(&intercept[i..i + LANES]),
+                        )
+                    };
+                    Some(lane_eval_loop(apply, base, xc, gc, eval_lane, eval))
+                } else {
+                    Some(scalar_eval_loop(apply, base, xc, gc, eval))
+                }
+            }
+        }
+    }
+
+    /// Sweep 2 body for one [`SUM_BLOCK`] block: branchless gains into
+    /// `gb`, inactive entries and the straggler forced to exactly `0.0`,
+    /// then the compensated block partial — all while the block is in L1.
+    ///
+    /// The branchless target `min(max(min(raw, 1), x), 1)` equals the
+    /// branchy `max_share_within` + `max_acceptable_share` path bit for
+    /// bit in every parameter case (see the module docs and the edge-case
+    /// tests below), because a `None` inverse surfaces as `raw = -inf` or
+    /// `NaN` and `f64::min`/`f64::max` ignore both in exactly the way the
+    /// branches would.
+    fn gain_partial(
+        &self,
+        s: usize,
+        level: f64,
+        alpha: f64,
+        xs: &[f64],
+        base: usize,
+        gb: &mut [f64],
+    ) -> f64 {
+        match self.slab {
+            CostSlab::Latency { batch, speed, comm } => {
+                let target = |i: usize, xi: f64| {
+                    ((level - comm[i]) * speed[i] / batch[i]).min(1.0).max(xi).min(1.0)
+                };
+                if self.simd {
+                    let lv = lanes::splat(level);
+                    let one = lanes::splat(1.0);
+                    let target_lane = |i: usize, xv: lanes::V| {
+                        let raw = lanes::min(
+                            lanes::div(
+                                lanes::mul(
+                                    lanes::sub(lv, lanes::load(&comm[i..i + LANES])),
+                                    lanes::load(&speed[i..i + LANES]),
+                                ),
+                                lanes::load(&batch[i..i + LANES]),
+                            ),
+                            one,
+                        );
+                        lanes::min(lanes::max(raw, xv), one)
+                    };
+                    lane_gain_loop(base, xs, gb, alpha, target_lane, target);
+                } else {
+                    scalar_gain_loop(base, xs, gb, alpha, target);
+                }
+            }
+            CostSlab::Linear { slope, intercept } => {
+                let target = |i: usize, xi: f64| {
+                    ((level - intercept[i]) / slope[i]).min(1.0).max(xi).min(1.0)
+                };
+                if self.simd {
+                    let lv = lanes::splat(level);
+                    let one = lanes::splat(1.0);
+                    let target_lane = |i: usize, xv: lanes::V| {
+                        let raw = lanes::min(
+                            lanes::div(
+                                lanes::sub(lv, lanes::load(&intercept[i..i + LANES])),
+                                lanes::load(&slope[i..i + LANES]),
+                            ),
+                            one,
+                        );
+                        lanes::min(lanes::max(raw, xv), one)
+                    };
+                    lane_gain_loop(base, xs, gb, alpha, target_lane, target);
+                } else {
+                    scalar_gain_loop(base, xs, gb, alpha, target);
+                }
+            }
+        }
+        if let Some(active) = self.active {
+            for (off, g) in gb.iter_mut().enumerate() {
+                if !active[base + off] {
+                    *g = 0.0;
+                }
+            }
+        }
+        if s >= base && s < base + gb.len() {
+            gb[s - base] = 0.0;
+        }
+        block_partial(gb)
+    }
+}
+
+/// DOLBIE on the fused, cache-blocked, optionally SIMD round kernel.
+///
+/// Drives the *same* structure-of-arrays engine state as
+/// [`Dolbie`](crate::Dolbie) /
+/// [`ChunkedDolbie`](crate::ChunkedDolbie), but generates its own
+/// observations from a [`CostSlab`] instead of consuming
+/// [`Observation`](crate::Observation)s — that is what lets it fuse the
+/// observation passes (cost eval, argmax) with the update passes. It
+/// intentionally does not implement
+/// [`LoadBalancer`](crate::LoadBalancer): the trait's play-then-observe
+/// split is exactly the pass structure the kernel removes.
+///
+/// Trajectories (shares, stragglers, α schedule, guard activations,
+/// episode aggregates) are bitwise identical to the split engine's.
+///
+/// # Examples
+///
+/// ```
+/// use dolbie_core::cost::{DynCost, LatencyCost};
+/// use dolbie_core::kernel::{FusedDolbie, KernelVariant};
+/// use dolbie_core::{Dolbie, LoadBalancer, Observation};
+///
+/// let costs: Vec<DynCost> = (0..16)
+///     .map(|i| Box::new(LatencyCost::new(256.0, 100.0 + i as f64, 0.05)) as DynCost)
+///     .collect();
+/// let mut fused = FusedDolbie::from_costs(&costs).expect("latency has a slab layout");
+/// let mut split = Dolbie::new(16);
+/// for t in 0..40 {
+///     let round = fused.step();
+///     let played = split.allocation().clone();
+///     let obs = Observation::from_costs(t, &played, &costs);
+///     assert_eq!(round.straggler, obs.straggler());
+///     assert_eq!(round.global_cost.to_bits(), obs.global_cost().to_bits());
+///     split.observe(&obs);
+/// }
+/// for i in 0..16 {
+///     assert_eq!(
+///         fused.allocation().share(i).to_bits(),
+///         split.allocation().share(i).to_bits(),
+///     );
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FusedDolbie {
+    engine: SoaEngine,
+    slab: CostSlab,
+    variant: KernelVariant,
+    /// `None`: plain sequential sweeps. `Some(c)`: sweep 1 in `c`-worker
+    /// chunks and sweep 2 in `SUM_BLOCK`-aligned groups of ~`c` workers on
+    /// the work-stealing harness.
+    chunk_size: Option<usize>,
+    pending: Option<PendingRound>,
+    /// Per-`SUM_BLOCK` gain partials, reused across rounds.
+    partials: Vec<f64>,
+}
+
+impl FusedDolbie {
+    /// Creates the kernel over `slab` with the uniform initial split and
+    /// the default configuration, in the [`KernelVariant::Fused`] variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab is empty or its parameters violate the cost
+    /// family's contract.
+    pub fn new(slab: CostSlab) -> Self {
+        let n = slab.len();
+        assert!(n > 0, "at least one worker is required");
+        Self::with_config(slab, Allocation::uniform(n), DolbieConfig::new())
+    }
+
+    /// Creates the kernel from an arbitrary feasible initial partition and
+    /// a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab is empty, inconsistent with the cost family's
+    /// parameter contract, or sized differently from `initial`.
+    pub fn with_config(slab: CostSlab, initial: Allocation, config: DolbieConfig) -> Self {
+        slab.assert_consistent();
+        assert!(!slab.is_empty(), "at least one worker is required");
+        assert_eq!(slab.len(), initial.num_workers(), "one cost slab entry per worker");
+        Self {
+            engine: SoaEngine::new(initial, config),
+            slab,
+            variant: KernelVariant::Fused,
+            chunk_size: None,
+            pending: None,
+            partials: Vec::new(),
+        }
+    }
+
+    /// Convenience: lays a boxed fleet out as a slab
+    /// ([`CostSlab::from_costs`]) and builds the kernel over it. `None`
+    /// when the fleet has no slab layout — fall back to the split engine.
+    pub fn from_costs(costs: &[DynCost]) -> Option<Self> {
+        CostSlab::from_costs(costs).map(Self::new)
+    }
+
+    /// Selects the kernel variant ([`Fused`](KernelVariant::Fused) or
+    /// [`Simd`](KernelVariant::Simd)). Any choice produces the same bits;
+    /// it only selects the inner-loop code shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`KernelVariant::Split`] — that variant names the
+    /// original engine ([`Dolbie`](crate::Dolbie) /
+    /// [`ChunkedDolbie`](crate::ChunkedDolbie)), not a mode of this one.
+    pub fn with_variant(mut self, variant: KernelVariant) -> Self {
+        assert!(
+            variant != KernelVariant::Split,
+            "the split variant is Dolbie/ChunkedDolbie, not a FusedDolbie mode"
+        );
+        self.variant = variant;
+        self
+    }
+
+    /// Runs the sweeps in `chunk_size`-worker chunks on the work-stealing
+    /// harness (clamped to at least 1). Any value produces the same
+    /// trajectory; it only tunes scheduling granularity.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = Some(chunk_size.max(1));
+        self
+    }
+
+    /// The active kernel variant.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
+    }
+
+    /// The configured chunk size (`None`: sequential sweeps).
+    pub fn chunk_size(&self) -> Option<usize> {
+        self.chunk_size
+    }
+
+    /// The cost slab the kernel plays against.
+    pub fn slab(&self) -> &CostSlab {
+        &self.slab
+    }
+
+    /// Number of workers `N`.
+    pub fn num_workers(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// The current allocation. Materializes any deferred round tail
+    /// first, so the returned shares always equal the split engine's
+    /// after the same number of rounds.
+    pub fn allocation(&mut self) -> &Allocation {
+        self.materialize();
+        self.engine.allocation()
+    }
+
+    /// The current step size `α_t`.
+    pub fn alpha(&self) -> f64 {
+        self.engine.alpha()
+    }
+
+    /// The step sizes actually applied in each round.
+    pub fn alphas_used(&self) -> &[f64] {
+        self.engine.alphas_used()
+    }
+
+    /// Update counters (rounds, guard activations) — comparable directly
+    /// against the split engine's.
+    pub fn stats(&self) -> DolbieStats {
+        self.engine.stats()
+    }
+
+    /// Crosses a membership epoch boundary, exactly as
+    /// [`Dolbie::apply_membership`](crate::Dolbie::apply_membership)
+    /// (deferred state is materialized first, so the renormalization sees
+    /// the same shares the split engine would).
+    ///
+    /// # Panics
+    ///
+    /// As [`Dolbie::apply_membership`](crate::Dolbie::apply_membership).
+    pub fn apply_membership(&mut self, members: &[bool]) {
+        self.materialize();
+        self.engine.apply_membership(members);
+    }
+
+    /// Writes any deferred gains and straggler pin into the share slice.
+    /// Idempotent; replays the split engine's Pass B op for op.
+    fn materialize(&mut self) {
+        let Some(p) = self.pending.take() else { return };
+        let chunk = self.chunk_size;
+        let engine = &mut self.engine;
+        let xs = engine.x.shares_mut();
+        match chunk {
+            None => {
+                for (x, g) in xs.iter_mut().zip(&engine.gains) {
+                    *x += *g;
+                }
+            }
+            Some(c) => {
+                let payloads: Vec<(&mut [f64], &[f64])> =
+                    xs.chunks_mut(c).zip(engine.gains.chunks(c)).collect();
+                parallel_for_each(payloads, |(xc, gc)| {
+                    for (x, g) in xc.iter_mut().zip(gc) {
+                        *x += *g;
+                    }
+                });
+            }
+        }
+        xs[p.straggler] = p.pinned_share;
+    }
+
+    /// Plays one DOLBIE round: applies the previous round's deferred
+    /// tail, evaluates the (static) slab costs at the resulting shares,
+    /// finds the straggler, computes the eq. (5)–(7) update and defers
+    /// its application to the next call.
+    pub fn step(&mut self) -> FusedRound {
+        let n = self.num_workers();
+        let alpha = self.engine.begin_round();
+        if n == 1 {
+            // A single worker always holds the whole workload; mirror the
+            // split engine's early return (no gains, no pin).
+            let cost = self.slab.eval(0, self.engine.x.share(0));
+            return FusedRound { straggler: 0, global_cost: cost };
+        }
+
+        let (level, s) = self.sweep_eval();
+        self.sweep_gains(s, level, alpha);
+        self.finish_deferred(s);
+        FusedRound { straggler: s, global_cost: level }
+    }
+
+    /// Runs `rounds` steps and returns the episode aggregates, shaped
+    /// like [`run_episode_with_static_costs`](crate::runner::run_episode_with_static_costs)
+    /// so benchmarks can compare `total_cost` bit for bit.
+    pub fn run(&mut self, rounds: usize) -> EpisodeSummary {
+        let mut total_cost = 0.0;
+        let mut final_global_cost = 0.0;
+        for _ in 0..rounds {
+            let round = self.step();
+            total_cost += round.global_cost;
+            final_global_cost = round.global_cost;
+        }
+        self.materialize();
+        EpisodeSummary {
+            algorithm: "DOLBIE".to_owned(),
+            rounds,
+            total_cost,
+            final_global_cost,
+            regret: None,
+        }
+    }
+
+    /// Sweep 1: deferred application + cost eval + straggler argmax in one
+    /// read-write pass over `x`. Returns `(global_cost, straggler)`.
+    fn sweep_eval(&mut self) -> (f64, usize) {
+        let n = self.num_workers();
+        let apply = if let Some(p) = self.pending.take() {
+            // The deferred pin; the straggler's gain is exactly 0, so the
+            // unconditional `+= g` below leaves it at the pinned value.
+            self.engine.x.shares_mut()[p.straggler] = p.pinned_share;
+            true
+        } else {
+            false
+        };
+        let engine = &mut self.engine;
+        let ctx = RoundCtx {
+            slab: &self.slab,
+            active: (engine.active_count < n).then_some(engine.active.as_slice()),
+            simd: self.variant == KernelVariant::Simd,
+        };
+        let xs = engine.x.shares_mut();
+        let best = match self.chunk_size {
+            None => ctx.eval_partial(apply, 0, xs, &engine.gains),
+            Some(c) => {
+                /// One sweep-1 task: (chunk base index, share chunk, gain
+                /// chunk, slot for the chunk-local argmax partial).
+                type EvalTask<'a> = (usize, &'a mut [f64], &'a [f64], &'a mut Option<(f64, usize)>);
+                let chunks = n.div_ceil(c);
+                let mut partials: Vec<Option<(f64, usize)>> = vec![None; chunks];
+                {
+                    let payloads: Vec<EvalTask<'_>> = xs
+                        .chunks_mut(c)
+                        .zip(engine.gains.chunks(c))
+                        .zip(partials.iter_mut())
+                        .enumerate()
+                        .map(|(k, ((xc, gc), slot))| (k * c, xc, gc, slot))
+                        .collect();
+                    parallel_for_each(payloads, |(base, xc, gc, slot)| {
+                        *slot = ctx.eval_partial(apply, base, xc, gc);
+                    });
+                }
+                // In-order combine with a strict `>`: the sequential
+                // lowest-index-wins scan, exactly as the split engine's
+                // chunked observation.
+                let mut best: Option<(f64, usize)> = None;
+                for p in partials.into_iter().flatten() {
+                    if best.is_none_or(|(bc, _)| p.0 > bc) {
+                        best = Some(p);
+                    }
+                }
+                best
+            }
+        };
+        let (level, s) = best.expect("at least one active member is required");
+        (level, s)
+    }
+
+    /// Sweep 2: branchless gains + inline per-[`SUM_BLOCK`] compensated
+    /// partials, blocked so each gain value is reduced while still in L1.
+    /// The partials land in `self.partials` with the exact shape of
+    /// [`pairwise_neumaier_sum`] over the gain slice.
+    fn sweep_gains(&mut self, s: usize, level: f64, alpha: f64) {
+        let n = self.num_workers();
+        let engine = &mut self.engine;
+        let ctx = RoundCtx {
+            slab: &self.slab,
+            active: (engine.active_count < n).then_some(engine.active.as_slice()),
+            simd: self.variant == KernelVariant::Simd,
+        };
+        let xs = engine.x.as_slice();
+        let blocks = n.div_ceil(SUM_BLOCK);
+        self.partials.clear();
+        self.partials.resize(blocks, 0.0);
+        match self.chunk_size {
+            None => {
+                for (b, gb) in engine.gains.chunks_mut(SUM_BLOCK).enumerate() {
+                    self.partials[b] = ctx.gain_partial(s, level, alpha, xs, b * SUM_BLOCK, gb);
+                }
+            }
+            Some(c) => {
+                // Group whole SUM_BLOCKs into ~chunk_size tasks: the block
+                // grid (hence the reduction shape) is independent of the
+                // chunk knob, which only sets scheduling granularity.
+                let blocks_per_task = c.div_ceil(SUM_BLOCK).max(1);
+                let task_elems = blocks_per_task * SUM_BLOCK;
+                let payloads: Vec<(usize, &mut [f64], &mut [f64])> = engine
+                    .gains
+                    .chunks_mut(task_elems)
+                    .zip(self.partials.chunks_mut(blocks_per_task))
+                    .enumerate()
+                    .map(|(k, (gc, pc))| (k * task_elems, gc, pc))
+                    .collect();
+                parallel_for_each(payloads, |(base, gc, pc)| {
+                    for (j, (gb, slot)) in gc.chunks_mut(SUM_BLOCK).zip(pc.iter_mut()).enumerate() {
+                        *slot = ctx.gain_partial(s, level, alpha, xs, base + j * SUM_BLOCK, gb);
+                    }
+                });
+            }
+        }
+    }
+
+    /// The order-sensitive round tail, replicating the split engine's
+    /// `finish_round` op for op — except that the gain application and
+    /// pin write are deferred into the next sweep 1.
+    fn finish_deferred(&mut self, s: usize) {
+        let chunk = self.chunk_size;
+        let engine = &mut self.engine;
+        let straggler_share = engine.x.share(s);
+        let sum_fixed = |values: &[f64]| match chunk {
+            None => pairwise_neumaier_sum(values),
+            Some(_) => pairwise_neumaier_sum_parallel(values),
+        };
+        // The eq. (6) remainder: combining the sweep-2 block partials with
+        // the fixed pairwise tree lands on pairwise_neumaier_sum(gains)
+        // exactly.
+        let mut total_gain = combine_partials(&mut self.partials);
+
+        // Feasibility guard, identical to the split engine's.
+        if total_gain > straggler_share && total_gain > 0.0 {
+            let scale = straggler_share / total_gain;
+            match chunk {
+                None => {
+                    for g in &mut engine.gains {
+                        *g *= scale;
+                    }
+                }
+                Some(c) => {
+                    let payloads: Vec<&mut [f64]> = engine.gains.chunks_mut(c).collect();
+                    parallel_for_each(payloads, |gc| {
+                        for g in gc {
+                            *g *= scale;
+                        }
+                    });
+                }
+            }
+            total_gain = sum_fixed(&engine.gains);
+            engine.stats.guard_activations += 1;
+        }
+
+        // The O(1) Σx = 1 pin.
+        let mut running = engine.total;
+        running.add(-straggler_share);
+        running.add(total_gain);
+        let new_straggler_share = (1.0 - running.value()).max(0.0);
+        debug_assert!(new_straggler_share.is_finite(), "pin produced a non-finite share");
+        running.add(new_straggler_share);
+        engine.total = running;
+        self.pending = Some(PendingRound { straggler: s, pinned_share: new_straggler_share });
+
+        // Periodic refresh needs the materialized shares; this is the one
+        // round shape where the deferral collapses back to an extra pass.
+        if self.engine.stats.rounds.is_multiple_of(TOTAL_REFRESH_INTERVAL) {
+            self.materialize();
+            let engine = &mut self.engine;
+            engine.total = NeumaierSum::from_value(match chunk {
+                None => pairwise_neumaier_sum(engine.x.as_slice()),
+                Some(_) => pairwise_neumaier_sum_parallel(engine.x.as_slice()),
+            });
+        }
+
+        self.engine.alpha.tighten(self.engine.active_count, new_straggler_share);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostFunction;
+    use crate::observation::max_acceptable_share;
+    use crate::{Dolbie, LoadBalancer, Observation};
+
+    fn splitmix(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn latency_fleet(n: usize, seed: u64) -> Vec<DynCost> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                let speed = 64.0 + 448.0 * splitmix(&mut state);
+                Box::new(LatencyCost::new(256.0, speed, 0.05)) as DynCost
+            })
+            .collect()
+    }
+
+    #[test]
+    fn variant_parse_round_trips() {
+        for v in KernelVariant::all() {
+            assert_eq!(KernelVariant::parse(v.name()), Some(v));
+        }
+        assert_eq!(KernelVariant::parse("warp"), None);
+    }
+
+    #[test]
+    fn slab_downcast_accepts_homogeneous_closed_form_fleets() {
+        let latency = latency_fleet(5, 3);
+        let slab = CostSlab::from_costs(&latency).expect("latency fleet has a slab");
+        assert_eq!(slab.len(), 5);
+        assert_eq!(slab.family(), "latency");
+        let linear: Vec<DynCost> =
+            (0..4).map(|i| Box::new(LinearCost::new(i as f64, 0.1)) as DynCost).collect();
+        let slab = CostSlab::from_costs(&linear).expect("linear fleet has a slab");
+        assert_eq!(slab.family(), "linear");
+        assert!(!slab.is_empty());
+    }
+
+    #[test]
+    fn slab_downcast_rejects_mixed_and_unsupported_fleets() {
+        assert!(CostSlab::from_costs(&[]).is_none(), "empty fleet");
+        let mixed: Vec<DynCost> = vec![
+            Box::new(LatencyCost::new(256.0, 100.0, 0.05)),
+            Box::new(LinearCost::new(1.0, 0.0)),
+        ];
+        assert!(CostSlab::from_costs(&mixed).is_none(), "heterogeneous fleet");
+        let no_closed_form: Vec<DynCost> =
+            vec![Box::new(crate::cost::PowerCost::new(1.0, 2.0, 0.0))];
+        assert!(CostSlab::from_costs(&no_closed_form).is_none(), "no as_any override");
+        assert!(FusedDolbie::from_costs(&no_closed_form).is_none());
+    }
+
+    #[test]
+    fn slab_eval_matches_trait_eval_bitwise() {
+        let costs = latency_fleet(37, 9);
+        let slab = CostSlab::from_costs(&costs).unwrap();
+        for (i, f) in costs.iter().enumerate() {
+            for x in [0.0, 1.0 / 37.0, 0.5, 1.0] {
+                assert_eq!(slab.eval(i, x).to_bits(), f.eval(x).to_bits(), "worker {i} at {x}");
+            }
+        }
+    }
+
+    /// The branchless inverse equals the branchy
+    /// `max_share_within` + `max_acceptable_share` path bit for bit across
+    /// every parameter edge: infeasible levels (`None`), zero batch/slope
+    /// (`±inf`/`NaN` intermediates), exact-level boundaries, and targets
+    /// past 1.
+    #[test]
+    fn branchless_target_matches_branchy_inverse_on_edges() {
+        let latency_edges = [
+            LatencyCost::new(256.0, 100.0, 0.5), // generic
+            LatencyCost::new(256.0, 100.0, 2.0), // comm can exceed level
+            LatencyCost::new(0.0, 100.0, 0.3),   // zero batch: ±inf / NaN raw
+            LatencyCost::new(1e-3, 100.0, 0.0),  // target far past 1
+        ];
+        for f in latency_edges {
+            for level in [0.0, 0.3, 0.5, 1.0, 2.0, 4.0] {
+                for xi in [0.0, 0.01, 0.5, 1.0] {
+                    let branchy = max_acceptable_share(&f, xi, level);
+                    let raw = ((level - f.comm_time()) * f.speed() / f.batch_size()).min(1.0);
+                    let branchless = raw.max(xi).min(1.0);
+                    assert_eq!(
+                        branchless.to_bits(),
+                        branchy.to_bits(),
+                        "latency {f:?} level {level} xi {xi}"
+                    );
+                }
+            }
+        }
+        let linear_edges = [
+            LinearCost::new(3.0, 2.0),  // generic
+            LinearCost::new(1.0, 5.0),  // intercept can exceed level
+            LinearCost::new(0.0, 2.0),  // zero slope: ±inf / NaN raw
+            LinearCost::new(1e-3, 0.0), // target far past 1
+        ];
+        for f in linear_edges {
+            for level in [0.0, 1.0, 2.0, 2.0000001, 5.0, 100.0] {
+                for xi in [0.0, 0.01, 0.5, 1.0] {
+                    let branchy = max_acceptable_share(&f, xi, level);
+                    let raw = ((level - f.intercept()) / f.slope()).min(1.0);
+                    let branchless = raw.max(xi).min(1.0);
+                    assert_eq!(
+                        branchless.to_bits(),
+                        branchy.to_bits(),
+                        "linear {f:?} level {level} xi {xi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_round_is_a_fixed_point() {
+        let slab = CostSlab::linear(&[LinearCost::new(2.0, 0.0)]);
+        let mut d = FusedDolbie::new(slab);
+        for _ in 0..5 {
+            let round = d.step();
+            assert_eq!(round.straggler, 0);
+            assert_eq!(round.global_cost, 2.0);
+            assert_eq!(d.allocation().share(0), 1.0);
+        }
+        assert_eq!(d.stats().rounds, 5);
+    }
+
+    #[test]
+    fn fused_episode_matches_split_engine_bitwise_past_refresh() {
+        // Horizon past TOTAL_REFRESH_INTERVAL so the deferred state is
+        // forced through the refresh-materialize path too.
+        let n = 64;
+        let rounds = 2 * TOTAL_REFRESH_INTERVAL + 17;
+        let costs = latency_fleet(n, 7);
+        let mut split = Dolbie::new(n);
+        let summary =
+            crate::runner::run_episode_with_static_costs(&mut split, &costs, rounds, None);
+        for variant in [KernelVariant::Fused, KernelVariant::Simd] {
+            let mut fused = FusedDolbie::from_costs(&costs).unwrap().with_variant(variant);
+            let got = fused.run(rounds);
+            assert_eq!(got.total_cost.to_bits(), summary.total_cost.to_bits(), "{variant:?}");
+            assert_eq!(
+                got.final_global_cost.to_bits(),
+                summary.final_global_cost.to_bits(),
+                "{variant:?}"
+            );
+            assert_eq!(fused.alphas_used(), split.alphas_used(), "{variant:?}");
+            assert_eq!(fused.stats(), split.stats(), "{variant:?}");
+            for i in 0..n {
+                assert_eq!(
+                    fused.allocation().share(i).to_bits(),
+                    split.allocation().share(i).to_bits(),
+                    "{variant:?} worker {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guard_rescale_path_matches_split_engine() {
+        // An aggressive alpha floor keeps α large after tightening, which
+        // periodically trips the feasibility guard in both engines; the
+        // trajectories (and guard counters) must still agree bitwise.
+        let n = 13;
+        let rounds = 50;
+        let costs = latency_fleet(n, 77);
+        let config = DolbieConfig::new().with_alpha_floor(0.9);
+        let mut split = Dolbie::with_config(Allocation::uniform(n), config.clone());
+        let mut fused = FusedDolbie::with_config(
+            CostSlab::from_costs(&costs).unwrap(),
+            Allocation::uniform(n),
+            config,
+        );
+        for t in 0..rounds {
+            let played = split.allocation().clone();
+            let obs = Observation::from_costs(t, &played, &costs);
+            split.observe(&obs);
+            fused.step();
+        }
+        assert!(split.stats().guard_activations > 0, "floor never tripped the guard");
+        assert_eq!(fused.stats(), split.stats());
+        for i in 0..n {
+            assert_eq!(
+                fused.allocation().share(i).to_bits(),
+                split.allocation().share(i).to_bits(),
+                "worker {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_read_materializes_deferred_state() {
+        let costs = latency_fleet(20, 4);
+        let mut split = Dolbie::new(20);
+        let mut fused = FusedDolbie::from_costs(&costs).unwrap();
+        for t in 0..7 {
+            let played = split.allocation().clone();
+            let obs = Observation::from_costs(t, &played, &costs);
+            split.observe(&obs);
+            fused.step();
+            // Mid-episode reads must already agree: the deferral is an
+            // internal scheduling detail, not an observable lag.
+            assert_eq!(fused.allocation().as_slice(), split.allocation().as_slice(), "round {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a FusedDolbie mode")]
+    fn split_variant_is_rejected() {
+        let slab = CostSlab::linear(&[LinearCost::new(1.0, 0.0), LinearCost::new(2.0, 0.0)]);
+        let _ = FusedDolbie::new(slab).with_variant(KernelVariant::Split);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost slab entry per worker")]
+    fn mismatched_slab_and_allocation_panic() {
+        let slab = CostSlab::linear(&[LinearCost::new(1.0, 0.0)]);
+        let _ = FusedDolbie::with_config(slab, Allocation::uniform(2), DolbieConfig::new());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::cost::LatencyCost;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Satellite acceptance property: the fused kernel's compensated
+        /// Σx pin keeps |Σx − 1| < 1e-12 across 10^4 rounds — well past
+        /// dozens of refresh intervals — for random heterogeneous fleets
+        /// in both kernel variants.
+        #[test]
+        fn fused_sum_pin_holds_for_1e4_rounds(
+            n in 2usize..96,
+            seed in 0u64..u64::MAX,
+            simd in proptest::bool::ANY,
+        ) {
+            let mut state = seed;
+            let fleet: Vec<LatencyCost> = (0..n).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let speed = 32.0 + (state >> 40) as f64 / 65536.0;
+                LatencyCost::new(128.0, speed, 0.02)
+            }).collect();
+            let variant = if simd { KernelVariant::Simd } else { KernelVariant::Fused };
+            let mut d = FusedDolbie::new(CostSlab::latency(&fleet)).with_variant(variant);
+            let summary = d.run(10_000);
+            prop_assert_eq!(summary.rounds, 10_000);
+            let sum = pairwise_neumaier_sum(d.allocation().as_slice());
+            prop_assert!((sum - 1.0).abs() < 1e-12, "|Σx − 1| = {:e}", (sum - 1.0).abs());
+            prop_assert!(d.allocation().iter().all(|&v| v >= 0.0));
+        }
+    }
+}

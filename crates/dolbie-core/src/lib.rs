@@ -55,6 +55,8 @@
 //!   with optional per-worker capacity caps.
 //! - [`engine`] — the shared structure-of-arrays round engine and the
 //!   chunked large-N balancer [`ChunkedDolbie`].
+//! - [`kernel`] — the fused, cache-blocked, SIMD round kernel
+//!   ([`FusedDolbie`]) for cost families with closed-form inverses.
 //! - [`membership`] — simplex-safe re-normalization for elastic worker
 //!   membership (epoch boundaries: leaves, joins, rejoins).
 //! - [`numeric`] — fixed-shape compensated (Neumaier/pairwise) summation.
@@ -74,6 +76,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 pub mod allocation;
 pub mod balancer;
@@ -84,6 +87,7 @@ pub mod dolbie;
 pub mod engine;
 pub mod environment;
 pub mod error;
+pub mod kernel;
 pub mod membership;
 pub mod numeric;
 pub mod observation;
@@ -102,6 +106,7 @@ pub use dolbie::{Dolbie, DolbieConfig, InitialAlpha, ReportedRound};
 pub use engine::ChunkedDolbie;
 pub use environment::Environment;
 pub use error::{AllocationError, OracleError, SolverError};
+pub use kernel::{CostSlab, FusedDolbie, FusedRound, KernelVariant};
 pub use membership::{membership_alpha_cap, renormalize_onto_members};
 pub use numeric::{pairwise_neumaier_sum, pairwise_neumaier_sum_parallel, NeumaierSum};
 pub use observation::Observation;

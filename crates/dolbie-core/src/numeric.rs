@@ -75,9 +75,12 @@ impl Default for NeumaierSum {
     }
 }
 
-/// Neumaier-compensates one block of consecutive elements.
+/// Neumaier-compensates one block of consecutive elements. `pub(crate)`
+/// so the fused kernel can produce per-[`SUM_BLOCK`] partials inline with
+/// its gain sweep and still land on the exact reduction shape of
+/// [`pairwise_neumaier_sum`].
 #[inline]
-fn block_partial(block: &[f64]) -> f64 {
+pub(crate) fn block_partial(block: &[f64]) -> f64 {
     let mut acc = NeumaierSum::new();
     for &v in block {
         acc.add(v);
@@ -88,8 +91,9 @@ fn block_partial(block: &[f64]) -> f64 {
 /// Combines per-block partials with a fixed-order pairwise tree:
 /// neighbours at stride 1, then 2, then 4, … The association order is a
 /// pure function of `partials.len()`, so every caller that produces the
-/// same partials gets the same bits.
-fn combine_partials(mut partials: Vec<f64>) -> f64 {
+/// same partials gets the same bits. Operates in place (callers may reuse
+/// a scratch buffer across rounds); the slice contents are clobbered.
+pub(crate) fn combine_partials(partials: &mut [f64]) -> f64 {
     if partials.is_empty() {
         return 0.0;
     }
@@ -116,8 +120,8 @@ fn combine_partials(mut partials: Vec<f64>) -> f64 {
 /// order-sensitive primitive both episode engines share, so their sums
 /// agree bitwise.
 pub fn pairwise_neumaier_sum(values: &[f64]) -> f64 {
-    let partials: Vec<f64> = values.chunks(SUM_BLOCK).map(block_partial).collect();
-    combine_partials(partials)
+    let mut partials: Vec<f64> = values.chunks(SUM_BLOCK).map(block_partial).collect();
+    combine_partials(&mut partials)
 }
 
 /// [`pairwise_neumaier_sum`] with the block partials computed on the
@@ -130,10 +134,10 @@ pub fn pairwise_neumaier_sum_parallel(values: &[f64]) -> f64 {
     if threads() <= 1 || blocks < 8 {
         return pairwise_neumaier_sum(values);
     }
-    let partials = parallel_map(blocks, |b| {
+    let mut partials = parallel_map(blocks, |b| {
         block_partial(&values[b * SUM_BLOCK..values.len().min((b + 1) * SUM_BLOCK)])
     });
-    combine_partials(partials)
+    combine_partials(&mut partials)
 }
 
 #[cfg(test)]

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_large_n.json and results/large_n_scaling.csv: the
 # full large-N scaling sweep (N up to 10^6, 10^3 rounds — the acceptance
-# configuration), with every row asserting the chunked SoA engine is
-# bitwise-identical to the sequential Dolbie.
+# configuration) across the round kernels (split, fused, simd), with
+# every fused/SIMD row asserting bitwise identity to the sequential
+# split engine.
 #
-# Usage: scripts/bench_large_n.sh [--quick] [--threads N]
-# Extra arguments are forwarded to the paper_figures binary.
+# Usage: scripts/bench_large_n.sh [--quick] [--threads N] [--kernel K] [--gate]
+#   --kernel K   restrict to one or more kernels: split, fused, simd,
+#                all, or a comma list (default: all)
+#   --gate       fail (exit 1) if a quick run's throughput drops >20%
+#                below the recorded BENCH_large_n.json baseline
+# Extra arguments are forwarded to the paper_figures binary. A --quick
+# run writes results/large_n_quick.json and leaves the recorded
+# BENCH_large_n.json baseline untouched.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

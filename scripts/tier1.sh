@@ -11,6 +11,13 @@ cargo fmt --check
 echo "== tier-1: clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 
+if cargo +nightly --version >/dev/null 2>&1; then
+    echo "== tier-1: clippy, portable-simd feature (nightly, deny warnings) =="
+    cargo +nightly clippy -p dolbie-core --features portable-simd -- -D warnings
+else
+    echo "[warn] no nightly toolchain: skipping clippy for the portable-simd feature gate"
+fi
+
 echo "== tier-1: rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
@@ -27,9 +34,9 @@ echo "== tier-1: large-N engine pin invariant (N=1e5 x 1e4 rounds, release) =="
 cargo test --release -p dolbie-core --lib -q -- --ignored \
     sum_stays_pinned_after_1e4_rounds_at_1e5_workers
 
-echo "== tier-1: large-N smoke (quick sweep to N=1e5, bitwise vs sequential, <10 s) =="
+echo "== tier-1: large-N smoke (quick sweep to N=1e5, all kernels bitwise vs split, gated, <10 s) =="
 smoke_start=$SECONDS
-cargo run --release -p dolbie-bench --bin paper_figures -- --quick large_n
+cargo run --release -p dolbie-bench --bin paper_figures -- --quick --gate large_n
 smoke_elapsed=$((SECONDS - smoke_start))
 echo "large-N smoke took ${smoke_elapsed}s"
 if [ "$smoke_elapsed" -ge 10 ]; then
