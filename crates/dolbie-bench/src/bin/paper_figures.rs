@@ -19,7 +19,7 @@
 use dolbie_bench::experiments::large_n::LargeNOptions;
 use dolbie_bench::experiments::{
     ablation, accuracy, bandit, chaos, churn, comms, edge_exp, faults, large_n, latency, net,
-    per_worker, regret, utilization,
+    net_scale, per_worker, regret, utilization,
 };
 use dolbie_bench::{common, harness};
 use dolbie_core::kernel::KernelVariant;
@@ -30,8 +30,8 @@ const TARGETS: [&str; 12] = [
     "edge",
 ];
 
-const EXTENSION_TARGETS: [&str; 7] =
-    ["ablation", "faults", "bandit", "large_n", "chaos", "churn", "net"];
+const EXTENSION_TARGETS: [&str; 8] =
+    ["ablation", "faults", "bandit", "large_n", "chaos", "churn", "net", "net_scale"];
 
 fn usage() -> ! {
     eprintln!(
@@ -82,6 +82,7 @@ fn run(target: &str, options: &RunOptions) {
         "chaos" => chaos::chaos(quick),
         "churn" => churn::churn(),
         "net" => net::net(quick),
+        "net_scale" => net_scale::net_scale(quick),
         other => {
             eprintln!("unknown target: {other}");
             usage();

@@ -12,6 +12,7 @@ pub mod faults;
 pub mod large_n;
 pub mod latency;
 pub mod net;
+pub mod net_scale;
 pub mod per_worker;
 pub mod regret;
 pub mod utilization;

@@ -4,6 +4,7 @@
 //! dolbie_node master --listen 127.0.0.1:4100 --workers 4 [--rounds 500]
 //!                    [--env-seed 7] [--env chaos|ramp] [--drop-p 0.1]
 //!                    [--dup-p 0.05] [--fault-seed 21] [--verify]
+//!                    [--master blocking|evented]
 //! dolbie_node worker --connect 127.0.0.1:4100
 //! ```
 //!
@@ -16,7 +17,8 @@
 
 use dolbie_core::{run_episode, Dolbie, DolbieConfig, EpisodeOptions};
 use dolbie_net::env::{EnvKind, WireEnvSpec};
-use dolbie_net::master::{run_master, MasterConfig};
+use dolbie_net::evented::run_master_evented;
+use dolbie_net::master::{run_master, MasterConfig, MasterKind};
 use dolbie_net::transport::connect_with_backoff;
 use dolbie_net::worker::{run_worker, WorkerOptions};
 use dolbie_simnet::faults::FaultPlan;
@@ -27,6 +29,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  dolbie_node master --listen ADDR --workers N [--rounds T] [--env chaos|ramp]\n\
          \x20                  [--env-seed S] [--drop-p P] [--dup-p P] [--fault-seed S] [--verify]\n\
+         \x20                  [--master blocking|evented]\n\
          \x20 dolbie_node worker --connect ADDR"
     );
     std::process::exit(2);
@@ -86,6 +89,7 @@ fn master_main(mut args: std::env::Args) {
     let mut dup_p = 0.0;
     let mut fault_seed = 0u64;
     let mut verify = false;
+    let mut master_kind = MasterKind::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => listen = Some(parse_addr("--listen", &take_value("--listen", &mut args))),
@@ -110,6 +114,11 @@ fn master_main(mut args: std::env::Args) {
                 fault_seed = parse_u64("--fault-seed", &take_value("--fault-seed", &mut args))
             }
             "--verify" => verify = true,
+            "--master" => {
+                let value = take_value("--master", &mut args);
+                master_kind = MasterKind::parse(&value)
+                    .unwrap_or_else(|| bad("--master", &value, "'blocking' or 'evented'"));
+            }
             other => {
                 eprintln!("error: unknown flag '{other}' for dolbie_node master");
                 std::process::exit(2);
@@ -135,7 +144,11 @@ fn master_main(mut args: std::env::Args) {
     let local = listener.local_addr().expect("bound listener has an address");
     println!("listening on {local}");
 
-    let report = run_master(&listener, &cfg).unwrap_or_else(|e| {
+    let report = match master_kind {
+        MasterKind::Blocking => run_master(&listener, &cfg),
+        MasterKind::Evented => run_master_evented(&listener, &cfg),
+    }
+    .unwrap_or_else(|e| {
         eprintln!("error: master run failed: {e}");
         std::process::exit(1);
     });

@@ -31,6 +31,9 @@
 //! - [`transport`] — framed connections, deadlines, the lossy envelope,
 //!   seeded reconnect backoff.
 //! - [`master`] / [`worker`] — the two node roles.
+//! - [`evented`] — the event-driven master: non-blocking sockets,
+//!   concurrent admission, coalesced broadcasts, timer-wheel deadlines;
+//!   the default master, bitwise identical to the blocking one.
 //! - [`loopback`] — in-process master + workers over 127.0.0.1.
 //!
 //! The `dolbie_node` binary exposes both roles on the command line:
@@ -55,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod env;
+pub mod evented;
 pub mod loopback;
 pub mod master;
 pub mod transport;

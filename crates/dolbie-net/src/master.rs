@@ -74,6 +74,34 @@ impl MasterConfig {
     }
 }
 
+/// Which master implementation drives a run. Both speak the identical
+/// wire protocol and produce bitwise-identical trajectories; they differ
+/// only in I/O discipline and therefore in how wall time scales with `N`
+/// and with stalled peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MasterKind {
+    /// Sequential blocking I/O: one blocking read per worker in id
+    /// order. Simple, but admission and rounds serialize behind the
+    /// slowest connection.
+    Blocking,
+    /// The event-driven readiness loop over non-blocking sockets
+    /// ([`crate::evented`]): concurrent admission, coalesced broadcasts,
+    /// timer-wheel deadlines. The default.
+    #[default]
+    Evented,
+}
+
+impl MasterKind {
+    /// Parses a command-line selector value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "blocking" => Some(Self::Blocking),
+            "evented" => Some(Self::Evented),
+            _ => None,
+        }
+    }
+}
+
 /// Totals and trajectory of one completed master run.
 #[derive(Debug)]
 pub struct NetRunReport {
@@ -122,24 +150,34 @@ pub fn run_master(listener: &TcpListener, cfg: &MasterConfig) -> Result<NetRunRe
     let mut links: Vec<Option<Link>> = Vec::with_capacity(n);
 
     // Handshake phase: raw frames, strict magic/version checks (inside
-    // Frame decode), ids assigned in accept order.
-    for worker_id in 0..n {
+    // Frame decode), ids assigned in admission order. A socket that fails
+    // the handshake — timeout, garbage bytes, a premature close, or a
+    // well-formed non-Hello opener — is rejected and the listener keeps
+    // accepting; a rogue connection never aborts or consumes a slot of
+    // the real fleet.
+    while links.len() < n {
+        let worker_id = links.len();
         let (stream, _) = listener.accept().map_err(TransportError::from)?;
-        let mut conn = FrameConn::new(stream).map_err(TransportError::from)?;
-        match conn.recv(cfg.frame_timeout)? {
-            Frame::Hello { .. } => {}
-            _ => return Err(NetError::Protocol("expected Hello to open the connection".into())),
+        let Ok(mut conn) = FrameConn::new(stream) else { continue };
+        match conn.recv(cfg.frame_timeout) {
+            Ok(Frame::Hello { .. }) => {}
+            Ok(_) | Err(_) => continue, // rejected
         }
-        conn.send(&Frame::Welcome {
-            worker_id: worker_id as u32,
-            num_workers: n as u32,
-            rounds: cfg.rounds as u64,
-            env: cfg.env,
-            initial_share: engine.allocation().share(worker_id),
-            drop_probability: cfg.fault.drop_probability,
-            duplicate_probability: cfg.fault.duplicate_probability,
-            fault_seed: cfg.fault.seed,
-        })?;
+        if conn
+            .send(&Frame::Welcome {
+                worker_id: worker_id as u32,
+                num_workers: n as u32,
+                rounds: cfg.rounds as u64,
+                env: cfg.env,
+                initial_share: engine.allocation().share(worker_id),
+                drop_probability: cfg.fault.drop_probability,
+                duplicate_probability: cfg.fault.duplicate_probability,
+                fault_seed: cfg.fault.seed,
+            })
+            .is_err()
+        {
+            continue; // died between Hello and Welcome: rejected
+        }
         links.push(Some(Link::with_plan(conn, cfg.fault.clone(), 0, worker_id as u64 + 1)));
     }
 

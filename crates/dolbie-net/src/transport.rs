@@ -1,5 +1,10 @@
-//! Blocking socket transport: framed connections with read deadlines,
-//! bounded seeded reconnect, and the deterministic lossy link layer.
+//! Socket transport, split into a readiness-free **buffer/codec layer**
+//! ([`FrameCodec`]: reassembly, strict decode, batched transmit queues)
+//! and the policies on top of it: the blocking [`FrameConn`]/[`Link`]
+//! used by workers and the blocking master, bounded seeded reconnect,
+//! and the deterministic lossy link layer. The event-driven master
+//! ([`crate::evented`]) drives the same codec from a non-blocking
+//! readiness loop.
 //!
 //! ## The lossy mode
 //!
@@ -109,17 +114,102 @@ impl WireStats {
     }
 }
 
-/// A framed TCP connection: length-prefixed frames in, frames out, with a
-/// per-call read deadline and byte/frame accounting.
+/// The pure buffer/codec layer of a framed connection: bytes in one side,
+/// frames out the other, plus an outgoing byte queue — no socket, no
+/// blocking, no readiness. Both the blocking [`FrameConn`] and the
+/// event-driven master's connections sit on top of this.
 ///
-/// Reads accumulate into an internal buffer and parse complete frames off
-/// its front, so a deadline expiring mid-frame never desynchronizes the
-/// stream — the partial bytes stay buffered for the next call.
+/// Incoming bytes accumulate in a reassembly buffer and complete frames
+/// parse off its front, so a read ending mid-frame never desynchronizes
+/// the stream — the partial bytes stay buffered for the next ingest.
+/// Outgoing frames encode into a contiguous transmit buffer the owner
+/// drains at whatever pace the socket accepts, which is what lets the
+/// event loop batch many frames into one `write` call.
+#[derive(Debug, Default)]
+pub struct FrameCodec {
+    rx: Vec<u8>,
+    tx: Vec<u8>,
+    tx_at: usize,
+    stats: WireStats,
+}
+
+impl FrameCodec {
+    /// An empty codec.
+    pub fn new() -> Self {
+        Self { rx: Vec::with_capacity(4096), tx: Vec::new(), tx_at: 0, stats: WireStats::default() }
+    }
+
+    /// Appends raw bytes read off the socket.
+    pub fn ingest(&mut self, bytes: &[u8]) {
+        self.rx.extend_from_slice(bytes);
+        self.stats.bytes_received += bytes.len() as u64;
+    }
+
+    /// Parses one complete frame off the front of the reassembly buffer.
+    /// `Ok(None)` means more bytes are needed; malformed bytes are a hard
+    /// error (strict decode never partially consumes).
+    pub fn pop_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        match Frame::decode(&self.rx) {
+            Ok((frame, used)) => {
+                self.rx.drain(..used);
+                self.stats.frames_received += 1;
+                Ok(Some(frame))
+            }
+            Err(WireError::Truncated) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Encodes `frame` onto the transmit queue. Counted as sent here —
+    /// the bytes are committed to this connection from this point.
+    pub fn queue(&mut self, frame: &Frame) {
+        let bytes = frame.encode();
+        self.queue_raw(&bytes);
+    }
+
+    /// Appends pre-encoded frame bytes to the transmit queue — the
+    /// coalesced-broadcast path: encode a frame once, queue it on many
+    /// connections without re-encoding.
+    pub fn queue_raw(&mut self, bytes: &[u8]) {
+        self.tx.extend_from_slice(bytes);
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+    }
+
+    /// The bytes awaiting transmission.
+    pub fn pending_tx(&self) -> &[u8] {
+        &self.tx[self.tx_at..]
+    }
+
+    /// Marks `n` pending bytes as written; reclaims the buffer once fully
+    /// drained.
+    pub fn advance_tx(&mut self, n: usize) {
+        self.tx_at += n;
+        debug_assert!(self.tx_at <= self.tx.len());
+        if self.tx_at == self.tx.len() {
+            self.tx.clear();
+            self.tx_at = 0;
+        }
+    }
+
+    /// Whether any bytes await transmission.
+    pub fn has_tx(&self) -> bool {
+        self.tx_at < self.tx.len()
+    }
+
+    /// This connection's byte/frame counters.
+    pub fn stats(&self) -> WireStats {
+        self.stats
+    }
+}
+
+/// A framed **blocking** TCP connection: length-prefixed frames in, frames
+/// out, with a per-call read deadline — a [`FrameCodec`] plus a socket and
+/// the readiness policy "block until the deadline".
 #[derive(Debug)]
 pub struct FrameConn {
     stream: TcpStream,
-    buf: Vec<u8>,
-    stats: WireStats,
+    codec: FrameCodec,
 }
 
 impl FrameConn {
@@ -127,15 +217,22 @@ impl FrameConn {
     /// frames are not batched behind a delayed-ack timer.
     pub fn new(stream: TcpStream) -> std::io::Result<Self> {
         stream.set_nodelay(true)?;
-        Ok(Self { stream, buf: Vec::with_capacity(4096), stats: WireStats::default() })
+        Ok(Self { stream, codec: FrameCodec::new() })
     }
 
     /// Writes one frame.
     pub fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
-        let bytes = frame.encode();
-        self.stream.write_all(&bytes)?;
-        self.stats.frames_sent += 1;
-        self.stats.bytes_sent += bytes.len() as u64;
+        self.codec.queue(frame);
+        while self.codec.has_tx() {
+            match self.stream.write(self.codec.pending_tx()) {
+                Ok(0) => {
+                    return Err(std::io::Error::from(std::io::ErrorKind::WriteZero).into());
+                }
+                Ok(k) => self.codec.advance_tx(k),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
         Ok(())
     }
 
@@ -143,14 +240,8 @@ impl FrameConn {
     pub fn recv(&mut self, deadline: Duration) -> Result<Frame, TransportError> {
         let until = Instant::now() + deadline;
         loop {
-            match Frame::decode(&self.buf) {
-                Ok((frame, used)) => {
-                    self.buf.drain(..used);
-                    self.stats.frames_received += 1;
-                    return Ok(frame);
-                }
-                Err(WireError::Truncated) => {} // need more bytes
-                Err(e) => return Err(e.into()),
+            if let Some(frame) = self.codec.pop_frame()? {
+                return Ok(frame);
             }
             let remaining = until.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
@@ -161,10 +252,7 @@ impl FrameConn {
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Err(std::io::Error::from(std::io::ErrorKind::UnexpectedEof).into()),
-                Ok(k) => {
-                    self.buf.extend_from_slice(&chunk[..k]);
-                    self.stats.bytes_received += k as u64;
-                }
+                Ok(k) => self.codec.ingest(&chunk[..k]),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e.into()),
             }
@@ -173,7 +261,7 @@ impl FrameConn {
 
     /// This connection's byte/frame counters.
     pub fn stats(&self) -> WireStats {
-        self.stats
+        self.codec.stats()
     }
 }
 
@@ -363,7 +451,9 @@ impl Link {
 
 /// Connects with bounded, seeded exponential backoff: attempt `k` waits
 /// `base · 2^k · (1 + jitter_k)` with deterministic per-seed jitter in
-/// `[0, 0.5)`. Returns the last error if every attempt fails.
+/// `[0, 0.5)`, with each wait clamped to [`MAX_BACKOFF_SLEEP`] so long
+/// retry schedules grow linearly rather than exponentially past the cap.
+/// Returns the last error if every attempt fails.
 pub fn connect_with_backoff(
     addr: SocketAddr,
     attempts: usize,
@@ -379,10 +469,34 @@ pub fn connect_with_backoff(
         }
         if k + 1 < attempts {
             let jitter = (mix(seed, k as u64) >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
-            std::thread::sleep(base.mul_f64((1u64 << k.min(16)) as f64 * (1.0 + jitter)));
+            let wait = base.mul_f64((1u64 << k.min(16)) as f64 * (1.0 + jitter));
+            std::thread::sleep(wait.min(MAX_BACKOFF_SLEEP));
         }
     }
     Err(last.expect("at least one attempt ran"))
+}
+
+/// Per-attempt ceiling of the reconnect backoff: past this point more
+/// attempts buy a longer *total* wait without ever parking a worker for
+/// minutes at a time.
+pub const MAX_BACKOFF_SLEEP: Duration = Duration::from_secs(2);
+
+/// The connect retry schedule for a fleet of `n` workers racing one
+/// listener: `(attempts, base, stagger)`.
+///
+/// The OS listen backlog is fixed (std offers no knob), so at large `n`
+/// simultaneous SYNs overflow it and late workers ride kernel SYN
+/// retransmits or outright refusals. Two N-scaled levers compensate:
+/// the worker's *attempt budget* grows with `log2 n` (each capped at
+/// [`MAX_BACKOFF_SLEEP`], so the worst-case total wait scales ~linearly
+/// in the budget), and worker `k` delays its first SYN by
+/// `k · stagger` to spread the herd across the accept loop's capacity
+/// instead of a single instant.
+pub fn connect_schedule(n: usize, k: usize) -> (usize, Duration, Duration) {
+    let log2n = usize::BITS - n.max(1).leading_zeros();
+    let attempts = 10 + 2 * log2n as usize;
+    let stagger = if n > 256 { Duration::from_micros(100) * (k as u32) } else { Duration::ZERO };
+    (attempts, Duration::from_millis(10), stagger)
 }
 
 fn mix(seed: u64, salt: u64) -> u64 {

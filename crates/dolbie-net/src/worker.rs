@@ -34,6 +34,12 @@ pub struct WorkerOptions {
     /// reporting the local cost of this round, simulating a worker killed
     /// mid-round.
     pub die_after_round: Option<usize>,
+    /// Fault injection for stall tests: after reporting the local cost of
+    /// the given round, go silent for the given duration with the socket
+    /// held open — the head-of-line shape a hung-but-connected worker
+    /// presents — then return. The master's frame deadline declares the
+    /// worker dead long before the stall ends.
+    pub stall_after_round: Option<(usize, Duration)>,
 }
 
 /// What a worker saw over its run.
@@ -106,6 +112,21 @@ pub fn run_worker(stream: TcpStream, opts: &WorkerOptions) -> Result<WorkerRepor
                 cost_fn = Some(f);
                 rounds_seen += 1;
                 link.send(&Frame::LocalCost { epoch: my_epoch, round, cost })?;
+                if let Some((stall_round, hold)) = opts.stall_after_round {
+                    if stall_round == round as usize {
+                        // Injected stall: hold the socket open, say
+                        // nothing, and leave only after the master has
+                        // long since moved on.
+                        std::thread::sleep(hold);
+                        return Ok(WorkerReport {
+                            worker_id,
+                            rounds_seen,
+                            final_share: share,
+                            epochs_seen,
+                            wire: link.stats(),
+                        });
+                    }
+                }
                 if opts.die_after_round == Some(round as usize) {
                     // Injected crash: vanish without a goodbye.
                     return Ok(WorkerReport {

@@ -4,10 +4,22 @@
 # loopback TCP, waits for a clean converge-and-shutdown, and asserts
 # the master's self-verification against the sequential engine passed.
 #
-#   scripts/run_net_demo.sh [workers] [rounds]
+#   scripts/run_net_demo.sh [--master blocking|evented] [workers] [rounds]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+MASTER="evented"
+if [ "${1:-}" = "--master" ]; then
+    MASTER="${2:?--master requires a value (blocking or evented)}"
+    case "$MASTER" in
+        blocking | evented) ;;
+        *)
+            echo "error: invalid --master '$MASTER' (expected blocking or evented)" >&2
+            exit 2
+            ;;
+    esac
+    shift 2
+fi
 WORKERS="${1:-4}"
 ROUNDS="${2:-500}"
 NODE=target/release/dolbie_node
@@ -26,9 +38,9 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== net demo: master on an ephemeral port, $WORKERS workers, $ROUNDS rounds =="
+echo "== net demo: $MASTER master on an ephemeral port, $WORKERS workers, $ROUNDS rounds =="
 "$NODE" master --listen 127.0.0.1:0 --workers "$WORKERS" --rounds "$ROUNDS" \
-    --env chaos --env-seed 7 --verify >"$master_log" 2>&1 &
+    --master "$MASTER" --env chaos --env-seed 7 --verify >"$master_log" 2>&1 &
 master_pid=$!
 pids+=("$master_pid")
 

@@ -64,4 +64,14 @@ if [ "$smoke_elapsed" -ge 10 ]; then
     exit 1
 fi
 
+echo "== tier-1: net-scale smoke (evented master, fleets to N=256, <10 s) =="
+smoke_start=$SECONDS
+cargo run --release -p dolbie-bench --bin paper_figures -- --quick net_scale
+smoke_elapsed=$((SECONDS - smoke_start))
+echo "net-scale smoke took ${smoke_elapsed}s"
+if [ "$smoke_elapsed" -ge 10 ]; then
+    echo "FAIL: net-scale smoke exceeded the 10 s budget" >&2
+    exit 1
+fi
+
 echo "== tier-1: OK =="
