@@ -19,7 +19,7 @@
 use dolbie_bench::experiments::large_n::LargeNOptions;
 use dolbie_bench::experiments::{
     ablation, accuracy, bandit, chaos, churn, comms, edge_exp, faults, large_n, latency, net,
-    net_scale, per_worker, regret, utilization,
+    net_scale, per_worker, regret, shard_scale, utilization,
 };
 use dolbie_bench::{common, harness};
 use dolbie_core::kernel::KernelVariant;
@@ -30,8 +30,17 @@ const TARGETS: [&str; 12] = [
     "edge",
 ];
 
-const EXTENSION_TARGETS: [&str; 8] =
-    ["ablation", "faults", "bandit", "large_n", "chaos", "churn", "net", "net_scale"];
+const EXTENSION_TARGETS: [&str; 9] = [
+    "ablation",
+    "faults",
+    "bandit",
+    "large_n",
+    "chaos",
+    "churn",
+    "net",
+    "net_scale",
+    "shard_scale",
+];
 
 fn usage() -> ! {
     eprintln!(
@@ -83,6 +92,7 @@ fn run(target: &str, options: &RunOptions) {
         "churn" => churn::churn(),
         "net" => net::net(quick),
         "net_scale" => net_scale::net_scale(quick),
+        "shard_scale" => shard_scale::shard_scale(quick),
         other => {
             eprintln!("unknown target: {other}");
             usage();

@@ -1,10 +1,10 @@
 //! Experiment X4 (extension): the chaos-sweep invariant harness.
 //!
 //! Hundreds of random `FaultPlan × MembershipSchedule` combinations —
-//! lossy links, duplicate deliveries, crash windows, and worker
-//! leave/join epochs, all derived from pure hashes of the case index — are
-//! run through all three protocol architectures, and five invariants are
-//! machine-checked on every trace:
+//! lossy links, duplicate deliveries, crash windows (including
+//! whole-shard-master crashes), and worker leave/join epochs, all derived
+//! from pure hashes of the case index — are run through all four protocol
+//! architectures, and five invariants are machine-checked on every trace:
 //!
 //! 1. **simplex feasibility** — every executed allocation satisfies
 //!    `|Σx − 1| < 1e-9` with `x_i ≥ 0`;
@@ -18,7 +18,11 @@
 //!    architectures to `1e-9` agreement (the master-worker protocol is
 //!    exempt there: its master can remember an α tightening that a
 //!    straggler crash erases from every peer — the documented corner of
-//!    the fault subsystem, see `tests/fault_props.rs`);
+//!    the fault subsystem, see `tests/fault_props.rs`). The sharded
+//!    two-level architecture must agree with master-worker **bitwise on
+//!    every case, type A and B alike** — including cases where a whole
+//!    shard-master crashes mid-run and epochs drain workers out from
+//!    under shards;
 //! 5. **termination** — every run produces exactly its scheduled number
 //!    of rounds (no deadlock, no panic).
 //!
@@ -36,10 +40,11 @@ use crate::harness;
 use dolbie_core::cost::{DynCost, LatencyCost, LinearCost};
 use dolbie_core::environment::FnEnvironment;
 use dolbie_core::DolbieConfig;
+use dolbie_core::ShardLayout;
 use dolbie_metrics::Table;
 use dolbie_simnet::{
     Crash, FaultPlan, FixedLatency, FullyDistributedSim, MasterWorkerSim, MembershipChange,
-    MembershipSchedule, ProtocolTrace, RingSim,
+    MembershipSchedule, ProtocolTrace, RingSim, ShardedSim,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -79,17 +84,38 @@ pub struct ChaosCase {
     pub rounds: usize,
     /// Seed for the per-round cost functions.
     pub env_seed: u64,
-    /// Link faults and crash windows.
+    /// Link faults and crash windows (worker-level only; a shard-master
+    /// crash is carried separately in `shard_crash`).
     pub plan: FaultPlan,
     /// Worker churn epochs.
     pub schedule: MembershipSchedule,
+    /// Shard count for the two-level architecture (`1..=min(4, n)`).
+    pub shards: usize,
+    /// An optional shard-master crash `(shard, from_round, until_round)`:
+    /// the sharded sim takes the whole shard dark via
+    /// `with_shard_master_crash`, while the flat sims get the equivalent
+    /// per-worker crash windows — the equivalence invariant 4 checks.
+    pub shard_crash: Option<(usize, usize, usize)>,
 }
 
 impl ChaosCase {
     /// Type A cases are crash-free: churn and lossy links only. Only they
-    /// claim bitwise three-architecture agreement.
+    /// claim bitwise agreement across the leaderless architectures (the
+    /// sharded tier claims bitwise agreement with master-worker always).
     pub fn is_type_a(&self) -> bool {
-        self.plan.crashes.is_empty()
+        self.plan.crashes.is_empty() && self.shard_crash.is_none()
+    }
+
+    /// The flat simulators' fault plan: the worker-level plan plus the
+    /// shard-master crash expanded to its slice's per-worker windows.
+    pub fn flat_plan(&self) -> FaultPlan {
+        let mut plan = self.plan.clone();
+        if let Some((shard, from_round, until_round)) = self.shard_crash {
+            for worker in ShardLayout::even(self.n, self.shards).range(shard) {
+                plan.crashes.push(Crash { worker, from_round, until_round });
+            }
+        }
+        plan
     }
 }
 
@@ -116,7 +142,17 @@ pub fn case_from_seed(id: usize, master_seed: u64) -> ChaosCase {
         }
     }
     let schedule = MembershipSchedule::random(hash(s, 7), n, rounds, 0.08, 0.12);
-    ChaosCase { id, n, rounds, env_seed: hash(s, 8), plan, schedule }
+    let shards = 1 + (hash(s, 9) % n.min(4) as u64) as usize;
+    let shard_crash = if id % 5 == 2 {
+        let h = hash(s, 10);
+        let shard = h as usize % shards;
+        let from = (h >> 16) as usize % rounds;
+        let len = 1 + (h >> 40) as usize % (rounds / 2).max(1);
+        Some((shard, from, (from + len).min(rounds)))
+    } else {
+        None
+    };
+    ChaosCase { id, n, rounds, env_seed: hash(s, 8), plan, schedule, shards, shard_crash }
 }
 
 /// The deterministic per-round cost functions a case runs against.
@@ -145,9 +181,10 @@ pub fn check_invariants(
     mw: &ProtocolTrace,
     fd: &ProtocolTrace,
     ring: &ProtocolTrace,
+    sharded: &ProtocolTrace,
 ) -> Result<(), String> {
     // (5) termination.
-    for tr in [mw, fd, ring] {
+    for tr in [mw, fd, ring, sharded] {
         if tr.rounds.len() != case.rounds {
             return Err(format!(
                 "termination: {} produced {} of {} rounds",
@@ -157,7 +194,7 @@ pub fn check_invariants(
             ));
         }
     }
-    for tr in [mw, fd, ring] {
+    for tr in [mw, fd, ring, sharded] {
         let mut prev_alpha = f64::INFINITY;
         for r in &tr.rounds {
             // (1) simplex feasibility.
@@ -222,22 +259,33 @@ pub fn check_invariants(
         } else if f.allocation.l2_distance(&r.allocation) >= 1e-9 {
             return Err(format!("agreement: FD and ring diverge at round {t} (type B)"));
         }
+        // The sharded tier's claim is unconditional: bitwise agreement
+        // with the flat master on every case, crashes included.
+        let s = &sharded.rounds[t];
+        if m.allocation.l2_distance(&s.allocation) != 0.0
+            || m.straggler != s.straggler
+            || m.alpha.to_bits() != s.alpha.to_bits()
+            || m.active != s.active
+        {
+            return Err(format!("agreement: sharded diverges from master-worker at round {t}"));
+        }
     }
     Ok(())
 }
 
-/// Runs one case through all three architectures and checks the
+/// Runs one case through all four architectures and checks the
 /// invariants; a panic anywhere (deadlock assert, infeasible allocation)
 /// is converted into a failure.
 pub fn run_case(case: &ChaosCase) -> Result<(), String> {
     let case = case.clone();
     catch_unwind(AssertUnwindSafe(move || {
+        let flat_plan = case.flat_plan();
         let mw = MasterWorkerSim::new(
             env_for(case.env_seed, case.n),
             DolbieConfig::new(),
             FixedLatency::lan(),
         )
-        .with_fault_plan(case.plan.clone())
+        .with_fault_plan(flat_plan.clone())
         .with_membership(case.schedule.clone())
         .run(case.rounds);
         let fd = FullyDistributedSim::new(
@@ -245,15 +293,27 @@ pub fn run_case(case: &ChaosCase) -> Result<(), String> {
             DolbieConfig::new(),
             FixedLatency::lan(),
         )
-        .with_fault_plan(case.plan.clone())
+        .with_fault_plan(flat_plan.clone())
         .with_membership(case.schedule.clone())
         .run(case.rounds);
         let ring =
             RingSim::new(env_for(case.env_seed, case.n), DolbieConfig::new(), FixedLatency::lan())
-                .with_fault_plan(case.plan.clone())
+                .with_fault_plan(flat_plan)
                 .with_membership(case.schedule.clone())
                 .run(case.rounds);
-        check_invariants(&case, &mw, &fd, &ring)
+        let mut sharded_sim = ShardedSim::new(
+            env_for(case.env_seed, case.n),
+            DolbieConfig::new(),
+            FixedLatency::lan(),
+            case.shards,
+        )
+        .with_fault_plan(case.plan.clone())
+        .with_membership(case.schedule.clone());
+        if let Some((shard, from_round, until_round)) = case.shard_crash {
+            sharded_sim = sharded_sim.with_shard_master_crash(shard, from_round, until_round);
+        }
+        let sharded = sharded_sim.run(case.rounds);
+        check_invariants(&case, &mw, &fd, &ring, &sharded.trace)
     }))
     .unwrap_or_else(|payload| {
         let msg = payload
@@ -313,6 +373,14 @@ pub fn shrink(case: &ChaosCase) -> ChaosCase {
         }
         if improved {
             continue;
+        }
+        if current.shard_crash.is_some() {
+            let mut cand = current.clone();
+            cand.shard_crash = None;
+            if run_case(&cand).is_err() {
+                current = cand;
+                continue;
+            }
         }
         for zero in [
             |c: &mut ChaosCase| c.plan.drop_probability = 0.0,
@@ -375,8 +443,8 @@ pub fn reproducer(case: &ChaosCase) -> String {
     }
     out.push_str(";\n");
     out.push_str(&format!(
-        "    let case = ChaosCase {{ id: {}, n: {}, rounds: {}, env_seed: {:#018x}, plan, schedule }};\n",
-        case.id, case.n, case.rounds, case.env_seed
+        "    let case = ChaosCase {{ id: {}, n: {}, rounds: {}, env_seed: {:#018x}, plan, schedule, shards: {}, shard_crash: {:?} }};\n",
+        case.id, case.n, case.rounds, case.env_seed, case.shards, case.shard_crash
     ));
     out.push_str("    assert!(chaos::run_case(&case).is_ok());\n}\n");
     out
@@ -401,6 +469,8 @@ pub fn chaos_named(quick: bool, name: &str) {
         "rounds",
         "membership_events",
         "crash_windows",
+        "shards",
+        "shard_crash",
         "drop_probability",
         "duplicate_probability",
         "passed",
@@ -421,6 +491,8 @@ pub fn chaos_named(quick: bool, name: &str) {
             case.rounds.to_string(),
             case.schedule.events.len().to_string(),
             case.plan.crashes.len().to_string(),
+            case.shards.to_string(),
+            (case.shard_crash.is_some() as u8).to_string(),
             format!("{:.4}", case.plan.drop_probability),
             format!("{:.4}", case.plan.duplicate_probability),
             (outcome.is_ok() as u8).to_string(),
@@ -465,6 +537,14 @@ mod tests {
         assert!(a.iter().any(|c| c.is_type_a()));
         assert!(a.iter().any(|c| !c.is_type_a()));
         assert!(a.iter().any(|c| !c.schedule.is_none()), "the sweep must contain churn");
+        assert!(a.iter().any(|c| c.shards > 1), "the sweep must shard some fleets");
+        assert!(a.iter().any(|c| c.shard_crash.is_some()), "the sweep must crash a shard-master");
+        for case in &a {
+            assert!(case.shards >= 1 && case.shards <= case.n);
+            if let Some((shard, from, until)) = case.shard_crash {
+                assert!(shard < case.shards && from < until && until <= case.rounds);
+            }
+        }
     }
 
     #[test]
@@ -489,35 +569,51 @@ mod tests {
                 DolbieConfig::new(),
                 FixedLatency::lan(),
             )
-            .with_fault_plan(case.plan.clone())
+            .with_fault_plan(case.flat_plan())
             .with_membership(case.schedule.clone());
             let mut t = mw.run(case.rounds);
             t.architecture = arch;
             t
         };
-        let (mw, fd, ring) = (build("master-worker"), build("fully-distributed"), build("ring"));
-        assert!(check_invariants(&case, &mw, &fd, &ring).is_ok(), "identical traces must pass");
+        let (mw, fd, ring, sh) =
+            (build("master-worker"), build("fully-distributed"), build("ring"), build("sharded"));
+        assert!(check_invariants(&case, &mw, &fd, &ring, &sh).is_ok(), "identical traces pass");
 
         // A step size that grows mid-run (a broken eq. (7) cap).
         let mut bad = mw.clone();
         let last = bad.rounds.len() - 1;
         bad.rounds[last].alpha = bad.rounds[0].alpha + 1.0;
-        let err = check_invariants(&case, &bad, &fd, &ring).expect_err("rising α must be caught");
+        let err =
+            check_invariants(&case, &bad, &fd, &ring, &sh).expect_err("rising α must be caught");
         assert!(err.contains("alpha"), "got: {err}");
 
         // A truncated run (deadlock that was papered over).
         let mut bad = mw.clone();
         bad.rounds.pop();
-        let err = check_invariants(&case, &bad, &fd, &ring).expect_err("lost round must be caught");
+        let err =
+            check_invariants(&case, &bad, &fd, &ring, &sh).expect_err("lost round must be caught");
         assert!(err.contains("termination"), "got: {err}");
 
         // Divergent trajectories (a protocol that stopped agreeing).
         let mut bad = mw.clone();
         bad.rounds[last].straggler = (bad.rounds[last].straggler + 1) % case.n;
         if case.is_type_a() {
-            let err = check_invariants(&case, &bad, &fd, &ring)
+            let err = check_invariants(&case, &bad, &fd, &ring, &sh)
                 .expect_err("divergent straggler must be caught");
             assert!(err.contains("agreement"), "got: {err}");
         }
+
+        // A sharded tier that silently drifts off the flat trajectory —
+        // caught even on type B cases, where the claim is unconditional.
+        let mut bad = sh.clone();
+        let share0 = bad.rounds[last].allocation.share(0);
+        let mut shares: Vec<f64> = bad.rounds[last].allocation.iter().copied().collect();
+        shares[0] = share0 + 1e-13;
+        shares[1] -= 1e-13;
+        bad.rounds[last].allocation =
+            dolbie_core::Allocation::from_update(shares).expect("still feasible");
+        let err = check_invariants(&case, &mw, &fd, &ring, &bad)
+            .expect_err("sharded drift must be caught");
+        assert!(err.contains("sharded"), "got: {err}");
     }
 }

@@ -15,4 +15,5 @@ pub mod net;
 pub mod net_scale;
 pub mod per_worker;
 pub mod regret;
+pub mod shard_scale;
 pub mod utilization;

@@ -59,8 +59,11 @@
 //!   ([`FusedDolbie`]) for cost families with closed-form inverses.
 //! - [`membership`] — simplex-safe re-normalization for elastic worker
 //!   membership (epoch boundaries: leaves, joins, rejoins).
-//! - [`numeric`] — fixed-shape compensated (Neumaier/pairwise) summation.
+//! - [`numeric`] — fixed-shape compensated (Neumaier/pairwise) summation
+//!   and the streaming [`SumCursor`] that reproduces it across splits.
 //! - [`parallel`] — the deterministic work-stealing fan-out harness.
+//! - [`shard`] — the two-level (sharded) control plane: shard-local
+//!   DOLBIE steps under a root coordinator over shard aggregates.
 //! - [`bandit`] — a bandit-feedback extension (value-only observations).
 //! - [`delayed`] — a delayed-feedback extension (observations apply `d`
 //!   rounds late).
@@ -95,6 +98,7 @@ pub mod oracle;
 pub mod parallel;
 pub mod regret;
 pub mod runner;
+pub mod shard;
 pub mod solver;
 pub mod step_size;
 
@@ -108,7 +112,9 @@ pub use environment::Environment;
 pub use error::{AllocationError, OracleError, SolverError};
 pub use kernel::{CostSlab, FusedDolbie, FusedRound, KernelVariant};
 pub use membership::{membership_alpha_cap, renormalize_onto_members};
-pub use numeric::{pairwise_neumaier_sum, pairwise_neumaier_sum_parallel, NeumaierSum};
+pub use numeric::{
+    pairwise_neumaier_sum, pairwise_neumaier_sum_parallel, CursorState, NeumaierSum, SumCursor,
+};
 pub use observation::Observation;
 pub use oracle::{
     instantaneous_minimizer, instantaneous_minimizer_cached, instantaneous_minimizer_capped,
@@ -119,6 +125,7 @@ pub use runner::{
     run_episode, run_episode_streaming, run_episode_with_static_costs, run_replications,
     EpisodeOptions, EpisodeSummary, EpisodeTrace, RoundRecord,
 };
+pub use shard::{RootEngine, ShardLayout, ShardedDolbie, ShardedRound};
 
 #[cfg(test)]
 mod tests {

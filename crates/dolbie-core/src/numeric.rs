@@ -124,6 +124,160 @@ pub fn pairwise_neumaier_sum(values: &[f64]) -> f64 {
     combine_partials(&mut partials)
 }
 
+/// A resumable [`pairwise_neumaier_sum`] that can be carried across
+/// arbitrary contiguous split points with O(log N) state.
+///
+/// Feeding the cursor the elements of a slice in order and reading
+/// [`value`](Self::value) produces the *bitwise* same result as
+/// [`pairwise_neumaier_sum`] on the whole slice — no matter where the
+/// stream was split, paused, serialized and resumed in between. This is
+/// what lets a sharded control plane compute the eq. (6) remainder over a
+/// gains array that lives in M disjoint shard processes: the root hands
+/// the cursor state to shard 0, shard 0 folds its contiguous slice and
+/// hands the state back, the root forwards it to shard 1, and so on —
+/// O(M) small messages, zero loss of the fixed reduction shape.
+///
+/// # How it reproduces the fixed-shape sum
+///
+/// `combine_partials` over K block partials evaluates to
+/// `T(b₁) + (T(b₂) + (… + T(bₖ)))` where `b₁ > b₂ > …` are the powers of
+/// two in K's binary decomposition and each `T(b)` is the left-to-right
+/// perfect pairwise tree over the next `b` contiguous blocks. A binary
+/// counter of subtree partials — merge two stacked subtrees whenever they
+/// reach equal size — builds exactly those trees, keeping at most
+/// ⌈log₂ K⌉ `(size, value)` pairs alive. The trailing partial block (the
+/// ragged tail of `values.chunks(SUM_BLOCK)`) is one more leaf, pushed
+/// through the same counter at finalization. The equivalence is
+/// property-tested below against `pairwise_neumaier_sum` for every length
+/// and split pattern.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SumCursor {
+    /// Completed pairwise subtrees as `(blocks, value)`, sizes strictly
+    /// decreasing from the bottom of the stack — the binary counter.
+    stack: Vec<(u64, f64)>,
+    /// Neumaier state of the current in-progress [`SUM_BLOCK`] block.
+    partial: NeumaierSum,
+    /// Elements absorbed into `partial` so far (`< SUM_BLOCK`).
+    partial_len: u32,
+}
+
+/// The serializable state of a [`SumCursor`] — plain words a wire
+/// protocol can frame without this crate knowing about encodings.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CursorState {
+    /// The subtree stack, bottom first: `(blocks, value)` pairs.
+    pub stack: Vec<(u64, f64)>,
+    /// Raw running sum of the in-progress block.
+    pub partial_sum: f64,
+    /// Raw compensation term of the in-progress block.
+    pub partial_compensation: f64,
+    /// Elements absorbed into the in-progress block.
+    pub partial_len: u32,
+}
+
+impl SumCursor {
+    /// An empty cursor; [`value`](Self::value) of an empty cursor is `0.0`
+    /// (matching `pairwise_neumaier_sum(&[])`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restores a cursor from serialized state (the inverse of
+    /// [`state`](Self::state)).
+    pub fn from_state(state: &CursorState) -> Self {
+        Self {
+            stack: state.stack.clone(),
+            partial: NeumaierSum {
+                sum: state.partial_sum,
+                compensation: state.partial_compensation,
+            },
+            partial_len: state.partial_len,
+        }
+    }
+
+    /// Extracts the O(log N) serializable state.
+    pub fn state(&self) -> CursorState {
+        CursorState {
+            stack: self.stack.clone(),
+            partial_sum: self.partial.sum,
+            partial_compensation: self.partial.compensation,
+            partial_len: self.partial_len,
+        }
+    }
+
+    /// Depth of the subtree stack (≤ ⌈log₂(blocks)⌉ + 1) — what a wire
+    /// frame must budget for.
+    pub fn stack_len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Absorbs one element.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        self.partial.add(value);
+        self.partial_len += 1;
+        if self.partial_len as usize == SUM_BLOCK {
+            let leaf = self.partial.value();
+            self.partial = NeumaierSum::new();
+            self.partial_len = 0;
+            push_subtree(&mut self.stack, 1, leaf);
+        }
+    }
+
+    /// Absorbs a contiguous slice (elements in order).
+    pub fn extend(&mut self, values: &[f64]) {
+        for &v in values {
+            self.push(v);
+        }
+    }
+
+    /// The fixed-shape compensated total of everything pushed so far —
+    /// bitwise equal to [`pairwise_neumaier_sum`] over the concatenated
+    /// stream. Non-destructive: the cursor can keep absorbing afterwards.
+    pub fn value(&self) -> f64 {
+        let mut stack = self.stack.clone();
+        if self.partial_len > 0 {
+            // The ragged tail block is one more leaf of the combine tree.
+            push_subtree(&mut stack, 1, self.partial.value());
+        }
+        // Fold the strictly-decreasing subtree sizes smallest-first,
+        // right-associated: T(b₁) + (T(b₂) + (… + T(bₖ))). The operand
+        // order spells out that association (bitwise-equal either way).
+        let mut it = stack.into_iter().rev();
+        let Some((_, mut acc)) = it.next() else {
+            return 0.0;
+        };
+        for (_, value) in it {
+            #[allow(clippy::assign_op_pattern)]
+            {
+                acc = value + acc;
+            }
+        }
+        acc
+    }
+}
+
+/// Pushes a completed subtree of `size` blocks onto the binary counter,
+/// merging equal-size neighbours (older subtree on the left, preserving
+/// the left-to-right pairwise order of [`combine_partials`]).
+#[inline]
+fn push_subtree(stack: &mut Vec<(u64, f64)>, mut size: u64, mut value: f64) {
+    while let Some(&(top_size, top_value)) = stack.last() {
+        if top_size != size {
+            break;
+        }
+        stack.pop();
+        // Older subtree on the left, as in `combine_partials` (the
+        // operand order is the documentation; bitwise-equal either way).
+        #[allow(clippy::assign_op_pattern)]
+        {
+            value = top_value + value;
+        }
+        size *= 2;
+    }
+    stack.push((size, value));
+}
+
 /// [`pairwise_neumaier_sum`] with the block partials computed on the
 /// work-stealing harness. Block partials are independent and the combine
 /// is identical, so the result is bitwise-equal to the sequential sum at
@@ -207,6 +361,69 @@ mod tests {
         }
     }
 
+    /// The tentpole cursor claim: for every length across several block
+    /// boundaries and every way of cutting the stream into contiguous
+    /// pieces (including serializing the state at each cut), the cursor's
+    /// value is bitwise the fixed-shape sum of the whole array.
+    #[test]
+    fn cursor_is_bitwise_equal_to_pairwise_sum_at_every_split() {
+        let mut state = 3u64;
+        for n in [0usize, 1, 2, 127, 128, 129, 255, 256, 257, 300, 1000, 1663, 4096] {
+            let values: Vec<f64> = (0..n).map(|_| splitmix(&mut state) - 0.5).collect();
+            let reference = pairwise_neumaier_sum(&values);
+            // One shot.
+            let mut cursor = SumCursor::new();
+            cursor.extend(&values);
+            assert_eq!(cursor.value().to_bits(), reference.to_bits(), "n = {n}, one shot");
+            // Seeded random cut points, resuming from serialized state at
+            // each cut — the shard-chain pattern.
+            for trial in 0..8u64 {
+                let mut cursor = SumCursor::new();
+                let mut at = 0usize;
+                let mut cut_state = trial.wrapping_mul(0x9e3779b97f4a7c15) ^ n as u64;
+                while at < n {
+                    let step = 1 + (splitmix(&mut cut_state) * 200.0) as usize;
+                    let end = (at + step).min(n);
+                    cursor.extend(&values[at..end]);
+                    cursor = SumCursor::from_state(&cursor.state());
+                    at = end;
+                }
+                assert_eq!(cursor.value().to_bits(), reference.to_bits(), "n = {n}, trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_every_single_split_point_small_exhaustive() {
+        let mut state = 17u64;
+        let n = 3 * SUM_BLOCK + 5;
+        let values: Vec<f64> = (0..n).map(|_| splitmix(&mut state) * 2.0 - 1.0).collect();
+        let reference = pairwise_neumaier_sum(&values);
+        for cut in 0..=n {
+            let mut cursor = SumCursor::new();
+            cursor.extend(&values[..cut]);
+            cursor.extend(&values[cut..]);
+            assert_eq!(cursor.value().to_bits(), reference.to_bits(), "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn cursor_state_is_logarithmic_and_value_is_non_destructive() {
+        let values = vec![0.25f64; 200 * SUM_BLOCK];
+        let mut cursor = SumCursor::new();
+        cursor.extend(&values[..199 * SUM_BLOCK + 7]);
+        assert!(
+            cursor.stack_len() <= 9,
+            "200 blocks must keep <= ceil(log2) + 1 subtrees, got {}",
+            cursor.stack_len()
+        );
+        let once = cursor.value();
+        cursor.extend(&values[199 * SUM_BLOCK + 7..]);
+        assert_eq!(cursor.value().to_bits(), pairwise_neumaier_sum(&values).to_bits());
+        assert!(once != cursor.value(), "value() must not finalize the cursor");
+        assert_eq!(SumCursor::new().value(), 0.0, "empty cursor matches the empty sum");
+    }
+
     #[test]
     fn running_sum_tracks_block_sum_closely() {
         // The incremental engine maintains Σx with a running NeumaierSum;
@@ -219,5 +436,36 @@ mod tests {
         }
         let fixed = pairwise_neumaier_sum(&values);
         assert!((running.value() - fixed).abs() < 1e-12 * fixed.abs().max(1.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Arbitrary lengths cut at arbitrary points — the cursor must
+        /// reproduce the fixed-shape sum bit for bit through every chain.
+        #[test]
+        fn cursor_matches_pairwise_sum_under_arbitrary_chaining(
+            values in proptest::collection::vec(-1.0e3f64..1.0e3, 0..2000),
+            cuts in proptest::collection::vec(0usize..2000, 0..12),
+        ) {
+            let reference = pairwise_neumaier_sum(&values);
+            let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (values.len() + 1)).collect();
+            bounds.push(0);
+            bounds.push(values.len());
+            bounds.sort_unstable();
+            let mut cursor = SumCursor::new();
+            for pair in bounds.windows(2) {
+                cursor.extend(&values[pair[0]..pair[1]]);
+                // Round-trip the state as the wire would.
+                cursor = SumCursor::from_state(&cursor.state());
+            }
+            prop_assert_eq!(cursor.value().to_bits(), reference.to_bits());
+        }
     }
 }

@@ -6,6 +6,11 @@
 //!                    [--dup-p 0.05] [--fault-seed 21] [--verify]
 //!                    [--master blocking|evented]
 //! dolbie_node worker --connect 127.0.0.1:4100
+//! dolbie_node root   --listen 127.0.0.1:4200 --shards 4 --workers 64
+//!                    [--rounds 500] [--env chaos|ramp] [--env-seed 7]
+//!                    [--drop-p 0.1] [--dup-p 0.05] [--fault-seed 21]
+//! dolbie_node shard  --connect 127.0.0.1:4200 --listen 127.0.0.1:4301
+//!                    --shard 1 --shards 4
 //! ```
 //!
 //! The master prints `listening on <addr>` once bound (with the resolved
@@ -14,12 +19,19 @@
 //! `--verify` it replays the same environment through the sequential
 //! engine and exits 1 unless the TCP trajectory is bitwise identical.
 //! Malformed flags exit 2 with a message naming the flag and value.
+//!
+//! The sharded control plane is three processes deep: one `root`
+//! coordinating `--shards` shard-masters, each `shard` a real evented
+//! TCP master over its contiguous worker range (workers point their
+//! `--connect` at their shard, not the root). Fault flags live on the
+//! root; they ship to every shard-master in `ShardWelcome`.
 
 use dolbie_core::{run_episode, Dolbie, DolbieConfig, EpisodeOptions};
 use dolbie_net::env::{EnvKind, WireEnvSpec};
 use dolbie_net::evented::run_master_evented;
 use dolbie_net::master::{run_master, MasterConfig, MasterKind};
-use dolbie_net::transport::connect_with_backoff;
+use dolbie_net::shard::{run_root, run_shard_master, ShardMasterOptions, ShardedConfig};
+use dolbie_net::transport::{connect_with_backoff, DEFAULT_FRAME_TIMEOUT};
 use dolbie_net::worker::{run_worker, WorkerOptions};
 use dolbie_simnet::faults::FaultPlan;
 use std::net::{SocketAddr, TcpListener};
@@ -30,7 +42,11 @@ fn usage() -> ! {
         "usage:\n  dolbie_node master --listen ADDR --workers N [--rounds T] [--env chaos|ramp]\n\
          \x20                  [--env-seed S] [--drop-p P] [--dup-p P] [--fault-seed S] [--verify]\n\
          \x20                  [--master blocking|evented]\n\
-         \x20 dolbie_node worker --connect ADDR"
+         \x20 dolbie_node worker --connect ADDR\n\
+         \x20 dolbie_node root   --listen ADDR --shards M --workers N [--rounds T]\n\
+         \x20                  [--env chaos|ramp] [--env-seed S] [--drop-p P] [--dup-p P]\n\
+         \x20                  [--fault-seed S]\n\
+         \x20 dolbie_node shard  --connect ROOT --listen ADDR --shard K --shards M"
     );
     std::process::exit(2);
 }
@@ -75,6 +91,8 @@ fn main() {
     match args.next().as_deref() {
         Some("master") => master_main(args),
         Some("worker") => worker_main(args),
+        Some("root") => root_main(args),
+        Some("shard") => shard_main(args),
         _ => usage(),
     }
 }
@@ -196,6 +214,151 @@ fn master_main(mut args: std::env::Args) {
         }
         println!("verify: OK — {rounds} rounds bitwise identical to the sequential engine");
     }
+}
+
+fn root_main(mut args: std::env::Args) {
+    let mut listen: Option<SocketAddr> = None;
+    let mut shards: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut rounds = 500usize;
+    let mut env_kind = EnvKind::ChaosMix;
+    let mut env_seed = 7u64;
+    let mut drop_p = 0.0;
+    let mut dup_p = 0.0;
+    let mut fault_seed = 0u64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = Some(parse_addr("--listen", &take_value("--listen", &mut args))),
+            "--shards" => {
+                shards = Some(parse_usize("--shards", &take_value("--shards", &mut args), 1))
+            }
+            "--workers" => {
+                workers = Some(parse_usize("--workers", &take_value("--workers", &mut args), 2))
+            }
+            "--rounds" => rounds = parse_usize("--rounds", &take_value("--rounds", &mut args), 1),
+            "--env" => {
+                let value = take_value("--env", &mut args);
+                env_kind = match value.as_str() {
+                    "chaos" => EnvKind::ChaosMix,
+                    "ramp" => EnvKind::StaticRamp,
+                    _ => bad("--env", &value, "'chaos' or 'ramp'"),
+                };
+            }
+            "--env-seed" => {
+                env_seed = parse_u64("--env-seed", &take_value("--env-seed", &mut args))
+            }
+            "--drop-p" => drop_p = parse_prob("--drop-p", &take_value("--drop-p", &mut args)),
+            "--dup-p" => dup_p = parse_prob("--dup-p", &take_value("--dup-p", &mut args)),
+            "--fault-seed" => {
+                fault_seed = parse_u64("--fault-seed", &take_value("--fault-seed", &mut args))
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}' for dolbie_node root");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(listen), Some(shards), Some(workers)) = (listen, shards, workers) else { usage() };
+    if shards > workers {
+        eprintln!("error: --shards {shards} exceeds --workers {workers}");
+        std::process::exit(2);
+    }
+
+    let env = WireEnvSpec { kind: env_kind, seed: env_seed };
+    let mut fault = FaultPlan::seeded(fault_seed);
+    if drop_p > 0.0 {
+        fault = fault.with_drop_probability(drop_p);
+    }
+    if dup_p > 0.0 {
+        fault = fault.with_duplicate_probability(dup_p);
+    }
+    let cfg = ShardedConfig::new(workers, shards, rounds, env).with_fault_plan(fault);
+
+    let listener = TcpListener::bind(listen).unwrap_or_else(|e| {
+        eprintln!("error: cannot listen on {listen}: {e}");
+        std::process::exit(1);
+    });
+    let local = listener.local_addr().expect("bound listener has an address");
+    println!("root listening on {local}, awaiting {shards} shard-masters");
+
+    let report = run_root(&listener, &cfg).unwrap_or_else(|e| {
+        eprintln!("error: root run failed: {e}");
+        std::process::exit(1);
+    });
+    let messages: usize = report.rounds.iter().map(|r| r.messages).sum();
+    println!(
+        "root completed {} rounds over {} shards ({} workers) in {:.3} s ({:.0} rounds/s)",
+        report.rounds.len(),
+        shards,
+        workers,
+        report.wall_clock,
+        report.rounds.len() as f64 / report.wall_clock.max(1e-9),
+    );
+    println!(
+        "backbone: {} logical frames ({:.1}/round — O(M), not O(N)), {} bytes sent, {} bytes received",
+        messages,
+        messages as f64 / report.rounds.len().max(1) as f64,
+        report.wire.bytes_sent,
+        report.wire.bytes_received,
+    );
+}
+
+fn shard_main(mut args: std::env::Args) {
+    let mut connect: Option<SocketAddr> = None;
+    let mut listen: Option<SocketAddr> = None;
+    let mut shard: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => {
+                connect = Some(parse_addr("--connect", &take_value("--connect", &mut args)))
+            }
+            "--listen" => listen = Some(parse_addr("--listen", &take_value("--listen", &mut args))),
+            "--shard" => shard = Some(parse_usize("--shard", &take_value("--shard", &mut args), 0)),
+            "--shards" => {
+                shards = Some(parse_usize("--shards", &take_value("--shards", &mut args), 1))
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}' for dolbie_node shard");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(connect), Some(listen), Some(shard), Some(shards)) = (connect, listen, shard, shards)
+    else {
+        usage()
+    };
+    if shard >= shards {
+        eprintln!("error: --shard {shard} is out of range for --shards {shards}");
+        std::process::exit(2);
+    }
+
+    let listener = TcpListener::bind(listen).unwrap_or_else(|e| {
+        eprintln!("error: cannot listen on {listen}: {e}");
+        std::process::exit(1);
+    });
+    let local = listener.local_addr().expect("bound listener has an address");
+    println!("shard {shard}/{shards} listening on {local}, dialing root at {connect}");
+
+    let stream = connect_with_backoff(connect, 10, Duration::from_millis(50), shard as u64)
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot reach root at {connect}: {e}");
+            std::process::exit(1);
+        });
+    let opts =
+        ShardMasterOptions { shard, num_shards: shards, frame_timeout: DEFAULT_FRAME_TIMEOUT };
+    let report = run_shard_master(stream, &listener, &opts).unwrap_or_else(|e| {
+        eprintln!("error: shard-master run failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "shard {} done: {} rounds over workers {:?}, {} frames / {} bytes on the worker tier",
+        report.shard,
+        report.rounds.len(),
+        report.range,
+        report.wire.frames_sent + report.wire.frames_received,
+        report.wire.bytes_sent + report.wire.bytes_received,
+    );
 }
 
 fn worker_main(mut args: std::env::Args) {

@@ -7,21 +7,25 @@
 //! the fleet and worst-case round latency is `N × frame_timeout`. Here
 //! every socket is non-blocking and the loop sweeps readiness instead:
 //! frames are reassembled per connection by the shared
-//! [`FrameCodec`], broadcasts encode once
+//! [`FrameCodec`](crate::transport::FrameCodec), broadcasts encode once
 //! and land on every transmit queue as raw bytes, writes batch into as
 //! few syscalls as the kernel accepts, and per-connection deadlines ride
 //! a hashed timer wheel — so `K` simultaneously stalled workers cost a
-//! round one `frame_timeout` total, not `K` of them.
+//! round one `frame_timeout` total, not `K` of them. The sweep machinery
+//! itself (connections, pumps, deadlines, broadcast, crash discovery)
+//! lives in `crate::fleet`, shared with the shard-master tier; this
+//! module owns only the flat master's protocol script.
 //!
 //! ## Connection state machine
 //!
 //! A connection is **handshaking** (accepted, Hello awaited under a
-//! deadline), **admitted** (assigned a worker id, speaking the round
-//! protocol, possibly through the lossy envelope), or **dead** (socket
-//! error, deadline expiry, or a declared crash — its stats retire into
-//! the run totals). A handshake failure of any kind — timeout, garbage
-//! bytes, premature close, a non-Hello opener — rejects that socket and
-//! keeps listening for the real fleet; it never aborts the run.
+//! deadline — see `crate::handshake`), **admitted** (assigned a worker
+//! id, speaking the round protocol, possibly through the lossy
+//! envelope), or **dead** (socket error, deadline expiry, or a declared
+//! crash — its stats retire into the run totals). A handshake failure of
+//! any kind — timeout, garbage bytes, premature close, a non-Hello
+//! opener — rejects that socket and keeps listening for the real fleet;
+//! it never aborts the run.
 //!
 //! ## Determinism boundary
 //!
@@ -35,17 +39,16 @@
 //! crash surfaces; the crash→epoch mapping (pre-commit restart vs
 //! post-commit stand) is preserved, not the wall-clock instant.
 
+use crate::fleet::{Fleet, Phase, SweepFail};
+use crate::handshake::{admit_concurrent, welcome_frame};
 use crate::master::{MasterConfig, NetRunReport};
-use crate::transport::{FrameCodec, TransportError, WireStats};
+use crate::transport::{TransportError, WireStats};
 use crate::wire::Frame;
 use crate::NetError;
 use dolbie_core::{Allocation, Dolbie, LoadBalancer};
-use dolbie_simnet::faults::FaultPlan;
 use dolbie_simnet::{ProtocolRound, ProtocolTrace};
-use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::time::{Duration, Instant};
+use std::net::TcpListener;
+use std::time::Instant;
 
 /// How a round attempt ended, when not in a completed record.
 enum Abort {
@@ -58,679 +61,27 @@ enum Abort {
     Fatal(NetError),
 }
 
-/// Why one connection stopped being usable.
-enum ConnFail {
-    /// Socket-level death: EOF, reset, write-zero. Maps to a crash.
-    Dead,
-    /// The peer sent malformed or protocol-violating traffic.
-    Fatal(NetError),
-}
-
-const WHEEL_SLOTS: usize = 256;
-const WHEEL_TICK_MICROS: u128 = 4_000;
-
-#[derive(Debug, Clone, Copy)]
-struct Timer {
-    at: Instant,
-    conn: usize,
-    gen: u64,
-}
-
-/// A hashed timer wheel: 256 slots of 4 ms. Arming is O(1); expiry
-/// drains only the slots the cursor crosses, re-keeping entries armed a
-/// full rotation or more ahead. Cancellation is lazy: each connection
-/// carries a generation counter and a fired timer whose generation is
-/// stale is simply discarded.
-#[derive(Debug)]
-struct TimerWheel {
-    slots: Vec<Vec<Timer>>,
-    epoch: Instant,
-    tick: u64,
-}
-
-impl TimerWheel {
-    fn new(now: Instant) -> Self {
-        Self { slots: vec![Vec::new(); WHEEL_SLOTS], epoch: now, tick: 0 }
-    }
-
-    fn tick_of(&self, at: Instant) -> u64 {
-        (at.saturating_duration_since(self.epoch).as_micros() / WHEEL_TICK_MICROS) as u64
-    }
-
-    fn arm(&mut self, at: Instant, conn: usize, gen: u64) {
-        let tick = self.tick_of(at).max(self.tick);
-        self.slots[(tick as usize) % WHEEL_SLOTS].push(Timer { at, conn, gen });
-    }
-
-    /// Drains every timer due by `now`, sorted by (deadline, connection)
-    /// so expiry order never depends on slot hashing.
-    fn expire(&mut self, now: Instant) -> Vec<Timer> {
-        let now_tick = self.tick_of(now);
-        if now_tick < self.tick {
-            return Vec::new();
-        }
-        let mut due = Vec::new();
-        // Past a full rotation every slot is visited exactly once.
-        let span = (now_tick - self.tick + 1).min(WHEEL_SLOTS as u64);
-        for step in 0..span {
-            let slot = ((self.tick + step) as usize) % WHEEL_SLOTS;
-            let mut keep = Vec::new();
-            for timer in self.slots[slot].drain(..) {
-                if timer.at <= now {
-                    due.push(timer);
-                } else {
-                    keep.push(timer);
-                }
-            }
-            self.slots[slot] = keep;
-        }
-        self.tick = now_tick;
-        due.sort_by(|a, b| a.at.cmp(&b.at).then(a.conn.cmp(&b.conn)));
-        due
-    }
-}
-
-/// Adaptive idle pacing: spin-yield while traffic flows, back off to
-/// brief sleeps once the loop goes quiet, reset on any progress.
-struct IdleWait {
-    streak: u32,
-}
-
-impl IdleWait {
-    fn new() -> Self {
-        Self { streak: 0 }
-    }
-
-    fn pace(&mut self, progressed: bool) {
-        if progressed {
-            self.streak = 0;
-            return;
-        }
-        self.streak += 1;
-        if self.streak < 8 {
-            std::thread::yield_now();
-        } else {
-            std::thread::sleep(Duration::from_micros(500));
+impl From<SweepFail> for Abort {
+    fn from(fail: SweepFail) -> Self {
+        match fail {
+            SweepFail::Dead(workers) => Self::Dead { workers, committed: None },
+            SweepFail::Fatal(e) => Self::Fatal(e),
         }
     }
-}
-
-/// One stop-and-wait envelope in flight on a lossy connection.
-#[derive(Debug)]
-struct Inflight {
-    seq: u64,
-    frame: Frame,
-    attempt: usize,
-    rto: f64,
-    at: Instant,
-}
-
-/// Non-blocking counterpart of the blocking `Link`'s lossy state: the
-/// same hash-keyed drop/duplicate/ack-drop decisions and the same
-/// stop-and-wait discipline (one envelope in flight per direction —
-/// pipelining would break the receiver's high-water-mark dedup), driven
-/// by the sweep loop instead of blocking waits.
-#[derive(Debug)]
-struct NbLossy {
-    plan: FaultPlan,
-    self_code: u64,
-    peer_code: u64,
-    next_seq: u64,
-    last_delivered: Option<u64>,
-    outbox: VecDeque<Frame>,
-    inflight: Option<Inflight>,
-    retransmissions: u64,
-    duplicates: u64,
-    acks: u64,
-}
-
-/// One admitted (or handshaking) connection: a non-blocking socket, the
-/// shared reassembly/transmit codec, the optional lossy envelope, and an
-/// inbox of fully decoded protocol frames.
-#[derive(Debug)]
-struct Conn {
-    stream: TcpStream,
-    codec: FrameCodec,
-    lossy: Option<NbLossy>,
-    inbox: VecDeque<Frame>,
-    /// Deadline generation; bumping it lazily cancels armed timers.
-    gen: u64,
-    /// Whether a collect phase currently awaits a frame from this peer.
-    awaiting: bool,
-}
-
-impl Conn {
-    fn new(stream: TcpStream) -> std::io::Result<Self> {
-        stream.set_nonblocking(true)?;
-        stream.set_nodelay(true)?;
-        Ok(Self {
-            stream,
-            codec: FrameCodec::new(),
-            lossy: None,
-            inbox: VecDeque::new(),
-            gen: 0,
-            awaiting: false,
-        })
-    }
-
-    fn install_lossy(&mut self, plan: &FaultPlan, self_code: u64, peer_code: u64) {
-        if plan.is_lossless() {
-            return;
-        }
-        self.lossy = Some(NbLossy {
-            plan: plan.clone(),
-            self_code,
-            peer_code,
-            next_seq: 0,
-            last_delivered: None,
-            outbox: VecDeque::new(),
-            inflight: None,
-            retransmissions: 0,
-            duplicates: 0,
-            acks: 0,
-        });
-    }
-
-    /// Whether this connection still has outbound work: unsent bytes or
-    /// a live lossy envelope.
-    fn busy(&self) -> bool {
-        self.codec.has_tx()
-            || self.lossy.as_ref().is_some_and(|l| l.inflight.is_some() || !l.outbox.is_empty())
-    }
-
-    /// Queues one protocol frame, through the lossy envelope when one is
-    /// installed.
-    fn queue(&mut self, frame: &Frame, now: Instant) {
-        if self.lossy.is_some() {
-            self.lossy.as_mut().expect("checked above").outbox.push_back(frame.clone());
-            self.lossy_kick(now);
-        } else {
-            self.codec.queue(frame);
-        }
-    }
-
-    /// Starts the next queued envelope if nothing is in flight.
-    fn lossy_kick(&mut self, now: Instant) {
-        loop {
-            let Some(state) = self.lossy.as_mut() else { return };
-            if state.inflight.is_some() {
-                return;
-            }
-            let Some(frame) = state.outbox.pop_front() else { return };
-            let seq = state.next_seq;
-            state.next_seq += 1;
-            let rto = state.plan.retry.ack_timeout;
-            state.inflight = Some(Inflight { seq, frame, attempt: 0, rto, at: now });
-            if !self.lossy_transmit(now) {
-                return;
-            }
-            // The forced final attempt completed immediately; chain on.
-        }
-    }
-
-    /// Writes (or hash-drops) the current attempt. Returns whether the
-    /// envelope completed (the forced final attempt was written).
-    fn lossy_transmit(&mut self, now: Instant) -> bool {
-        let Self { codec, lossy, .. } = self;
-        let state = lossy.as_mut().expect("lossy mode");
-        let inflight = state.inflight.as_mut().expect("an attempt in flight");
-        let attempt = inflight.attempt;
-        let forced = attempt + 1 == state.plan.retry.max_attempts;
-        let delivered = forced
-            || !state.plan.wire_drop(inflight.seq, state.self_code, state.peer_code, attempt);
-        if delivered {
-            let data = Frame::Data {
-                seq: inflight.seq,
-                attempt: attempt as u32,
-                inner: Box::new(inflight.frame.clone()),
-            };
-            codec.queue(&data);
-            if state.plan.wire_duplicate(inflight.seq, state.self_code, state.peer_code, attempt) {
-                codec.queue(&data);
-                state.duplicates += 1;
-            }
-        }
-        inflight.at = now;
-        if forced {
-            // TCP delivers what we wrote; nothing left to await.
-            state.inflight = None;
-        }
-        forced
-    }
-
-    /// Drives the retransmission clock: the same
-    /// `ack_timeout · backoff^k` schedule as the blocking link, checked
-    /// against wall time each sweep instead of slept through.
-    fn lossy_poll(&mut self, now: Instant) {
-        if self.lossy.is_none() {
-            return;
-        }
-        self.lossy_kick(now);
-        let Some(state) = self.lossy.as_mut() else { return };
-        let Some(inflight) = state.inflight.as_mut() else { return };
-        if now.saturating_duration_since(inflight.at) < Duration::from_secs_f64(inflight.rto) {
-            return;
-        }
-        inflight.attempt += 1;
-        inflight.rto *= state.plan.retry.backoff;
-        state.retransmissions += 1;
-        if self.lossy_transmit(now) {
-            self.lossy_kick(now);
-        }
-    }
-
-    /// Receiver-side routing of one decoded frame: straight to the inbox
-    /// on lossless connections; ack-or-suppress, dedup, then inbox on
-    /// lossy ones.
-    fn route(&mut self, frame: Frame, now: Instant) -> Result<(), ConnFail> {
-        let Self { codec, lossy, inbox, .. } = self;
-        let Some(state) = lossy.as_mut() else {
-            inbox.push_back(frame);
-            return Ok(());
-        };
-        match frame {
-            Frame::Data { seq, attempt, inner } => {
-                // Ack fate is keyed on the DATA direction (peer → self),
-                // so the sender reaches the same verdict.
-                let suppressed = state.plan.wire_ack_drop(
-                    seq,
-                    state.peer_code,
-                    state.self_code,
-                    attempt as usize,
-                );
-                if !suppressed {
-                    codec.queue(&Frame::Ack { seq });
-                    state.acks += 1;
-                }
-                // Per-direction seqs are strictly increasing; anything at
-                // or below the high-water mark is a copy already delivered.
-                if state.last_delivered.is_none_or(|last| seq > last) {
-                    state.last_delivered = Some(seq);
-                    inbox.push_back(*inner);
-                }
-                Ok(())
-            }
-            Frame::Ack { seq } => {
-                if state.inflight.as_ref().is_some_and(|i| i.seq == seq) {
-                    state.inflight = None;
-                    self.lossy_kick(now);
-                }
-                Ok(())
-            }
-            _ => Err(ConnFail::Fatal(NetError::Transport(TransportError::Protocol(
-                "raw frame on a lossy link",
-            )))),
-        }
-    }
-
-    /// Drains whatever the socket has buffered and parses complete
-    /// frames into the inbox. Returns whether any bytes arrived.
-    fn pump_read(&mut self, now: Instant) -> Result<bool, ConnFail> {
-        let mut progressed = false;
-        let mut chunk = [0u8; 16384];
-        loop {
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return Err(ConnFail::Dead),
-                Ok(k) => {
-                    self.codec.ingest(&chunk[..k]);
-                    progressed = true;
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return Err(ConnFail::Dead),
-            }
-        }
-        loop {
-            match self.codec.pop_frame() {
-                Ok(Some(frame)) => self.route(frame, now)?,
-                Ok(None) => break,
-                Err(e) => return Err(ConnFail::Fatal(NetError::Transport(e.into()))),
-            }
-        }
-        Ok(progressed)
-    }
-
-    /// Writes as much of the transmit queue as the socket accepts.
-    fn pump_write(&mut self) -> Result<bool, ConnFail> {
-        let mut progressed = false;
-        while self.codec.has_tx() {
-            match self.stream.write(self.codec.pending_tx()) {
-                Ok(0) => return Err(ConnFail::Dead),
-                Ok(k) => {
-                    self.codec.advance_tx(k);
-                    progressed = true;
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return Err(ConnFail::Dead),
-            }
-        }
-        Ok(progressed)
-    }
-
-    /// Combined socket and envelope counters.
-    fn stats(&self) -> WireStats {
-        let mut stats = self.codec.stats();
-        if let Some(state) = &self.lossy {
-            stats.retransmissions = state.retransmissions;
-            stats.duplicates = state.duplicates;
-            stats.acks = state.acks;
-        }
-        stats
-    }
-}
-
-/// One full readiness pass over a connection: retransmission clock,
-/// write, read, then clock again (an ack may have freed the envelope).
-fn pump(conn: &mut Conn, now: Instant) -> Result<bool, ConnFail> {
-    conn.lossy_poll(now);
-    let wrote = conn.pump_write()?;
-    let read = conn.pump_read(now)?;
-    conn.lossy_poll(now);
-    let flushed = conn.pump_write()?;
-    Ok(wrote | read | flushed)
-}
-
-/// Concurrent admission: every pending socket handshakes under its own
-/// deadline, ids assigned in Hello-completion order. Rogue sockets
-/// (timeout, garbage, close, non-Hello opener) are rejected while the
-/// listener keeps accepting, so neither a rogue nor a slow peer stalls
-/// or kills the fleet.
-fn admit(
-    listener: &TcpListener,
-    cfg: &MasterConfig,
-    engine: &Dolbie,
-) -> Result<Vec<Option<Conn>>, NetError> {
-    let n = cfg.num_workers;
-    let mut wheel = TimerWheel::new(Instant::now());
-    let mut idle = IdleWait::new();
-    let mut candidates: Vec<Option<Conn>> = Vec::new();
-    let mut admitted: Vec<Option<Conn>> = (0..n).map(|_| None).collect();
-    let mut next_id = 0usize;
-    while next_id < n {
-        let now = Instant::now();
-        let mut progressed = false;
-        loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    if let Ok(mut conn) = Conn::new(stream) {
-                        conn.gen += 1;
-                        let idx = candidates.len();
-                        wheel.arm(now + cfg.frame_timeout, idx, conn.gen);
-                        candidates.push(Some(conn));
-                        progressed = true;
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(TransportError::from(e).into()),
-            }
-        }
-        for slot in candidates.iter_mut() {
-            if next_id >= n {
-                break;
-            }
-            let Some(conn) = slot.as_mut() else { continue };
-            match conn.pump_read(now) {
-                Ok(p) => progressed |= p,
-                Err(_) => {
-                    // Rejected: dead socket or undecodable bytes.
-                    *slot = None;
-                    continue;
-                }
-            }
-            match conn.inbox.pop_front() {
-                None => {}
-                Some(Frame::Hello { .. }) => {
-                    let mut conn = slot.take().expect("candidate present");
-                    let worker_id = next_id;
-                    next_id += 1;
-                    conn.queue(
-                        &Frame::Welcome {
-                            worker_id: worker_id as u32,
-                            num_workers: n as u32,
-                            rounds: cfg.rounds as u64,
-                            env: cfg.env,
-                            initial_share: engine.allocation().share(worker_id),
-                            drop_probability: cfg.fault.drop_probability,
-                            duplicate_probability: cfg.fault.duplicate_probability,
-                            fault_seed: cfg.fault.seed,
-                        },
-                        now,
-                    );
-                    // The handshake precedes the envelope; faults start
-                    // with the first round frame (like the blocking side).
-                    conn.install_lossy(&cfg.fault, 0, worker_id as u64 + 1);
-                    // Write errors surface on the first round pump.
-                    let _ = conn.pump_write();
-                    conn.gen += 1; // cancels the Hello deadline
-                    admitted[worker_id] = Some(conn);
-                    progressed = true;
-                }
-                // A well-formed but out-of-protocol opener: rejected.
-                Some(_) => *slot = None,
-            }
-        }
-        for timer in wheel.expire(now) {
-            let stale = candidates
-                .get(timer.conn)
-                .and_then(|c| c.as_ref())
-                .is_some_and(|c| c.gen == timer.gen);
-            if stale {
-                // Hello never arrived within the deadline: rejected.
-                candidates[timer.conn] = None;
-            }
-        }
-        idle.pace(progressed);
-    }
-    Ok(admitted)
-}
-
-/// Which frame a collect phase awaits.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    Cost,
-    Decision,
 }
 
 /// The event-driven master's run state.
 struct EventMaster<'a> {
     cfg: &'a MasterConfig,
-    links: Vec<Option<Conn>>,
+    fleet: Fleet,
     members: Vec<bool>,
     engine: Dolbie,
     epoch: u32,
     retired: WireStats,
-    wheel: TimerWheel,
-    idle: IdleWait,
     started: Instant,
 }
 
 impl EventMaster<'_> {
-    fn wire_snapshot(&self) -> WireStats {
-        let mut total = WireStats::default();
-        for conn in self.links.iter().flatten() {
-            total.absorb(&conn.stats());
-        }
-        total
-    }
-
-    fn wire_delta(&self, before: &WireStats) -> WireStats {
-        let after = self.wire_snapshot();
-        WireStats {
-            frames_sent: after.frames_sent - before.frames_sent,
-            frames_received: after.frames_received - before.frames_received,
-            bytes_sent: after.bytes_sent - before.bytes_sent,
-            bytes_received: after.bytes_received - before.bytes_received,
-            retransmissions: after.retransmissions - before.retransmissions,
-            duplicates: after.duplicates - before.duplicates,
-            acks: after.acks - before.acks,
-        }
-    }
-
-    /// Queues `frame` on every listed connection, encoding once for the
-    /// lossless ones; the lossy envelope needs per-connection sequence
-    /// numbers, so those re-frame individually.
-    fn broadcast(&mut self, frame: &Frame, to: &[usize], now: Instant) {
-        let bytes = frame.encode();
-        for &i in to {
-            let conn = self.links[i].as_mut().expect("active workers have connections");
-            if conn.lossy.is_some() {
-                conn.queue(frame, now);
-            } else {
-                conn.codec.queue_raw(&bytes);
-            }
-        }
-    }
-
-    /// Drops the awaiting flag (and cancels the deadline) everywhere —
-    /// the cleanup step of any aborted collect.
-    fn clear_awaiting(&mut self) {
-        for conn in self.links.iter_mut().flatten() {
-            if conn.awaiting {
-                conn.awaiting = false;
-                conn.gen += 1;
-            }
-        }
-    }
-
-    /// Awaits one matching frame from every worker in `await_set`,
-    /// pumping every busy connection each sweep. Deadlines ride the
-    /// timer wheel and *all* expiries of a sweep are collected before
-    /// aborting, so simultaneous stalls cost one `frame_timeout` total.
-    fn collect(
-        &mut self,
-        t: usize,
-        phase: Phase,
-        await_set: &[usize],
-        out: &mut [f64],
-        logical: &mut usize,
-    ) -> Result<(), Abort> {
-        let now = Instant::now();
-        let mut waiting = vec![false; self.links.len()];
-        for &i in await_set {
-            waiting[i] = true;
-            let conn = self.links[i].as_mut().expect("active workers have connections");
-            conn.gen += 1;
-            conn.awaiting = true;
-            self.wheel.arm(now + self.cfg.frame_timeout, i, conn.gen);
-        }
-        let mut remaining = await_set.len();
-        while remaining > 0 {
-            let now = Instant::now();
-            let mut progressed = false;
-            let mut dead: Vec<usize> = Vec::new();
-            for (i, slot) in self.links.iter_mut().enumerate() {
-                let Some(conn) = slot.as_mut() else { continue };
-                if !(conn.awaiting || conn.busy()) {
-                    continue;
-                }
-                match pump(conn, now) {
-                    Ok(p) => progressed |= p,
-                    Err(ConnFail::Dead) => {
-                        dead.push(i);
-                        continue;
-                    }
-                    Err(ConnFail::Fatal(e)) => return Err(Abort::Fatal(e)),
-                }
-                while waiting[i] {
-                    let Some(frame) = conn.inbox.pop_front() else { break };
-                    let accepted = match (phase, frame) {
-                        (Phase::Cost, Frame::LocalCost { epoch: e, round, cost }) => {
-                            (e == self.epoch && round == t as u64).then_some(cost)
-                            // else: stale frame from an abandoned attempt
-                        }
-                        (Phase::Cost, Frame::Decision { epoch: e, .. }) if e < self.epoch => None,
-                        (Phase::Decision, Frame::Decision { epoch: e, round, gain, .. }) => {
-                            (e == self.epoch && round == t as u64).then_some(gain)
-                        }
-                        (Phase::Decision, Frame::LocalCost { epoch: e, .. }) if e < self.epoch => {
-                            None
-                        }
-                        (_, _) => {
-                            let what = match phase {
-                                Phase::Cost => "cost",
-                                Phase::Decision => "decision",
-                            };
-                            return Err(Abort::Fatal(NetError::Protocol(format!(
-                                "worker {i} sent an unexpected frame during {what} collection"
-                            ))));
-                        }
-                    };
-                    if let Some(value) = accepted {
-                        out[i] = value;
-                        *logical += 1;
-                        waiting[i] = false;
-                        conn.awaiting = false;
-                        conn.gen += 1;
-                        remaining -= 1;
-                    }
-                }
-            }
-            for timer in self.wheel.expire(now) {
-                let expired = self.links[timer.conn]
-                    .as_ref()
-                    .is_some_and(|c| c.awaiting && c.gen == timer.gen);
-                if expired && !dead.contains(&timer.conn) {
-                    dead.push(timer.conn);
-                }
-            }
-            if !dead.is_empty() {
-                dead.sort_unstable();
-                dead.dedup();
-                self.clear_awaiting();
-                return Err(Abort::Dead { workers: dead, committed: None });
-            }
-            self.idle.pace(progressed);
-        }
-        Ok(())
-    }
-
-    /// Flushes every pending queue and live envelope within one
-    /// `frame_timeout`; connections that fail or stall come back as the
-    /// dead list. Used after the engine commits, so the caller maps a
-    /// non-empty list onto the round-stands crash branch.
-    fn drain(&mut self) -> Result<Vec<usize>, Abort> {
-        let until = Instant::now() + self.cfg.frame_timeout;
-        let mut dead: Vec<usize> = Vec::new();
-        loop {
-            let now = Instant::now();
-            let mut busy_any = false;
-            let mut progressed = false;
-            for (i, slot) in self.links.iter_mut().enumerate() {
-                let Some(conn) = slot.as_mut() else { continue };
-                if dead.contains(&i) || !conn.busy() {
-                    continue;
-                }
-                match pump(conn, now) {
-                    Ok(p) => progressed |= p,
-                    Err(ConnFail::Dead) => {
-                        dead.push(i);
-                        continue;
-                    }
-                    Err(ConnFail::Fatal(e)) => return Err(Abort::Fatal(e)),
-                }
-                if conn.busy() {
-                    busy_any = true;
-                }
-            }
-            if !busy_any {
-                break;
-            }
-            if now >= until {
-                for (i, slot) in self.links.iter().enumerate() {
-                    if slot.as_ref().is_some_and(Conn::busy) && !dead.contains(&i) {
-                        dead.push(i);
-                    }
-                }
-                break;
-            }
-            self.idle.pace(progressed);
-        }
-        dead.sort_unstable();
-        Ok(dead)
-    }
-
     /// One attempt at round `t` under the current epoch — the same
     /// protocol script as the blocking master, phrased as broadcasts and
     /// sweeps instead of per-worker blocking calls.
@@ -738,16 +89,16 @@ impl EventMaster<'_> {
         let n = self.members.len();
         let active: Vec<usize> = (0..n).filter(|&i| self.members[i]).collect();
         let allocation = self.engine.allocation().clone();
-        let before = self.wire_snapshot();
+        let before = self.fleet.wire_snapshot();
 
         // Barrier: every active worker starts round t under this epoch.
         let start = Frame::RoundStart { epoch: self.epoch, round: t as u64 };
-        self.broadcast(&start, &active, Instant::now());
+        self.fleet.broadcast(&start, &active, Instant::now());
         let mut logical = active.len();
 
         // Lines 9–11: collect local costs, filtering stale pre-epoch frames.
         let mut local_costs = vec![0.0f64; n];
-        self.collect(t, Phase::Cost, &active, &mut local_costs, &mut logical)?;
+        self.fleet.collect(t, self.epoch, Phase::Cost, &active, &mut local_costs, &mut logical)?;
         let compute_finished = self.started.elapsed().as_secs_f64();
 
         // Straggler: ascending argmax over the active members, strict `>`
@@ -768,21 +119,21 @@ impl EventMaster<'_> {
         let shared =
             Frame::Coordination { round: t as u64, global_cost, alpha, is_straggler: false };
         let now = Instant::now();
-        self.broadcast(&shared, &others, now);
+        self.fleet.broadcast(&shared, &others, now);
         let pin = Frame::Coordination { round: t as u64, global_cost, alpha, is_straggler: true };
-        self.links[straggler].as_mut().expect("straggler is active").queue(&pin, now);
+        self.fleet.queue_to(straggler, &pin, now);
         logical += active.len();
 
         // Lines 13–14: collect the non-stragglers' reported gains.
         let mut gains = vec![0.0f64; n];
-        self.collect(t, Phase::Decision, &others, &mut gains, &mut logical)?;
+        self.fleet.collect(t, self.epoch, Phase::Decision, &others, &mut gains, &mut logical)?;
 
         // The engine commits the round — from here the round stands even
         // if a delivery below discovers a death.
         let outcome = self.engine.observe_reported(straggler, &gains);
 
         let record = |master: &Self, logical: usize, control_finished: f64| -> ProtocolRound {
-            let wire = master.wire_delta(&before);
+            let wire = master.fleet.wire_delta(&before);
             ProtocolRound {
                 round: t,
                 allocation: allocation.clone(),
@@ -804,42 +155,27 @@ impl EventMaster<'_> {
         // The rare simplex-guard rescale: non-stragglers replay
         // `x = x_old + gain · scale`.
         if let Some(scale) = outcome.rescale {
-            self.broadcast(&Frame::Adjust { round: t as u64, scale }, &others, Instant::now());
+            self.fleet.broadcast(
+                &Frame::Adjust { round: t as u64, scale },
+                &others,
+                Instant::now(),
+            );
             logical += others.len();
         }
 
         // Line 15: the straggler's pinned share.
         let assignment = Frame::Assignment { round: t as u64, share: outcome.straggler_share };
-        self.links[straggler]
-            .as_mut()
-            .expect("straggler is active")
-            .queue(&assignment, Instant::now());
+        self.fleet.queue_to(straggler, &assignment, Instant::now());
         logical += 1;
 
         // Deliver the commit: the round's wire accounting closes once the
         // queues drain; a death discovered here maps to round-stands.
-        let dead = self.drain()?;
+        let dead = self.fleet.drain().map_err(Abort::Fatal)?;
         let committed = record(self, logical, self.started.elapsed().as_secs_f64());
         if !dead.is_empty() {
             return Err(Abort::Dead { workers: dead, committed: Some(Box::new(committed)) });
         }
         Ok(committed)
-    }
-
-    /// Synchronously drives one connection until its queues drain — the
-    /// blocking-send equivalent used on the rare bury/shutdown paths.
-    fn settle(conn: &mut Conn, limit: Duration) -> Result<(), ConnFail> {
-        let until = Instant::now() + limit;
-        let mut idle = IdleWait::new();
-        while conn.busy() {
-            let now = Instant::now();
-            if now >= until {
-                return Err(ConnFail::Dead);
-            }
-            let progressed = pump(conn, now)?;
-            idle.pace(progressed);
-        }
-        Ok(())
     }
 
     /// Declares `worker` dead, crosses a membership epoch, and announces
@@ -852,7 +188,7 @@ impl EventMaster<'_> {
                 continue;
             }
             self.members[dead] = false;
-            if let Some(conn) = self.links[dead].take() {
+            if let Some(conn) = self.fleet.links[dead].take() {
                 self.retired.absorb(&conn.stats());
             }
             if !self.members.iter().any(|&m| m) {
@@ -861,7 +197,7 @@ impl EventMaster<'_> {
             self.engine.apply_membership(&self.members);
             self.epoch += 1;
             let mask = self.members.clone();
-            for i in 0..self.links.len() {
+            for i in 0..self.fleet.links.len() {
                 if !self.members[i] {
                     continue;
                 }
@@ -871,9 +207,9 @@ impl EventMaster<'_> {
                     share: self.engine.allocation().share(i),
                     members: mask.clone(),
                 };
-                let conn = self.links[i].as_mut().expect("members have connections");
+                let conn = self.fleet.links[i].as_mut().expect("members have connections");
                 conn.queue(&frame, Instant::now());
-                if Self::settle(conn, self.cfg.frame_timeout).is_err() {
+                if Fleet::settle(conn, self.cfg.frame_timeout).is_err() {
                     pending.push(i);
                 }
             }
@@ -906,16 +242,30 @@ pub fn run_master_evented(
 fn drive(listener: &TcpListener, cfg: &MasterConfig) -> Result<NetRunReport, NetError> {
     let n = cfg.num_workers;
     let engine = Dolbie::with_config(Allocation::uniform(n), cfg.dolbie);
-    let links = admit(listener, cfg, &engine)?;
+    let links = admit_concurrent(
+        listener,
+        n,
+        cfg.frame_timeout,
+        &cfg.fault,
+        |id| {
+            welcome_frame(
+                id as u32,
+                n as u32,
+                cfg.rounds as u64,
+                cfg.env,
+                engine.allocation().share(id),
+                &cfg.fault,
+            )
+        },
+        |id| id as u64 + 1,
+    )?;
     let mut master = EventMaster {
         cfg,
-        links,
+        fleet: Fleet::new(links, cfg.frame_timeout),
         members: vec![true; n],
         engine,
         epoch: 0,
         retired: WireStats::default(),
-        wheel: TimerWheel::new(Instant::now()),
-        idle: IdleWait::new(),
         started: Instant::now(),
     };
     let mut records: Vec<ProtocolRound> = Vec::with_capacity(cfg.rounds);
@@ -928,7 +278,7 @@ fn drive(listener: &TcpListener, cfg: &MasterConfig) -> Result<NetRunReport, Net
             }
             Err(Abort::Fatal(e)) => return Err(e),
             Err(Abort::Dead { workers, committed }) => {
-                master.clear_awaiting();
+                master.fleet.clear_awaiting();
                 if let Some(record) = committed {
                     // The engine had committed before the death surfaced:
                     // the round stands and the run continues at t + 1.
@@ -942,13 +292,12 @@ fn drive(listener: &TcpListener, cfg: &MasterConfig) -> Result<NetRunReport, Net
         }
     }
 
-    // Orderly shutdown; a worker dying at the very end is not an error.
-    for conn in master.links.iter_mut().flatten() {
-        conn.queue(&Frame::Shutdown, Instant::now());
-        let _ = EventMaster::settle(conn, master.cfg.frame_timeout);
-    }
+    // Orderly shutdown; a worker dying at the very end is not an error,
+    // and the linger keeps acking stragglers' retransmissions until they
+    // close.
+    master.fleet.shutdown(master.cfg.frame_timeout);
     let mut wire = master.retired;
-    for conn in master.links.iter().flatten() {
+    for conn in master.fleet.links.iter().flatten() {
         wire.absorb(&conn.stats());
     }
     Ok(NetRunReport {

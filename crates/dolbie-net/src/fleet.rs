@@ -1,0 +1,968 @@
+//! The connection-sweep machinery behind every evented coordinator: a
+//! set of non-blocking connections pumped by a level-triggered readiness
+//! loop, with per-connection deadlines on a hashed timer wheel and the
+//! stop-and-wait lossy envelope mirrored from the blocking [`Link`].
+//!
+//! [`crate::evented`] (the flat event-driven master) and
+//! [`crate::shard`] (the shard-master tier) both coordinate "a member
+//! set over sockets"; everything below the protocol script — readiness
+//! sweeps, frame reassembly, broadcast fan-out, deadline bookkeeping,
+//! crash discovery — is identical between them and lives here as
+//! [`Fleet`].
+//!
+//! [`Link`]: crate::transport::Link
+
+use crate::transport::{FrameCodec, TransportError, WireStats};
+use crate::wire::Frame;
+use crate::NetError;
+use dolbie_simnet::faults::FaultPlan;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Slot count of the hashed timer wheel. Must be a power of two (checked
+/// by a debug assertion in [`TimerWheel::new`]) so the slot index — taken
+/// with `%` for clarity — compiles to a mask, and so a full rotation
+/// divides the tick space evenly. 256 slots of [`WHEEL_TICK_MICROS`]
+/// cover a ~1 s horizon per rotation; deadlines beyond it are re-kept
+/// when the cursor crosses their slot.
+pub(crate) const WHEEL_SLOTS: usize = 256;
+
+/// Width of one timer-wheel slot in microseconds. With [`WHEEL_SLOTS`]
+/// slots this bounds deadline-firing granularity at 4 ms — far below any
+/// configured `frame_timeout`, so expiry jitter never masquerades as a
+/// premature crash declaration.
+pub(crate) const WHEEL_TICK_MICROS: u128 = 4_000;
+
+/// Read-buffer size for one non-blocking `read` call. One page-multiple
+/// chunk keeps syscall count low while bounding the stack frame of every
+/// sweep; frames larger than this simply reassemble across reads.
+pub(crate) const READ_CHUNK_BYTES: usize = 16384;
+
+/// Consecutive idle sweeps tolerated before the pacing loop stops
+/// spin-yielding and starts sleeping. Low enough that a quiet fleet
+/// backs off within microseconds; high enough that a single empty sweep
+/// between frame bursts never costs a sleep.
+pub(crate) const SPIN_YIELD_STREAK: u32 = 8;
+
+/// Sleep length, in microseconds, for each idle pass once the
+/// [`SPIN_YIELD_STREAK`] budget is exhausted. Half a millisecond keeps
+/// worst-case added latency per frame well under the timer-wheel tick.
+pub(crate) const IDLE_SLEEP_MICROS: u64 = 500;
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Timer {
+    at: Instant,
+    conn: usize,
+    gen: u64,
+}
+
+/// A hashed timer wheel: [`WHEEL_SLOTS`] slots of [`WHEEL_TICK_MICROS`].
+/// Arming is O(1); expiry drains only the slots the cursor crosses,
+/// re-keeping entries armed a full rotation or more ahead. Cancellation
+/// is lazy: each connection carries a generation counter and a fired
+/// timer whose generation is stale is simply discarded.
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    slots: Vec<Vec<Timer>>,
+    epoch: Instant,
+    tick: u64,
+}
+
+impl TimerWheel {
+    pub(crate) fn new(now: Instant) -> Self {
+        debug_assert!(WHEEL_SLOTS.is_power_of_two(), "wheel slot count must be a power of two");
+        Self { slots: vec![Vec::new(); WHEEL_SLOTS], epoch: now, tick: 0 }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        (at.saturating_duration_since(self.epoch).as_micros() / WHEEL_TICK_MICROS) as u64
+    }
+
+    pub(crate) fn arm(&mut self, at: Instant, conn: usize, gen: u64) {
+        let tick = self.tick_of(at).max(self.tick);
+        self.slots[(tick as usize) % WHEEL_SLOTS].push(Timer { at, conn, gen });
+    }
+
+    /// Drains every timer due by `now`, sorted by (deadline, connection)
+    /// so expiry order never depends on slot hashing.
+    pub(crate) fn expire(&mut self, now: Instant) -> Vec<Timer> {
+        let now_tick = self.tick_of(now);
+        if now_tick < self.tick {
+            return Vec::new();
+        }
+        let mut due = Vec::new();
+        // Past a full rotation every slot is visited exactly once.
+        let span = (now_tick - self.tick + 1).min(WHEEL_SLOTS as u64);
+        for step in 0..span {
+            let slot = ((self.tick + step) as usize) % WHEEL_SLOTS;
+            let mut keep = Vec::new();
+            for timer in self.slots[slot].drain(..) {
+                if timer.at <= now {
+                    due.push(timer);
+                } else {
+                    keep.push(timer);
+                }
+            }
+            self.slots[slot] = keep;
+        }
+        self.tick = now_tick;
+        due.sort_by(|a, b| a.at.cmp(&b.at).then(a.conn.cmp(&b.conn)));
+        due
+    }
+}
+
+impl Timer {
+    pub(crate) fn conn(&self) -> usize {
+        self.conn
+    }
+
+    pub(crate) fn gen(&self) -> u64 {
+        self.gen
+    }
+}
+
+/// Adaptive idle pacing: spin-yield while traffic flows, back off to
+/// brief sleeps once the loop goes quiet, reset on any progress.
+pub(crate) struct IdleWait {
+    streak: u32,
+}
+
+impl IdleWait {
+    pub(crate) fn new() -> Self {
+        Self { streak: 0 }
+    }
+
+    pub(crate) fn pace(&mut self, progressed: bool) {
+        if progressed {
+            self.streak = 0;
+            return;
+        }
+        self.streak += 1;
+        if self.streak < SPIN_YIELD_STREAK {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(IDLE_SLEEP_MICROS));
+        }
+    }
+}
+
+/// One stop-and-wait envelope in flight on a lossy connection.
+#[derive(Debug)]
+struct Inflight {
+    seq: u64,
+    frame: Frame,
+    attempt: usize,
+    rto: f64,
+    at: Instant,
+}
+
+/// Non-blocking counterpart of the blocking `Link`'s lossy state: the
+/// same hash-keyed drop/duplicate/ack-drop decisions and the same
+/// stop-and-wait discipline (one envelope in flight per direction —
+/// pipelining would break the receiver's high-water-mark dedup), driven
+/// by the sweep loop instead of blocking waits.
+#[derive(Debug)]
+struct NbLossy {
+    plan: FaultPlan,
+    self_code: u64,
+    peer_code: u64,
+    next_seq: u64,
+    last_delivered: Option<u64>,
+    outbox: VecDeque<Frame>,
+    inflight: Option<Inflight>,
+    retransmissions: u64,
+    duplicates: u64,
+    acks: u64,
+}
+
+/// Why one connection stopped being usable.
+pub(crate) enum ConnFail {
+    /// Socket-level death: EOF, reset, write-zero. Maps to a crash.
+    Dead,
+    /// The peer sent malformed or protocol-violating traffic.
+    Fatal(NetError),
+}
+
+/// One admitted (or handshaking) connection: a non-blocking socket, the
+/// shared reassembly/transmit codec, the optional lossy envelope, and an
+/// inbox of fully decoded protocol frames.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    stream: TcpStream,
+    pub(crate) codec: FrameCodec,
+    lossy: Option<NbLossy>,
+    pub(crate) inbox: VecDeque<Frame>,
+    /// Deadline generation; bumping it lazily cancels armed timers.
+    pub(crate) gen: u64,
+    /// Whether a collect phase currently awaits a frame from this peer.
+    pub(crate) awaiting: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            codec: FrameCodec::new(),
+            lossy: None,
+            inbox: VecDeque::new(),
+            gen: 0,
+            awaiting: false,
+        })
+    }
+
+    pub(crate) fn install_lossy(&mut self, plan: &FaultPlan, self_code: u64, peer_code: u64) {
+        if plan.is_lossless() {
+            return;
+        }
+        self.lossy = Some(NbLossy {
+            plan: plan.clone(),
+            self_code,
+            peer_code,
+            next_seq: 0,
+            last_delivered: None,
+            outbox: VecDeque::new(),
+            inflight: None,
+            retransmissions: 0,
+            duplicates: 0,
+            acks: 0,
+        });
+    }
+
+    pub(crate) fn is_lossy(&self) -> bool {
+        self.lossy.is_some()
+    }
+
+    /// Whether this connection still has outbound work: unsent bytes or
+    /// a live lossy envelope.
+    pub(crate) fn busy(&self) -> bool {
+        self.codec.has_tx()
+            || self.lossy.as_ref().is_some_and(|l| l.inflight.is_some() || !l.outbox.is_empty())
+    }
+
+    /// Queues one protocol frame, through the lossy envelope when one is
+    /// installed.
+    pub(crate) fn queue(&mut self, frame: &Frame, now: Instant) {
+        if self.lossy.is_some() {
+            self.lossy.as_mut().expect("checked above").outbox.push_back(frame.clone());
+            self.lossy_kick(now);
+        } else {
+            self.codec.queue(frame);
+        }
+    }
+
+    /// Starts the next queued envelope if nothing is in flight.
+    fn lossy_kick(&mut self, now: Instant) {
+        loop {
+            let Some(state) = self.lossy.as_mut() else { return };
+            if state.inflight.is_some() {
+                return;
+            }
+            let Some(frame) = state.outbox.pop_front() else { return };
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            let rto = state.plan.retry.ack_timeout;
+            state.inflight = Some(Inflight { seq, frame, attempt: 0, rto, at: now });
+            if !self.lossy_transmit(now) {
+                return;
+            }
+            // The forced final attempt completed immediately; chain on.
+        }
+    }
+
+    /// Writes (or hash-drops) the current attempt. Returns whether the
+    /// envelope completed (the forced final attempt was written).
+    fn lossy_transmit(&mut self, now: Instant) -> bool {
+        let Self { codec, lossy, .. } = self;
+        let state = lossy.as_mut().expect("lossy mode");
+        let inflight = state.inflight.as_mut().expect("an attempt in flight");
+        let attempt = inflight.attempt;
+        let forced = attempt + 1 == state.plan.retry.max_attempts;
+        let delivered = forced
+            || !state.plan.wire_drop(inflight.seq, state.self_code, state.peer_code, attempt);
+        if delivered {
+            let data = Frame::Data {
+                seq: inflight.seq,
+                attempt: attempt as u32,
+                inner: Box::new(inflight.frame.clone()),
+            };
+            codec.queue(&data);
+            if state.plan.wire_duplicate(inflight.seq, state.self_code, state.peer_code, attempt) {
+                codec.queue(&data);
+                state.duplicates += 1;
+            }
+        }
+        inflight.at = now;
+        if forced {
+            // TCP delivers what we wrote; nothing left to await.
+            state.inflight = None;
+        }
+        forced
+    }
+
+    /// Drives the retransmission clock: the same
+    /// `ack_timeout · backoff^k` schedule as the blocking link, checked
+    /// against wall time each sweep instead of slept through.
+    fn lossy_poll(&mut self, now: Instant) {
+        if self.lossy.is_none() {
+            return;
+        }
+        self.lossy_kick(now);
+        let Some(state) = self.lossy.as_mut() else { return };
+        let Some(inflight) = state.inflight.as_mut() else { return };
+        if now.saturating_duration_since(inflight.at) < Duration::from_secs_f64(inflight.rto) {
+            return;
+        }
+        inflight.attempt += 1;
+        inflight.rto *= state.plan.retry.backoff;
+        state.retransmissions += 1;
+        if self.lossy_transmit(now) {
+            self.lossy_kick(now);
+        }
+    }
+
+    /// Receiver-side routing of one decoded frame: straight to the inbox
+    /// on lossless connections; ack-or-suppress, dedup, then inbox on
+    /// lossy ones.
+    fn route(&mut self, frame: Frame, now: Instant) -> Result<(), ConnFail> {
+        let Self { codec, lossy, inbox, .. } = self;
+        let Some(state) = lossy.as_mut() else {
+            inbox.push_back(frame);
+            return Ok(());
+        };
+        match frame {
+            Frame::Data { seq, attempt, inner } => {
+                // Ack fate is keyed on the DATA direction (peer → self),
+                // so the sender reaches the same verdict.
+                let suppressed = state.plan.wire_ack_drop(
+                    seq,
+                    state.peer_code,
+                    state.self_code,
+                    attempt as usize,
+                );
+                if !suppressed {
+                    codec.queue(&Frame::Ack { seq });
+                    state.acks += 1;
+                }
+                // Per-direction seqs are strictly increasing; anything at
+                // or below the high-water mark is a copy already delivered.
+                if state.last_delivered.is_none_or(|last| seq > last) {
+                    state.last_delivered = Some(seq);
+                    inbox.push_back(*inner);
+                }
+                Ok(())
+            }
+            Frame::Ack { seq } => {
+                if state.inflight.as_ref().is_some_and(|i| i.seq == seq) {
+                    state.inflight = None;
+                    self.lossy_kick(now);
+                }
+                Ok(())
+            }
+            _ => Err(ConnFail::Fatal(NetError::Transport(TransportError::Protocol(
+                "raw frame on a lossy link",
+            )))),
+        }
+    }
+
+    /// Drains whatever the socket has buffered and parses complete
+    /// frames into the inbox. Returns whether any bytes arrived.
+    pub(crate) fn pump_read(&mut self, now: Instant) -> Result<bool, ConnFail> {
+        let mut progressed = false;
+        let mut chunk = [0u8; READ_CHUNK_BYTES];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ConnFail::Dead),
+                Ok(k) => {
+                    self.codec.ingest(&chunk[..k]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Err(ConnFail::Dead),
+            }
+        }
+        loop {
+            match self.codec.pop_frame() {
+                Ok(Some(frame)) => self.route(frame, now)?,
+                Ok(None) => break,
+                Err(e) => return Err(ConnFail::Fatal(NetError::Transport(e.into()))),
+            }
+        }
+        Ok(progressed)
+    }
+
+    /// Writes as much of the transmit queue as the socket accepts.
+    pub(crate) fn pump_write(&mut self) -> Result<bool, ConnFail> {
+        let mut progressed = false;
+        while self.codec.has_tx() {
+            match self.stream.write(self.codec.pending_tx()) {
+                Ok(0) => return Err(ConnFail::Dead),
+                Ok(k) => {
+                    self.codec.advance_tx(k);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Err(ConnFail::Dead),
+            }
+        }
+        Ok(progressed)
+    }
+
+    /// Combined socket and envelope counters.
+    pub(crate) fn stats(&self) -> WireStats {
+        let mut stats = self.codec.stats();
+        if let Some(state) = &self.lossy {
+            stats.retransmissions = state.retransmissions;
+            stats.duplicates = state.duplicates;
+            stats.acks = state.acks;
+        }
+        stats
+    }
+}
+
+/// One full readiness pass over a connection: retransmission clock,
+/// write, read, then clock again (an ack may have freed the envelope).
+pub(crate) fn pump(conn: &mut Conn, now: Instant) -> Result<bool, ConnFail> {
+    conn.lossy_poll(now);
+    let wrote = conn.pump_write()?;
+    let read = conn.pump_read(now)?;
+    conn.lossy_poll(now);
+    let flushed = conn.pump_write()?;
+    Ok(wrote | read | flushed)
+}
+
+/// Which worker frame a collect phase awaits.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// `LocalCost` frames (Algorithm 1 lines 9–11).
+    Cost,
+    /// `Decision` frames (Algorithm 1 lines 13–14).
+    Decision,
+}
+
+/// The shared collect-phase frame matcher: the value carried by the
+/// awaited frame, `None` for a stale leftover of an abandoned epoch
+/// (silently filtered, exactly like the blocking master's loops), or
+/// `Fatal` on a protocol violation.
+fn phase_value(
+    phase: Phase,
+    frame: Frame,
+    t: usize,
+    epoch: u32,
+    i: usize,
+) -> Result<Option<f64>, SweepFail> {
+    match (phase, frame) {
+        (Phase::Cost, Frame::LocalCost { epoch: e, round, cost }) => {
+            Ok((e == epoch && round == t as u64).then_some(cost))
+            // else: stale frame from an abandoned attempt
+        }
+        (Phase::Cost, Frame::Decision { epoch: e, .. }) if e < epoch => Ok(None),
+        (Phase::Decision, Frame::Decision { epoch: e, round, gain, .. }) => {
+            Ok((e == epoch && round == t as u64).then_some(gain))
+        }
+        (Phase::Decision, Frame::LocalCost { epoch: e, .. }) if e < epoch => Ok(None),
+        (_, _) => {
+            let what = match phase {
+                Phase::Cost => "cost",
+                Phase::Decision => "decision",
+            };
+            Err(SweepFail::Fatal(NetError::Protocol(format!(
+                "worker {i} sent an unexpected frame during {what} collection"
+            ))))
+        }
+    }
+}
+
+/// How a fleet sweep failed, when it did.
+pub(crate) enum SweepFail {
+    /// These members' sockets died or their deadlines expired — all
+    /// deaths discovered in one sweep, so simultaneous stalls bury
+    /// together instead of costing a timeout each.
+    Dead(Vec<usize>),
+    /// Unrecoverable failure (protocol violation, malformed bytes).
+    Fatal(NetError),
+}
+
+/// A coordinator's member set over non-blocking sockets: the readiness
+/// sweep, coalesced broadcast, deadline, and crash-discovery machinery
+/// shared by the flat evented master and the shard-master tier. The
+/// protocol scripts stay with their owners; `Fleet` only knows how to
+/// move frames and discover deaths.
+pub(crate) struct Fleet {
+    /// Member connections by id; `None` marks a buried member.
+    pub(crate) links: Vec<Option<Conn>>,
+    frame_timeout: Duration,
+    wheel: TimerWheel,
+    idle: IdleWait,
+    /// Whether the sockets have been flipped to blocking mode for the
+    /// staircase collect; see [`Fleet::enter_staircase`].
+    staircase: bool,
+}
+
+impl Fleet {
+    pub(crate) fn new(links: Vec<Option<Conn>>, frame_timeout: Duration) -> Self {
+        Self {
+            links,
+            frame_timeout,
+            wheel: TimerWheel::new(Instant::now()),
+            idle: IdleWait::new(),
+            staircase: false,
+        }
+    }
+
+    /// Flips every member socket to blocking mode — permanently — with
+    /// `frame_timeout` as both read and write deadline, committing this
+    /// fleet to the [`Fleet::collect_blocking`] staircase.
+    ///
+    /// Doing the mode switch once, here, instead of per collect call is
+    /// not a nicety: toggling `O_NONBLOCK` and `SO_RCVTIMEO` around every
+    /// phase costs four syscalls per member per collect, which at
+    /// N = 4096 across sixteen shard-masters is ~32k syscalls a round —
+    /// on a mitigated kernel, tens of milliseconds of pure mode-flipping
+    /// stolen from the workers the phase is waiting on. A fleet in
+    /// staircase mode must never re-enter the readiness sweep
+    /// ([`Fleet::collect`]); `drain` and `shutdown` take blocking-safe
+    /// paths instead.
+    pub(crate) fn enter_staircase(&mut self) -> Result<(), SweepFail> {
+        debug_assert!(
+            self.links.iter().flatten().all(|c| !c.is_lossy()),
+            "the blocking staircase is a lossless-only path: lossy envelopes need the sweep's \
+             retransmission clock"
+        );
+        for (i, slot) in self.links.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else { continue };
+            if conn.stream.set_nonblocking(false).is_err()
+                || conn.stream.set_read_timeout(Some(self.frame_timeout)).is_err()
+                || conn.stream.set_write_timeout(Some(self.frame_timeout)).is_err()
+            {
+                return Err(SweepFail::Dead(vec![i]));
+            }
+        }
+        self.staircase = true;
+        Ok(())
+    }
+
+    /// Run-total wire counters over every live connection.
+    pub(crate) fn wire_snapshot(&self) -> WireStats {
+        let mut total = WireStats::default();
+        for conn in self.links.iter().flatten() {
+            total.absorb(&conn.stats());
+        }
+        total
+    }
+
+    pub(crate) fn wire_delta(&self, before: &WireStats) -> WireStats {
+        let after = self.wire_snapshot();
+        WireStats {
+            frames_sent: after.frames_sent - before.frames_sent,
+            frames_received: after.frames_received - before.frames_received,
+            bytes_sent: after.bytes_sent - before.bytes_sent,
+            bytes_received: after.bytes_received - before.bytes_received,
+            retransmissions: after.retransmissions - before.retransmissions,
+            duplicates: after.duplicates - before.duplicates,
+            acks: after.acks - before.acks,
+        }
+    }
+
+    /// Queues `frame` on every listed connection, encoding once for the
+    /// lossless ones; the lossy envelope needs per-connection sequence
+    /// numbers, so those re-frame individually.
+    pub(crate) fn broadcast(&mut self, frame: &Frame, to: &[usize], now: Instant) {
+        let bytes = frame.encode();
+        for &i in to {
+            let conn = self.links[i].as_mut().expect("active members have connections");
+            if conn.is_lossy() {
+                conn.queue(frame, now);
+            } else {
+                conn.codec.queue_raw(&bytes);
+            }
+        }
+    }
+
+    /// Queues one frame on one member's connection.
+    pub(crate) fn queue_to(&mut self, i: usize, frame: &Frame, now: Instant) {
+        self.links[i].as_mut().expect("active members have connections").queue(frame, now);
+    }
+
+    /// Drops the awaiting flag (and cancels the deadline) everywhere —
+    /// the cleanup step of any aborted collect.
+    pub(crate) fn clear_awaiting(&mut self) {
+        for conn in self.links.iter_mut().flatten() {
+            if conn.awaiting {
+                conn.awaiting = false;
+                conn.gen += 1;
+            }
+        }
+    }
+
+    /// Awaits one matching worker frame from every member in
+    /// `await_set`, pumping every busy connection each sweep. Deadlines
+    /// ride the timer wheel and *all* expiries of a sweep are collected
+    /// before aborting, so simultaneous stalls cost one `frame_timeout`
+    /// total. Frames tagged with an epoch other than `epoch` (or a round
+    /// other than `t`) are stale leftovers of an abandoned attempt and
+    /// are filtered, exactly like the blocking master's collect loops.
+    pub(crate) fn collect(
+        &mut self,
+        t: usize,
+        epoch: u32,
+        phase: Phase,
+        await_set: &[usize],
+        out: &mut [f64],
+        logical: &mut usize,
+    ) -> Result<(), SweepFail> {
+        debug_assert!(!self.staircase, "a staircase fleet's sockets block; the sweep would hang");
+        let now = Instant::now();
+        let mut waiting = vec![false; self.links.len()];
+        for &i in await_set {
+            waiting[i] = true;
+            let conn = self.links[i].as_mut().expect("active members have connections");
+            conn.gen += 1;
+            conn.awaiting = true;
+            self.wheel.arm(now + self.frame_timeout, i, conn.gen);
+        }
+        let mut remaining = await_set.len();
+        while remaining > 0 {
+            let now = Instant::now();
+            let mut progressed = false;
+            let mut dead: Vec<usize> = Vec::new();
+            for (i, slot) in self.links.iter_mut().enumerate() {
+                let Some(conn) = slot.as_mut() else { continue };
+                if !(conn.awaiting || conn.busy()) {
+                    continue;
+                }
+                match pump(conn, now) {
+                    Ok(p) => progressed |= p,
+                    Err(ConnFail::Dead) => {
+                        dead.push(i);
+                        continue;
+                    }
+                    Err(ConnFail::Fatal(e)) => return Err(SweepFail::Fatal(e)),
+                }
+                while waiting[i] {
+                    let Some(frame) = conn.inbox.pop_front() else { break };
+                    let accepted = phase_value(phase, frame, t, epoch, i)?;
+                    if let Some(value) = accepted {
+                        out[i] = value;
+                        *logical += 1;
+                        waiting[i] = false;
+                        conn.awaiting = false;
+                        conn.gen += 1;
+                        remaining -= 1;
+                    }
+                }
+            }
+            for timer in self.wheel.expire(now) {
+                let expired = self.links[timer.conn()]
+                    .as_ref()
+                    .is_some_and(|c| c.awaiting && c.gen == timer.gen());
+                if expired && !dead.contains(&timer.conn()) {
+                    dead.push(timer.conn());
+                }
+            }
+            if !dead.is_empty() {
+                dead.sort_unstable();
+                dead.dedup();
+                self.clear_awaiting();
+                return Err(SweepFail::Dead(dead));
+            }
+            self.idle.pace(progressed);
+        }
+        Ok(())
+    }
+
+    /// The lossless fast path of [`Fleet::collect`]: flush every pending
+    /// queue, then take the awaited frames by *sequential blocking reads*
+    /// — the staircase — instead of the readiness sweep.
+    ///
+    /// With no lossy envelopes there are no retransmission timers and no
+    /// acks to service, so between a broadcast and the matching collect
+    /// the only traffic on the fleet is the awaited frames themselves.
+    /// The coordinator can therefore sleep in the kernel on one socket at
+    /// a time while arrivals from the others buffer; the phase is a
+    /// barrier, so its completion time is unchanged, and what disappears
+    /// is the sweep's poll/sleep duty cycle — read syscalls against
+    /// empty sockets and timeslices stolen from the very workers the
+    /// phase is waiting on. That duty cycle is the flat evented master's
+    /// fan-in cost; shedding it at the shard tier is the measured win of
+    /// the `shard_scale` experiment.
+    ///
+    /// The trade is deadline coarsening: each read waits up to
+    /// `frame_timeout` from the moment its turn comes (a staircase of
+    /// deadlines, not one simultaneous bank), and a stalled early member
+    /// delays *discovery* of later frames — never phase completion —
+    /// until its timeout fires. Callers that need prompt multi-death
+    /// discovery and stall-tolerant heartbeating (the flat evented
+    /// master's crash→epoch machinery) must keep the sweep; the shard
+    /// tier, where a worker death is fatal by contract, takes the
+    /// staircase whenever its fault plan is lossless.
+    ///
+    /// Requires [`Fleet::enter_staircase`] to have flipped the sockets
+    /// to blocking mode first — the deadlines here are the kernel's
+    /// `SO_RCVTIMEO`, armed once, not per-call socket reconfiguration.
+    pub(crate) fn collect_blocking(
+        &mut self,
+        t: usize,
+        epoch: u32,
+        phase: Phase,
+        await_set: &[usize],
+        out: &mut [f64],
+        logical: &mut usize,
+    ) -> Result<(), SweepFail> {
+        debug_assert!(self.staircase, "collect_blocking requires enter_staircase");
+        // Flush everything queued (coordination frames, pins) so every
+        // member is computing before the staircase starts sleeping. The
+        // sockets block with a write deadline, so a pass that leaves
+        // bytes behind means the member stopped reading long enough for
+        // both its socket buffer and the deadline to fill: dead.
+        for (i, slot) in self.links.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else { continue };
+            if conn.busy() {
+                match conn.pump_write() {
+                    Ok(_) if conn.busy() => return Err(SweepFail::Dead(vec![i])),
+                    Ok(_) => {}
+                    Err(ConnFail::Dead) => return Err(SweepFail::Dead(vec![i])),
+                    Err(ConnFail::Fatal(e)) => return Err(SweepFail::Fatal(e)),
+                }
+            }
+        }
+        for &i in await_set {
+            let conn = self.links[i].as_mut().expect("active members have connections");
+            conn.awaiting = true;
+        }
+        // Descend the staircase in *reverse* broadcast order. The phase
+        // opener was written to member 0 first, so replies arrive in
+        // roughly ascending index order — and a blocking read only parks
+        // the thread when its socket is still empty. Read in arrival
+        // order and every single read parks: two context switches per
+        // member per phase, thousands a round across a shard tier.
+        // Read in reverse and the first read parks once, on the member
+        // whose reply lands last, while everyone else's frames buffer in
+        // their sockets; the remaining reads return without sleeping.
+        // Stragglers out of order cost one extra park each, nothing
+        // more, and the phase still completes at the last arrival.
+        let mut failed: Option<SweepFail> = None;
+        'staircase: for &i in await_set.iter().rev() {
+            let conn = self.links[i].as_mut().expect("active members have connections");
+            let mut chunk = [0u8; READ_CHUNK_BYTES];
+            while conn.awaiting {
+                // Serve whatever is already reassembled before sleeping.
+                while let Some(frame) = conn.inbox.pop_front() {
+                    match phase_value(phase, frame, t, epoch, i) {
+                        Ok(Some(value)) => {
+                            out[i] = value;
+                            *logical += 1;
+                            conn.awaiting = false;
+                            conn.gen += 1;
+                        }
+                        Ok(None) => {} // stale, filtered
+                        Err(fail) => {
+                            failed = Some(fail);
+                            break 'staircase;
+                        }
+                    }
+                    if !conn.awaiting {
+                        break;
+                    }
+                }
+                if !conn.awaiting {
+                    break;
+                }
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        failed = Some(SweepFail::Dead(vec![i]));
+                        break 'staircase;
+                    }
+                    Ok(k) => {
+                        conn.codec.ingest(&chunk[..k]);
+                        loop {
+                            match conn.codec.pop_frame() {
+                                Ok(Some(frame)) => conn.inbox.push_back(frame),
+                                Ok(None) => break,
+                                Err(e) => {
+                                    failed = Some(SweepFail::Fatal(NetError::Transport(e.into())));
+                                    break 'staircase;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        // The staircase deadline: this member stalled.
+                        failed = Some(SweepFail::Dead(vec![i]));
+                        break 'staircase;
+                    }
+                    Err(_) => {
+                        failed = Some(SweepFail::Dead(vec![i]));
+                        break 'staircase;
+                    }
+                }
+            }
+        }
+        if let Some(fail) = failed {
+            self.clear_awaiting();
+            return Err(fail);
+        }
+        Ok(())
+    }
+
+    /// Flushes every pending queue and live envelope within one
+    /// `frame_timeout`; connections that fail or stall come back as the
+    /// dead list. Used after a commit, so the caller maps a non-empty
+    /// list onto the round-stands crash branch.
+    pub(crate) fn drain(&mut self) -> Result<Vec<usize>, NetError> {
+        if self.staircase {
+            // Blocking sockets: a read sweep would hang on quiet members,
+            // and on a lossless fleet there is nothing inbound to service
+            // between phases anyway. Draining is flushing the queued
+            // commit frames; the kernel's write deadline turns a member
+            // that stopped reading into a timeout, reported as dead.
+            let mut dead: Vec<usize> = Vec::new();
+            for (i, slot) in self.links.iter_mut().enumerate() {
+                let Some(conn) = slot.as_mut() else { continue };
+                if !conn.busy() {
+                    continue;
+                }
+                match conn.pump_write() {
+                    Ok(_) if conn.busy() => dead.push(i),
+                    Ok(_) => {}
+                    Err(ConnFail::Dead) => dead.push(i),
+                    Err(ConnFail::Fatal(e)) => return Err(e),
+                }
+            }
+            return Ok(dead);
+        }
+        let until = Instant::now() + self.frame_timeout;
+        let mut dead: Vec<usize> = Vec::new();
+        loop {
+            let now = Instant::now();
+            let mut busy_any = false;
+            let mut progressed = false;
+            for (i, slot) in self.links.iter_mut().enumerate() {
+                let Some(conn) = slot.as_mut() else { continue };
+                if dead.contains(&i) || !conn.busy() {
+                    continue;
+                }
+                match pump(conn, now) {
+                    Ok(p) => progressed |= p,
+                    Err(ConnFail::Dead) => {
+                        dead.push(i);
+                        continue;
+                    }
+                    Err(ConnFail::Fatal(e)) => return Err(e),
+                }
+                if conn.busy() {
+                    busy_any = true;
+                }
+            }
+            if !busy_any {
+                break;
+            }
+            if now >= until {
+                for (i, slot) in self.links.iter().enumerate() {
+                    if slot.as_ref().is_some_and(Conn::busy) && !dead.contains(&i) {
+                        dead.push(i);
+                    }
+                }
+                break;
+            }
+            self.idle.pace(progressed);
+        }
+        dead.sort_unstable();
+        Ok(dead)
+    }
+
+    /// Orderly end of the run: queues `Shutdown` on every live link,
+    /// flushes it, then **lingers** — keeps pumping (and therefore
+    /// re-acking retransmitted duplicates) until each peer closes its
+    /// socket or `limit` expires. The linger matters under loss: a peer
+    /// whose final frame's ack was eaten is still blocked in its
+    /// stop-and-wait retransmission schedule when `Shutdown` lands, and
+    /// closing its socket mid-schedule would fire a reset into that
+    /// send. Peers close as soon as they finish, so the common case is a
+    /// handful of sweeps, not the deadline.
+    pub(crate) fn shutdown(&mut self, limit: Duration) {
+        let now = Instant::now();
+        for conn in self.links.iter_mut().flatten() {
+            conn.queue(&Frame::Shutdown, now);
+        }
+        if self.staircase {
+            // Flush every goodbye before reaping any EOF, so no peer's
+            // close waits behind another's blocking read; then collect
+            // the closes, each read bounded by the socket deadline and
+            // the whole pass by `limit`. Lossless peers never block in a
+            // retransmission schedule, so there is nothing to re-ack.
+            for conn in self.links.iter_mut().flatten() {
+                let _ = conn.pump_write();
+            }
+            let until = now + limit;
+            let mut chunk = [0u8; READ_CHUNK_BYTES];
+            for conn in self.links.iter_mut().flatten() {
+                loop {
+                    if Instant::now() >= until {
+                        return;
+                    }
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => break, // the peer's goodbye
+                        Ok(_) => {}     // stray bytes; keep reaping
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => break, // deadline or reset: give up on this peer
+                    }
+                }
+            }
+            return;
+        }
+        let until = now + limit;
+        let mut open: Vec<bool> = self.links.iter().map(Option::is_some).collect();
+        let mut idle = IdleWait::new();
+        loop {
+            let now = Instant::now();
+            if now >= until {
+                return;
+            }
+            let mut progressed = false;
+            let mut remaining = false;
+            for (i, slot) in self.links.iter_mut().enumerate() {
+                if !open[i] {
+                    continue;
+                }
+                let conn = slot.as_mut().expect("open connections exist");
+                match pump(conn, now) {
+                    Ok(p) => {
+                        progressed |= p;
+                        remaining = true;
+                    }
+                    // EOF or error: the peer's goodbye.
+                    Err(_) => open[i] = false,
+                }
+            }
+            if !remaining {
+                return;
+            }
+            idle.pace(progressed);
+        }
+    }
+
+    /// Synchronously drives one connection until its queues drain — the
+    /// blocking-send equivalent used on the rare bury/shutdown paths.
+    pub(crate) fn settle(conn: &mut Conn, limit: Duration) -> Result<(), ConnFail> {
+        let until = Instant::now() + limit;
+        let mut idle = IdleWait::new();
+        while conn.busy() {
+            let now = Instant::now();
+            if now >= until {
+                return Err(ConnFail::Dead);
+            }
+            let progressed = pump(conn, now)?;
+            idle.pace(progressed);
+        }
+        Ok(())
+    }
+}

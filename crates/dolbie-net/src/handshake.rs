@@ -1,0 +1,162 @@
+//! The single home of worker admission: the `Hello → Welcome` handshake
+//! and its rejection semantics, shared by the blocking master
+//! ([`crate::master`]), the evented master ([`crate::evented`]), and the
+//! shard-master tier ([`crate::shard`]) — one implementation of the
+//! admission rules instead of a per-coordinator copy.
+//!
+//! The rules, everywhere: strict magic/version checks ride inside
+//! `Frame` decode; worker ids are assigned in Hello-completion order; a
+//! socket that fails the handshake — timeout, garbage bytes, a premature
+//! close, or a well-formed non-`Hello` opener — is rejected while the
+//! listener keeps accepting, so a rogue or slow peer never aborts or
+//! consumes a slot of the real fleet. The handshake precedes the lossy
+//! envelope; faults start with the first round frame.
+
+use crate::env::WireEnvSpec;
+use crate::fleet::{Conn, IdleWait, TimerWheel};
+use crate::transport::{FrameConn, Link, TransportError};
+use crate::wire::Frame;
+use crate::NetError;
+use dolbie_simnet::faults::FaultPlan;
+use std::io::ErrorKind;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// Builds the `Welcome` frame every coordinator sends in response to a
+/// worker's `Hello` — the one place the fault-plan fields map onto the
+/// wire, so the three admission paths cannot drift apart.
+pub(crate) fn welcome_frame(
+    worker_id: u32,
+    num_workers: u32,
+    rounds: u64,
+    env: WireEnvSpec,
+    initial_share: f64,
+    fault: &FaultPlan,
+) -> Frame {
+    Frame::Welcome {
+        worker_id,
+        num_workers,
+        rounds,
+        env,
+        initial_share,
+        drop_probability: fault.drop_probability,
+        duplicate_probability: fault.duplicate_probability,
+        fault_seed: fault.seed,
+    }
+}
+
+/// Sequential blocking admission, used by the blocking master: one
+/// socket at a time, a blocking `Hello` read under `frame_timeout`, then
+/// the `Welcome` from the `welcome` closure (keyed by the slot about to
+/// be filled) and a [`Link`] carrying the fault plan with peer code
+/// `peer_code(slot)`.
+pub(crate) fn admit_blocking(
+    listener: &TcpListener,
+    count: usize,
+    frame_timeout: Duration,
+    fault: &FaultPlan,
+    mut welcome: impl FnMut(usize) -> Frame,
+    mut peer_code: impl FnMut(usize) -> u64,
+) -> Result<Vec<Option<Link>>, NetError> {
+    let mut links: Vec<Option<Link>> = Vec::with_capacity(count);
+    while links.len() < count {
+        let slot = links.len();
+        let (stream, _) = listener.accept().map_err(TransportError::from)?;
+        let Ok(mut conn) = FrameConn::new(stream) else { continue };
+        match conn.recv(frame_timeout) {
+            Ok(Frame::Hello { .. }) => {}
+            Ok(_) | Err(_) => continue, // rejected
+        }
+        if conn.send(&welcome(slot)).is_err() {
+            continue; // died between Hello and Welcome: rejected
+        }
+        links.push(Some(Link::with_plan(conn, fault.clone(), 0, peer_code(slot))));
+    }
+    Ok(links)
+}
+
+/// Concurrent evented admission, used by the evented master and every
+/// shard-master: every pending socket handshakes under its own deadline,
+/// slots assigned in Hello-completion order. The listener must already
+/// be non-blocking. Welcome content and lossy peer codes come from the
+/// closures, so the flat master (local ids) and a shard-master (global
+/// ids offset by its range) admit through the identical machine.
+pub(crate) fn admit_concurrent(
+    listener: &TcpListener,
+    count: usize,
+    frame_timeout: Duration,
+    fault: &FaultPlan,
+    mut welcome: impl FnMut(usize) -> Frame,
+    mut peer_code: impl FnMut(usize) -> u64,
+) -> Result<Vec<Option<Conn>>, NetError> {
+    let mut wheel = TimerWheel::new(Instant::now());
+    let mut idle = IdleWait::new();
+    let mut candidates: Vec<Option<Conn>> = Vec::new();
+    let mut admitted: Vec<Option<Conn>> = (0..count).map(|_| None).collect();
+    let mut next_id = 0usize;
+    while next_id < count {
+        let now = Instant::now();
+        let mut progressed = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if let Ok(mut conn) = Conn::new(stream) {
+                        conn.gen += 1;
+                        let idx = candidates.len();
+                        wheel.arm(now + frame_timeout, idx, conn.gen);
+                        candidates.push(Some(conn));
+                        progressed = true;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(TransportError::from(e).into()),
+            }
+        }
+        for slot in candidates.iter_mut() {
+            if next_id >= count {
+                break;
+            }
+            let Some(conn) = slot.as_mut() else { continue };
+            match conn.pump_read(now) {
+                Ok(p) => progressed |= p,
+                Err(_) => {
+                    // Rejected: dead socket or undecodable bytes.
+                    *slot = None;
+                    continue;
+                }
+            }
+            match conn.inbox.pop_front() {
+                None => {}
+                Some(Frame::Hello { .. }) => {
+                    let mut conn = slot.take().expect("candidate present");
+                    let id = next_id;
+                    next_id += 1;
+                    conn.queue(&welcome(id), now);
+                    // The handshake precedes the envelope; faults start
+                    // with the first round frame (like the blocking side).
+                    conn.install_lossy(fault, 0, peer_code(id));
+                    // Write errors surface on the first round pump.
+                    let _ = conn.pump_write();
+                    conn.gen += 1; // cancels the Hello deadline
+                    admitted[id] = Some(conn);
+                    progressed = true;
+                }
+                // A well-formed but out-of-protocol opener: rejected.
+                Some(_) => *slot = None,
+            }
+        }
+        for timer in wheel.expire(now) {
+            let stale = candidates
+                .get(timer.conn())
+                .and_then(|c| c.as_ref())
+                .is_some_and(|c| c.gen == timer.gen());
+            if stale {
+                // Hello never arrived within the deadline: rejected.
+                candidates[timer.conn()] = None;
+            }
+        }
+        idle.pace(progressed);
+    }
+    Ok(admitted)
+}

@@ -34,11 +34,23 @@
 //! - [`evented`] — the event-driven master: non-blocking sockets,
 //!   concurrent admission, coalesced broadcasts, timer-wheel deadlines;
 //!   the default master, bitwise identical to the blocking one.
+//! - `fleet` / `handshake` (crate-internal) — the shared
+//!   coordinator-over-a-member-set machinery: connection sweeps, timer
+//!   wheel, lossy envelope, and the single home of the `Hello → Welcome`
+//!   admission rules, reused by the evented master and every
+//!   shard-master.
+//! - [`shard`] — the two-level control plane: `M` shard-masters each
+//!   coordinate `N/M` workers, a root coordinator runs the identical
+//!   min-max step over `O(M)` shard aggregates; bitwise identical to
+//!   the flat masters and the sequential engine.
 //! - [`loopback`] — in-process master + workers over 127.0.0.1.
 //!
-//! The `dolbie_node` binary exposes both roles on the command line:
+//! The `dolbie_node` binary exposes every role on the command line:
 //! `dolbie_node master --listen 127.0.0.1:4100 --workers 4` in one
-//! terminal, `dolbie_node worker --connect 127.0.0.1:4100` in the others.
+//! terminal, `dolbie_node worker --connect 127.0.0.1:4100` in the
+//! others — or, sharded, `dolbie_node root --listen 127.0.0.1:4200
+//! --shards 4 --workers 64` with four `dolbie_node shard` processes
+//! between the root and the workers.
 //!
 //! ## Quick start
 //!
@@ -59,8 +71,11 @@
 
 pub mod env;
 pub mod evented;
+pub(crate) mod fleet;
+pub(crate) mod handshake;
 pub mod loopback;
 pub mod master;
+pub mod shard;
 pub mod transport;
 pub mod wire;
 pub mod worker;

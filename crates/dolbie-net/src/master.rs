@@ -24,7 +24,8 @@
 //! tag they carry. The run never hangs on a dead worker.
 
 use crate::env::WireEnvSpec;
-use crate::transport::{FrameConn, Link, TransportError, WireStats, DEFAULT_FRAME_TIMEOUT};
+use crate::handshake;
+use crate::transport::{Link, TransportError, WireStats, DEFAULT_FRAME_TIMEOUT};
 use crate::wire::Frame;
 use crate::NetError;
 use dolbie_core::{Allocation, Dolbie, DolbieConfig, LoadBalancer};
@@ -147,39 +148,27 @@ pub fn run_master(listener: &TcpListener, cfg: &MasterConfig) -> Result<NetRunRe
     assert!(cfg.rounds > 0, "at least one round required");
 
     let mut engine = Dolbie::with_config(Allocation::uniform(n), cfg.dolbie);
-    let mut links: Vec<Option<Link>> = Vec::with_capacity(n);
 
-    // Handshake phase: raw frames, strict magic/version checks (inside
-    // Frame decode), ids assigned in admission order. A socket that fails
-    // the handshake — timeout, garbage bytes, a premature close, or a
-    // well-formed non-Hello opener — is rejected and the listener keeps
-    // accepting; a rogue connection never aborts or consumes a slot of
-    // the real fleet.
-    while links.len() < n {
-        let worker_id = links.len();
-        let (stream, _) = listener.accept().map_err(TransportError::from)?;
-        let Ok(mut conn) = FrameConn::new(stream) else { continue };
-        match conn.recv(cfg.frame_timeout) {
-            Ok(Frame::Hello { .. }) => {}
-            Ok(_) | Err(_) => continue, // rejected
-        }
-        if conn
-            .send(&Frame::Welcome {
-                worker_id: worker_id as u32,
-                num_workers: n as u32,
-                rounds: cfg.rounds as u64,
-                env: cfg.env,
-                initial_share: engine.allocation().share(worker_id),
-                drop_probability: cfg.fault.drop_probability,
-                duplicate_probability: cfg.fault.duplicate_probability,
-                fault_seed: cfg.fault.seed,
-            })
-            .is_err()
-        {
-            continue; // died between Hello and Welcome: rejected
-        }
-        links.push(Some(Link::with_plan(conn, cfg.fault.clone(), 0, worker_id as u64 + 1)));
-    }
+    // Handshake phase, through the shared admission helper: strict
+    // magic/version checks, ids in admission order, rogue sockets
+    // rejected without consuming a slot of the real fleet.
+    let mut links = handshake::admit_blocking(
+        listener,
+        n,
+        cfg.frame_timeout,
+        &cfg.fault,
+        |worker_id| {
+            handshake::welcome_frame(
+                worker_id as u32,
+                n as u32,
+                cfg.rounds as u64,
+                cfg.env,
+                engine.allocation().share(worker_id),
+                &cfg.fault,
+            )
+        },
+        |worker_id| worker_id as u64 + 1,
+    )?;
 
     let mut members = vec![true; n];
     let mut epoch: u32 = 0;
@@ -208,8 +197,13 @@ pub fn run_master(listener: &TcpListener, cfg: &MasterConfig) -> Result<NetRunRe
     }
 
     // Orderly shutdown; a worker dying at the very end is not an error.
+    // After the send, linger until the worker closes: a lossy peer whose
+    // final frame's ack was eaten is still in its retransmission
+    // schedule, and the recv loop keeps re-acking those duplicates —
+    // closing the socket mid-schedule would fire a reset into its send.
     for link in links.iter_mut().flatten() {
         let _ = link.send(&Frame::Shutdown);
+        while link.recv(cfg.frame_timeout).is_ok() {}
     }
     let mut wire = retired;
     for link in links.iter().flatten() {

@@ -1,0 +1,835 @@
+//! The two-level sharded control plane over real TCP: `M` shard-masters
+//! each run DOLBIE's per-round coordination over `N/M` workers, and a
+//! root coordinator runs the *same* min-max step over shard-level
+//! aggregates — breaking the flat master's `Θ(N)` fan-in while staying
+//! bitwise identical to the flat masters and the sequential engine.
+//!
+//! ## Roles
+//!
+//! - **Root** ([`run_root`]): blocking, lossless links to `M`
+//!   shard-masters. Per round it sees `O(M)` frames and touches `O(1)`
+//!   engine state ([`RootEngine`]): elect the global straggler from `M`
+//!   candidates, broadcast the coordination scalars, chain the
+//!   fixed-shape gains cursor through the shards, run the guard/pin
+//!   tail, and commit. It never sees a per-worker array.
+//! - **Shard-master** ([`run_shard_master`]): a real evented TCP master
+//!   over its contiguous worker range — the same `Fleet` readiness
+//!   machinery, concurrent admission, coalesced broadcasts, and
+//!   timer-wheel deadlines as the flat evented master — plus one
+//!   blocking upstream link to the root. Workers speak the unchanged
+//!   flat worker protocol; a worker cannot tell a shard-master from the
+//!   flat master.
+//!
+//! ## Per-round backbone dialect (root ↔ shard-master)
+//!
+//! `ShardAggregate` up (local max, candidate, share) → `ShardCoord` down
+//! (global cost, `α_t`, straggler) → the `Gains` [`ShardCursor`] chained
+//! through the shards in index order → optional `ShardRescale` +
+//! re-chain → `ShardCommit` (pinned share, refresh flag) → on refresh
+//! rounds a `Shares` cursor chain. Every backbone frame is `O(1)` or
+//! `O(log N)` (the cursor stack), so the root's per-round work is `O(M)`
+//! frames and `O(M log N)` bytes.
+//!
+//! ## Determinism
+//!
+//! The trajectory is **bitwise** identical to the flat sequential
+//! engine: workers apply the engine's exact eq. (5) arithmetic
+//! (unchanged), candidate election composes associatively under the
+//! ascending strict-`>` argmax because shard ranges are ascending, the
+//! chained [`SumCursor`] reproduces the engine's fixed-shape pairwise
+//! compensated sum bit-for-bit regardless of where the chain is cut, and
+//! [`RootEngine`] replays the flat engine's order-sensitive tail
+//! operation for operation. No `1e-12` concession is needed; the parity
+//! tests assert `to_bits()` equality round by round.
+//!
+//! ## Crash scope
+//!
+//! The backbone is lossless and a worker socket dying under a
+//! shard-master is a fatal error (not an epoch): crash → membership
+//! epochs under the sharded architecture are exercised by the
+//! `dolbie-simnet` sharded tier; wiring worker loss through the net
+//! backbone is deliberately deferred (DESIGN.md §12). Worker-link
+//! *loss* (drop/duplicate with ack/retry) is fully supported and
+//! trajectory-invariant, exactly as under the flat masters.
+//!
+//! [`ShardCursor`]: crate::wire::Frame::ShardCursor
+//! [`SumCursor`]: dolbie_core::numeric::SumCursor
+//! [`RootEngine`]: dolbie_core::shard::RootEngine
+
+use crate::env::WireEnvSpec;
+use crate::fleet::{Fleet, Phase, SweepFail};
+use crate::handshake::{admit_concurrent, welcome_frame};
+use crate::transport::{
+    connect_schedule, connect_with_backoff, FrameConn, Link, TransportError, WireStats,
+    DEFAULT_FRAME_TIMEOUT,
+};
+use crate::wire::{CursorPhase, Frame};
+use crate::worker::{run_worker, WorkerOptions, WorkerReport};
+use crate::NetError;
+use dolbie_core::numeric::{CursorState, SumCursor};
+use dolbie_core::shard::{combine_candidates, RootEngine, ShardCandidate, ShardLayout};
+use dolbie_core::{Allocation, DolbieConfig};
+use dolbie_simnet::faults::{FaultPlan, RetryPolicy};
+use std::net::{TcpListener, TcpStream};
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// Worker threads carry tiny state; shard-master threads own a fleet of
+/// connections but keep it on the heap — both run on small fixed stacks
+/// so a 4096-worker loopback tree fits comfortably.
+const WORKER_STACK_BYTES: usize = 256 * 1024;
+const SHARD_STACK_BYTES: usize = 1024 * 1024;
+
+/// Configuration of a sharded run, shared by the root and (through
+/// `ShardWelcome`) every shard-master.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Total fleet size `N`.
+    pub num_workers: usize,
+    /// Shard count `M` (`1 ≤ M ≤ N`).
+    pub num_shards: usize,
+    /// Horizon `T`.
+    pub rounds: usize,
+    /// The seeded environment, shipped to shard-masters in
+    /// `ShardWelcome` and on to workers in `Welcome`.
+    pub env: WireEnvSpec,
+    /// Engine configuration (step-size schedule), used by the root.
+    pub dolbie: DolbieConfig,
+    /// Worker-link fault plan; its drop/duplicate probabilities, seed,
+    /// and retry pacing are shipped to the shard-masters, which replay
+    /// it on their worker links. The backbone itself is lossless.
+    pub fault: FaultPlan,
+    /// Per-frame read deadline on every link of both tiers.
+    pub frame_timeout: Duration,
+}
+
+impl ShardedConfig {
+    /// A lossless sharded run: `n` workers in `m` shards for `rounds`
+    /// rounds.
+    pub fn new(n: usize, m: usize, rounds: usize, env: WireEnvSpec) -> Self {
+        Self {
+            num_workers: n,
+            num_shards: m,
+            rounds,
+            env,
+            dolbie: DolbieConfig::new(),
+            fault: FaultPlan::none(),
+            frame_timeout: DEFAULT_FRAME_TIMEOUT,
+        }
+    }
+
+    /// Replays `plan` at the socket layer of every worker link.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+}
+
+/// One committed round as the root saw it: scalars only — the root-tier
+/// analogue of a `ProtocolRound` without any per-worker array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootRound {
+    /// Round index `t`.
+    pub round: usize,
+    /// The elected global straggler.
+    pub straggler: usize,
+    /// The round's global cost `l_t`.
+    pub global_cost: f64,
+    /// The step size the round was played with.
+    pub alpha: f64,
+    /// Whether the simplex guard rescaled the gains.
+    pub rescaled: bool,
+    /// Whether this was a Σx-refresh round (extra cursor chain).
+    pub refreshed: bool,
+    /// Logical backbone frames the root sent + received this round —
+    /// the `O(M)` headline quantity.
+    pub messages: usize,
+    /// Backbone bytes (sent + received) this round.
+    pub bytes: usize,
+    /// Seconds since the backbone admission completed, taken at this
+    /// round's commit. Differences between consecutive rounds give
+    /// steady-state per-round latency; round 0 additionally absorbs the
+    /// shard-masters' worker admission, so latency accounting starts at
+    /// round 1.
+    pub elapsed: f64,
+}
+
+/// Totals and per-round trajectory of one completed root run.
+#[derive(Debug)]
+pub struct RootReport {
+    /// Per-round scalar records.
+    pub rounds: Vec<RootRound>,
+    /// The shard layout the run was partitioned under.
+    pub layout: ShardLayout,
+    /// Run-total backbone wire counters.
+    pub wire: WireStats,
+    /// Wall-clock seconds from the end of admission to shutdown.
+    pub wall_clock: f64,
+}
+
+fn cursor_frame(round: usize, phase: CursorPhase, state: &CursorState) -> Frame {
+    Frame::ShardCursor {
+        round: round as u64,
+        phase,
+        partial_sum: state.partial_sum,
+        partial_compensation: state.partial_compensation,
+        partial_len: state.partial_len,
+        stack: state.stack.clone(),
+    }
+}
+
+fn cursor_state(
+    partial_sum: f64,
+    partial_compensation: f64,
+    partial_len: u32,
+    stack: Vec<(u64, f64)>,
+) -> CursorState {
+    CursorState { stack, partial_sum, partial_compensation, partial_len }
+}
+
+/// Chains one fixed-shape cursor through every shard in index order and
+/// returns the exact sum — bitwise the engine's pairwise compensated
+/// reduction over the concatenated slices.
+fn chain(
+    links: &mut [Link],
+    t: usize,
+    phase: CursorPhase,
+    timeout: Duration,
+    logical: &mut usize,
+) -> Result<f64, NetError> {
+    let mut state = SumCursor::new().state();
+    for (k, link) in links.iter_mut().enumerate() {
+        link.send(&cursor_frame(t, phase, &state))?;
+        *logical += 1;
+        match link.recv(timeout)? {
+            Frame::ShardCursor {
+                round,
+                phase: p,
+                partial_sum,
+                partial_compensation,
+                partial_len,
+                stack,
+            } if round == t as u64 && p == phase => {
+                state = cursor_state(partial_sum, partial_compensation, partial_len, stack);
+                *logical += 1;
+            }
+            _ => {
+                return Err(NetError::Protocol(format!(
+                    "shard {k} broke the round-{t} cursor chain"
+                )))
+            }
+        }
+    }
+    Ok(SumCursor::from_state(&state).value())
+}
+
+/// Accepts `cfg.num_shards` shard-master connections on `listener`, runs
+/// the root tier of the two-level control plane to the horizon, and
+/// shuts the backbone down.
+///
+/// Shard identity is self-declared in `ShardHello` (shard-masters are
+/// configured peers, not anonymous workers); a connection declaring a
+/// mismatched shard count, an out-of-range or duplicate shard id, or
+/// anything other than a well-formed `ShardHello` is rejected while the
+/// listener keeps accepting.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate: zero rounds, fewer than
+/// two workers, or a shard count outside `1..=N`.
+pub fn run_root(listener: &TcpListener, cfg: &ShardedConfig) -> Result<RootReport, NetError> {
+    let (n, m) = (cfg.num_workers, cfg.num_shards);
+    assert!(n >= 2, "at least two workers required");
+    assert!(m >= 1 && m <= n, "shard count must be in 1..=N");
+    assert!(cfg.rounds > 0, "at least one round required");
+
+    let layout = ShardLayout::even(n, m);
+    let mut engine = RootEngine::new(&Allocation::uniform(n), cfg.dolbie);
+
+    // Backbone admission: ShardHello → ShardWelcome, slots keyed by the
+    // declared shard id.
+    let mut slots: Vec<Option<Link>> = (0..m).map(|_| None).collect();
+    let mut admitted = 0usize;
+    while admitted < m {
+        let (stream, _) = listener.accept().map_err(TransportError::from)?;
+        let Ok(mut conn) = FrameConn::new(stream) else { continue };
+        let shard = match conn.recv(cfg.frame_timeout) {
+            Ok(Frame::ShardHello { shard, num_shards })
+                if num_shards as usize == m
+                    && (shard as usize) < m
+                    && slots[shard as usize].is_none() =>
+            {
+                shard as usize
+            }
+            Ok(_) | Err(_) => continue, // rejected
+        };
+        let range = layout.range(shard);
+        let welcome = Frame::ShardWelcome {
+            shard: shard as u32,
+            num_shards: m as u32,
+            num_workers: n as u32,
+            rounds: cfg.rounds as u64,
+            range_start: range.start as u32,
+            range_end: range.end as u32,
+            env: cfg.env,
+            drop_probability: cfg.fault.drop_probability,
+            duplicate_probability: cfg.fault.duplicate_probability,
+            fault_seed: cfg.fault.seed,
+            retry_ack_timeout: cfg.fault.retry.ack_timeout,
+            retry_backoff: cfg.fault.retry.backoff,
+            retry_max_attempts: cfg.fault.retry.max_attempts as u32,
+        };
+        if conn.send(&welcome).is_err() {
+            continue; // died between hello and welcome: rejected
+        }
+        slots[shard] = Some(Link::lossless(conn));
+        admitted += 1;
+    }
+    let mut links: Vec<Link> = slots.into_iter().map(|l| l.expect("all shards admitted")).collect();
+
+    let backbone_totals = |links: &[Link]| {
+        let mut total = WireStats::default();
+        for link in links {
+            total.absorb(&link.stats());
+        }
+        total
+    };
+
+    let started = Instant::now();
+    let mut rounds: Vec<RootRound> = Vec::with_capacity(cfg.rounds);
+    for t in 0..cfg.rounds {
+        let before = backbone_totals(&links);
+        let mut logical = 0usize;
+
+        // (1) Candidate election over M aggregates. Received in
+        // *descending* shard order — shard 0's workers are scheduled
+        // first, so aggregates land in roughly ascending order and the
+        // first blocking recv parks once, on the latest shard, while the
+        // rest read already-buffered frames. The election itself stays in
+        // ascending shard order (the `candidates` vector is indexed, not
+        // ordered by arrival): the associative decomposition of the flat
+        // ascending argmax is untouched.
+        let mut candidates: Vec<Option<ShardCandidate>> = (0..m).map(|_| None).collect();
+        for (k, link) in links.iter_mut().enumerate().rev() {
+            match link.recv(cfg.frame_timeout)? {
+                Frame::ShardAggregate { round, max_cost, straggler, share }
+                    if round == t as u64 =>
+                {
+                    candidates[k] =
+                        Some(ShardCandidate { cost: max_cost, worker: straggler as usize, share });
+                    logical += 1;
+                }
+                _ => {
+                    return Err(NetError::Protocol(format!(
+                        "shard {k} sent an unexpected frame during round-{t} aggregation"
+                    )))
+                }
+            }
+        }
+        let elected = combine_candidates(candidates).expect("at least one shard");
+
+        // (2) Coordination scalars down to every shard.
+        let alpha = engine.begin_round();
+        let coord = Frame::ShardCoord {
+            round: t as u64,
+            global_cost: elected.cost,
+            alpha,
+            straggler: elected.worker as u64,
+        };
+        for link in links.iter_mut() {
+            link.send(&coord)?;
+            logical += 1;
+        }
+
+        // (3) The eq. (6) remainder via the shard-chained gains cursor.
+        let mut total_gain =
+            chain(&mut links, t, CursorPhase::Gains, cfg.frame_timeout, &mut logical)?;
+
+        // (4) The root's order-sensitive tail: guard, pin, commit,
+        // refresh, tighten — RootEngine's documented statement order.
+        let straggler_share = elected.share;
+        let rescale = engine.guard_scale(straggler_share, total_gain);
+        if let Some(scale) = rescale {
+            let frame = Frame::ShardRescale { round: t as u64, scale };
+            for link in links.iter_mut() {
+                link.send(&frame)?;
+                logical += 1;
+            }
+            total_gain = chain(&mut links, t, CursorPhase::Gains, cfg.frame_timeout, &mut logical)?;
+        }
+        let new_straggler_share = engine.pin(straggler_share, total_gain);
+        let refresh = engine.needs_total_refresh();
+        let commit = Frame::ShardCommit {
+            round: t as u64,
+            straggler: elected.worker as u64,
+            straggler_share: new_straggler_share,
+            refresh,
+        };
+        for link in links.iter_mut() {
+            link.send(&commit)?;
+            logical += 1;
+        }
+        if refresh {
+            let sum = chain(&mut links, t, CursorPhase::Shares, cfg.frame_timeout, &mut logical)?;
+            engine.refresh_total(sum);
+        }
+        engine.tighten(new_straggler_share);
+
+        let after = backbone_totals(&links);
+        rounds.push(RootRound {
+            round: t,
+            straggler: elected.worker,
+            global_cost: elected.cost,
+            alpha,
+            rescaled: rescale.is_some(),
+            refreshed: refresh,
+            messages: logical,
+            bytes: ((after.bytes_sent - before.bytes_sent)
+                + (after.bytes_received - before.bytes_received)) as usize,
+            elapsed: started.elapsed().as_secs_f64(),
+        });
+    }
+
+    // Orderly shutdown of the backbone; shard-masters relay it on to
+    // their workers.
+    for link in links.iter_mut() {
+        let _ = link.send(&Frame::Shutdown);
+    }
+    let wire = backbone_totals(&links);
+    Ok(RootReport { rounds, layout, wire, wall_clock: started.elapsed().as_secs_f64() })
+}
+
+/// Options of one shard-master run (everything else arrives in
+/// `ShardWelcome`).
+#[derive(Debug, Clone)]
+pub struct ShardMasterOptions {
+    /// This shard's id `k ∈ 0..M`.
+    pub shard: usize,
+    /// Shard count `M`, cross-checked against the root's.
+    pub num_shards: usize,
+    /// Per-frame read deadline on the root link and every worker link.
+    pub frame_timeout: Duration,
+}
+
+/// One round's slice-local record at a shard-master: the played shares
+/// and observed costs of this shard's worker range. Concatenating the
+/// slices of all `M` shards in shard order reconstructs the flat
+/// per-round allocation and cost vectors — that is what the parity
+/// harness stitches and compares bitwise.
+#[derive(Debug, Clone)]
+pub struct ShardRoundSlice {
+    /// Round index `t`.
+    pub round: usize,
+    /// The slice of shares the round was played with (pre-update).
+    pub shares: Vec<f64>,
+    /// The slice of observed local costs.
+    pub costs: Vec<f64>,
+}
+
+/// Totals and per-round slices of one completed shard-master run.
+#[derive(Debug)]
+pub struct ShardRunReport {
+    /// This shard's id.
+    pub shard: usize,
+    /// The global worker range this shard owned.
+    pub range: Range<usize>,
+    /// Per-round slice records.
+    pub rounds: Vec<ShardRoundSlice>,
+    /// The final share slice after the last commit.
+    pub final_shares: Vec<f64>,
+    /// Run-total wire counters over the worker links.
+    pub wire: WireStats,
+    /// Run-total wire counters on the root link.
+    pub root_wire: WireStats,
+}
+
+/// Runs one shard-master: handshakes upstream on `root` (ShardHello →
+/// ShardWelcome), admits its worker range on `listener` through the
+/// shared evented admission, then relays rounds between the root
+/// backbone and its worker fleet until `Shutdown`.
+///
+/// Workers are admitted with their *global* ids (`range.start +
+/// admission slot`), so their cost derivation and lossy-envelope hash
+/// keys are identical to a flat run over the same `N` — a worker cannot
+/// tell which architecture coordinates it.
+pub fn run_shard_master(
+    root: TcpStream,
+    listener: &TcpListener,
+    opts: &ShardMasterOptions,
+) -> Result<ShardRunReport, NetError> {
+    let mut conn = FrameConn::new(root).map_err(TransportError::from)?;
+    conn.send(&Frame::ShardHello { shard: opts.shard as u32, num_shards: opts.num_shards as u32 })?;
+    let welcome = conn.recv(opts.frame_timeout)?;
+    let Frame::ShardWelcome {
+        shard,
+        num_shards,
+        num_workers,
+        rounds,
+        range_start,
+        range_end,
+        env,
+        drop_probability,
+        duplicate_probability,
+        fault_seed,
+        retry_ack_timeout,
+        retry_backoff,
+        retry_max_attempts,
+    } = welcome
+    else {
+        return Err(NetError::Protocol("expected ShardWelcome after ShardHello".into()));
+    };
+    if shard as usize != opts.shard || num_shards as usize != opts.num_shards {
+        return Err(NetError::Protocol("root and shard disagree on the layout".into()));
+    }
+    let mut root_link = Link::lossless(conn);
+
+    let range = range_start as usize..range_end as usize;
+    let count = range.len();
+    let n_total = num_workers as usize;
+    let mut fault = FaultPlan::seeded(fault_seed).with_retry(RetryPolicy {
+        ack_timeout: retry_ack_timeout,
+        backoff: retry_backoff,
+        max_attempts: retry_max_attempts as usize,
+    });
+    if drop_probability > 0.0 {
+        fault = fault.with_drop_probability(drop_probability);
+    }
+    if duplicate_probability > 0.0 {
+        fault = fault.with_duplicate_probability(duplicate_probability);
+    }
+
+    // Worker admission: the same shared evented machinery as the flat
+    // master, parameterized with this shard's global id window.
+    let initial = Allocation::uniform(n_total);
+    listener.set_nonblocking(true).map_err(TransportError::from)?;
+    let admitted = admit_concurrent(
+        listener,
+        count,
+        opts.frame_timeout,
+        &fault,
+        |slot| {
+            let global = range_start as usize + slot;
+            welcome_frame(global as u32, num_workers, rounds, env, initial.share(global), &fault)
+        },
+        |slot| (range_start as usize + slot) as u64 + 1,
+    );
+    let _ = listener.set_nonblocking(false);
+    let mut fleet = Fleet::new(admitted?, opts.frame_timeout);
+    // Lossless fleets take the staircase collect: the worker links carry
+    // no retransmission clocks, and a worker death is fatal under the
+    // shard tier anyway, so the sweep's poll/sleep duty cycle — CPU
+    // stolen from the very workers the phase waits on — is pure cost.
+    // The sockets flip to blocking mode once, here, and stay there.
+    let staircase = fault.is_lossless();
+    if staircase {
+        fleet.enter_staircase().map_err(|fail| match fail {
+            SweepFail::Dead(dead) => {
+                NetError::Protocol(format!("worker sockets died entering the staircase: {dead:?}"))
+            }
+            SweepFail::Fatal(e) => e,
+        })?;
+    }
+
+    // The mirrored share slice — the shard-master's bookkeeping copy of
+    // its workers' authoritative shares, kept bitwise in lockstep by
+    // replaying the identical arithmetic.
+    let mut x: Vec<f64> = range.clone().map(|i| initial.share(i)).collect();
+    let mut gains = vec![0.0f64; count];
+    let all_local: Vec<usize> = (0..count).collect();
+    let fatal_worker = |dead: Vec<usize>| {
+        NetError::Protocol(format!(
+            "worker sockets died under the shard tier (local slots {dead:?}); crash→epoch \
+             handling is not wired through the backbone"
+        ))
+    };
+    let sweep_err = |fail: SweepFail| match fail {
+        SweepFail::Dead(dead) => fatal_worker(dead),
+        SweepFail::Fatal(e) => e,
+    };
+
+    let mut records: Vec<ShardRoundSlice> = Vec::with_capacity(rounds as usize);
+    for t in 0..rounds as usize {
+        let played = x.clone();
+
+        // Round barrier + cost collection over this shard's fleet.
+        let start = Frame::RoundStart { epoch: 0, round: t as u64 };
+        fleet.broadcast(&start, &all_local, Instant::now());
+        let mut local_costs = vec![0.0f64; count];
+        let mut logical = 0usize;
+        if staircase {
+            fleet
+                .collect_blocking(t, 0, Phase::Cost, &all_local, &mut local_costs, &mut logical)
+                .map_err(sweep_err)?;
+        } else {
+            fleet
+                .collect(t, 0, Phase::Cost, &all_local, &mut local_costs, &mut logical)
+                .map_err(sweep_err)?;
+        }
+
+        // The shard-local candidate: lowest-index first-maximum, strict
+        // `>` — the associative piece of the flat argmax.
+        let mut best = 0usize;
+        for i in 1..count {
+            if local_costs[i] > local_costs[best] {
+                best = i;
+            }
+        }
+        root_link.send(&Frame::ShardAggregate {
+            round: t as u64,
+            max_cost: local_costs[best],
+            straggler: (range.start + best) as u64,
+            share: x[best],
+        })?;
+
+        // Coordination scalars from the root.
+        let (global_cost, alpha, straggler) = match root_link.recv(opts.frame_timeout)? {
+            Frame::ShardCoord { round, global_cost, alpha, straggler } if round == t as u64 => {
+                (global_cost, alpha, straggler as usize)
+            }
+            _ => {
+                return Err(NetError::Protocol(format!(
+                    "root sent an unexpected frame during round-{t} coordination"
+                )))
+            }
+        };
+        let local_straggler = range.contains(&straggler).then(|| straggler - range.start);
+        let others: Vec<usize> = (0..count).filter(|&i| Some(i) != local_straggler).collect();
+
+        // Fan the scalars out; collect the non-stragglers' gains. The
+        // local straggler's gain stays 0.0, exactly the reference's
+        // fixed-shape slot.
+        let now = Instant::now();
+        let shared =
+            Frame::Coordination { round: t as u64, global_cost, alpha, is_straggler: false };
+        fleet.broadcast(&shared, &others, now);
+        if let Some(ls) = local_straggler {
+            let pin =
+                Frame::Coordination { round: t as u64, global_cost, alpha, is_straggler: true };
+            fleet.queue_to(ls, &pin, now);
+        }
+        gains.fill(0.0);
+        if staircase {
+            fleet
+                .collect_blocking(t, 0, Phase::Decision, &others, &mut gains, &mut logical)
+                .map_err(sweep_err)?;
+        } else {
+            fleet
+                .collect(t, 0, Phase::Decision, &others, &mut gains, &mut logical)
+                .map_err(sweep_err)?;
+        }
+
+        // Serve the root's tail: cursor hops, the rare rescale, then the
+        // commit. TCP ordering on the root link guarantees a rescale is
+        // seen before the re-chained cursor and the commit before any
+        // refresh cursor.
+        let refresh = loop {
+            match root_link.recv(opts.frame_timeout)? {
+                Frame::ShardCursor {
+                    round,
+                    phase: CursorPhase::Gains,
+                    partial_sum,
+                    partial_compensation,
+                    partial_len,
+                    stack,
+                } if round == t as u64 => {
+                    let state = cursor_state(partial_sum, partial_compensation, partial_len, stack);
+                    let mut local = SumCursor::from_state(&state);
+                    local.extend(&gains);
+                    root_link.send(&cursor_frame(t, CursorPhase::Gains, &local.state()))?;
+                }
+                Frame::ShardRescale { round, scale } if round == t as u64 => {
+                    for g in gains.iter_mut() {
+                        *g *= scale;
+                    }
+                    let adjust = Frame::Adjust { round: t as u64, scale };
+                    fleet.broadcast(&adjust, &others, Instant::now());
+                }
+                Frame::ShardCommit { round, straggler: s, straggler_share, refresh }
+                    if round == t as u64 && s as usize == straggler =>
+                {
+                    // Commit: apply the gains, pin the straggler.
+                    for (xi, gi) in x.iter_mut().zip(&gains) {
+                        *xi += gi;
+                    }
+                    if let Some(ls) = local_straggler {
+                        x[ls] = straggler_share;
+                        let assignment =
+                            Frame::Assignment { round: t as u64, share: straggler_share };
+                        fleet.queue_to(ls, &assignment, Instant::now());
+                    }
+                    break refresh;
+                }
+                _ => {
+                    return Err(NetError::Protocol(format!(
+                        "root sent an unexpected frame during round-{t} commit"
+                    )))
+                }
+            }
+        };
+        if refresh {
+            match root_link.recv(opts.frame_timeout)? {
+                Frame::ShardCursor {
+                    round,
+                    phase: CursorPhase::Shares,
+                    partial_sum,
+                    partial_compensation,
+                    partial_len,
+                    stack,
+                } if round == t as u64 => {
+                    let state = cursor_state(partial_sum, partial_compensation, partial_len, stack);
+                    let mut local = SumCursor::from_state(&state);
+                    local.extend(&x);
+                    root_link.send(&cursor_frame(t, CursorPhase::Shares, &local.state()))?;
+                }
+                _ => {
+                    return Err(NetError::Protocol(format!(
+                        "root sent an unexpected frame during round-{t} refresh"
+                    )))
+                }
+            }
+        }
+
+        // Deliver the commit to the workers before the next barrier.
+        let dead = fleet.drain()?;
+        if !dead.is_empty() {
+            return Err(fatal_worker(dead));
+        }
+        records.push(ShardRoundSlice { round: t, shares: played, costs: local_costs });
+    }
+
+    // The root closes the run; relay the shutdown to the workers.
+    match root_link.recv(opts.frame_timeout)? {
+        Frame::Shutdown => {}
+        _ => return Err(NetError::Protocol("expected Shutdown after the horizon".into())),
+    }
+    fleet.shutdown(opts.frame_timeout);
+    let wire = fleet.wire_snapshot();
+    Ok(ShardRunReport {
+        shard: opts.shard,
+        range,
+        rounds: records,
+        final_shares: x,
+        wire,
+        root_wire: root_link.stats(),
+    })
+}
+
+/// The root's report plus every shard-master's and worker's outcome.
+#[derive(Debug)]
+pub struct ShardedLoopbackRun {
+    /// The root-tier report (scalar trajectory, O(M) wire accounting).
+    pub root: RootReport,
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardRunReport>,
+    /// Per-thread worker outcomes, in global worker order.
+    pub workers: Vec<Result<WorkerReport, NetError>>,
+}
+
+impl ShardedLoopbackRun {
+    /// Stitches the shard slices back into flat per-round allocations:
+    /// element `t` is the full `N`-vector the fleet played in round `t`,
+    /// and one extra final entry holds the post-horizon shares — the
+    /// same shape the parity harnesses compare bitwise against the
+    /// sequential engine.
+    pub fn allocations(&self) -> Vec<Vec<f64>> {
+        let rounds = self.root.rounds.len();
+        let mut out = Vec::with_capacity(rounds + 1);
+        for t in 0..rounds {
+            let mut flat = Vec::new();
+            for shard in &self.shards {
+                flat.extend_from_slice(&shard.rounds[t].shares);
+            }
+            out.push(flat);
+        }
+        let mut last = Vec::new();
+        for shard in &self.shards {
+            last.extend_from_slice(&shard.final_shares);
+        }
+        out.push(last);
+        out
+    }
+}
+
+/// Runs root + `M` shard-masters + `N` workers over loopback TCP — the
+/// root on the calling thread, everything else on small-stack OS
+/// threads — and reaps the whole tree before returning. Nothing is
+/// simulated: three process roles, two protocol tiers, every byte
+/// through the kernel's loopback interface.
+pub fn run_sharded_loopback(cfg: &ShardedConfig) -> Result<ShardedLoopbackRun, NetError> {
+    let (n, m) = (cfg.num_workers, cfg.num_shards);
+    let layout = ShardLayout::even(n, m);
+    let root_listener = TcpListener::bind("127.0.0.1:0").map_err(TransportError::from)?;
+    let root_addr = root_listener.local_addr().map_err(TransportError::from)?;
+
+    // Bind every shard's worker listener up front so worker threads can
+    // start their staggered connects immediately.
+    let mut shard_listeners = Vec::with_capacity(m);
+    let mut shard_addrs = Vec::with_capacity(m);
+    for _ in 0..m {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(TransportError::from)?;
+        shard_addrs.push(listener.local_addr().map_err(TransportError::from)?);
+        shard_listeners.push(listener);
+    }
+
+    let mut shard_handles = Vec::with_capacity(m);
+    for (k, listener) in shard_listeners.into_iter().enumerate() {
+        let opts = ShardMasterOptions { shard: k, num_shards: m, frame_timeout: cfg.frame_timeout };
+        let (attempts, base, stagger) = connect_schedule(m, k);
+        let handle = std::thread::Builder::new()
+            .name(format!("dolbie-shard-{k}"))
+            .stack_size(SHARD_STACK_BYTES)
+            .spawn(move || -> Result<ShardRunReport, NetError> {
+                if !stagger.is_zero() {
+                    std::thread::sleep(stagger);
+                }
+                let stream = connect_with_backoff(root_addr, attempts, base, k as u64)
+                    .map_err(TransportError::from)?;
+                run_shard_master(stream, &listener, &opts)
+            })
+            .map_err(TransportError::from)?;
+        shard_handles.push(handle);
+    }
+
+    let mut worker_handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let k = layout.shard_of(i);
+        let local = i - layout.range(k).start;
+        let addr = shard_addrs[k];
+        let (attempts, base, stagger) = connect_schedule(layout.range(k).len(), local);
+        // Workers pace their lossy retransmissions with the same policy
+        // the config ships to the shard-masters, so a test choosing a
+        // fast schedule gets it on both link directions.
+        let worker_opts =
+            WorkerOptions { retry: Some(cfg.fault.retry), ..WorkerOptions::default() };
+        let handle = std::thread::Builder::new()
+            .name(format!("dolbie-worker-{i}"))
+            .stack_size(WORKER_STACK_BYTES)
+            .spawn(move || -> Result<WorkerReport, NetError> {
+                if !stagger.is_zero() {
+                    std::thread::sleep(stagger);
+                }
+                let stream = connect_with_backoff(addr, attempts, base, i as u64)
+                    .map_err(TransportError::from)?;
+                run_worker(stream, &worker_opts)
+            })
+            .map_err(TransportError::from)?;
+        worker_handles.push(handle);
+    }
+
+    let root_result = run_root(&root_listener, cfg);
+    let mut shards = Vec::with_capacity(m);
+    for handle in shard_handles {
+        let report = handle
+            .join()
+            .unwrap_or_else(|_| Err(NetError::Protocol("shard thread panicked".into())))?;
+        shards.push(report);
+    }
+    shards.sort_by_key(|s| s.shard);
+    let workers: Vec<Result<WorkerReport, NetError>> = worker_handles
+        .into_iter()
+        .map(|h| {
+            h.join().unwrap_or_else(|_| Err(NetError::Protocol("worker thread panicked".into())))
+        })
+        .collect();
+    Ok(ShardedLoopbackRun { root: root_result?, shards, workers })
+}

@@ -9,6 +9,15 @@
 //! membership announcements, and the `Data`/`Ack` envelope of the lossy
 //! link layer.
 //!
+//! The sharded control plane ([`crate::shard`]) adds a backbone dialect
+//! between the root and its shard-masters: the `ShardHello`/`ShardWelcome`
+//! handshake, the per-round `ShardAggregate`/`ShardCoord` scalars, the
+//! chained `ShardCursor` carrying the O(log N) compensated-sum state of
+//! [`SumCursor`](dolbie_core::numeric::SumCursor), and the
+//! `ShardRescale`/`ShardCommit` tail. Every per-round backbone frame is
+//! O(1) or O(log N) — never O(N/M) — which is what keeps the root's
+//! per-round work O(M).
+//!
 //! ## Frame layout
 //!
 //! ```text
@@ -85,6 +94,34 @@ impl std::fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
+
+/// Which chained reduction a [`Frame::ShardCursor`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CursorPhase {
+    /// The eq. (6) gains chain — runs (once, or twice after a rescale)
+    /// before the round's commit.
+    Gains,
+    /// The periodic Σx-refresh chain over the committed shares — runs
+    /// after the commit on refresh rounds only.
+    Shares,
+}
+
+impl CursorPhase {
+    fn code(self) -> u8 {
+        match self {
+            Self::Gains => 0,
+            Self::Shares => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::Gains),
+            1 => Some(Self::Shares),
+            _ => None,
+        }
+    }
+}
 
 /// One protocol frame.
 ///
@@ -215,6 +252,115 @@ pub enum Frame {
         /// The acknowledged sequence number.
         seq: u64,
     },
+    /// Shard-master → root: first frame on a fresh backbone connection,
+    /// declaring which shard this is. Carries the magic/version like
+    /// [`Frame::Hello`].
+    ShardHello {
+        /// The shard's self-declared index `k ∈ [0, M)`.
+        shard: u32,
+        /// The shard count `M` this shard-master was launched with; the
+        /// root rejects a mismatch.
+        num_shards: u32,
+    },
+    /// Root → shard-master: backbone handshake acceptance and run
+    /// parameters — the shard-tier analogue of [`Frame::Welcome`], plus
+    /// the worker slice this shard owns and the full fault plan (a
+    /// shard-master is a *sender* on its worker links, so unlike a worker
+    /// it also needs the retransmission pacing).
+    ShardWelcome {
+        /// Echo of the accepted shard index.
+        shard: u32,
+        /// Shard count `M`.
+        num_shards: u32,
+        /// Global fleet size `N` (workers across all shards).
+        num_workers: u32,
+        /// Horizon `T`.
+        rounds: u64,
+        /// First global worker id of this shard's slice (inclusive).
+        range_start: u32,
+        /// One past the last global worker id of this shard's slice.
+        range_end: u32,
+        /// The seeded environment forwarded to the workers.
+        env: WireEnvSpec,
+        /// Worker-link drop probability (0 disables the lossy envelope).
+        drop_probability: f64,
+        /// Worker-link duplication probability.
+        duplicate_probability: f64,
+        /// Seed of the worker-link fault decisions.
+        fault_seed: u64,
+        /// Lossy-envelope ack timeout in seconds.
+        retry_ack_timeout: f64,
+        /// Lossy-envelope backoff multiplier.
+        retry_backoff: f64,
+        /// Lossy-envelope attempt budget.
+        retry_max_attempts: u32,
+    },
+    /// Shard-master → root: the shard's straggler candidate — its slice's
+    /// worst local cost, that worker's *global* index, and its current
+    /// share (so the root learns `x_{s,t}` in the electing message).
+    ShardAggregate {
+        /// Round index `t`.
+        round: u64,
+        /// The shard-local maximum cost.
+        max_cost: f64,
+        /// Global index of the worker attaining the shard maximum.
+        straggler: u64,
+        /// That worker's current share.
+        share: f64,
+    },
+    /// Root → shard-master: the agreed round scalars every shard replays
+    /// to its workers (the backbone analogue of [`Frame::Coordination`]).
+    ShardCoord {
+        /// Round index `t`.
+        round: u64,
+        /// Global cost `l_t = max_i l_{i,t}`.
+        global_cost: f64,
+        /// Step size `α_t`.
+        alpha: f64,
+        /// The elected global straggler `s_t`.
+        straggler: u64,
+    },
+    /// The chained compensated-sum cursor, root → shard `k` → root →
+    /// shard `k+1` → … — the serialized O(log N) state of
+    /// [`SumCursor`](dolbie_core::numeric::SumCursor). Folding each
+    /// shard's contiguous slice through the travelling cursor reproduces
+    /// the flat engine's fixed-shape pairwise-Neumaier sum bit for bit.
+    ShardCursor {
+        /// Round index `t`.
+        round: u64,
+        /// Which reduction this chain computes.
+        phase: CursorPhase,
+        /// Raw running sum of the in-progress block.
+        partial_sum: f64,
+        /// Raw compensation term of the in-progress block.
+        partial_compensation: f64,
+        /// Elements absorbed into the in-progress block.
+        partial_len: u32,
+        /// The subtree stack, bottom first: `(blocks, value)` pairs.
+        stack: Vec<(u64, f64)>,
+    },
+    /// Root → shard-masters: the feasibility guard fired; rescale the
+    /// gains (and have the non-straggler workers replay
+    /// [`Frame::Adjust`]), then expect the gains chain to run again.
+    ShardRescale {
+        /// Round index `t`.
+        round: u64,
+        /// The guard's rescale factor.
+        scale: f64,
+    },
+    /// Root → shard-masters: the round's commit — apply the gains, pin
+    /// the straggler, and (on refresh rounds) expect a
+    /// [`CursorPhase::Shares`] chain.
+    ShardCommit {
+        /// Round index `t`.
+        round: u64,
+        /// The elected global straggler `s_t`.
+        straggler: u64,
+        /// The straggler's pinned new share.
+        straggler_share: f64,
+        /// Whether a Σx-refresh chain follows this commit.
+        refresh: bool,
+    },
 }
 
 const KIND_HELLO: u8 = 0;
@@ -229,6 +375,13 @@ const KIND_EPOCH: u8 = 8;
 const KIND_SHUTDOWN: u8 = 9;
 const KIND_DATA: u8 = 10;
 const KIND_ACK: u8 = 11;
+const KIND_SHARD_HELLO: u8 = 12;
+const KIND_SHARD_WELCOME: u8 = 13;
+const KIND_SHARD_AGGREGATE: u8 = 14;
+const KIND_SHARD_COORD: u8 = 15;
+const KIND_SHARD_CURSOR: u8 = 16;
+const KIND_SHARD_RESCALE: u8 = 17;
+const KIND_SHARD_COMMIT: u8 = 18;
 
 impl Frame {
     /// Encodes the frame as length prefix + body.
@@ -351,6 +504,92 @@ impl Frame {
             Self::Ack { seq } => {
                 out.push(KIND_ACK);
                 out.extend_from_slice(&seq.to_le_bytes());
+            }
+            Self::ShardHello { shard, num_shards } => {
+                out.push(KIND_SHARD_HELLO);
+                out.extend_from_slice(&MAGIC.to_le_bytes());
+                out.extend_from_slice(&VERSION.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&num_shards.to_le_bytes());
+            }
+            Self::ShardWelcome {
+                shard,
+                num_shards,
+                num_workers,
+                rounds,
+                range_start,
+                range_end,
+                env,
+                drop_probability,
+                duplicate_probability,
+                fault_seed,
+                retry_ack_timeout,
+                retry_backoff,
+                retry_max_attempts,
+            } => {
+                out.push(KIND_SHARD_WELCOME);
+                out.extend_from_slice(&MAGIC.to_le_bytes());
+                out.extend_from_slice(&VERSION.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&num_shards.to_le_bytes());
+                out.extend_from_slice(&num_workers.to_le_bytes());
+                out.extend_from_slice(&rounds.to_le_bytes());
+                out.extend_from_slice(&range_start.to_le_bytes());
+                out.extend_from_slice(&range_end.to_le_bytes());
+                out.push(env.kind_code());
+                out.extend_from_slice(&env.seed.to_le_bytes());
+                out.extend_from_slice(&drop_probability.to_bits().to_le_bytes());
+                out.extend_from_slice(&duplicate_probability.to_bits().to_le_bytes());
+                out.extend_from_slice(&fault_seed.to_le_bytes());
+                out.extend_from_slice(&retry_ack_timeout.to_bits().to_le_bytes());
+                out.extend_from_slice(&retry_backoff.to_bits().to_le_bytes());
+                out.extend_from_slice(&retry_max_attempts.to_le_bytes());
+            }
+            Self::ShardAggregate { round, max_cost, straggler, share } => {
+                out.push(KIND_SHARD_AGGREGATE);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&max_cost.to_bits().to_le_bytes());
+                out.extend_from_slice(&straggler.to_le_bytes());
+                out.extend_from_slice(&share.to_bits().to_le_bytes());
+            }
+            Self::ShardCoord { round, global_cost, alpha, straggler } => {
+                out.push(KIND_SHARD_COORD);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&global_cost.to_bits().to_le_bytes());
+                out.extend_from_slice(&alpha.to_bits().to_le_bytes());
+                out.extend_from_slice(&straggler.to_le_bytes());
+            }
+            Self::ShardCursor {
+                round,
+                phase,
+                partial_sum,
+                partial_compensation,
+                partial_len,
+                stack,
+            } => {
+                out.push(KIND_SHARD_CURSOR);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.push(phase.code());
+                out.extend_from_slice(&partial_sum.to_bits().to_le_bytes());
+                out.extend_from_slice(&partial_compensation.to_bits().to_le_bytes());
+                out.extend_from_slice(&partial_len.to_le_bytes());
+                out.extend_from_slice(&(stack.len() as u32).to_le_bytes());
+                for &(blocks, value) in stack {
+                    out.extend_from_slice(&blocks.to_le_bytes());
+                    out.extend_from_slice(&value.to_bits().to_le_bytes());
+                }
+            }
+            Self::ShardRescale { round, scale } => {
+                out.push(KIND_SHARD_RESCALE);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&scale.to_bits().to_le_bytes());
+            }
+            Self::ShardCommit { round, straggler, straggler_share, refresh } => {
+                out.push(KIND_SHARD_COMMIT);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&straggler.to_le_bytes());
+                out.extend_from_slice(&straggler_share.to_bits().to_le_bytes());
+                out.push(u8::from(*refresh));
             }
         }
     }
@@ -490,6 +729,94 @@ fn decode_inner(r: &mut Reader<'_>, enveloped: bool) -> Result<Frame, WireError>
             }
             Ok(Frame::Ack { seq: r.u64()? })
         }
+        KIND_SHARD_HELLO => {
+            let magic = r.u32()?;
+            if magic != MAGIC {
+                return Err(WireError::BadMagic { got: magic });
+            }
+            let version = r.u16()?;
+            if version != VERSION {
+                return Err(WireError::BadVersion { got: version });
+            }
+            Ok(Frame::ShardHello { shard: r.u32()?, num_shards: r.u32()? })
+        }
+        KIND_SHARD_WELCOME => {
+            let magic = r.u32()?;
+            if magic != MAGIC {
+                return Err(WireError::BadMagic { got: magic });
+            }
+            let version = r.u16()?;
+            if version != VERSION {
+                return Err(WireError::BadVersion { got: version });
+            }
+            Ok(Frame::ShardWelcome {
+                shard: r.u32()?,
+                num_shards: r.u32()?,
+                num_workers: r.u32()?,
+                rounds: r.u64()?,
+                range_start: r.u32()?,
+                range_end: r.u32()?,
+                env: {
+                    let kind = r.u8()?;
+                    let seed = r.u64()?;
+                    WireEnvSpec::from_code(kind, seed)
+                        .ok_or(WireError::BadValue("environment kind"))?
+                },
+                drop_probability: r.f64()?,
+                duplicate_probability: r.f64()?,
+                fault_seed: r.u64()?,
+                retry_ack_timeout: r.f64()?,
+                retry_backoff: r.f64()?,
+                retry_max_attempts: r.u32()?,
+            })
+        }
+        KIND_SHARD_AGGREGATE => Ok(Frame::ShardAggregate {
+            round: r.u64()?,
+            max_cost: r.f64()?,
+            straggler: r.u64()?,
+            share: r.f64()?,
+        }),
+        KIND_SHARD_COORD => Ok(Frame::ShardCoord {
+            round: r.u64()?,
+            global_cost: r.f64()?,
+            alpha: r.f64()?,
+            straggler: r.u64()?,
+        }),
+        KIND_SHARD_CURSOR => {
+            let round = r.u64()?;
+            let phase =
+                CursorPhase::from_code(r.u8()?).ok_or(WireError::BadValue("cursor phase"))?;
+            let partial_sum = r.f64()?;
+            let partial_compensation = r.f64()?;
+            let partial_len = r.u32()?;
+            let count = r.u32()? as usize;
+            // 16 bytes per stack entry; a count the remaining body cannot
+            // hold is lying about its length.
+            if count > (r.body.len() - r.at) / 16 {
+                return Err(WireError::Truncated);
+            }
+            let mut stack = Vec::with_capacity(count);
+            for _ in 0..count {
+                let blocks = r.u64()?;
+                let value = r.f64()?;
+                stack.push((blocks, value));
+            }
+            Ok(Frame::ShardCursor {
+                round,
+                phase,
+                partial_sum,
+                partial_compensation,
+                partial_len,
+                stack,
+            })
+        }
+        KIND_SHARD_RESCALE => Ok(Frame::ShardRescale { round: r.u64()?, scale: r.f64()? }),
+        KIND_SHARD_COMMIT => Ok(Frame::ShardCommit {
+            round: r.u64()?,
+            straggler: r.u64()?,
+            straggler_share: r.f64()?,
+            refresh: r.boolean("refresh flag")?,
+        }),
         other => Err(WireError::UnknownKind(other)),
     }
 }
@@ -519,6 +846,101 @@ mod tests {
             Frame::decode(&nested.encode()),
             Err(WireError::BadValue("nested Data envelope"))
         );
+    }
+
+    #[test]
+    fn shard_frames_round_trip_bitwise() {
+        let frames = vec![
+            Frame::ShardHello { shard: 3, num_shards: 16 },
+            Frame::ShardWelcome {
+                shard: 3,
+                num_shards: 16,
+                num_workers: 4096,
+                rounds: 500,
+                range_start: 768,
+                range_end: 1024,
+                env: crate::env::WireEnvSpec { kind: crate::env::EnvKind::ChaosMix, seed: 9 },
+                drop_probability: 0.12,
+                duplicate_probability: 0.05,
+                fault_seed: 21,
+                retry_ack_timeout: 0.01,
+                retry_backoff: 1.5,
+                retry_max_attempts: 6,
+            },
+            Frame::ShardAggregate {
+                round: 7,
+                max_cost: 0.1 + 0.2,
+                straggler: 801,
+                share: 1.0 / 3.0,
+            },
+            Frame::ShardCoord { round: 7, global_cost: 0.1 + 0.2, alpha: 0.5, straggler: 801 },
+            Frame::ShardCursor {
+                round: 7,
+                phase: CursorPhase::Gains,
+                partial_sum: 0.1 + 0.2,
+                partial_compensation: -1.1e-17,
+                partial_len: 13,
+                stack: vec![(4, 1.0 / 3.0), (1, f64::MIN_POSITIVE)],
+            },
+            Frame::ShardCursor {
+                round: 8,
+                phase: CursorPhase::Shares,
+                partial_sum: 0.0,
+                partial_compensation: 0.0,
+                partial_len: 0,
+                stack: Vec::new(),
+            },
+            Frame::ShardRescale { round: 7, scale: 0.75 },
+            Frame::ShardCommit { round: 7, straggler: 801, straggler_share: 0.25, refresh: true },
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            let (back, used) = Frame::decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            // PartialEq on f64 is not bitwise; compare the re-encoding.
+            assert_eq!(back.encode(), bytes, "{frame:?}");
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn shard_handshake_frames_check_magic_and_version() {
+        let hello = Frame::ShardHello { shard: 0, num_shards: 2 };
+        let mut bytes = hello.encode();
+        bytes[5] ^= 0xFF; // corrupt the magic (after 4-byte prefix + kind)
+        assert!(matches!(Frame::decode(&bytes), Err(WireError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn cursor_stack_count_cannot_exceed_body() {
+        let frame = Frame::ShardCursor {
+            round: 1,
+            phase: CursorPhase::Gains,
+            partial_sum: 0.5,
+            partial_compensation: 0.0,
+            partial_len: 3,
+            stack: vec![(2, 0.25)],
+        };
+        let mut bytes = frame.encode();
+        // Corrupt the stack count (offset: 4 prefix + 1 kind + 8 round +
+        // 1 phase + 8 sum + 8 compensation + 4 len).
+        bytes[34..38].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Frame::decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn unknown_cursor_phase_is_rejected() {
+        let frame = Frame::ShardCursor {
+            round: 1,
+            phase: CursorPhase::Shares,
+            partial_sum: 0.0,
+            partial_compensation: 0.0,
+            partial_len: 0,
+            stack: Vec::new(),
+        };
+        let mut bytes = frame.encode();
+        bytes[13] = 7; // the phase byte (4 prefix + 1 kind + 8 round)
+        assert_eq!(Frame::decode(&bytes), Err(WireError::BadValue("cursor phase")));
     }
 
     #[test]

@@ -421,6 +421,10 @@ fn payload_kind(payload: &Payload) -> u64 {
         Payload::StragglerAssignment { .. } => 5,
         Payload::RingAggregate { .. } => 6,
         Payload::RingUpdate { .. } => 7,
+        Payload::ShardAggregate { .. } => 8,
+        Payload::ShardCoordination { .. } => 9,
+        Payload::ShardPartial { .. } => 10,
+        Payload::ShardRescale { .. } => 11,
     }
 }
 

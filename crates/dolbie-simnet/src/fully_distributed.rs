@@ -21,15 +21,13 @@
 //! of panicking. The plan's cost timeout is a coordinator-side concept and
 //! is ignored here — there is no master to enforce it.
 
+use crate::coordinator::{assist_step, frozen_round, guarded_straggler_pin, tighten_alpha};
 use crate::event::EventQueue;
 use crate::faults::{Crash, FaultPlan, LinkStats};
 use crate::latency::LatencyModel;
-use crate::master_worker::{frozen_round, guarded_straggler_pin};
 use crate::membership::{epoch_transition, MembershipSchedule, DEFAULT_DETECTION_TIMEOUT};
 use crate::message::{Message, NodeId, Payload};
 use crate::trace::{ProtocolRound, ProtocolTrace};
-use dolbie_core::observation::max_acceptable_share;
-use dolbie_core::step_size::feasibility_cap;
 use dolbie_core::{Allocation, DolbieConfig, Environment};
 
 #[derive(Debug, Clone, Copy)]
@@ -225,7 +223,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                 let s_share = (1.0 - others).max(0.0);
                 self.shares[survivor] = s_share;
                 self.local_alphas[survivor] =
-                    self.local_alphas[survivor].min(feasibility_cap(member_count, s_share));
+                    tighten_alpha(self.local_alphas[survivor], member_count, s_share);
                 let executed = Allocation::from_update(self.shares.clone())
                     .expect("frozen shares stay feasible");
                 trace.push(ProtocolRound {
@@ -362,9 +360,8 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                             state.alphas.iter().flatten().fold(f64::INFINITY, |acc, &a| acc.min(a));
                         if me != straggler {
                             // Lines 8-10.
-                            let x_i = self.shares[me];
-                            let target = max_acceptable_share(&fns[me], x_i, global_cost);
-                            let updated = x_i - alpha_t * (x_i - target);
+                            let updated =
+                                assist_step(&fns[me], self.shares[me], global_cost, alpha_t);
                             next_shares[me] = updated;
                             // Adopt the consensus step size so the round's
                             // minimum is replicated at every node — without
@@ -394,7 +391,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                             // `next_shares` (written before it was sent),
                             // crashed workers' shares sit there frozen.
                             let s_share = guarded_straggler_pin(&self.shares, &mut next_shares, me);
-                            next_alphas[me] = alpha_t.min(feasibility_cap(member_count, s_share));
+                            next_alphas[me] = tighten_alpha(alpha_t, member_count, s_share);
                             state.resolved = true;
                             resolved_count += 1;
                             ready_at[me] = now;
@@ -413,7 +410,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                     let s_share = guarded_straggler_pin(&self.shares, &mut next_shares, straggler);
                     let alpha_t =
                         s_state.alphas.iter().flatten().fold(f64::INFINITY, |acc, &a| acc.min(a));
-                    next_alphas[straggler] = alpha_t.min(feasibility_cap(member_count, s_share));
+                    next_alphas[straggler] = tighten_alpha(alpha_t, member_count, s_share);
                     s_state.resolved = true;
                     resolved_count += 1;
                     ready_at[straggler] = queue.now();

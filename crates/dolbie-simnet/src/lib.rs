@@ -14,6 +14,11 @@
 //!   the straggler, since no assignment hop is needed — but `O(N)`
 //!   protocol depth, trading latency for both low message volume and no
 //!   coordinator.
+//! - [`ShardedSim`] — the two-level shard tier (extension): M
+//!   shard-masters coordinate N/M workers each and a root coordinator
+//!   runs the same min-max step over shard aggregates, cutting the
+//!   coordinator's fan-in from Θ(N) to O(M) messages per round while
+//!   staying bitwise identical to [`MasterWorkerSim`].
 //! - [`threaded`] — Algorithm 1 executed across real OS threads over
 //!   crossbeam channels, verifying that the protocol is deterministic
 //!   under true concurrency.
@@ -40,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coordinator;
 pub mod event;
 pub mod faults;
 pub mod fully_distributed;
@@ -48,6 +54,7 @@ pub mod master_worker;
 pub mod membership;
 pub mod message;
 pub mod ring;
+pub mod sharded;
 pub mod threaded;
 pub mod trace;
 
@@ -61,4 +68,5 @@ pub use membership::{
 };
 pub use message::{Message, NodeId, Payload};
 pub use ring::RingSim;
+pub use sharded::{RootTierRound, ShardedRun, ShardedSim};
 pub use trace::{ProtocolRound, ProtocolTrace};

@@ -36,14 +36,15 @@
 //! continues — membership collapse degrades gracefully instead of
 //! panicking.
 
+use crate::coordinator::{
+    assist_step, elect_straggler, frozen_round, guarded_straggler_pin, tighten_alpha,
+};
 use crate::event::EventQueue;
 use crate::faults::{FaultPlan, LinkStats};
 use crate::latency::LatencyModel;
 use crate::membership::{epoch_transition, MembershipSchedule, DEFAULT_DETECTION_TIMEOUT};
 use crate::message::{Message, NodeId, Payload};
 use crate::trace::{ProtocolRound, ProtocolTrace};
-use dolbie_core::observation::max_acceptable_share;
-use dolbie_core::step_size::feasibility_cap;
 use dolbie_core::{Allocation, DolbieConfig, Environment};
 
 pub use crate::faults::Crash;
@@ -261,13 +262,10 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                         ready_at[j] = finish;
                         compute_finished = compute_finished.max(finish);
                     }
-                    global_cost = f64::MIN;
-                    for j in 0..n {
-                        if participants[j] && local_costs[j] > global_cost {
-                            global_cost = local_costs[j];
-                            straggler = j;
-                        }
-                    }
+                    let elected = elect_straggler(&local_costs, &participants)
+                        .expect("coordination requires at least one participant");
+                    global_cost = elected.global_cost;
+                    straggler = elected.straggler;
                     expected_decisions = participants.iter().filter(|&&p| p).count() - 1;
                     for j in 0..n {
                         if !participants[j] {
@@ -307,7 +305,7 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                     let s_share = guarded_straggler_pin(&self.shares, &mut next_shares, straggler);
                     // Eq. (7) against the active member count (== n when
                     // no membership schedule is installed).
-                    self.alpha = self.alpha.min(feasibility_cap(member_count, s_share));
+                    self.alpha = tighten_alpha(self.alpha, member_count, s_share);
                     send(
                         &mut queue,
                         &mut self.latency,
@@ -387,9 +385,7 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                                 continue;
                             }
                             // Lines 5-7: risk-averse assistance.
-                            let x_i = self.shares[i];
-                            let target = max_acceptable_share(&fns[i], x_i, l_t);
-                            let updated = x_i - alpha * (x_i - target);
+                            let updated = assist_step(&fns[i], self.shares[i], l_t, alpha);
                             send(
                                 &mut queue,
                                 &mut self.latency,
@@ -455,79 +451,6 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
         }
         ProtocolTrace { architecture: "master-worker", rounds: trace }
     }
-}
-
-/// The record of a round in which no worker was responsive: every share is
-/// frozen, nothing executes, nothing is sent. Shared by all three
-/// architectures so membership collapse degrades identically everywhere.
-pub(crate) fn frozen_round(
-    t: usize,
-    shares: &[f64],
-    local_costs: Vec<f64>,
-    ready_at: &[f64],
-    n: usize,
-    alpha: f64,
-) -> ProtocolRound {
-    // The cluster clock does not advance while everyone is down.
-    let stall = ready_at.iter().fold(0.0f64, |acc, &r| acc.max(r));
-    ProtocolRound {
-        round: t,
-        allocation: Allocation::from_update(shares.to_vec()).expect("frozen shares stay feasible"),
-        local_costs,
-        global_cost: 0.0,
-        straggler: 0,
-        messages: 0,
-        bytes: 0,
-        retries: 0,
-        acks: 0,
-        duplicates: 0,
-        compute_finished: stall,
-        control_finished: stall,
-        active: vec![false; n],
-        alpha,
-    }
-}
-
-/// Eq. (6) pin with the engine's feasibility guard, shared by all three
-/// architectures so guarded rounds stay bitwise identical across them.
-///
-/// `next` holds every non-straggler's candidate share — the eq. (5)
-/// update for the round's deciders, the frozen share for crashed,
-/// timed-out, and departed workers. Eq. (7) proves the combined gain
-/// fits inside the straggler's share in exact arithmetic, but a
-/// zero-share joiner that becomes the straggler right after an epoch
-/// boundary can hold a smaller share than the one α was last capped
-/// against; mirror the engine's guard (`dolbie_core::engine`) and
-/// rescale the gains so constraint (3) survives. In the wire protocol
-/// the correction factor rides on the straggler assignment / pass-2
-/// token; the sims apply it to the bookkeeping directly. The sums run
-/// in ascending worker order at every call site, which is what keeps
-/// the three architectures' trajectories bit-for-bit equal.
-pub(crate) fn guarded_straggler_pin(old: &[f64], next: &mut [f64], straggler: usize) -> f64 {
-    let mut total_gain = 0.0;
-    for (j, (&o, &x)) in old.iter().zip(next.iter()).enumerate() {
-        if j != straggler {
-            total_gain += x - o;
-        }
-    }
-    let s_old = old[straggler];
-    if total_gain > s_old && total_gain > 0.0 {
-        let scale = s_old / total_gain;
-        for (j, (&o, x)) in old.iter().zip(next.iter_mut()).enumerate() {
-            if j != straggler {
-                *x = o + scale * (*x - o);
-            }
-        }
-    }
-    let mut others = 0.0;
-    for (j, &x) in next.iter().enumerate() {
-        if j != straggler {
-            others += x;
-        }
-    }
-    let s_share = (1.0 - others).max(0.0);
-    next[straggler] = s_share;
-    s_share
 }
 
 #[cfg(test)]

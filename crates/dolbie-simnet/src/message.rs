@@ -85,6 +85,42 @@ pub enum Payload {
         /// Σ of the updated shares of the non-stragglers visited so far.
         sum_shares: f64,
     },
+    /// Shard tier: a shard-master's straggler candidate, reported to the
+    /// root — its slice's worst local cost, that worker's *global* index,
+    /// and its current share.
+    ShardAggregate {
+        /// The shard-local maximum cost.
+        max_cost: f64,
+        /// Global index of the worker attaining the shard maximum.
+        straggler: usize,
+        /// That worker's current share.
+        share: f64,
+    },
+    /// Shard tier: the root's round broadcast to a shard-master — the
+    /// agreed global scalars every shard replays to its workers.
+    ShardCoordination {
+        /// The global cost `l_t`.
+        global_cost: f64,
+        /// The coordinated step size `α_t`.
+        alpha: f64,
+        /// The elected global straggler `s_t`.
+        straggler: usize,
+    },
+    /// Shard tier: the running-sum token chained through the shard-masters
+    /// in ascending shard order (the simnet analogue of the wire cursor),
+    /// folding each slice's contribution elementwise so the fold order is
+    /// exactly the flat ascending order.
+    ShardPartial {
+        /// The running sum folded so far.
+        sum: f64,
+    },
+    /// Shard tier: the feasibility-guard correction factor, broadcast to
+    /// the shard-masters when the combined gain overshoots the straggler's
+    /// share (see `coordinator::guarded_straggler_pin`).
+    ShardRescale {
+        /// The multiplicative gain correction.
+        scale: f64,
+    },
 }
 
 impl Payload {
@@ -103,6 +139,10 @@ impl Payload {
                 Payload::StragglerAssignment { .. } => 8,
                 Payload::RingAggregate { .. } => 20,
                 Payload::RingUpdate { .. } => 28,
+                Payload::ShardAggregate { .. } => 20,
+                Payload::ShardCoordination { .. } => 20,
+                Payload::ShardPartial { .. } => 8,
+                Payload::ShardRescale { .. } => 8,
             }
     }
 }
@@ -151,6 +191,16 @@ mod tests {
                 .size_bytes(),
             44
         );
+        assert_eq!(
+            Payload::ShardAggregate { max_cost: 1.0, straggler: 3, share: 0.1 }.size_bytes(),
+            36
+        );
+        assert_eq!(
+            Payload::ShardCoordination { global_cost: 1.0, alpha: 0.5, straggler: 3 }.size_bytes(),
+            36
+        );
+        assert_eq!(Payload::ShardPartial { sum: 0.5 }.size_bytes(), 24);
+        assert_eq!(Payload::ShardRescale { scale: 0.5 }.size_bytes(), 24);
     }
 
     #[test]

@@ -36,15 +36,13 @@
 //! membership freezes every share, and the run continues. The plan's cost
 //! timeout is a coordinator-side concept and is ignored here.
 
+use crate::coordinator::{assist_step, frozen_round, guarded_straggler_pin, tighten_alpha};
 use crate::event::EventQueue;
 use crate::faults::{Crash, FaultPlan, LinkStats};
 use crate::latency::LatencyModel;
-use crate::master_worker::{frozen_round, guarded_straggler_pin};
 use crate::membership::{epoch_transition, MembershipSchedule, DEFAULT_DETECTION_TIMEOUT};
 use crate::message::{Message, NodeId, Payload};
 use crate::trace::{ProtocolRound, ProtocolTrace};
-use dolbie_core::observation::max_acceptable_share;
-use dolbie_core::step_size::feasibility_cap;
 use dolbie_core::{Allocation, DolbieConfig, Environment};
 
 #[derive(Debug, Clone, Copy)]
@@ -211,7 +209,7 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                 let s_share = (1.0 - others).max(0.0);
                 self.shares[survivor] = s_share;
                 self.local_alphas[survivor] =
-                    self.local_alphas[survivor].min(feasibility_cap(member_count, s_share));
+                    tighten_alpha(self.local_alphas[survivor], member_count, s_share);
                 let executed = Allocation::from_update(self.shares.clone())
                     .expect("frozen shares stay feasible");
                 trace.push(ProtocolRound {
@@ -358,10 +356,12 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                     next_alphas[head] = alpha;
                                     let mut sum = 0.0;
                                     if straggler != head {
-                                        let x0 = self.shares[head];
-                                        let target =
-                                            max_acceptable_share(&fns[head], x0, global_cost);
-                                        let updated = x0 - alpha * (x0 - target);
+                                        let updated = assist_step(
+                                            &fns[head],
+                                            self.shares[head],
+                                            global_cost,
+                                            alpha,
+                                        );
                                         next_shares[head] = updated;
                                         ready_at[head] = now;
                                         sum += updated;
@@ -429,7 +429,7 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                         guarded_straggler_pin(&self.shares, &mut next_shares, s);
                                     if s == head {
                                         next_alphas[head] =
-                                            alpha.min(feasibility_cap(member_count, s_share));
+                                            tighten_alpha(alpha, member_count, s_share);
                                         ready_at[head] = now;
                                         control_finished = now;
                                         round_done = true;
@@ -452,9 +452,8 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                 } else {
                                     let mut sum = sum_shares;
                                     if me != s {
-                                        let x_i = self.shares[me];
-                                        let target = max_acceptable_share(&fns[me], x_i, l_t);
-                                        let updated = x_i - alpha * (x_i - target);
+                                        let updated =
+                                            assist_step(&fns[me], self.shares[me], l_t, alpha);
                                         next_shares[me] = updated;
                                         next_alphas[me] = alpha;
                                         ready_at[me] = now;
@@ -488,7 +487,7 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                 );
                                 next_shares[me] = share;
                                 next_alphas[me] =
-                                    straggler_alpha.min(feasibility_cap(member_count, share));
+                                    tighten_alpha(straggler_alpha, member_count, share);
                                 ready_at[me] = now;
                                 control_finished = now;
                                 round_done = true;

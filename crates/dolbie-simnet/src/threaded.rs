@@ -18,10 +18,9 @@
 //! [`ThreadedError`] instead of blocking forever on a channel that can no
 //! longer produce a message.
 
+use crate::coordinator::{assist_step, tighten_alpha};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use dolbie_core::cost::DynCost;
-use dolbie_core::observation::max_acceptable_share;
-use dolbie_core::step_size::feasibility_cap;
 use dolbie_core::{Allocation, DolbieConfig, Environment};
 use std::thread;
 
@@ -224,7 +223,7 @@ fn drive_master<E: Environment>(
             .send(ToWorker::Assignment { share: s_share })
             .map_err(|_| dead(straggler))?;
         // Line 16 / eq. (7).
-        alpha = alpha.min(feasibility_cap(n, s_share));
+        alpha = tighten_alpha(alpha, n, s_share);
 
         let executed =
             Allocation::from_update(shares.clone()).expect("protocol preserves feasibility");
@@ -262,8 +261,7 @@ fn worker_loop(worker_id: usize, mut share: f64, rx: Receiver<ToWorker>, master:
                 }
                 // Lines 5-7: risk-averse assistance.
                 let f = current_fn.as_ref().expect("round started before coordination");
-                let target = max_acceptable_share(f, share, global_cost);
-                share -= alpha * (share - target);
+                share = assist_step(f, share, global_cost, alpha);
                 if master.send(ToMaster::Decision { worker: worker_id, share }).is_err() {
                     return;
                 }

@@ -74,4 +74,14 @@ if [ "$smoke_elapsed" -ge 10 ]; then
     exit 1
 fi
 
+echo "== tier-1: sharded smoke (two-level control plane, M in {1,4}, bitwise vs sequential, <10 s) =="
+smoke_start=$SECONDS
+cargo run --release -p dolbie-bench --bin paper_figures -- --quick shard_scale
+smoke_elapsed=$((SECONDS - smoke_start))
+echo "sharded smoke took ${smoke_elapsed}s"
+if [ "$smoke_elapsed" -ge 10 ]; then
+    echo "FAIL: sharded smoke exceeded the 10 s budget" >&2
+    exit 1
+fi
+
 echo "== tier-1: OK =="
