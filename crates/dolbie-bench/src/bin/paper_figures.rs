@@ -18,8 +18,8 @@
 
 use dolbie_bench::experiments::large_n::LargeNOptions;
 use dolbie_bench::experiments::{
-    ablation, accuracy, bandit, chaos, churn, comms, edge_exp, faults, large_n, latency, net,
-    net_scale, per_worker, regret, shard_scale, utilization,
+    ablation, accuracy, bandit, chaos, chaos_net, churn, comms, edge_exp, faults, large_n, latency,
+    net, net_scale, per_worker, regret, shard_scale, utilization,
 };
 use dolbie_bench::{common, harness};
 use dolbie_core::kernel::KernelVariant;
@@ -30,12 +30,13 @@ const TARGETS: [&str; 12] = [
     "edge",
 ];
 
-const EXTENSION_TARGETS: [&str; 9] = [
+const EXTENSION_TARGETS: [&str; 10] = [
     "ablation",
     "faults",
     "bandit",
     "large_n",
     "chaos",
+    "chaos_net",
     "churn",
     "net",
     "net_scale",
@@ -89,6 +90,7 @@ fn run(target: &str, options: &RunOptions) {
             gate: options.gate,
         }),
         "chaos" => chaos::chaos(quick),
+        "chaos_net" => chaos_net::chaos_net(quick),
         "churn" => churn::churn(),
         "net" => net::net(quick),
         "net_scale" => net_scale::net_scale(quick),

@@ -494,7 +494,7 @@ mod tests {
 
     #[test]
     fn buffer_alignment_is_the_largest_dividing_power_of_two() {
-        assert_eq!(buffer_alignment(8 as *const f64), 8);
+        assert_eq!(buffer_alignment(std::ptr::dangling::<f64>()), 8);
         assert_eq!(buffer_alignment(64 as *const f64), 64);
         assert_eq!(buffer_alignment(96 as *const f64), 32);
         assert_eq!(buffer_alignment((1 << 20) as *const f64), 4096, "capped at a page");

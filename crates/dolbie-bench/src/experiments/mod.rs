@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod accuracy;
 pub mod bandit;
 pub mod chaos;
+pub mod chaos_net;
 pub mod churn;
 pub mod comms;
 pub mod edge_exp;

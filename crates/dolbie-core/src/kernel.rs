@@ -1251,7 +1251,7 @@ mod tests {
         let rounds = 50;
         let costs = latency_fleet(n, 77);
         let config = DolbieConfig::new().with_alpha_floor(0.9);
-        let mut split = Dolbie::with_config(Allocation::uniform(n), config.clone());
+        let mut split = Dolbie::with_config(Allocation::uniform(n), config);
         let mut fused = FusedDolbie::with_config(
             CostSlab::from_costs(&costs).unwrap(),
             Allocation::uniform(n),

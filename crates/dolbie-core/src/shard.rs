@@ -236,6 +236,27 @@ impl RootEngine {
         alpha
     }
 
+    /// Unwinds [`begin_round`](Self::begin_round) for a round attempt
+    /// abandoned before [`pin`](Self::pin) — a crash mid-round restarts
+    /// the round under a new membership epoch, and the aborted attempt
+    /// must leave no trace in the round counter (which drives the
+    /// Σx-refresh schedule), the recorded α schedule, or the guard
+    /// statistics. Pass `guard_fired = true` iff the aborted attempt had
+    /// already taken `Some(scale)` from [`guard_scale`](Self::guard_scale).
+    ///
+    /// `begin_round → abort_round` is a bitwise no-op: the replayed round
+    /// observes the same α and the same refresh schedule as if the
+    /// attempt had never started.
+    pub fn abort_round(&mut self, guard_fired: bool) {
+        debug_assert!(self.stats.rounds > 0, "no round in progress to abort");
+        self.stats.rounds -= 1;
+        self.alphas_used.pop();
+        if guard_fired {
+            debug_assert!(self.stats.guard_activations > 0);
+            self.stats.guard_activations -= 1;
+        }
+    }
+
     /// The floating-point feasibility guard on the chained remainder:
     /// returns `Some(scale)` iff the shards must rescale their gains (and
     /// the caller must re-chain the cursor before [`pin`](Self::pin)).
@@ -679,14 +700,14 @@ mod tests {
         for m in [1usize, 2, 4] {
             let mut sharded = ShardedDolbie::new(n, m);
             let mut members = vec![true; n];
-            for t in 0..rounds {
+            for (t, flat_round) in flat_bits.iter().enumerate() {
                 if let Some(mm) = boundary(t) {
                     members = mm;
                     sharded.apply_membership(&members);
                 }
                 sharded.observe_costs(&fleet);
                 let bits: Vec<u64> = sharded.shares().iter().map(|v| v.to_bits()).collect();
-                assert_eq!(bits, flat_bits[t], "m={m}, t={t}");
+                assert_eq!(&bits, flat_round, "m={m}, t={t}");
             }
             assert_eq!(sharded.alphas_used(), flat.alphas_used(), "m={m}");
             // Workers still out after the final boundary hold exactly zero.
@@ -694,6 +715,39 @@ mod tests {
                 assert_eq!(sharded.shares()[i], 0.0, "stranded share on {i}");
             }
         }
+    }
+
+    /// `begin_round → abort_round` leaves the root engine bitwise
+    /// indistinguishable from one that never started the attempt — the
+    /// property the net tier's crash→epoch round restart rests on.
+    #[test]
+    fn abort_round_unwinds_begin_round_bitwise() {
+        let n = 12;
+        let fleet = latency_fleet(n, 7);
+        let mut clean = ShardedDolbie::new(n, 3);
+        let mut aborted = ShardedDolbie::new(n, 3);
+        for t in 0..300 {
+            // The aborted twin opens (and sometimes guards) an attempt it
+            // then abandons before every real round.
+            let alpha = aborted.root.begin_round();
+            let guard_fired = t % 5 == 0 && {
+                // Force the guard arithmetic with a synthetic overshoot.
+                aborted.root.guard_scale(0.25, 0.5 + alpha).is_some()
+            };
+            aborted.root.abort_round(guard_fired);
+
+            clean.observe_costs(&fleet);
+            aborted.observe_costs(&fleet);
+            for i in 0..n {
+                assert_eq!(
+                    clean.shares()[i].to_bits(),
+                    aborted.shares()[i].to_bits(),
+                    "t={t}, i={i}"
+                );
+            }
+        }
+        assert_eq!(clean.alphas_used(), aborted.alphas_used());
+        assert_eq!(clean.stats(), aborted.stats());
     }
 
     /// The guard-rescale path (forced by an aggressive α floor) stays

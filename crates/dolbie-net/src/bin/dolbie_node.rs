@@ -9,8 +9,11 @@
 //! dolbie_node root   --listen 127.0.0.1:4200 --shards 4 --workers 64
 //!                    [--rounds 500] [--env chaos|ramp] [--env-seed 7]
 //!                    [--drop-p 0.1] [--dup-p 0.05] [--fault-seed 21]
+//!                    [--bb-drop-p 0.1] [--bb-dup-p 0.05] [--bb-seed 33]
+//!                    [--min-live-shards 1]
 //! dolbie_node shard  --connect 127.0.0.1:4200 --listen 127.0.0.1:4301
 //!                    --shard 1 --shards 4
+//!                    [--bb-drop-p 0.1] [--bb-dup-p 0.05] [--bb-seed 33]
 //! ```
 //!
 //! The master prints `listening on <addr>` once bound (with the resolved
@@ -45,8 +48,10 @@ fn usage() -> ! {
          \x20 dolbie_node worker --connect ADDR\n\
          \x20 dolbie_node root   --listen ADDR --shards M --workers N [--rounds T]\n\
          \x20                  [--env chaos|ramp] [--env-seed S] [--drop-p P] [--dup-p P]\n\
-         \x20                  [--fault-seed S]\n\
-         \x20 dolbie_node shard  --connect ROOT --listen ADDR --shard K --shards M"
+         \x20                  [--fault-seed S] [--bb-drop-p P] [--bb-dup-p P] [--bb-seed S]\n\
+         \x20                  [--min-live-shards Q]\n\
+         \x20 dolbie_node shard  --connect ROOT --listen ADDR --shard K --shards M\n\
+         \x20                  [--bb-drop-p P] [--bb-dup-p P] [--bb-seed S]"
     );
     std::process::exit(2);
 }
@@ -226,6 +231,10 @@ fn root_main(mut args: std::env::Args) {
     let mut drop_p = 0.0;
     let mut dup_p = 0.0;
     let mut fault_seed = 0u64;
+    let mut bb_drop_p = 0.0;
+    let mut bb_dup_p = 0.0;
+    let mut bb_seed = 0u64;
+    let mut min_live_shards = 1usize;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => listen = Some(parse_addr("--listen", &take_value("--listen", &mut args))),
@@ -252,6 +261,17 @@ fn root_main(mut args: std::env::Args) {
             "--fault-seed" => {
                 fault_seed = parse_u64("--fault-seed", &take_value("--fault-seed", &mut args))
             }
+            "--bb-drop-p" => {
+                bb_drop_p = parse_prob("--bb-drop-p", &take_value("--bb-drop-p", &mut args))
+            }
+            "--bb-dup-p" => {
+                bb_dup_p = parse_prob("--bb-dup-p", &take_value("--bb-dup-p", &mut args))
+            }
+            "--bb-seed" => bb_seed = parse_u64("--bb-seed", &take_value("--bb-seed", &mut args)),
+            "--min-live-shards" => {
+                min_live_shards =
+                    parse_usize("--min-live-shards", &take_value("--min-live-shards", &mut args), 1)
+            }
             other => {
                 eprintln!("error: unknown flag '{other}' for dolbie_node root");
                 std::process::exit(2);
@@ -263,6 +283,10 @@ fn root_main(mut args: std::env::Args) {
         eprintln!("error: --shards {shards} exceeds --workers {workers}");
         std::process::exit(2);
     }
+    if min_live_shards > shards {
+        eprintln!("error: --min-live-shards {min_live_shards} exceeds --shards {shards}");
+        std::process::exit(2);
+    }
 
     let env = WireEnvSpec { kind: env_kind, seed: env_seed };
     let mut fault = FaultPlan::seeded(fault_seed);
@@ -272,7 +296,17 @@ fn root_main(mut args: std::env::Args) {
     if dup_p > 0.0 {
         fault = fault.with_duplicate_probability(dup_p);
     }
-    let cfg = ShardedConfig::new(workers, shards, rounds, env).with_fault_plan(fault);
+    let mut backbone_fault = FaultPlan::seeded(bb_seed);
+    if bb_drop_p > 0.0 {
+        backbone_fault = backbone_fault.with_drop_probability(bb_drop_p);
+    }
+    if bb_dup_p > 0.0 {
+        backbone_fault = backbone_fault.with_duplicate_probability(bb_dup_p);
+    }
+    let cfg = ShardedConfig::new(workers, shards, rounds, env)
+        .with_fault_plan(fault)
+        .with_backbone_fault_plan(backbone_fault)
+        .with_min_live_shards(min_live_shards);
 
     let listener = TcpListener::bind(listen).unwrap_or_else(|e| {
         eprintln!("error: cannot listen on {listen}: {e}");
@@ -301,6 +335,13 @@ fn root_main(mut args: std::env::Args) {
         report.wire.bytes_sent,
         report.wire.bytes_received,
     );
+    if !report.epochs.is_empty() {
+        println!(
+            "membership epochs crossed: {} (dead shard-masters, in burial order: {:?})",
+            report.epochs.len(),
+            report.dead_shards,
+        );
+    }
 }
 
 fn shard_main(mut args: std::env::Args) {
@@ -308,6 +349,9 @@ fn shard_main(mut args: std::env::Args) {
     let mut listen: Option<SocketAddr> = None;
     let mut shard: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut bb_drop_p = 0.0;
+    let mut bb_dup_p = 0.0;
+    let mut bb_seed = 0u64;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--connect" => {
@@ -318,6 +362,13 @@ fn shard_main(mut args: std::env::Args) {
             "--shards" => {
                 shards = Some(parse_usize("--shards", &take_value("--shards", &mut args), 1))
             }
+            "--bb-drop-p" => {
+                bb_drop_p = parse_prob("--bb-drop-p", &take_value("--bb-drop-p", &mut args))
+            }
+            "--bb-dup-p" => {
+                bb_dup_p = parse_prob("--bb-dup-p", &take_value("--bb-dup-p", &mut args))
+            }
+            "--bb-seed" => bb_seed = parse_u64("--bb-seed", &take_value("--bb-seed", &mut args)),
             other => {
                 eprintln!("error: unknown flag '{other}' for dolbie_node shard");
                 std::process::exit(2);
@@ -345,8 +396,21 @@ fn shard_main(mut args: std::env::Args) {
             eprintln!("error: cannot reach root at {connect}: {e}");
             std::process::exit(1);
         });
-    let opts =
-        ShardMasterOptions { shard, num_shards: shards, frame_timeout: DEFAULT_FRAME_TIMEOUT };
+    let mut backbone_fault = FaultPlan::seeded(bb_seed);
+    if bb_drop_p > 0.0 {
+        backbone_fault = backbone_fault.with_drop_probability(bb_drop_p);
+    }
+    if bb_dup_p > 0.0 {
+        backbone_fault = backbone_fault.with_duplicate_probability(bb_dup_p);
+    }
+    let opts = ShardMasterOptions {
+        shard,
+        num_shards: shards,
+        frame_timeout: DEFAULT_FRAME_TIMEOUT,
+        backbone_fault,
+        die_after_round: None,
+        die_mid_round: false,
+    };
     let report = run_shard_master(stream, &listener, &opts).unwrap_or_else(|e| {
         eprintln!("error: shard-master run failed: {e}");
         std::process::exit(1);

@@ -966,3 +966,74 @@ impl Fleet {
         Ok(())
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// `phase_value` is the stale-epoch filter of both collect paths:
+    /// frames tagged with an older epoch — leftovers of a round attempt
+    /// abandoned by a membership transition — are skipped, never
+    /// mis-consumed and never fatal; same-epoch frames of the wrong
+    /// phase stay protocol violations.
+    #[test]
+    fn phase_value_filters_stale_epochs_but_rejects_phase_violations() {
+        // Stale epoch, either frame kind, either phase: skipped.
+        let stale_cost = Frame::LocalCost { epoch: 0, round: 7, cost: 1.0 };
+        assert!(matches!(phase_value(Phase::Cost, stale_cost, 7, 1, 0), Ok(None)));
+        let stale_decision = Frame::Decision { epoch: 0, round: 7, share: 0.1, gain: 0.2 };
+        assert!(matches!(phase_value(Phase::Cost, stale_decision, 7, 1, 0), Ok(None)));
+        let stale_cost = Frame::LocalCost { epoch: 0, round: 7, cost: 1.0 };
+        assert!(matches!(phase_value(Phase::Decision, stale_cost, 7, 1, 0), Ok(None)));
+        // Stale round at the current epoch: also skipped.
+        let replayed = Frame::LocalCost { epoch: 1, round: 6, cost: 1.0 };
+        assert!(matches!(phase_value(Phase::Cost, replayed, 7, 1, 0), Ok(None)));
+        // The matching frame is consumed.
+        let fresh = Frame::LocalCost { epoch: 1, round: 7, cost: 42.0 };
+        assert!(matches!(phase_value(Phase::Cost, fresh, 7, 1, 0), Ok(Some(v)) if v == 42.0));
+        // A *current*-epoch frame of the wrong phase is a violation,
+        // not a stale leftover — the filter must not swallow it.
+        let misplaced = Frame::Decision { epoch: 1, round: 7, share: 0.1, gain: 0.2 };
+        assert!(matches!(phase_value(Phase::Cost, misplaced, 7, 1, 0), Err(SweepFail::Fatal(_))));
+    }
+
+    fn fleet_over_one_socket() -> (Fleet, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let peer = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        let conn = Conn::new(server).expect("conn");
+        (Fleet::new(vec![Some(conn)], Duration::from_secs(2)), peer)
+    }
+
+    /// Regression: a worker's epoch-0 report arriving *after* the
+    /// shard-local epoch bumped to 1 (the worker answered the abandoned
+    /// attempt before it saw the `Epoch` frame) must be discarded by the
+    /// collect, which then waits for — and takes — the re-reported
+    /// epoch-1 value. Exercised on both collect paths.
+    #[test]
+    fn collect_skips_frames_from_before_a_local_epoch_bump() {
+        use std::io::Write as _;
+        for staircase in [false, true] {
+            let (mut fleet, mut peer) = fleet_over_one_socket();
+            if staircase {
+                assert!(fleet.enter_staircase().is_ok());
+            }
+            peer.write_all(&Frame::LocalCost { epoch: 0, round: 7, cost: 1.0 }.encode())
+                .expect("stale frame");
+            peer.write_all(&Frame::LocalCost { epoch: 1, round: 7, cost: 42.0 }.encode())
+                .expect("fresh frame");
+            let mut out = [0.0f64];
+            let mut logical = 0usize;
+            let result = if staircase {
+                fleet.collect_blocking(7, 1, Phase::Cost, &[0], &mut out, &mut logical)
+            } else {
+                fleet.collect(7, 1, Phase::Cost, &[0], &mut out, &mut logical)
+            };
+            assert!(result.is_ok(), "the stale frame must be skipped, not fatal");
+            assert_eq!(out[0], 42.0, "the epoch-1 re-report is the consumed value");
+            assert_eq!(logical, 1, "exactly one logical frame per member per phase");
+        }
+    }
+}

@@ -6,12 +6,12 @@
 //!
 //! ## Roles
 //!
-//! - **Root** ([`run_root`]): blocking, lossless links to `M`
-//!   shard-masters. Per round it sees `O(M)` frames and touches `O(1)`
-//!   engine state ([`RootEngine`]): elect the global straggler from `M`
-//!   candidates, broadcast the coordination scalars, chain the
-//!   fixed-shape gains cursor through the shards, run the guard/pin
-//!   tail, and commit. It never sees a per-worker array.
+//! - **Root** ([`run_root`]): blocking links to `M` shard-masters. Per
+//!   round it sees `O(M)` frames and touches `O(1)` engine state
+//!   ([`RootEngine`]): elect the global straggler from `M` candidates,
+//!   broadcast the coordination scalars, chain the fixed-shape gains
+//!   cursor through the shards, run the guard/pin tail, and commit. It
+//!   never sees a per-worker array outside an epoch transition.
 //! - **Shard-master** ([`run_shard_master`]): a real evented TCP master
 //!   over its contiguous worker range — the same `Fleet` readiness
 //!   machinery, concurrent admission, coalesced broadcasts, and
@@ -42,19 +42,52 @@
 //! operation for operation. No `1e-12` concession is needed; the parity
 //! tests assert `to_bits()` equality round by round.
 //!
-//! ## Crash scope
+//! ## Crash handling
 //!
-//! The backbone is lossless and a worker socket dying under a
-//! shard-master is a fatal error (not an epoch): crash → membership
-//! epochs under the sharded architecture are exercised by the
-//! `dolbie-simnet` sharded tier; wiring worker loss through the net
-//! backbone is deliberately deferred (DESIGN.md §12). Worker-link
-//! *loss* (drop/duplicate with ack/retry) is fully supported and
-//! trajectory-invariant, exactly as under the flat masters.
+//! Both failure classes the simnet tier models are survived by the real
+//! tree (DESIGN.md §12):
+//!
+//! - **Worker crash → membership epoch.** A shard-master that discovers
+//!   dead worker sockets in a collect reports them upstream as
+//!   `ShardDead` instead of failing; the root replies with a
+//!   `ShardEpoch` announcement, gathers every surviving shard's
+//!   committed share slice (`ShardSlice` chunks), replays the engine's
+//!   exact renormalization ([`RootEngine::apply_membership`]), and
+//!   scatters the authoritative slices back. A death discovered before
+//!   the round's commit restarts the round under the new epoch; a death
+//!   discovered after the commit stands and the epoch takes effect at
+//!   `t + 1` — the same boundary as the flat masters. Frames of an
+//!   abandoned attempt are filtered by their stale epoch/round tags at
+//!   every tier (shard-masters skip the root's stale round frames while
+//!   awaiting an epoch; workers' stale `LocalCost`/`Decision` frames
+//!   are filtered by the fleet's epoch-tagged collect).
+//! - **Shard-master crash → one mass epoch, or a structured error.**
+//!   Every backbone interaction carries a per-link deadline
+//!   (`frame_timeout`, plus the seeded retry budget when the backbone
+//!   envelope is lossy), so a dead or wedged shard-master is detected
+//!   within a bounded window instead of hanging the tree. The root
+//!   classifies I/O failures (EOF, reset, expired deadline) as a crash,
+//!   buries the whole shard range as one mass membership epoch, and
+//!   redistributes the departing share over the survivors — unless the
+//!   [`ShardedConfig::min_live_shards`] quorum policy says the degraded
+//!   tree is no longer worth running, in which case the root shuts the
+//!   survivors down and returns a structured [`NetError`] naming the
+//!   dead shards. Never a hang, never a panic.
+//!
+//! The bitwise boundary survives both: an aborted attempt unwinds the
+//! root engine ([`RootEngine::abort_round`]) so it leaves no trace in
+//! the α record or the refresh schedule, and the renormalization is
+//! applied only once the gather is complete — a transition that fails
+//! mid-gather restarts with a fresh epoch number and an untouched
+//! engine. Worker-link *loss* (drop/duplicate with ack/retry) remains
+//! fully supported and trajectory-invariant, and the backbone itself
+//! may be lossy ([`ShardedConfig::with_backbone_fault_plan`]).
 //!
 //! [`ShardCursor`]: crate::wire::Frame::ShardCursor
 //! [`SumCursor`]: dolbie_core::numeric::SumCursor
 //! [`RootEngine`]: dolbie_core::shard::RootEngine
+//! [`RootEngine::apply_membership`]: dolbie_core::shard::RootEngine::apply_membership
+//! [`RootEngine::abort_round`]: dolbie_core::shard::RootEngine::abort_round
 
 use crate::env::WireEnvSpec;
 use crate::fleet::{Fleet, Phase, SweepFail};
@@ -63,7 +96,7 @@ use crate::transport::{
     connect_schedule, connect_with_backoff, FrameConn, Link, TransportError, WireStats,
     DEFAULT_FRAME_TIMEOUT,
 };
-use crate::wire::{CursorPhase, Frame};
+use crate::wire::{CursorPhase, Frame, SHARD_SLICE_CHUNK};
 use crate::worker::{run_worker, WorkerOptions, WorkerReport};
 use crate::NetError;
 use dolbie_core::numeric::{CursorState, SumCursor};
@@ -79,6 +112,32 @@ use std::time::{Duration, Instant};
 /// so a 4096-worker loopback tree fits comfortably.
 const WORKER_STACK_BYTES: usize = 256 * 1024;
 const SHARD_STACK_BYTES: usize = 1024 * 1024;
+
+/// The root's lossy-envelope identity on the backbone. Worker links key
+/// their envelope hashes on `worker_id + 1` vs `0`; the backbone uses a
+/// disjoint code space so a seeded plan shared by both tiers never
+/// replays the same drop schedule on both.
+pub const BACKBONE_ROOT_CODE: u64 = 0xB0B0_0000_0000_FFFF;
+
+/// Shard-master `k`'s lossy-envelope identity on the backbone.
+pub fn backbone_shard_code(k: usize) -> u64 {
+    0xB0B0_0000_0000_0000 + k as u64 + 1
+}
+
+/// A scheduled shard-master kill for crash tests: the shard-master
+/// returns (dropping its root link and its whole worker fleet) either
+/// right after sending its round-`after_round` aggregate (`mid_round`,
+/// a pre-commit death) or right after committing round `after_round`
+/// (a post-commit death).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardKill {
+    /// Which shard-master dies.
+    pub shard: usize,
+    /// The round the kill is keyed on.
+    pub after_round: usize,
+    /// `true`: die mid-round (after the aggregate, before the commit).
+    pub mid_round: bool,
+}
 
 /// Configuration of a sharded run, shared by the root and (through
 /// `ShardWelcome`) every shard-master.
@@ -97,9 +156,25 @@ pub struct ShardedConfig {
     pub dolbie: DolbieConfig,
     /// Worker-link fault plan; its drop/duplicate probabilities, seed,
     /// and retry pacing are shipped to the shard-masters, which replay
-    /// it on their worker links. The backbone itself is lossless.
+    /// it on their worker links.
     pub fault: FaultPlan,
-    /// Per-frame read deadline on every link of both tiers.
+    /// Backbone fault plan (root ↔ shard-master links). Not shipped in
+    /// `ShardWelcome`: both ends are configured peers and each side
+    /// simulates losses on the frames *it* sends, so the plans need not
+    /// even agree. The loopback harness hands the same plan to both.
+    pub backbone_fault: FaultPlan,
+    /// Quorum policy: when fewer than this many shard-masters survive a
+    /// transition, the root shuts the remainder down and returns a
+    /// structured error instead of degrading further. `1` (the default)
+    /// degrades as long as any shard survives.
+    pub min_live_shards: usize,
+    /// Scheduled worker kills `(global worker id, die_after_round)`,
+    /// injected through [`WorkerOptions::die_after_round`].
+    pub worker_kills: Vec<(usize, usize)>,
+    /// Scheduled shard-master kills.
+    pub shard_kills: Vec<ShardKill>,
+    /// Per-frame read deadline on every link of both tiers — also the
+    /// crash-detection window of the backbone.
     pub frame_timeout: Duration,
 }
 
@@ -114,6 +189,10 @@ impl ShardedConfig {
             env,
             dolbie: DolbieConfig::new(),
             fault: FaultPlan::none(),
+            backbone_fault: FaultPlan::none(),
+            min_live_shards: 1,
+            worker_kills: Vec::new(),
+            shard_kills: Vec::new(),
             frame_timeout: DEFAULT_FRAME_TIMEOUT,
         }
     }
@@ -121,6 +200,32 @@ impl ShardedConfig {
     /// Replays `plan` at the socket layer of every worker link.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = plan;
+        self
+    }
+
+    /// Replays `plan` at the socket layer of every backbone link.
+    pub fn with_backbone_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.backbone_fault = plan;
+        self
+    }
+
+    /// Sets the shard quorum below which the root terminates with a
+    /// structured error instead of degrading.
+    pub fn with_min_live_shards(mut self, quorum: usize) -> Self {
+        self.min_live_shards = quorum;
+        self
+    }
+
+    /// Schedules worker `global_id` to vanish right after reporting its
+    /// round-`round` local cost.
+    pub fn with_worker_kill(mut self, global_id: usize, round: usize) -> Self {
+        self.worker_kills.push((global_id, round));
+        self
+    }
+
+    /// Schedules a shard-master kill.
+    pub fn with_shard_kill(mut self, kill: ShardKill) -> Self {
+        self.shard_kills.push(kill);
         self
     }
 }
@@ -154,14 +259,35 @@ pub struct RootRound {
     pub elapsed: f64,
 }
 
+/// One membership epoch the root applied: the schedule entry a
+/// sequential twin needs to replay the run bitwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RootEpoch {
+    /// The epoch number announced on the backbone.
+    pub epoch: u32,
+    /// The round the epoch took effect before (that round was played —
+    /// or replayed — under the new membership).
+    pub round: usize,
+    /// The full membership mask after the transition.
+    pub members: Vec<bool>,
+}
+
 /// Totals and per-round trajectory of one completed root run.
 #[derive(Debug)]
 pub struct RootReport {
-    /// Per-round scalar records.
+    /// Per-round scalar records (aborted attempts leave no record).
     pub rounds: Vec<RootRound>,
     /// The shard layout the run was partitioned under.
     pub layout: ShardLayout,
-    /// Run-total backbone wire counters.
+    /// Every membership epoch applied, in order — the membership
+    /// schedule a sequential twin replays for bitwise parity.
+    pub epochs: Vec<RootEpoch>,
+    /// The final membership mask.
+    pub members: Vec<bool>,
+    /// Shards whose backbone link died and whose whole range was buried
+    /// as a mass epoch, in burial order.
+    pub dead_shards: Vec<usize>,
+    /// Run-total backbone wire counters (dead links included).
     pub wire: WireStats,
     /// Wall-clock seconds from the end of admission to shutdown.
     pub wall_clock: f64,
@@ -187,71 +313,568 @@ fn cursor_state(
     CursorState { stack, partial_sum, partial_compensation, partial_len }
 }
 
-/// Chains one fixed-shape cursor through every shard in index order and
-/// returns the exact sum — bitwise the engine's pairwise compensated
-/// reduction over the concatenated slices.
-fn chain(
-    links: &mut [Link],
-    t: usize,
-    phase: CursorPhase,
-    timeout: Duration,
-    logical: &mut usize,
-) -> Result<f64, NetError> {
-    let mut state = SumCursor::new().state();
-    for (k, link) in links.iter_mut().enumerate() {
-        link.send(&cursor_frame(t, phase, &state))?;
-        *logical += 1;
-        match link.recv(timeout)? {
-            Frame::ShardCursor {
-                round,
-                phase: p,
-                partial_sum,
-                partial_compensation,
-                partial_len,
-                stack,
-            } if round == t as u64 && p == phase => {
-                state = cursor_state(partial_sum, partial_compensation, partial_len, stack);
-                *logical += 1;
-            }
-            _ => {
-                return Err(NetError::Protocol(format!(
-                    "shard {k} broke the round-{t} cursor chain"
-                )))
-            }
-        }
-    }
-    Ok(SumCursor::from_state(&state).value())
+/// How a backbone interaction failed: a dead link (I/O error, reset, or
+/// an expired deadline — the bounded crash-detection window) versus an
+/// unrecoverable protocol violation.
+enum LinkFail {
+    Dead,
+    Fatal(NetError),
 }
 
-/// Accepts `cfg.num_shards` shard-master connections on `listener`, runs
-/// the root tier of the two-level control plane to the horizon, and
-/// shuts the backbone down.
-///
-/// Shard identity is self-declared in `ShardHello` (shard-masters are
-/// configured peers, not anonymous workers); a connection declaring a
-/// mismatched shard count, an out-of-range or duplicate shard id, or
-/// anything other than a well-formed `ShardHello` is rejected while the
-/// listener keeps accepting.
-///
-/// # Panics
-///
-/// Panics if the configuration is degenerate: zero rounds, fewer than
-/// two workers, or a shard count outside `1..=N`.
-pub fn run_root(listener: &TcpListener, cfg: &ShardedConfig) -> Result<RootReport, NetError> {
+fn classify(e: TransportError) -> LinkFail {
+    match e {
+        TransportError::Io(_) => LinkFail::Dead,
+        other => LinkFail::Fatal(NetError::Transport(other)),
+    }
+}
+
+/// Deaths discovered during one attempt or transition, not yet turned
+/// into a membership epoch.
+#[derive(Debug, Default)]
+struct Pending {
+    workers: Vec<usize>,
+    shards: Vec<usize>,
+}
+
+impl Pending {
+    fn is_empty(&self) -> bool {
+        self.workers.is_empty() && self.shards.is_empty()
+    }
+
+    fn shard(k: usize) -> Self {
+        Self { workers: Vec::new(), shards: vec![k] }
+    }
+
+    fn dead_workers(ws: &[u64]) -> Self {
+        Self { workers: ws.iter().map(|&w| w as usize).collect(), shards: Vec::new() }
+    }
+}
+
+/// How one round attempt at the root ended.
+enum Attempt {
+    /// The round committed; `post` holds post-commit shard deaths that
+    /// take effect as an epoch at `t + 1`.
+    Committed { record: RootRound, post: Pending },
+    /// The round was abandoned before its commit point; the engine was
+    /// unwound and the round restarts after the transition.
+    Aborted(Pending),
+}
+
+/// The gains/shares cursor chain either completed or broke on the first
+/// failure (a dead link or an upstream `ShardDead` report).
+enum ChainOutcome {
+    Sum(f64),
+    Broken(Pending),
+}
+
+/// The root tier's live state: engine, backbone links, and membership.
+struct Root<'a> {
+    cfg: &'a ShardedConfig,
+    layout: ShardLayout,
+    engine: RootEngine,
+    /// Backbone links by shard id; `None` marks a buried shard-master.
+    links: Vec<Option<Link>>,
+    /// Wire counters absorbed from buried links, so run totals stay
+    /// monotone across burials.
+    retired: WireStats,
+    members: Vec<bool>,
+    epoch: u32,
+    epochs: Vec<RootEpoch>,
+    dead_shards: Vec<usize>,
+    records: Vec<RootRound>,
+    /// Zero scratch for folding a dead shard's fixed-shape cursor hop.
+    zeros: Vec<f64>,
+    started: Instant,
+}
+
+impl Root<'_> {
+    fn totals(&self) -> WireStats {
+        let mut total = self.retired;
+        for link in self.links.iter().flatten() {
+            total.absorb(&link.stats());
+        }
+        total
+    }
+
+    fn populated(&self, k: usize) -> bool {
+        self.layout.range(k).any(|i| self.members[i])
+    }
+
+    /// Drops shard `k`'s backbone link, absorbing its wire counters.
+    /// Idempotent; membership flips happen in [`Root::transition`].
+    fn bury_link(&mut self, k: usize) {
+        if let Some(link) = self.links[k].take() {
+            self.retired.absorb(&link.stats());
+            self.dead_shards.push(k);
+        }
+    }
+
+    /// Chains one fixed-shape cursor through every shard in index
+    /// order, folding a buried shard's slice as zeros locally — bitwise
+    /// the engine's pairwise compensated reduction over the
+    /// concatenated slices, regardless of where links have died.
+    fn chain(
+        &mut self,
+        t: usize,
+        phase: CursorPhase,
+        logical: &mut usize,
+    ) -> Result<ChainOutcome, NetError> {
+        let timeout = self.cfg.frame_timeout;
+        let Self { links, layout, zeros, .. } = self;
+        let mut state = SumCursor::new().state();
+        for (k, slot) in links.iter_mut().enumerate() {
+            let Some(link) = slot.as_mut() else {
+                let mut local = SumCursor::from_state(&state);
+                local.extend(&zeros[..layout.range(k).len()]);
+                state = local.state();
+                continue;
+            };
+            if let Err(e) = link.send(&cursor_frame(t, phase, &state)) {
+                return match classify(e) {
+                    LinkFail::Dead => Ok(ChainOutcome::Broken(Pending::shard(k))),
+                    LinkFail::Fatal(err) => Err(err),
+                };
+            }
+            *logical += 1;
+            match link.recv(timeout) {
+                Ok(Frame::ShardCursor {
+                    round,
+                    phase: p,
+                    partial_sum,
+                    partial_compensation,
+                    partial_len,
+                    stack,
+                }) if round == t as u64 && p == phase => {
+                    state = cursor_state(partial_sum, partial_compensation, partial_len, stack);
+                    *logical += 1;
+                }
+                Ok(Frame::ShardDead { workers, .. }) => {
+                    return Ok(ChainOutcome::Broken(Pending::dead_workers(&workers)))
+                }
+                Ok(_) => {
+                    return Err(NetError::Protocol(format!(
+                        "shard {k} broke the round-{t} cursor chain"
+                    )))
+                }
+                Err(e) => {
+                    return match classify(e) {
+                        LinkFail::Dead => Ok(ChainOutcome::Broken(Pending::shard(k))),
+                        LinkFail::Fatal(err) => Err(err),
+                    }
+                }
+            }
+        }
+        Ok(ChainOutcome::Sum(SumCursor::from_state(&state).value()))
+    }
+
+    /// Runs one round attempt to its commit — or to the failure that
+    /// abandoned it. Everything before [`RootEngine::pin`] is
+    /// abortable; `pin` mutates the running total irreversibly, so
+    /// failures past it are post-commit and take effect at `t + 1`.
+    fn attempt(&mut self, t: usize) -> Result<Attempt, NetError> {
+        let m = self.cfg.num_shards;
+        let timeout = self.cfg.frame_timeout;
+        let before = self.totals();
+        let mut logical = 0usize;
+
+        // (1) Candidate election over the populated shards' aggregates.
+        // Received in *descending* shard order — shard 0's workers are
+        // scheduled first, so aggregates land in roughly ascending order
+        // and the first blocking recv parks once, on the latest shard.
+        // The election itself stays in ascending shard order (the
+        // `candidates` vector is indexed, not ordered by arrival).
+        let mut candidates: Vec<Option<ShardCandidate>> = (0..m).map(|_| None).collect();
+        for k in (0..m).rev() {
+            if !self.populated(k) {
+                continue;
+            }
+            let Some(link) = self.links[k].as_mut() else {
+                return Err(NetError::Protocol(format!(
+                    "shard {k} is populated but its backbone link is gone"
+                )));
+            };
+            match link.recv(timeout) {
+                Ok(Frame::ShardAggregate { round, max_cost, straggler, share })
+                    if round == t as u64 =>
+                {
+                    candidates[k] =
+                        Some(ShardCandidate { cost: max_cost, worker: straggler as usize, share });
+                    logical += 1;
+                }
+                Ok(Frame::ShardDead { round, workers }) if round == t as u64 => {
+                    return Ok(Attempt::Aborted(Pending::dead_workers(&workers)));
+                }
+                Ok(_) => {
+                    return Err(NetError::Protocol(format!(
+                        "shard {k} sent an unexpected frame during round-{t} aggregation"
+                    )))
+                }
+                Err(e) => {
+                    return match classify(e) {
+                        LinkFail::Dead => Ok(Attempt::Aborted(Pending::shard(k))),
+                        LinkFail::Fatal(err) => Err(err),
+                    }
+                }
+            }
+        }
+        let Some(elected) = combine_candidates(candidates) else {
+            return Err(NetError::Protocol(format!(
+                "round {t}: no populated shard produced a straggler candidate; live members \
+                 exist but every aggregate was missing"
+            )));
+        };
+
+        // (2) Coordination scalars down to every live shard.
+        let alpha = self.engine.begin_round();
+        let coord = Frame::ShardCoord {
+            round: t as u64,
+            global_cost: elected.cost,
+            alpha,
+            straggler: elected.worker as u64,
+        };
+        for k in 0..m {
+            let Some(link) = self.links[k].as_mut() else { continue };
+            if let Err(e) = link.send(&coord) {
+                return match classify(e) {
+                    LinkFail::Dead => {
+                        self.engine.abort_round(false);
+                        Ok(Attempt::Aborted(Pending::shard(k)))
+                    }
+                    LinkFail::Fatal(err) => Err(err),
+                };
+            }
+            logical += 1;
+        }
+
+        // (3) The eq. (6) remainder via the shard-chained gains cursor.
+        let mut total_gain = match self.chain(t, CursorPhase::Gains, &mut logical)? {
+            ChainOutcome::Sum(sum) => sum,
+            ChainOutcome::Broken(pending) => {
+                self.engine.abort_round(false);
+                return Ok(Attempt::Aborted(pending));
+            }
+        };
+
+        // (4) The root's order-sensitive tail: guard, pin, commit,
+        // refresh, tighten — RootEngine's documented statement order.
+        let straggler_share = elected.share;
+        let rescale = self.engine.guard_scale(straggler_share, total_gain);
+        if let Some(scale) = rescale {
+            let frame = Frame::ShardRescale { round: t as u64, scale };
+            for k in 0..m {
+                let Some(link) = self.links[k].as_mut() else { continue };
+                if let Err(e) = link.send(&frame) {
+                    return match classify(e) {
+                        LinkFail::Dead => {
+                            self.engine.abort_round(true);
+                            Ok(Attempt::Aborted(Pending::shard(k)))
+                        }
+                        LinkFail::Fatal(err) => Err(err),
+                    };
+                }
+                logical += 1;
+            }
+            total_gain = match self.chain(t, CursorPhase::Gains, &mut logical)? {
+                ChainOutcome::Sum(sum) => sum,
+                ChainOutcome::Broken(pending) => {
+                    self.engine.abort_round(true);
+                    return Ok(Attempt::Aborted(pending));
+                }
+            };
+        }
+        let new_straggler_share = self.engine.pin(straggler_share, total_gain);
+        let refresh = self.engine.needs_total_refresh();
+
+        // ---- commit point: no aborts past here ----
+        let mut post = Pending::default();
+        let commit = Frame::ShardCommit {
+            round: t as u64,
+            straggler: elected.worker as u64,
+            straggler_share: new_straggler_share,
+            refresh,
+        };
+        for k in 0..m {
+            let Some(link) = self.links[k].as_mut() else { continue };
+            match link.send(&commit) {
+                Ok(()) => logical += 1,
+                Err(e) => match classify(e) {
+                    LinkFail::Dead => {
+                        self.bury_link(k);
+                        post.shards.push(k);
+                    }
+                    LinkFail::Fatal(err) => return Err(err),
+                },
+            }
+        }
+        if refresh && post.is_empty() {
+            match self.chain(t, CursorPhase::Shares, &mut logical)? {
+                ChainOutcome::Sum(sum) => self.engine.refresh_total(sum),
+                ChainOutcome::Broken(pending) => {
+                    if !pending.workers.is_empty() {
+                        return Err(NetError::Protocol(format!(
+                            "a shard reported worker deaths inside the round-{t} refresh chain"
+                        )));
+                    }
+                    for &k in &pending.shards {
+                        self.bury_link(k);
+                    }
+                    post.shards.extend(pending.shards);
+                    // The refresh is skipped: the imminent mass epoch's
+                    // `apply_membership` reseeds the running total, and
+                    // nothing reads it in between, so the trajectory is
+                    // unaffected. Shards still parked on the refresh
+                    // hop are released by the epoch announcement.
+                }
+            }
+        }
+        // refresh && !post.is_empty(): same skip, chain never starts.
+        self.engine.tighten(new_straggler_share);
+
+        let after = self.totals();
+        let record = RootRound {
+            round: t,
+            straggler: elected.worker,
+            global_cost: elected.cost,
+            alpha,
+            rescaled: rescale.is_some(),
+            refreshed: refresh,
+            messages: logical,
+            bytes: ((after.bytes_sent - before.bytes_sent)
+                + (after.bytes_received - before.bytes_received)) as usize,
+            elapsed: self.started.elapsed().as_secs_f64(),
+        };
+        Ok(Attempt::Committed { record, post })
+    }
+
+    /// Turns pending deaths into membership epochs until none remain.
+    /// Per iteration: flip members, enforce the survivor and quorum
+    /// policies, announce `ShardEpoch`, gather every live shard's
+    /// committed slice, apply the engine's renormalization, scatter the
+    /// authoritative slices back. A failure before the renormalization
+    /// restarts the transition with a fresh epoch number and an
+    /// untouched engine (the bitwise boundary); a failure after it is
+    /// deferred to a follow-up epoch.
+    fn transition(&mut self, next_round: usize, mut pending: Pending) -> Result<(), NetError> {
+        let n = self.layout.num_workers();
+        let timeout = self.cfg.frame_timeout;
+        'transitions: while !pending.is_empty() {
+            for &w in &pending.workers {
+                if w >= n {
+                    return Err(NetError::Protocol(format!(
+                        "a shard reported an out-of-range dead worker {w}"
+                    )));
+                }
+                self.members[w] = false;
+            }
+            pending.workers.clear();
+            for k in std::mem::take(&mut pending.shards) {
+                let range = self.layout.range(k);
+                self.bury_link(k);
+                for i in range {
+                    self.members[i] = false;
+                }
+            }
+            if !self.members.iter().any(|&alive| alive) {
+                return Err(NetError::Protocol(
+                    "every worker has died; the run cannot continue".into(),
+                ));
+            }
+            let live_links = self.links.iter().flatten().count();
+            if live_links < self.cfg.min_live_shards {
+                for link in self.links.iter_mut().flatten() {
+                    let _ = link.send(&Frame::Shutdown);
+                }
+                return Err(NetError::Protocol(format!(
+                    "shard quorum lost before round {next_round}: {live_links} live \
+                     shard-master(s) remain (dead shards, in burial order: {:?}), below \
+                     min_live_shards = {}",
+                    self.dead_shards, self.cfg.min_live_shards
+                )));
+            }
+            self.epoch += 1;
+
+            // Announce. A link that dies here restarts the transition
+            // with the shard added to the burial set; survivors that
+            // already saw this epoch number simply adopt the next one.
+            let announce = Frame::ShardEpoch {
+                epoch: self.epoch,
+                round: next_round as u64,
+                members: self.members.clone(),
+            };
+            for k in 0..self.cfg.num_shards {
+                let Some(link) = self.links[k].as_mut() else { continue };
+                if let Err(e) = link.send(&announce) {
+                    match classify(e) {
+                        LinkFail::Dead => {
+                            pending.shards.push(k);
+                            continue 'transitions;
+                        }
+                        LinkFail::Fatal(err) => return Err(err),
+                    }
+                }
+            }
+
+            // Gather every live shard's committed slice. Stale frames
+            // of abandoned attempts and epochs are filtered here; a
+            // crossing `ShardDead` is skipped too — its reporter
+            // re-reports under the new epoch after resuming.
+            let mut full = vec![0.0f64; n];
+            for k in 0..self.cfg.num_shards {
+                if self.links[k].is_none() {
+                    continue;
+                }
+                let range = self.layout.range(k);
+                let mut covered = vec![false; range.len()];
+                let mut got = 0usize;
+                while got < range.len() {
+                    let link = self.links[k].as_mut().expect("live link checked above");
+                    match link.recv(timeout) {
+                        Ok(Frame::ShardSlice { epoch, start, shares }) if epoch == self.epoch => {
+                            let start = start as usize;
+                            if start < range.start || start + shares.len() > range.end {
+                                return Err(NetError::Protocol(format!(
+                                    "shard {k} gathered a slice outside its range"
+                                )));
+                            }
+                            for (j, &s) in shares.iter().enumerate() {
+                                let idx = start + j;
+                                full[idx] = s;
+                                if !covered[idx - range.start] {
+                                    covered[idx - range.start] = true;
+                                    got += 1;
+                                }
+                            }
+                        }
+                        Ok(Frame::ShardSlice { .. })
+                        | Ok(Frame::ShardAggregate { .. })
+                        | Ok(Frame::ShardDead { .. }) => {} // stale or crossing
+                        Ok(_) => {
+                            return Err(NetError::Protocol(format!(
+                                "shard {k} sent an unexpected frame during the epoch-{} gather",
+                                self.epoch
+                            )))
+                        }
+                        Err(e) => match classify(e) {
+                            LinkFail::Dead => {
+                                pending.shards.push(k);
+                                continue 'transitions;
+                            }
+                            LinkFail::Fatal(err) => return Err(err),
+                        },
+                    }
+                }
+            }
+
+            // The epoch becomes real: the engine's exact renormalization
+            // over the stitched full vector, then the schedule record.
+            self.engine.apply_membership(&mut full, &self.members);
+            self.epochs.push(RootEpoch {
+                epoch: self.epoch,
+                round: next_round,
+                members: self.members.clone(),
+            });
+
+            // Scatter the authoritative slices. The epoch is already
+            // recorded, so a death here is deferred to a follow-up
+            // epoch instead of a restart.
+            for k in 0..self.cfg.num_shards {
+                if self.links[k].is_none() {
+                    continue;
+                }
+                let range = self.layout.range(k);
+                let mut off = range.start;
+                while off < range.end {
+                    let end = (off + SHARD_SLICE_CHUNK).min(range.end);
+                    let frame = Frame::ShardSlice {
+                        epoch: self.epoch,
+                        start: off as u32,
+                        shares: full[off..end].to_vec(),
+                    };
+                    let link = self.links[k].as_mut().expect("live link checked above");
+                    if let Err(e) = link.send(&frame) {
+                        match classify(e) {
+                            LinkFail::Dead => {
+                                pending.shards.push(k);
+                                break;
+                            }
+                            LinkFail::Fatal(err) => return Err(err),
+                        }
+                    }
+                    off = end;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<RootReport, NetError> {
+        let mut t = 0usize;
+        while t < self.cfg.rounds {
+            match self.attempt(t)? {
+                Attempt::Committed { record, post } => {
+                    self.records.push(record);
+                    t += 1;
+                    if !post.is_empty() {
+                        self.transition(t, post)?;
+                    }
+                }
+                Attempt::Aborted(pending) => self.transition(t, pending)?,
+            }
+        }
+
+        // Orderly shutdown of the backbone; shard-masters relay it on
+        // to their workers.
+        for link in self.links.iter_mut().flatten() {
+            let _ = link.send(&Frame::Shutdown);
+        }
+        let wire = self.totals();
+        Ok(RootReport {
+            rounds: self.records,
+            layout: self.layout,
+            epochs: self.epochs,
+            members: self.members,
+            dead_shards: self.dead_shards,
+            wire,
+            wall_clock: self.started.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// Accepts the backbone handshakes within a bounded admission window.
+/// Expiry is a structured error naming the shards that never completed
+/// the handshake — admission cannot hang and cannot panic.
+fn admit_backbone(
+    listener: &TcpListener,
+    cfg: &ShardedConfig,
+    layout: &ShardLayout,
+) -> Result<Vec<Option<Link>>, NetError> {
     let (n, m) = (cfg.num_workers, cfg.num_shards);
-    assert!(n >= 2, "at least two workers required");
-    assert!(m >= 1 && m <= n, "shard count must be in 1..=N");
-    assert!(cfg.rounds > 0, "at least one round required");
-
-    let layout = ShardLayout::even(n, m);
-    let mut engine = RootEngine::new(&Allocation::uniform(n), cfg.dolbie);
-
-    // Backbone admission: ShardHello → ShardWelcome, slots keyed by the
-    // declared shard id.
+    let window = cfg.frame_timeout.max(Duration::from_millis(500)) * 4;
+    let deadline = Instant::now() + window;
+    listener.set_nonblocking(true).map_err(TransportError::from)?;
     let mut slots: Vec<Option<Link>> = (0..m).map(|_| None).collect();
     let mut admitted = 0usize;
     while admitted < m {
-        let (stream, _) = listener.accept().map_err(TransportError::from)?;
+        if Instant::now() >= deadline {
+            let _ = listener.set_nonblocking(false);
+            let missing: Vec<usize> =
+                slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(k, _)| k).collect();
+            return Err(NetError::Protocol(format!(
+                "backbone admission timed out after {window:?}: shards {missing:?} never \
+                 completed the ShardHello/ShardWelcome handshake"
+            )));
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            Err(e) => return Err(TransportError::from(e).into()),
+        };
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
         let Ok(mut conn) = FrameConn::new(stream) else { continue };
         let shard = match conn.recv(cfg.frame_timeout) {
             Ok(Frame::ShardHello { shard, num_shards })
@@ -282,121 +905,61 @@ pub fn run_root(listener: &TcpListener, cfg: &ShardedConfig) -> Result<RootRepor
         if conn.send(&welcome).is_err() {
             continue; // died between hello and welcome: rejected
         }
-        slots[shard] = Some(Link::lossless(conn));
+        slots[shard] = Some(Link::with_plan(
+            conn,
+            cfg.backbone_fault.clone(),
+            BACKBONE_ROOT_CODE,
+            backbone_shard_code(shard),
+        ));
         admitted += 1;
     }
-    let mut links: Vec<Link> = slots.into_iter().map(|l| l.expect("all shards admitted")).collect();
+    let _ = listener.set_nonblocking(false);
+    Ok(slots)
+}
 
-    let backbone_totals = |links: &[Link]| {
-        let mut total = WireStats::default();
-        for link in links {
-            total.absorb(&link.stats());
-        }
-        total
+/// Accepts `cfg.num_shards` shard-master connections on `listener`, runs
+/// the root tier of the two-level control plane to the horizon — riding
+/// out worker and shard-master crashes as membership epochs — and shuts
+/// the backbone down.
+///
+/// Shard identity is self-declared in `ShardHello` (shard-masters are
+/// configured peers, not anonymous workers); a connection declaring a
+/// mismatched shard count, an out-of-range or duplicate shard id, or
+/// anything other than a well-formed `ShardHello` is rejected while the
+/// listener keeps accepting, up to a bounded admission window.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate: zero rounds, fewer than
+/// two workers, a shard count outside `1..=N`, or a quorum above `M`.
+/// Runtime failures — including peers that crash, stall, or violate the
+/// protocol — are structured [`NetError`]s, never panics.
+pub fn run_root(listener: &TcpListener, cfg: &ShardedConfig) -> Result<RootReport, NetError> {
+    let (n, m) = (cfg.num_workers, cfg.num_shards);
+    assert!(n >= 2, "at least two workers required");
+    assert!(m >= 1 && m <= n, "shard count must be in 1..=N");
+    assert!(cfg.rounds > 0, "at least one round required");
+    assert!(cfg.min_live_shards <= m, "quorum cannot exceed the shard count");
+
+    let layout = ShardLayout::even(n, m);
+    let engine = RootEngine::new(&Allocation::uniform(n), cfg.dolbie);
+    let links = admit_backbone(listener, cfg, &layout)?;
+    let max_range = (0..m).map(|k| layout.range(k).len()).max().unwrap_or(0);
+    let root = Root {
+        cfg,
+        layout,
+        engine,
+        links,
+        retired: WireStats::default(),
+        members: vec![true; n],
+        epoch: 0,
+        epochs: Vec::new(),
+        dead_shards: Vec::new(),
+        records: Vec::with_capacity(cfg.rounds),
+        zeros: vec![0.0; max_range],
+        started: Instant::now(),
     };
-
-    let started = Instant::now();
-    let mut rounds: Vec<RootRound> = Vec::with_capacity(cfg.rounds);
-    for t in 0..cfg.rounds {
-        let before = backbone_totals(&links);
-        let mut logical = 0usize;
-
-        // (1) Candidate election over M aggregates. Received in
-        // *descending* shard order — shard 0's workers are scheduled
-        // first, so aggregates land in roughly ascending order and the
-        // first blocking recv parks once, on the latest shard, while the
-        // rest read already-buffered frames. The election itself stays in
-        // ascending shard order (the `candidates` vector is indexed, not
-        // ordered by arrival): the associative decomposition of the flat
-        // ascending argmax is untouched.
-        let mut candidates: Vec<Option<ShardCandidate>> = (0..m).map(|_| None).collect();
-        for (k, link) in links.iter_mut().enumerate().rev() {
-            match link.recv(cfg.frame_timeout)? {
-                Frame::ShardAggregate { round, max_cost, straggler, share }
-                    if round == t as u64 =>
-                {
-                    candidates[k] =
-                        Some(ShardCandidate { cost: max_cost, worker: straggler as usize, share });
-                    logical += 1;
-                }
-                _ => {
-                    return Err(NetError::Protocol(format!(
-                        "shard {k} sent an unexpected frame during round-{t} aggregation"
-                    )))
-                }
-            }
-        }
-        let elected = combine_candidates(candidates).expect("at least one shard");
-
-        // (2) Coordination scalars down to every shard.
-        let alpha = engine.begin_round();
-        let coord = Frame::ShardCoord {
-            round: t as u64,
-            global_cost: elected.cost,
-            alpha,
-            straggler: elected.worker as u64,
-        };
-        for link in links.iter_mut() {
-            link.send(&coord)?;
-            logical += 1;
-        }
-
-        // (3) The eq. (6) remainder via the shard-chained gains cursor.
-        let mut total_gain =
-            chain(&mut links, t, CursorPhase::Gains, cfg.frame_timeout, &mut logical)?;
-
-        // (4) The root's order-sensitive tail: guard, pin, commit,
-        // refresh, tighten — RootEngine's documented statement order.
-        let straggler_share = elected.share;
-        let rescale = engine.guard_scale(straggler_share, total_gain);
-        if let Some(scale) = rescale {
-            let frame = Frame::ShardRescale { round: t as u64, scale };
-            for link in links.iter_mut() {
-                link.send(&frame)?;
-                logical += 1;
-            }
-            total_gain = chain(&mut links, t, CursorPhase::Gains, cfg.frame_timeout, &mut logical)?;
-        }
-        let new_straggler_share = engine.pin(straggler_share, total_gain);
-        let refresh = engine.needs_total_refresh();
-        let commit = Frame::ShardCommit {
-            round: t as u64,
-            straggler: elected.worker as u64,
-            straggler_share: new_straggler_share,
-            refresh,
-        };
-        for link in links.iter_mut() {
-            link.send(&commit)?;
-            logical += 1;
-        }
-        if refresh {
-            let sum = chain(&mut links, t, CursorPhase::Shares, cfg.frame_timeout, &mut logical)?;
-            engine.refresh_total(sum);
-        }
-        engine.tighten(new_straggler_share);
-
-        let after = backbone_totals(&links);
-        rounds.push(RootRound {
-            round: t,
-            straggler: elected.worker,
-            global_cost: elected.cost,
-            alpha,
-            rescaled: rescale.is_some(),
-            refreshed: refresh,
-            messages: logical,
-            bytes: ((after.bytes_sent - before.bytes_sent)
-                + (after.bytes_received - before.bytes_received)) as usize,
-            elapsed: started.elapsed().as_secs_f64(),
-        });
-    }
-
-    // Orderly shutdown of the backbone; shard-masters relay it on to
-    // their workers.
-    for link in links.iter_mut() {
-        let _ = link.send(&Frame::Shutdown);
-    }
-    let wire = backbone_totals(&links);
-    Ok(RootReport { rounds, layout, wire, wall_clock: started.elapsed().as_secs_f64() })
+    root.run()
 }
 
 /// Options of one shard-master run (everything else arrives in
@@ -409,20 +972,29 @@ pub struct ShardMasterOptions {
     pub num_shards: usize,
     /// Per-frame read deadline on the root link and every worker link.
     pub frame_timeout: Duration,
+    /// Fault plan replayed on this side of the backbone link.
+    pub backbone_fault: FaultPlan,
+    /// Crash injection: return (dropping the root link and the whole
+    /// worker fleet) keyed on this round; see [`ShardKill`].
+    pub die_after_round: Option<usize>,
+    /// `true` dies mid-round (after the aggregate, a pre-commit death);
+    /// `false` dies after the round's commit and drain.
+    pub die_mid_round: bool,
 }
 
 /// One round's slice-local record at a shard-master: the played shares
 /// and observed costs of this shard's worker range. Concatenating the
 /// slices of all `M` shards in shard order reconstructs the flat
 /// per-round allocation and cost vectors — that is what the parity
-/// harness stitches and compares bitwise.
+/// harness stitches and compares bitwise. Buried local slots hold the
+/// exact `0.0` the engine's renormalization wrote.
 #[derive(Debug, Clone)]
 pub struct ShardRoundSlice {
     /// Round index `t`.
     pub round: usize,
     /// The slice of shares the round was played with (pre-update).
     pub shares: Vec<f64>,
-    /// The slice of observed local costs.
+    /// The slice of observed local costs (`0.0` for buried slots).
     pub costs: Vec<f64>,
 }
 
@@ -433,20 +1005,248 @@ pub struct ShardRunReport {
     pub shard: usize,
     /// The global worker range this shard owned.
     pub range: Range<usize>,
-    /// Per-round slice records.
+    /// Per-round slice records (one per committed round, in order).
     pub rounds: Vec<ShardRoundSlice>,
     /// The final share slice after the last commit.
     pub final_shares: Vec<f64>,
-    /// Run-total wire counters over the worker links.
+    /// Membership epochs this shard-master served.
+    pub epochs_seen: u32,
+    /// Run-total wire counters over the worker links (buried links
+    /// included).
     pub wire: WireStats,
     /// Run-total wire counters on the root link.
     pub root_wire: WireStats,
 }
 
+/// A `ShardEpoch` announcement as received, before it is served.
+struct EpochRecord {
+    epoch: u32,
+    round: u64,
+    members: Vec<bool>,
+}
+
+/// What a completed transition (or a shutdown crossing one) tells the
+/// round loop to do next.
+enum Flow {
+    /// Resume the round loop at this round under the new epoch.
+    Resume { round: usize },
+    /// The root closed the run; shut the fleet down and report.
+    Terminate,
+}
+
+/// A round-loop frame from the root, with epoch transitions and
+/// shutdowns already handled.
+enum Tail {
+    Frame(Frame),
+    Flow(Flow),
+}
+
+/// The shard-master's live state below the round loop.
+struct ShardCtx {
+    shard: usize,
+    range: Range<usize>,
+    n_total: usize,
+    root: Link,
+    fleet: Fleet,
+    staircase: bool,
+    timeout: Duration,
+    epoch: u32,
+    epochs_seen: u32,
+    /// Liveness by local slot; flips only when an epoch mask buries.
+    local_members: Vec<bool>,
+    /// The mirrored committed share slice.
+    x: Vec<f64>,
+    /// Wire counters absorbed from buried worker links.
+    retired: WireStats,
+}
+
+impl ShardCtx {
+    fn live(&self) -> Vec<usize> {
+        (0..self.range.len()).filter(|&i| self.local_members[i]).collect()
+    }
+
+    fn collect(
+        &mut self,
+        t: usize,
+        phase: Phase,
+        await_set: &[usize],
+        out: &mut [f64],
+        logical: &mut usize,
+    ) -> Result<Option<Vec<usize>>, NetError> {
+        let result = if self.staircase {
+            self.fleet.collect_blocking(t, self.epoch, phase, await_set, out, logical)
+        } else {
+            self.fleet.collect(t, self.epoch, phase, await_set, out, logical)
+        };
+        match result {
+            Ok(()) => Ok(None),
+            Err(SweepFail::Dead(dead)) => Ok(Some(dead)),
+            Err(SweepFail::Fatal(e)) => Err(e),
+        }
+    }
+
+    /// Receives one round-loop frame from the root, transparently
+    /// serving any epoch transition (and absorbing a shutdown) so the
+    /// round loop only ever sees in-round frames or a [`Flow`].
+    fn recv_round_frame(&mut self) -> Result<Tail, NetError> {
+        match self.root.recv(self.timeout)? {
+            Frame::ShardEpoch { epoch, round, members } => {
+                let flow = self.serve_transition(EpochRecord { epoch, round, members })?;
+                Ok(Tail::Flow(flow))
+            }
+            Frame::Shutdown => Ok(Tail::Flow(Flow::Terminate)),
+            frame => Ok(Tail::Frame(frame)),
+        }
+    }
+
+    /// Serves one epoch transition: stream the committed slice up
+    /// (gather), await the authoritative slices back (scatter), bury the
+    /// locally-dead, and hand the survivors their `Epoch` frames. A
+    /// higher epoch announcement arriving mid-scatter means the root
+    /// restarted the transition — re-serve under the new number.
+    fn serve_transition(&mut self, mut er: EpochRecord) -> Result<Flow, NetError> {
+        let count = self.range.len();
+        'serve: loop {
+            if er.members.len() != self.n_total {
+                return Err(NetError::Protocol(format!(
+                    "epoch {} mask names {} workers, fleet has {}",
+                    er.epoch,
+                    er.members.len(),
+                    self.n_total
+                )));
+            }
+            // Gather: our committed slice, chunked under the frame cap.
+            let mut off = 0usize;
+            while off < count {
+                let end = (off + SHARD_SLICE_CHUNK).min(count);
+                self.root.send(&Frame::ShardSlice {
+                    epoch: er.epoch,
+                    start: (self.range.start + off) as u32,
+                    shares: self.x[off..end].to_vec(),
+                })?;
+                off = end;
+            }
+            // Scatter: adopt the renormalized authoritative slice.
+            let mut covered = vec![false; count];
+            let mut got = 0usize;
+            while got < count {
+                match self.root.recv(self.timeout)? {
+                    Frame::ShardSlice { epoch, start, shares } if epoch == er.epoch => {
+                        let start = start as usize;
+                        if start < self.range.start || start + shares.len() > self.range.end {
+                            return Err(NetError::Protocol(
+                                "scattered slice lands outside this shard's range".into(),
+                            ));
+                        }
+                        for (j, &s) in shares.iter().enumerate() {
+                            let local = start - self.range.start + j;
+                            self.x[local] = s;
+                            if !covered[local] {
+                                covered[local] = true;
+                                got += 1;
+                            }
+                        }
+                    }
+                    Frame::ShardSlice { .. } => {} // stale epoch
+                    Frame::ShardEpoch { epoch, round, members } if epoch > er.epoch => {
+                        er = EpochRecord { epoch, round, members };
+                        continue 'serve;
+                    }
+                    Frame::Shutdown => return Ok(Flow::Terminate),
+                    _ => {
+                        return Err(NetError::Protocol(format!(
+                            "root sent an unexpected frame during the epoch-{} transition",
+                            er.epoch
+                        )))
+                    }
+                }
+            }
+            // Adopt: bury what the mask buried, announce to survivors.
+            // Local deaths *not* named in the mask (a crossing report
+            // the root has not processed yet) stay members and are
+            // re-reported under the new epoch by the caller.
+            let now = Instant::now();
+            for i in 0..count {
+                let alive = er.members[self.range.start + i];
+                if self.local_members[i] && !alive {
+                    if let Some(conn) = self.fleet.links[i].take() {
+                        self.retired.absorb(&conn.stats());
+                    }
+                    self.local_members[i] = false;
+                } else if self.local_members[i] {
+                    let frame = Frame::Epoch {
+                        epoch: er.epoch,
+                        round: er.round,
+                        share: self.x[i],
+                        members: er.members.clone(),
+                    };
+                    self.fleet.queue_to(i, &frame, now);
+                }
+            }
+            self.epoch = er.epoch;
+            self.epochs_seen += 1;
+            return Ok(Flow::Resume { round: er.round as usize });
+        }
+    }
+
+    /// Reports locally-discovered worker deaths upstream and parks
+    /// until the root answers with an epoch (or closes the run). Stale
+    /// frames of the abandoned round — the root may have sent them
+    /// before it learned of the death — are skipped. On resume, deaths
+    /// the new mask did not cover (a crossing with an unrelated epoch)
+    /// stay pending and are re-reported under the new round tag.
+    fn report_and_transition(
+        &mut self,
+        t: usize,
+        pending: &mut Vec<usize>,
+    ) -> Result<Flow, NetError> {
+        self.fleet.clear_awaiting();
+        let workers: Vec<u64> = pending.iter().map(|&i| (self.range.start + i) as u64).collect();
+        self.root.send(&Frame::ShardDead { round: t as u64, workers })?;
+        loop {
+            match self.root.recv(self.timeout)? {
+                Frame::ShardEpoch { epoch, round, members } => {
+                    let flow = self.serve_transition(EpochRecord { epoch, round, members })?;
+                    if let Flow::Resume { .. } = flow {
+                        pending.retain(|&i| self.local_members[i]);
+                    }
+                    return Ok(flow);
+                }
+                Frame::Shutdown => return Ok(Flow::Terminate),
+                Frame::ShardCoord { .. }
+                | Frame::ShardCursor { .. }
+                | Frame::ShardRescale { .. }
+                | Frame::ShardCommit { .. } => continue, // stale round frames
+                _ => {
+                    return Err(NetError::Protocol(
+                        "root sent an unexpected frame while a death report was pending".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn into_report(self, rounds: Vec<ShardRoundSlice>) -> ShardRunReport {
+        let mut wire = self.fleet.wire_snapshot();
+        wire.absorb(&self.retired);
+        ShardRunReport {
+            shard: self.shard,
+            range: self.range,
+            rounds,
+            final_shares: self.x,
+            epochs_seen: self.epochs_seen,
+            wire,
+            root_wire: self.root.stats(),
+        }
+    }
+}
+
 /// Runs one shard-master: handshakes upstream on `root` (ShardHello →
 /// ShardWelcome), admits its worker range on `listener` through the
 /// shared evented admission, then relays rounds between the root
-/// backbone and its worker fleet until `Shutdown`.
+/// backbone and its worker fleet until `Shutdown` — mapping worker
+/// deaths onto membership epochs through the backbone instead of
+/// failing.
 ///
 /// Workers are admitted with their *global* ids (`range.start +
 /// admission slot`), so their cost derivation and lossy-envelope hash
@@ -481,7 +1281,12 @@ pub fn run_shard_master(
     if shard as usize != opts.shard || num_shards as usize != opts.num_shards {
         return Err(NetError::Protocol("root and shard disagree on the layout".into()));
     }
-    let mut root_link = Link::lossless(conn);
+    let root_link = Link::with_plan(
+        conn,
+        opts.backbone_fault.clone(),
+        backbone_shard_code(opts.shard),
+        BACKBONE_ROOT_CODE,
+    );
 
     let range = range_start as usize..range_end as usize;
     let count = range.len();
@@ -516,10 +1321,10 @@ pub fn run_shard_master(
     let _ = listener.set_nonblocking(false);
     let mut fleet = Fleet::new(admitted?, opts.frame_timeout);
     // Lossless fleets take the staircase collect: the worker links carry
-    // no retransmission clocks, and a worker death is fatal under the
-    // shard tier anyway, so the sweep's poll/sleep duty cycle — CPU
-    // stolen from the very workers the phase waits on — is pure cost.
-    // The sockets flip to blocking mode once, here, and stay there.
+    // no retransmission clocks, so the sweep's poll/sleep duty cycle —
+    // CPU stolen from the very workers the phase waits on — is pure
+    // cost. The sockets flip to blocking mode once, here, and stay
+    // there; crash discovery rides the blocking deadlines instead.
     let staircase = fault.is_lossless();
     if staircase {
         fleet.enter_staircase().map_err(|fail| match fail {
@@ -530,136 +1335,194 @@ pub fn run_shard_master(
         })?;
     }
 
-    // The mirrored share slice — the shard-master's bookkeeping copy of
-    // its workers' authoritative shares, kept bitwise in lockstep by
-    // replaying the identical arithmetic.
-    let mut x: Vec<f64> = range.clone().map(|i| initial.share(i)).collect();
+    let mut ctx = ShardCtx {
+        shard: opts.shard,
+        range: range.clone(),
+        n_total,
+        root: root_link,
+        fleet,
+        staircase,
+        timeout: opts.frame_timeout,
+        epoch: 0,
+        epochs_seen: 0,
+        local_members: vec![true; count],
+        x: range.clone().map(|i| initial.share(i)).collect(),
+        retired: WireStats::default(),
+    };
     let mut gains = vec![0.0f64; count];
-    let all_local: Vec<usize> = (0..count).collect();
-    let fatal_worker = |dead: Vec<usize>| {
-        NetError::Protocol(format!(
-            "worker sockets died under the shard tier (local slots {dead:?}); crash→epoch \
-             handling is not wired through the backbone"
-        ))
-    };
-    let sweep_err = |fail: SweepFail| match fail {
-        SweepFail::Dead(dead) => fatal_worker(dead),
-        SweepFail::Fatal(e) => e,
-    };
-
     let mut records: Vec<ShardRoundSlice> = Vec::with_capacity(rounds as usize);
-    for t in 0..rounds as usize {
-        let played = x.clone();
+    let mut pending_dead: Vec<usize> = Vec::new();
+    let mut terminated = false;
+    let mut t = 0usize;
 
-        // Round barrier + cost collection over this shard's fleet.
-        let start = Frame::RoundStart { epoch: 0, round: t as u64 };
-        fleet.broadcast(&start, &all_local, Instant::now());
+    'run: while t < rounds as usize {
+        // Deaths discovered last iteration go upstream before anything
+        // else; the root answers with the epoch that resumes us.
+        if !pending_dead.is_empty() {
+            match ctx.report_and_transition(t, &mut pending_dead)? {
+                Flow::Resume { round } => {
+                    t = round;
+                    continue 'run;
+                }
+                Flow::Terminate => {
+                    terminated = true;
+                    break 'run;
+                }
+            }
+        }
+
+        let live = ctx.live();
+        let played = ctx.x.clone();
         let mut local_costs = vec![0.0f64; count];
         let mut logical = 0usize;
-        if staircase {
-            fleet
-                .collect_blocking(t, 0, Phase::Cost, &all_local, &mut local_costs, &mut logical)
-                .map_err(sweep_err)?;
-        } else {
-            fleet
-                .collect(t, 0, Phase::Cost, &all_local, &mut local_costs, &mut logical)
-                .map_err(sweep_err)?;
-        }
 
-        // The shard-local candidate: lowest-index first-maximum, strict
-        // `>` — the associative piece of the flat argmax.
-        let mut best = 0usize;
-        for i in 1..count {
-            if local_costs[i] > local_costs[best] {
-                best = i;
+        if !live.is_empty() {
+            // Round barrier + cost collection over the live slots. The
+            // epoch tag filters stale frames of abandoned attempts.
+            let start = Frame::RoundStart { epoch: ctx.epoch, round: t as u64 };
+            ctx.fleet.broadcast(&start, &live, Instant::now());
+            if let Some(dead) =
+                ctx.collect(t, Phase::Cost, &live, &mut local_costs, &mut logical)?
+            {
+                pending_dead = dead;
+                continue 'run;
             }
-        }
-        root_link.send(&Frame::ShardAggregate {
-            round: t as u64,
-            max_cost: local_costs[best],
-            straggler: (range.start + best) as u64,
-            share: x[best],
-        })?;
 
-        // Coordination scalars from the root.
-        let (global_cost, alpha, straggler) = match root_link.recv(opts.frame_timeout)? {
-            Frame::ShardCoord { round, global_cost, alpha, straggler } if round == t as u64 => {
+            // The shard-local candidate: lowest-index first-maximum,
+            // strict `>` over the live slots — the associative piece of
+            // the flat argmax (buried slots simply do not compete).
+            let mut best: Option<usize> = None;
+            for &i in &live {
+                let better = match best {
+                    None => true,
+                    Some(b) => local_costs[i] > local_costs[b],
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            let best = best.expect("live set is non-empty");
+            ctx.root.send(&Frame::ShardAggregate {
+                round: t as u64,
+                max_cost: local_costs[best],
+                straggler: (range.start + best) as u64,
+                share: ctx.x[best],
+            })?;
+        }
+        if opts.die_mid_round && opts.die_after_round == Some(t) {
+            // Injected crash: vanish mid-round without a goodbye,
+            // dropping the root link and the whole worker fleet.
+            return Ok(ctx.into_report(records));
+        }
+
+        // Coordination scalars from the root (or a transition another
+        // shard triggered while we were reporting our aggregate).
+        let (global_cost, alpha, straggler) = match ctx.recv_round_frame()? {
+            Tail::Flow(Flow::Resume { round }) => {
+                pending_dead.clear();
+                t = round;
+                continue 'run;
+            }
+            Tail::Flow(Flow::Terminate) => {
+                terminated = true;
+                break 'run;
+            }
+            Tail::Frame(Frame::ShardCoord { round, global_cost, alpha, straggler })
+                if round == t as u64 =>
+            {
                 (global_cost, alpha, straggler as usize)
             }
-            _ => {
+            Tail::Frame(_) => {
                 return Err(NetError::Protocol(format!(
                     "root sent an unexpected frame during round-{t} coordination"
                 )))
             }
         };
         let local_straggler = range.contains(&straggler).then(|| straggler - range.start);
-        let others: Vec<usize> = (0..count).filter(|&i| Some(i) != local_straggler).collect();
+        let others: Vec<usize> =
+            live.iter().copied().filter(|&i| Some(i) != local_straggler).collect();
 
         // Fan the scalars out; collect the non-stragglers' gains. The
         // local straggler's gain stays 0.0, exactly the reference's
-        // fixed-shape slot.
+        // fixed-shape slot — as do the buried slots'.
         let now = Instant::now();
         let shared =
             Frame::Coordination { round: t as u64, global_cost, alpha, is_straggler: false };
-        fleet.broadcast(&shared, &others, now);
+        ctx.fleet.broadcast(&shared, &others, now);
         if let Some(ls) = local_straggler {
             let pin =
                 Frame::Coordination { round: t as u64, global_cost, alpha, is_straggler: true };
-            fleet.queue_to(ls, &pin, now);
+            ctx.fleet.queue_to(ls, &pin, now);
         }
         gains.fill(0.0);
-        if staircase {
-            fleet
-                .collect_blocking(t, 0, Phase::Decision, &others, &mut gains, &mut logical)
-                .map_err(sweep_err)?;
-        } else {
-            fleet
-                .collect(t, 0, Phase::Decision, &others, &mut gains, &mut logical)
-                .map_err(sweep_err)?;
+        if let Some(dead) = ctx.collect(t, Phase::Decision, &others, &mut gains, &mut logical)? {
+            pending_dead = dead;
+            continue 'run;
         }
 
         // Serve the root's tail: cursor hops, the rare rescale, then the
         // commit. TCP ordering on the root link guarantees a rescale is
         // seen before the re-chained cursor and the commit before any
-        // refresh cursor.
+        // refresh cursor; an epoch announcement interleaving here means
+        // the round was abandoned (or, post-commit, that the next round
+        // opens under a new epoch).
         let refresh = loop {
-            match root_link.recv(opts.frame_timeout)? {
-                Frame::ShardCursor {
+            match ctx.recv_round_frame()? {
+                Tail::Flow(Flow::Resume { round }) => {
+                    pending_dead.clear();
+                    t = round;
+                    continue 'run;
+                }
+                Tail::Flow(Flow::Terminate) => {
+                    terminated = true;
+                    break 'run;
+                }
+                Tail::Frame(Frame::ShardCursor {
                     round,
                     phase: CursorPhase::Gains,
                     partial_sum,
                     partial_compensation,
                     partial_len,
                     stack,
-                } if round == t as u64 => {
+                }) if round == t as u64 => {
                     let state = cursor_state(partial_sum, partial_compensation, partial_len, stack);
                     let mut local = SumCursor::from_state(&state);
                     local.extend(&gains);
-                    root_link.send(&cursor_frame(t, CursorPhase::Gains, &local.state()))?;
+                    ctx.root.send(&cursor_frame(t, CursorPhase::Gains, &local.state()))?;
                 }
-                Frame::ShardRescale { round, scale } if round == t as u64 => {
+                Tail::Frame(Frame::ShardRescale { round, scale }) if round == t as u64 => {
                     for g in gains.iter_mut() {
                         *g *= scale;
                     }
                     let adjust = Frame::Adjust { round: t as u64, scale };
-                    fleet.broadcast(&adjust, &others, Instant::now());
+                    ctx.fleet.broadcast(&adjust, &others, Instant::now());
                 }
-                Frame::ShardCommit { round, straggler: s, straggler_share, refresh }
-                    if round == t as u64 && s as usize == straggler =>
-                {
-                    // Commit: apply the gains, pin the straggler.
-                    for (xi, gi) in x.iter_mut().zip(&gains) {
+                Tail::Frame(Frame::ShardCommit {
+                    round,
+                    straggler: s,
+                    straggler_share,
+                    refresh,
+                }) if round == t as u64 && s as usize == straggler => {
+                    // Commit: apply the gains, pin the straggler. The
+                    // record is pushed here — a transition interrupting
+                    // the refresh hop must not lose the committed round.
+                    for (xi, gi) in ctx.x.iter_mut().zip(&gains) {
                         *xi += gi;
                     }
                     if let Some(ls) = local_straggler {
-                        x[ls] = straggler_share;
+                        ctx.x[ls] = straggler_share;
                         let assignment =
                             Frame::Assignment { round: t as u64, share: straggler_share };
-                        fleet.queue_to(ls, &assignment, Instant::now());
+                        ctx.fleet.queue_to(ls, &assignment, Instant::now());
                     }
+                    records.push(ShardRoundSlice {
+                        round: t,
+                        shares: played.clone(),
+                        costs: local_costs.clone(),
+                    });
                     break refresh;
                 }
-                _ => {
+                Tail::Frame(_) => {
                     return Err(NetError::Protocol(format!(
                         "root sent an unexpected frame during round-{t} commit"
                     )))
@@ -667,21 +1530,30 @@ pub fn run_shard_master(
             }
         };
         if refresh {
-            match root_link.recv(opts.frame_timeout)? {
-                Frame::ShardCursor {
+            match ctx.recv_round_frame()? {
+                Tail::Flow(Flow::Resume { round }) => {
+                    pending_dead.clear();
+                    t = round;
+                    continue 'run;
+                }
+                Tail::Flow(Flow::Terminate) => {
+                    terminated = true;
+                    break 'run;
+                }
+                Tail::Frame(Frame::ShardCursor {
                     round,
                     phase: CursorPhase::Shares,
                     partial_sum,
                     partial_compensation,
                     partial_len,
                     stack,
-                } if round == t as u64 => {
+                }) if round == t as u64 => {
                     let state = cursor_state(partial_sum, partial_compensation, partial_len, stack);
                     let mut local = SumCursor::from_state(&state);
-                    local.extend(&x);
-                    root_link.send(&cursor_frame(t, CursorPhase::Shares, &local.state()))?;
+                    local.extend(&ctx.x);
+                    ctx.root.send(&cursor_frame(t, CursorPhase::Shares, &local.state()))?;
                 }
-                _ => {
+                Tail::Frame(_) => {
                     return Err(NetError::Protocol(format!(
                         "root sent an unexpected frame during round-{t} refresh"
                     )))
@@ -689,39 +1561,54 @@ pub fn run_shard_master(
             }
         }
 
-        // Deliver the commit to the workers before the next barrier.
-        let dead = fleet.drain()?;
+        // Deliver the commit to the workers before the next barrier. A
+        // death discovered here is post-commit: the round stands and
+        // the report goes up at the top of the next iteration.
+        let dead = ctx.fleet.drain()?;
         if !dead.is_empty() {
-            return Err(fatal_worker(dead));
+            pending_dead = dead;
         }
-        records.push(ShardRoundSlice { round: t, shares: played, costs: local_costs });
+        t += 1;
+        if !opts.die_mid_round && opts.die_after_round == Some(t - 1) {
+            // Injected crash after the commit: the root discovers it at
+            // the next round's aggregation.
+            return Ok(ctx.into_report(records));
+        }
     }
 
-    // The root closes the run; relay the shutdown to the workers.
-    match root_link.recv(opts.frame_timeout)? {
-        Frame::Shutdown => {}
-        _ => return Err(NetError::Protocol("expected Shutdown after the horizon".into())),
+    if !terminated {
+        // The root closes the run — but a post-horizon mass epoch (a
+        // shard that died during the final commit) may arrive first.
+        loop {
+            match ctx.root.recv(opts.frame_timeout)? {
+                Frame::Shutdown => break,
+                Frame::ShardEpoch { epoch, round, members } => {
+                    match ctx.serve_transition(EpochRecord { epoch, round, members })? {
+                        Flow::Resume { .. } => continue,
+                        Flow::Terminate => break,
+                    }
+                }
+                _ => return Err(NetError::Protocol("expected Shutdown after the horizon".into())),
+            }
+        }
     }
-    fleet.shutdown(opts.frame_timeout);
-    let wire = fleet.wire_snapshot();
-    Ok(ShardRunReport {
-        shard: opts.shard,
-        range,
-        rounds: records,
-        final_shares: x,
-        wire,
-        root_wire: root_link.stats(),
-    })
+    ctx.fleet.shutdown(opts.frame_timeout);
+    Ok(ctx.into_report(records))
 }
 
 /// The root's report plus every shard-master's and worker's outcome.
 #[derive(Debug)]
 pub struct ShardedLoopbackRun {
-    /// The root-tier report (scalar trajectory, O(M) wire accounting).
+    /// The root-tier report (scalar trajectory, O(M) wire accounting,
+    /// membership schedule).
     pub root: RootReport,
-    /// Per-shard reports, in shard order.
+    /// Per-shard reports, in shard order. An injected shard kill still
+    /// yields a (partial) report; its missing rounds stitch as the
+    /// zeros the engine's renormalization wrote for the buried range.
     pub shards: Vec<ShardRunReport>,
-    /// Per-thread worker outcomes, in global worker order.
+    /// Per-thread worker outcomes, in global worker order. Workers of a
+    /// killed shard-master report transport errors — their coordinator
+    /// vanished under them.
     pub workers: Vec<Result<WorkerReport, NetError>>,
 }
 
@@ -730,20 +1617,32 @@ impl ShardedLoopbackRun {
     /// element `t` is the full `N`-vector the fleet played in round `t`,
     /// and one extra final entry holds the post-horizon shares — the
     /// same shape the parity harnesses compare bitwise against the
-    /// sequential engine.
+    /// sequential engine. Rounds a killed shard never committed, and
+    /// its post-burial final shares, are the exact `0.0` the engine's
+    /// renormalization assigns a buried range.
     pub fn allocations(&self) -> Vec<Vec<f64>> {
         let rounds = self.root.rounds.len();
         let mut out = Vec::with_capacity(rounds + 1);
         for t in 0..rounds {
             let mut flat = Vec::new();
             for shard in &self.shards {
-                flat.extend_from_slice(&shard.rounds[t].shares);
+                match shard.rounds.get(t).filter(|r| r.round == t) {
+                    Some(r) => flat.extend_from_slice(&r.shares),
+                    None => flat.extend(std::iter::repeat_n(0.0, shard.range.len())),
+                }
             }
             out.push(flat);
         }
         let mut last = Vec::new();
         for shard in &self.shards {
-            last.extend_from_slice(&shard.final_shares);
+            for (j, i) in shard.range.clone().enumerate() {
+                let alive = self.root.members.get(i).copied().unwrap_or(false);
+                last.push(if alive {
+                    shard.final_shares.get(j).copied().unwrap_or(0.0)
+                } else {
+                    0.0
+                });
+            }
         }
         out.push(last);
         out
@@ -754,7 +1653,11 @@ impl ShardedLoopbackRun {
 /// root on the calling thread, everything else on small-stack OS
 /// threads — and reaps the whole tree before returning. Nothing is
 /// simulated: three process roles, two protocol tiers, every byte
-/// through the kernel's loopback interface.
+/// through the kernel's loopback interface. Scheduled kills from
+/// [`ShardedConfig::worker_kills`] and [`ShardedConfig::shard_kills`]
+/// are injected here; the root's structured error (quorum loss, total
+/// fleet death) takes priority over the secondary transport errors it
+/// causes downstream.
 pub fn run_sharded_loopback(cfg: &ShardedConfig) -> Result<ShardedLoopbackRun, NetError> {
     let (n, m) = (cfg.num_workers, cfg.num_shards);
     let layout = ShardLayout::even(n, m);
@@ -773,7 +1676,15 @@ pub fn run_sharded_loopback(cfg: &ShardedConfig) -> Result<ShardedLoopbackRun, N
 
     let mut shard_handles = Vec::with_capacity(m);
     for (k, listener) in shard_listeners.into_iter().enumerate() {
-        let opts = ShardMasterOptions { shard: k, num_shards: m, frame_timeout: cfg.frame_timeout };
+        let kill = cfg.shard_kills.iter().find(|sk| sk.shard == k);
+        let opts = ShardMasterOptions {
+            shard: k,
+            num_shards: m,
+            frame_timeout: cfg.frame_timeout,
+            backbone_fault: cfg.backbone_fault.clone(),
+            die_after_round: kill.map(|sk| sk.after_round),
+            die_mid_round: kill.is_some_and(|sk| sk.mid_round),
+        };
         let (attempts, base, stagger) = connect_schedule(m, k);
         let handle = std::thread::Builder::new()
             .name(format!("dolbie-shard-{k}"))
@@ -799,8 +1710,12 @@ pub fn run_sharded_loopback(cfg: &ShardedConfig) -> Result<ShardedLoopbackRun, N
         // Workers pace their lossy retransmissions with the same policy
         // the config ships to the shard-masters, so a test choosing a
         // fast schedule gets it on both link directions.
-        let worker_opts =
-            WorkerOptions { retry: Some(cfg.fault.retry), ..WorkerOptions::default() };
+        let die = cfg.worker_kills.iter().find(|&&(w, _)| w == i).map(|&(_, r)| r);
+        let worker_opts = WorkerOptions {
+            retry: Some(cfg.fault.retry),
+            die_after_round: die,
+            ..WorkerOptions::default()
+        };
         let handle = std::thread::Builder::new()
             .name(format!("dolbie-worker-{i}"))
             .stack_size(WORKER_STACK_BYTES)
@@ -817,19 +1732,27 @@ pub fn run_sharded_loopback(cfg: &ShardedConfig) -> Result<ShardedLoopbackRun, N
     }
 
     let root_result = run_root(&root_listener, cfg);
-    let mut shards = Vec::with_capacity(m);
+    let mut shard_results = Vec::with_capacity(m);
     for handle in shard_handles {
-        let report = handle
-            .join()
-            .unwrap_or_else(|_| Err(NetError::Protocol("shard thread panicked".into())))?;
-        shards.push(report);
+        shard_results.push(
+            handle
+                .join()
+                .unwrap_or_else(|_| Err(NetError::Protocol("shard thread panicked".into()))),
+        );
     }
-    shards.sort_by_key(|s| s.shard);
     let workers: Vec<Result<WorkerReport, NetError>> = worker_handles
         .into_iter()
         .map(|h| {
             h.join().unwrap_or_else(|_| Err(NetError::Protocol("worker thread panicked".into())))
         })
         .collect();
-    Ok(ShardedLoopbackRun { root: root_result?, shards, workers })
+    // The root's structured error is the primary diagnosis; shard-side
+    // transport errors are its echoes and must not mask it.
+    let root = root_result?;
+    let mut shards = Vec::with_capacity(m);
+    for result in shard_results {
+        shards.push(result?);
+    }
+    shards.sort_by_key(|s| s.shard);
+    Ok(ShardedLoopbackRun { root, shards, workers })
 }

@@ -361,6 +361,43 @@ pub enum Frame {
         /// Whether a Σx-refresh chain follows this commit.
         refresh: bool,
     },
+    /// Shard-master → root: one or more of this shard's worker sockets
+    /// died. Sent in place of whatever backbone frame the shard would
+    /// have sent next; the root answers with a [`Frame::ShardEpoch`]
+    /// membership transition.
+    ShardDead {
+        /// The round the shard was working when the deaths surfaced.
+        round: u64,
+        /// Global ids of the newly dead workers, ascending.
+        workers: Vec<u64>,
+    },
+    /// Root → shard-masters: a membership epoch transition is starting.
+    /// Each live shard abandons any in-flight round attempt, replies with
+    /// its pre-renormalization share slice ([`Frame::ShardSlice`]), and
+    /// then receives the renormalized slice back before the round in
+    /// `round` (re)starts under the new epoch.
+    ShardEpoch {
+        /// The new epoch number.
+        epoch: u32,
+        /// The round that will be (re)started after the transition.
+        round: u64,
+        /// The post-transition member mask over global worker ids.
+        members: Vec<bool>,
+    },
+    /// A contiguous chunk of the full share vector, used in both
+    /// directions of an epoch transition: shard → root gathers the
+    /// pre-renormalization slice, root → shard scatters the renormalized
+    /// one. Chunked so a slice of any N respects [`MAX_FRAME_BYTES`];
+    /// receivers drop chunks whose epoch is not the transition in
+    /// progress (stale-epoch filtering on the backbone).
+    ShardSlice {
+        /// The epoch transition this chunk belongs to.
+        epoch: u32,
+        /// Global worker id of the first share in `shares`.
+        start: u32,
+        /// The shares, bitwise-exact.
+        shares: Vec<f64>,
+    },
 }
 
 const KIND_HELLO: u8 = 0;
@@ -382,6 +419,13 @@ const KIND_SHARD_COORD: u8 = 15;
 const KIND_SHARD_CURSOR: u8 = 16;
 const KIND_SHARD_RESCALE: u8 = 17;
 const KIND_SHARD_COMMIT: u8 = 18;
+const KIND_SHARD_DEAD: u8 = 19;
+const KIND_SHARD_EPOCH: u8 = 20;
+const KIND_SHARD_SLICE: u8 = 21;
+
+/// How many shares fit in one [`Frame::ShardSlice`] chunk without
+/// approaching [`MAX_FRAME_BYTES`] (8 bytes each plus a small header).
+pub const SHARD_SLICE_CHUNK: usize = 4096;
 
 impl Frame {
     /// Encodes the frame as length prefix + body.
@@ -590,6 +634,30 @@ impl Frame {
                 out.extend_from_slice(&straggler.to_le_bytes());
                 out.extend_from_slice(&straggler_share.to_bits().to_le_bytes());
                 out.push(u8::from(*refresh));
+            }
+            Self::ShardDead { round, workers } => {
+                out.push(KIND_SHARD_DEAD);
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&(workers.len() as u32).to_le_bytes());
+                for &w in workers {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            Self::ShardEpoch { epoch, round, members } => {
+                out.push(KIND_SHARD_EPOCH);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&round.to_le_bytes());
+                out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+                out.extend(members.iter().map(|&m| u8::from(m)));
+            }
+            Self::ShardSlice { epoch, start, shares } => {
+                out.push(KIND_SHARD_SLICE);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&(shares.len() as u32).to_le_bytes());
+                for &x in shares {
+                    out.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
             }
         }
     }
@@ -817,6 +885,50 @@ fn decode_inner(r: &mut Reader<'_>, enveloped: bool) -> Result<Frame, WireError>
             straggler_share: r.f64()?,
             refresh: r.boolean("refresh flag")?,
         }),
+        KIND_SHARD_DEAD => {
+            let round = r.u64()?;
+            let count = r.u32()? as usize;
+            // 8 bytes per worker id; a count the remaining body cannot
+            // hold is lying about its length.
+            if count > (r.body.len() - r.at) / 8 {
+                return Err(WireError::Truncated);
+            }
+            let mut workers = Vec::with_capacity(count);
+            for _ in 0..count {
+                workers.push(r.u64()?);
+            }
+            Ok(Frame::ShardDead { round, workers })
+        }
+        KIND_SHARD_EPOCH => {
+            let epoch = r.u32()?;
+            let round = r.u64()?;
+            let count = r.u32()? as usize;
+            // A member byte each; anything claiming more members than the
+            // remaining body could hold is lying about its length.
+            if count > r.body.len() - r.at {
+                return Err(WireError::Truncated);
+            }
+            let mut members = Vec::with_capacity(count);
+            for _ in 0..count {
+                members.push(r.boolean("member flag")?);
+            }
+            Ok(Frame::ShardEpoch { epoch, round, members })
+        }
+        KIND_SHARD_SLICE => {
+            let epoch = r.u32()?;
+            let start = r.u32()?;
+            let count = r.u32()? as usize;
+            // 8 bytes per share; a count the remaining body cannot hold
+            // is lying about its length.
+            if count > (r.body.len() - r.at) / 8 {
+                return Err(WireError::Truncated);
+            }
+            let mut shares = Vec::with_capacity(count);
+            for _ in 0..count {
+                shares.push(r.f64()?);
+            }
+            Ok(Frame::ShardSlice { epoch, start, shares })
+        }
         other => Err(WireError::UnknownKind(other)),
     }
 }
@@ -892,6 +1004,14 @@ mod tests {
             },
             Frame::ShardRescale { round: 7, scale: 0.75 },
             Frame::ShardCommit { round: 7, straggler: 801, straggler_share: 0.25, refresh: true },
+            Frame::ShardDead { round: 7, workers: vec![801, 805] },
+            Frame::ShardDead { round: 0, workers: Vec::new() },
+            Frame::ShardEpoch { epoch: 2, round: 8, members: vec![true, false, true] },
+            Frame::ShardSlice {
+                epoch: 2,
+                start: 768,
+                shares: vec![0.1 + 0.2, 0.0, f64::MIN_POSITIVE, 1.0 / 3.0],
+            },
         ];
         for frame in frames {
             let bytes = frame.encode();
@@ -941,6 +1061,57 @@ mod tests {
         let mut bytes = frame.encode();
         bytes[13] = 7; // the phase byte (4 prefix + 1 kind + 8 round)
         assert_eq!(Frame::decode(&bytes), Err(WireError::BadValue("cursor phase")));
+    }
+
+    #[test]
+    fn shard_dead_worker_count_cannot_exceed_body() {
+        let frame = Frame::ShardDead { round: 9, workers: vec![3, 4] };
+        let mut bytes = frame.encode();
+        // Corrupt the worker count (offset: 4 prefix + 1 kind + 8 round).
+        bytes[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Frame::decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn shard_epoch_member_count_cannot_exceed_body() {
+        let frame = Frame::ShardEpoch { epoch: 1, round: 5, members: vec![true, false] };
+        let mut bytes = frame.encode();
+        // Corrupt the member count (offset: 4 prefix + 1 kind + 4 epoch +
+        // 8 round) to claim far more members than follow.
+        bytes[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Frame::decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn shard_epoch_member_flags_must_be_boolean() {
+        let frame = Frame::ShardEpoch { epoch: 1, round: 5, members: vec![true, false] };
+        let mut bytes = frame.encode();
+        bytes[21] = 7; // the first member byte, right after the count
+        assert_eq!(Frame::decode(&bytes), Err(WireError::BadValue("member flag")));
+    }
+
+    #[test]
+    fn shard_slice_share_count_cannot_exceed_body() {
+        let frame = Frame::ShardSlice { epoch: 1, start: 16, shares: vec![0.25, 0.5] };
+        let mut bytes = frame.encode();
+        // Corrupt the share count (offset: 4 prefix + 1 kind + 4 epoch +
+        // 4 start).
+        bytes[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Frame::decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn shard_slice_chunk_respects_the_frame_cap() {
+        let frame = Frame::ShardSlice {
+            epoch: 1,
+            start: 0,
+            shares: vec![1.0 / SHARD_SLICE_CHUNK as f64; SHARD_SLICE_CHUNK],
+        };
+        let bytes = frame.encode();
+        assert!(bytes.len() <= 4 + MAX_FRAME_BYTES);
+        let (back, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, frame);
     }
 
     #[test]

@@ -121,7 +121,7 @@ fn lossy_loopback_terminates_and_keeps_the_chaos_invariants() {
         (MasterKind::Blocking, 4, 40),
         (MasterKind::Blocking, 16, 12),
     ] {
-        let env = WireEnvSpec { kind: EnvKind::ChaosMix, seed: 0xC4A0_5 + n as u64 };
+        let env = WireEnvSpec { kind: EnvKind::ChaosMix, seed: 0xC4A05 + n as u64 };
         let retry = RetryPolicy::new(0.01, 1.5, 6);
         let plan = FaultPlan::seeded(21)
             .with_drop_probability(0.12)

@@ -1,0 +1,231 @@
+//! Fault-tolerance acceptance tests for the sharded control plane: a
+//! worker killed mid-run (pre- and post-commit), a shard-master killed
+//! mid-run (pre- and post-commit), and a quorum loss — each over real
+//! loopback TCP, each bounded in wall clock (never a hang), and each
+//! with the surviving trajectory **bitwise identical** to a sequential
+//! twin replaying the recorded membership schedule.
+//!
+//! The twin recipe is the contract the root's epoch records promise:
+//! before observing round `t`, apply every recorded `RootEpoch` with
+//! `round == t` (in order); observe through
+//! `Observation::from_costs_masked` under the current mask; epochs
+//! recorded at `round == T` (a death during the final commit) apply
+//! after the last observation.
+
+use dolbie_core::cost::DynCost;
+use dolbie_core::{Allocation, Dolbie, DolbieConfig, LoadBalancer, Observation};
+use dolbie_net::env::{EnvKind, WireEnvSpec};
+use dolbie_net::shard::{
+    run_sharded_loopback, RootEpoch, ShardKill, ShardedConfig, ShardedLoopbackRun,
+};
+use std::time::{Duration, Instant};
+
+/// Generous "no hang" bound: every case here finishes in well under a
+/// second of protocol time; the bound only has to beat a dev-profile,
+/// loaded-CI worst case while still catching a stuck deadline loop.
+const WALL_BOUND: Duration = Duration::from_secs(60);
+
+/// Replays the flat sequential engine under the recorded membership
+/// schedule: element `t` is the allocation played in round `t`, plus a
+/// final post-horizon entry — the same shape as
+/// [`ShardedLoopbackRun::allocations`].
+fn twin_allocations(
+    env: WireEnvSpec,
+    n: usize,
+    rounds: usize,
+    epochs: &[RootEpoch],
+) -> Vec<Vec<f64>> {
+    let mut twin = Dolbie::with_config(Allocation::uniform(n), DolbieConfig::new());
+    let mut members = vec![true; n];
+    let mut out = Vec::with_capacity(rounds + 1);
+    for t in 0..rounds {
+        for e in epochs.iter().filter(|e| e.round == t) {
+            members.copy_from_slice(&e.members);
+            twin.apply_membership(&members);
+        }
+        let shares = twin.allocation().clone();
+        out.push((0..n).map(|i| shares.share(i)).collect());
+        let cost_fns: Vec<DynCost> = (0..n).map(|i| env.cost_for(t, i)).collect();
+        let obs = Observation::from_costs_masked(t, &shares, &cost_fns, &members, Vec::new());
+        twin.observe(&obs);
+    }
+    for e in epochs.iter().filter(|e| e.round == rounds) {
+        members.copy_from_slice(&e.members);
+        twin.apply_membership(&members);
+    }
+    out.push((0..n).map(|i| twin.allocation().share(i)).collect());
+    out
+}
+
+fn assert_bitwise_twin(run: &ShardedLoopbackRun, env: WireEnvSpec, n: usize, rounds: usize) {
+    let stitched = run.allocations();
+    let reference = twin_allocations(env, n, rounds, &run.root.epochs);
+    assert_eq!(stitched.len(), reference.len(), "horizon mismatch");
+    for (t, (net, seq)) in stitched.iter().zip(&reference).enumerate() {
+        for i in 0..n {
+            assert_eq!(
+                net[i].to_bits(),
+                seq[i].to_bits(),
+                "round {t}, worker {i}: sharded trajectory diverged from the membership twin"
+            );
+        }
+    }
+}
+
+fn assert_on_simplex(run: &ShardedLoopbackRun) {
+    let last = run.allocations().pop().expect("final entry");
+    let sum: f64 = last.iter().sum();
+    assert!((sum - 1.0).abs() <= 1e-12, "final Σx = {sum}");
+    for (i, (&x, &alive)) in last.iter().zip(&run.root.members).enumerate() {
+        assert!(x >= 0.0, "worker {i} holds a negative share");
+        if !alive {
+            assert_eq!(x, 0.0, "dead worker {i} still holds share {x}");
+        }
+    }
+}
+
+/// Picks the global straggler of `round` from a healthy rehearsal run —
+/// the kill fires *after* that round's costs are reported, so the
+/// rehearsal's election at that round matches the kill run's.
+fn straggler_at(env: WireEnvSpec, n: usize, m: usize, round: usize) -> usize {
+    let cfg = ShardedConfig::new(n, m, round + 1, env);
+    let run = run_sharded_loopback(&cfg).expect("healthy rehearsal");
+    run.root.rounds[round].straggler
+}
+
+fn killed_worker_case(n: usize, m: usize, rounds: usize, victim: usize, kill_round: usize) {
+    let env = WireEnvSpec { kind: EnvKind::ChaosMix, seed: 0xC4A54 + n as u64 };
+    let mut cfg = ShardedConfig::new(n, m, rounds, env).with_worker_kill(victim, kill_round);
+    cfg.frame_timeout = Duration::from_secs(2);
+    let started = Instant::now();
+    let run = run_sharded_loopback(&cfg).expect("a worker crash must not sink the run");
+    assert!(started.elapsed() < WALL_BOUND, "the run stalled past the hang bound");
+
+    assert_eq!(run.root.rounds.len(), rounds, "the horizon completes despite the crash");
+    assert_eq!(run.root.epochs.len(), 1, "one death, one epoch");
+    let epoch = &run.root.epochs[0];
+    assert!(!epoch.members[victim], "the epoch must bury the victim");
+    assert_eq!(epoch.members.iter().filter(|&&a| !a).count(), 1);
+    assert!(
+        (kill_round..=kill_round + 2).contains(&epoch.round),
+        "the death fired at round {kill_round} but the epoch landed at round {}",
+        epoch.round
+    );
+    assert!(run.root.dead_shards.is_empty(), "no shard-master died");
+
+    assert_bitwise_twin(&run, env, n, rounds);
+    assert_on_simplex(&run);
+
+    // Every surviving worker crossed exactly the one epoch; the victim's
+    // thread ended early (cleanly or with a transport error).
+    for report in run.workers.iter().flatten() {
+        if report.worker_id != victim {
+            assert_eq!(report.epochs_seen, 1, "survivor {} missed the epoch", report.worker_id);
+        }
+    }
+}
+
+/// A non-straggler worker killed mid-run: the death surfaces at the
+/// decision collect — *before* the round commits — so the root unwinds
+/// `begin_round` and replays the kill round under the new membership.
+#[test]
+fn pre_commit_worker_kill_is_one_epoch_and_bitwise() {
+    const N: usize = 8;
+    const M: usize = 2;
+    const ROUNDS: usize = 30;
+    const KILL_ROUND: usize = 11;
+    let env = WireEnvSpec { kind: EnvKind::ChaosMix, seed: 0xC4A54 + N as u64 };
+    // Any non-straggler victim exercises the pre-commit path.
+    let straggler = straggler_at(env, N, M, KILL_ROUND);
+    let victim = (0..N).find(|&i| i != straggler).expect("N >= 2");
+    killed_worker_case(N, M, ROUNDS, victim, KILL_ROUND);
+}
+
+/// The round's *straggler* killed mid-run: it owes no decision frame,
+/// so the death is discovered only at the commit-delivery drain or the
+/// next cost collect — *after* the round committed. The committed round
+/// stands; the epoch lands at `kill_round + 1` (or `+ 2` when the
+/// drain's write outruns the kernel's reset).
+#[test]
+fn post_commit_straggler_kill_is_one_epoch_and_bitwise() {
+    const N: usize = 8;
+    const M: usize = 2;
+    const ROUNDS: usize = 30;
+    const KILL_ROUND: usize = 11;
+    let env = WireEnvSpec { kind: EnvKind::ChaosMix, seed: 0xC4A54 + N as u64 };
+    let victim = straggler_at(env, N, M, KILL_ROUND);
+    killed_worker_case(N, M, ROUNDS, victim, KILL_ROUND);
+}
+
+fn killed_shard_case(kill: ShardKill, n: usize, m: usize, rounds: usize) {
+    let env = WireEnvSpec { kind: EnvKind::ChaosMix, seed: 0x5DEAD + n as u64 };
+    let mut cfg = ShardedConfig::new(n, m, rounds, env).with_shard_kill(kill);
+    cfg.frame_timeout = Duration::from_secs(2);
+    let started = Instant::now();
+    let run = run_sharded_loopback(&cfg).expect("a shard-master crash must not sink the run");
+    assert!(started.elapsed() < WALL_BOUND, "the run stalled past the hang bound");
+
+    assert_eq!(run.root.rounds.len(), rounds, "the horizon completes degraded");
+    assert_eq!(run.root.dead_shards, vec![kill.shard], "exactly the killed shard was buried");
+    assert_eq!(run.root.epochs.len(), 1, "one mass epoch buries the whole range");
+    let epoch = &run.root.epochs[0];
+    let range = run.root.layout.range(kill.shard);
+    for i in 0..n {
+        assert_eq!(
+            epoch.members[i],
+            !range.contains(&i),
+            "the mass epoch must bury exactly the dead shard's range"
+        );
+    }
+    // Pre-commit (mid-round) kills abandon the kill round: the epoch
+    // replays it. Post-commit kills stand: the epoch opens the next
+    // round (detection waits for the next aggregation).
+    let expected_round = if kill.mid_round { kill.after_round } else { kill.after_round + 1 };
+    assert_eq!(epoch.round, expected_round, "the epoch landed on the wrong round");
+
+    // The killed shard-master still yields a partial report whose last
+    // committed round respects the pre/post-commit boundary.
+    let dead_report = &run.shards[kill.shard];
+    let committed = if kill.mid_round { kill.after_round } else { kill.after_round + 1 };
+    assert_eq!(dead_report.rounds.len(), committed, "partial report length");
+
+    assert_bitwise_twin(&run, env, n, rounds);
+    assert_on_simplex(&run);
+}
+
+/// A shard-master killed *post-commit* (after its round's commit and
+/// drain): the root discovers the dead link at the next aggregation,
+/// buries the whole range as one mass epoch, and the survivors carry
+/// the full unit of work to the horizon.
+#[test]
+fn post_commit_shard_kill_buries_the_range_as_one_mass_epoch() {
+    killed_shard_case(ShardKill { shard: 1, after_round: 9, mid_round: false }, 12, 3, 24);
+}
+
+/// A shard-master killed *mid-round* (right after its aggregate, before
+/// the commit): the root aborts the attempt bitwise — `begin_round` is
+/// unwound — and the kill round replays under the mass epoch.
+#[test]
+fn mid_round_shard_kill_aborts_the_attempt_and_replays_the_round() {
+    killed_shard_case(ShardKill { shard: 0, after_round: 7, mid_round: true }, 12, 3, 24);
+}
+
+/// With `min_live_shards = 2` and one of two shards killed, the quorum
+/// policy terminates the run with a structured error naming the dead
+/// shard and the policy — never a hang, never a panic.
+#[test]
+fn quorum_loss_terminates_with_a_structured_error() {
+    let env = WireEnvSpec { kind: EnvKind::ChaosMix, seed: 0xBAD0_C0DE };
+    let mut cfg = ShardedConfig::new(8, 2, 40, env)
+        .with_shard_kill(ShardKill { shard: 1, after_round: 5, mid_round: false })
+        .with_min_live_shards(2);
+    cfg.frame_timeout = Duration::from_secs(2);
+    let started = Instant::now();
+    let err = run_sharded_loopback(&cfg).expect_err("quorum loss must be a structured error");
+    assert!(started.elapsed() < WALL_BOUND, "the failing run stalled past the hang bound");
+    let message = err.to_string();
+    assert!(
+        message.contains("quorum") && message.contains("[1]") && message.contains("2"),
+        "the error must name the policy and the dead shard: {message}"
+    );
+}

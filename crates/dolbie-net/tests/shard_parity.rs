@@ -32,9 +32,9 @@ fn assert_bitwise(run: &ShardedLoopbackRun, reference: &[Allocation], n: usize, 
     assert_eq!(stitched.len(), reference.len(), "horizon mismatch at N={n}, M={m}");
     for (t, (flat, expected)) in stitched.iter().zip(reference).enumerate() {
         assert_eq!(flat.len(), n);
-        for i in 0..n {
+        for (i, &x) in flat.iter().enumerate() {
             assert_eq!(
-                flat[i].to_bits(),
+                x.to_bits(),
                 expected.share(i).to_bits(),
                 "round {t}, worker {i}: sharded trajectory diverged (N={n}, M={m})"
             );

@@ -2,7 +2,7 @@
 //! type, and strict rejection of malformed bytes.
 
 use dolbie_net::env::{EnvKind, WireEnvSpec};
-use dolbie_net::wire::{Frame, WireError, MAX_FRAME_BYTES, VERSION};
+use dolbie_net::wire::{CursorPhase, Frame, WireError, MAX_FRAME_BYTES, VERSION};
 use proptest::prelude::*;
 
 /// Builds one frame of each kind from fuzzed scalars. `f64` fields come
@@ -39,6 +39,22 @@ fn frame_zoo(seq: u64, a: u64, b: u64, flag: bool, members: &[bool]) -> Vec<Fram
             inner: Box::new(Frame::LocalCost { epoch: 0, round: b, cost: x }),
         },
         Frame::Ack { seq },
+        Frame::ShardHello { shard: (seq % 64) as u32, num_shards: (a % 64) as u32 },
+        Frame::ShardAggregate { round: seq, max_cost: x, straggler: a % 4096, share: y },
+        Frame::ShardCoord { round: seq, global_cost: y, alpha: x, straggler: b % 4096 },
+        Frame::ShardCursor {
+            round: seq,
+            phase: if flag { CursorPhase::Gains } else { CursorPhase::Shares },
+            partial_sum: x,
+            partial_compensation: y,
+            partial_len: (a % 65536) as u32,
+            stack: vec![(a % 1024, y), (b % 1024, x)],
+        },
+        Frame::ShardRescale { round: seq, scale: x },
+        Frame::ShardCommit { round: seq, straggler: a % 4096, straggler_share: y, refresh: flag },
+        Frame::ShardDead { round: seq, workers: vec![a % 4096, b % 4096, seq % 4096] },
+        Frame::ShardEpoch { epoch: (a % 97) as u32, round: seq, members: members.to_vec() },
+        Frame::ShardSlice { epoch: (b % 97) as u32, start: (a % 4096) as u32, shares: vec![x, y] },
     ]
 }
 

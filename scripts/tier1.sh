@@ -84,4 +84,14 @@ if [ "$smoke_elapsed" -ge 10 ]; then
     exit 1
 fi
 
+echo "== tier-1: sharded-crash smoke (seeded kills + lossy links over real TCP, quick-suffixed artifacts, <10 s) =="
+smoke_start=$SECONDS
+cargo run --release -p dolbie-bench --bin paper_figures -- --quick chaos_net
+smoke_elapsed=$((SECONDS - smoke_start))
+echo "sharded-crash smoke took ${smoke_elapsed}s"
+if [ "$smoke_elapsed" -ge 10 ]; then
+    echo "FAIL: sharded-crash smoke exceeded the 10 s budget" >&2
+    exit 1
+fi
+
 echo "== tier-1: OK =="
