@@ -19,7 +19,7 @@
 use dolbie_bench::experiments::large_n::LargeNOptions;
 use dolbie_bench::experiments::{
     ablation, accuracy, bandit, chaos, chaos_net, churn, comms, edge_exp, faults, large_n, latency,
-    net, net_scale, per_worker, regret, shard_scale, utilization,
+    mc, net, net_scale, per_worker, regret, shard_scale, utilization,
 };
 use dolbie_bench::{common, harness};
 use dolbie_core::kernel::KernelVariant;
@@ -30,13 +30,14 @@ const TARGETS: [&str; 12] = [
     "edge",
 ];
 
-const EXTENSION_TARGETS: [&str; 10] = [
+const EXTENSION_TARGETS: [&str; 11] = [
     "ablation",
     "faults",
     "bandit",
     "large_n",
     "chaos",
     "chaos_net",
+    "mc",
     "churn",
     "net",
     "net_scale",
@@ -91,6 +92,7 @@ fn run(target: &str, options: &RunOptions) {
         }),
         "chaos" => chaos::chaos(quick),
         "chaos_net" => chaos_net::chaos_net(quick),
+        "mc" => mc::mc(quick),
         "churn" => churn::churn(),
         "net" => net::net(quick),
         "net_scale" => net_scale::net_scale(quick),

@@ -37,11 +37,12 @@
 
 use crate::common::emit_csv;
 use crate::harness;
-use dolbie_core::cost::{DynCost, LatencyCost, LinearCost};
+use dolbie_core::cost::DynCost;
 use dolbie_core::environment::FnEnvironment;
 use dolbie_core::DolbieConfig;
 use dolbie_core::ShardLayout;
 use dolbie_metrics::Table;
+use dolbie_simnet::invariants;
 use dolbie_simnet::{
     Crash, FaultPlan, FixedLatency, FullyDistributedSim, MasterWorkerSim, MembershipChange,
     MembershipSchedule, ProtocolTrace, RingSim, ShardedSim,
@@ -54,8 +55,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 const FULL_CASES: usize = 280;
 /// Cases in the `--quick` smoke sweep (the tier-1 gate).
 const QUICK_CASES: usize = 20;
-/// Master seed the whole sweep is derived from.
-const MASTER_SEED: u64 = 0xD01B_1E00;
+/// Master seed the whole sweep is derived from (public so the model
+/// checker's cross-validation can regenerate the exact sweep cases).
+pub const MASTER_SEED: u64 = 0xD01B_1E00;
 
 fn splitmix64(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -155,27 +157,21 @@ pub fn case_from_seed(id: usize, master_seed: u64) -> ChaosCase {
     ChaosCase { id, n, rounds, env_seed: hash(s, 8), plan, schedule, shards, shard_crash }
 }
 
-/// The deterministic per-round cost functions a case runs against.
+/// The deterministic per-round cost functions a case runs against — the
+/// chaos-mix environment, whose single definition lives in
+/// [`dolbie_mc::chaos_mix_env`] so the model checker's cross-validation
+/// replays run against byte-identical cost streams.
 pub fn env_for(seed: u64, n: usize) -> FnEnvironment<impl FnMut(usize) -> Vec<DynCost>> {
-    FnEnvironment::new(n, move |round| {
-        (0..n)
-            .map(|i| {
-                let h = hash(seed, ((round as u64) << 8) | i as u64);
-                if h & 1 == 0 {
-                    let speed = 50.0 + (h % 2000) as f64;
-                    let comm = ((h >> 13) % 100) as f64 / 1000.0;
-                    Box::new(LatencyCost::new(256.0, speed, comm)) as DynCost
-                } else {
-                    let slope = 0.1 + (h % 500) as f64 / 100.0;
-                    Box::new(LinearCost::new(slope, ((h >> 9) % 5) as f64 * 0.02)) as DynCost
-                }
-            })
-            .collect()
-    })
+    dolbie_mc::chaos_mix_env(seed, n)
 }
 
 /// The five machine-checked invariants, as a pure function of the three
 /// traces — separable so the negative tests can feed it corrupted traces.
+///
+/// Invariants 1, 2, 3, and 5 are the shared detectors of
+/// [`dolbie_simnet::invariants`] (one definition for this sweep, the
+/// net-tier sweep, and the model checker); invariant 4's *pairing
+/// policy* — which traces must agree, and how tightly — stays here.
 pub fn check_invariants(
     case: &ChaosCase,
     mw: &ProtocolTrace,
@@ -183,78 +179,16 @@ pub fn check_invariants(
     ring: &ProtocolTrace,
     sharded: &ProtocolTrace,
 ) -> Result<(), String> {
-    // (5) termination.
+    // (5), (1), (2), (3) per trace, via the shared detectors.
     for tr in [mw, fd, ring, sharded] {
-        if tr.rounds.len() != case.rounds {
-            return Err(format!(
-                "termination: {} produced {} of {} rounds",
-                tr.architecture,
-                tr.rounds.len(),
-                case.rounds
-            ));
-        }
-    }
-    for tr in [mw, fd, ring, sharded] {
-        let mut prev_alpha = f64::INFINITY;
-        for r in &tr.rounds {
-            // (1) simplex feasibility.
-            let sum: f64 = r.allocation.iter().sum();
-            if (sum - 1.0).abs() >= 1e-9 {
-                return Err(format!(
-                    "feasibility: {} round {} sums to {sum:.12}",
-                    tr.architecture, r.round
-                ));
-            }
-            for (i, &x) in r.allocation.iter().enumerate() {
-                if x < 0.0 {
-                    return Err(format!(
-                        "feasibility: {} round {} gives worker {i} share {x:e}",
-                        tr.architecture, r.round
-                    ));
-                }
-            }
-            // (2) α monotonicity.
-            if r.alpha > prev_alpha {
-                return Err(format!(
-                    "alpha: {} round {} raised α {prev_alpha:.12} -> {:.12}",
-                    tr.architecture, r.round, r.alpha
-                ));
-            }
-            prev_alpha = r.alpha;
-            // (3) no stranded share.
-            let members = case.schedule.members_at(case.n, r.round);
-            for (i, &m) in members.iter().enumerate() {
-                if !m && r.allocation.share(i) != 0.0 {
-                    return Err(format!(
-                        "stranded share: {} round {} leaves {:.3e} on departed worker {i}",
-                        tr.architecture,
-                        r.round,
-                        r.allocation.share(i)
-                    ));
-                }
-                if !m && r.active[i] {
-                    return Err(format!(
-                        "stranded share: {} round {} marks departed worker {i} active",
-                        tr.architecture, r.round
-                    ));
-                }
-            }
-        }
+        invariants::check_trace(tr, case.rounds, |t| case.schedule.members_at(case.n, t))?;
     }
     // (4) architecture agreement.
     for t in 0..case.rounds {
         let (m, f, r) = (&mw.rounds[t], &fd.rounds[t], &ring.rounds[t]);
         if case.is_type_a() {
-            if m.allocation.l2_distance(&f.allocation) != 0.0
-                || f.allocation.l2_distance(&r.allocation) != 0.0
-            {
+            if !(invariants::rounds_agree_bitwise(m, f) && invariants::rounds_agree_bitwise(f, r)) {
                 return Err(format!("agreement: type A architectures diverge at round {t}"));
-            }
-            if m.straggler != f.straggler || f.straggler != r.straggler {
-                return Err(format!("agreement: type A stragglers diverge at round {t}"));
-            }
-            if m.alpha.to_bits() != f.alpha.to_bits() || f.alpha.to_bits() != r.alpha.to_bits() {
-                return Err(format!("agreement: type A α diverges at round {t}"));
             }
         } else if f.allocation.l2_distance(&r.allocation) >= 1e-9 {
             return Err(format!("agreement: FD and ring diverge at round {t} (type B)"));
@@ -262,11 +196,7 @@ pub fn check_invariants(
         // The sharded tier's claim is unconditional: bitwise agreement
         // with the flat master on every case, crashes included.
         let s = &sharded.rounds[t];
-        if m.allocation.l2_distance(&s.allocation) != 0.0
-            || m.straggler != s.straggler
-            || m.alpha.to_bits() != s.alpha.to_bits()
-            || m.active != s.active
-        {
+        if !invariants::rounds_agree_bitwise(m, s) || m.active != s.active {
             return Err(format!("agreement: sharded diverges from master-worker at round {t}"));
         }
     }

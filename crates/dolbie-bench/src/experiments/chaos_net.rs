@@ -40,6 +40,7 @@ use dolbie_metrics::Table;
 use dolbie_net::env::{EnvKind, WireEnvSpec};
 use dolbie_net::shard::{run_sharded_loopback, RootEpoch, ShardKill, ShardedConfig};
 use dolbie_simnet::faults::{FaultPlan, RetryPolicy};
+use dolbie_simnet::invariants;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -268,7 +269,7 @@ fn check_case(case: &NetChaosCase) -> Result<(), String> {
     let run = run_sharded_loopback(&cfg).map_err(|e| format!("run failed: {e}"))?;
 
     // (5) termination.
-    if run.root.rounds.len() != case.rounds {
+    if invariants::termination_violation(run.root.rounds.len(), case.rounds) {
         return Err(format!(
             "termination: {} of {} rounds committed",
             run.root.rounds.len(),
@@ -290,34 +291,36 @@ fn check_case(case: &NetChaosCase) -> Result<(), String> {
             .unwrap_or_else(|| vec![true; case.n])
     };
 
-    let mut prev_alpha = f64::INFINITY;
+    let mut alpha = invariants::AlphaMonotone::new();
     for (t, round) in run.root.rounds.iter().enumerate() {
         // (1) simplex feasibility on the stitched allocation.
-        let sum: f64 = stitched[t].iter().sum();
-        if (sum - 1.0).abs() >= 1e-9 {
-            return Err(format!("feasibility: round {t} sums to {sum:.12}"));
-        }
-        for (i, &x) in stitched[t].iter().enumerate() {
-            if x < 0.0 {
-                return Err(format!("feasibility: round {t} gives worker {i} share {x:e}"));
+        match invariants::simplex_violation(&stitched[t], invariants::SIMPLEX_TOL) {
+            Some(invariants::SimplexViolation::Sum(sum)) => {
+                return Err(format!("feasibility: round {t} sums to {sum:.12}"));
             }
-        }
-        // (2) α monotonicity.
-        if round.alpha > prev_alpha {
-            return Err(format!(
-                "alpha: round {t} raised α {prev_alpha:.12} -> {:.12}",
-                round.alpha
-            ));
-        }
-        prev_alpha = round.alpha;
-        // (3) no stranded share.
-        for (i, &alive) in members_at(t).iter().enumerate() {
-            if !alive && stitched[t][i] != 0.0 {
+            Some(invariants::SimplexViolation::Negative { worker, share }) => {
                 return Err(format!(
-                    "stranded share: round {t} leaves {:.3e} on buried worker {i}",
-                    stitched[t][i]
+                    "feasibility: round {t} gives worker {worker} share {share:e}"
                 ));
             }
+            None => {}
+        }
+        // (2) α monotonicity.
+        if let Some(rise) = alpha.observe(round.alpha) {
+            return Err(format!(
+                "alpha: round {t} raised α {:.12} -> {:.12}",
+                rise.previous, rise.alpha
+            ));
+        }
+        // (3) no stranded share. The stitched representation has no
+        // per-round active set, so only the share check applies.
+        match invariants::stranded_violation(&members_at(t), &stitched[t], None) {
+            Some(invariants::StrandedShare::Share { worker, share }) => {
+                return Err(format!(
+                    "stranded share: round {t} leaves {share:.3e} on buried worker {worker}"
+                ));
+            }
+            Some(invariants::StrandedShare::Active { .. }) | None => {}
         }
         // (4) twin agreement, bitwise.
         for i in 0..case.n {

@@ -12,6 +12,7 @@ pub mod edge_exp;
 pub mod faults;
 pub mod large_n;
 pub mod latency;
+pub mod mc;
 pub mod net;
 pub mod net_scale;
 pub mod per_worker;

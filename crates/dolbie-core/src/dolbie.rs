@@ -207,6 +207,19 @@ impl Dolbie {
         self.engine.alpha()
     }
 
+    /// Canonical fingerprint of the engine state the model checker hashes
+    /// for visited-state pruning: shares (bitwise), the current `α`, and
+    /// the membership mask. Two engines fingerprint equal only if every
+    /// share and the step size are *bitwise* equal under the same mask —
+    /// the same contract as the repo's trajectory-parity tests.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::fingerprint::StateFp::new(0xD01B_F1A9);
+        fp.push_f64_slice(self.engine.x.as_slice());
+        fp.push_f64(self.engine.alpha());
+        fp.push_bool_slice(&self.engine.active);
+        fp.finish()
+    }
+
     /// Crosses a membership epoch boundary: departing workers' shares are
     /// redistributed proportionally over the continuing members
     /// ([`renormalize_onto_members`](crate::membership::renormalize_onto_members)),

@@ -90,6 +90,7 @@ pub mod dolbie;
 pub mod engine;
 pub mod environment;
 pub mod error;
+pub mod fingerprint;
 pub mod kernel;
 pub mod membership;
 pub mod numeric;

@@ -1,0 +1,43 @@
+//! # dolbie-mc
+//!
+//! An exhaustive interleaving model checker for the DOLBIE protocol
+//! simulators (`dolbie-simnet`).
+//!
+//! The chaos sweeps *sample* the fault space; this crate *enumerates*
+//! it. Every source of nondeterminism in the simulators — event dequeue
+//! order, each wire-fault coin inside the retry envelope, each crash
+//! window, each membership boundary — is routed through
+//! [`dolbie_simnet::Scheduler`], and the checker drives that trait with
+//! replayed decision prefixes ([`replay()`]): stateless CHESS-style
+//! exploration, no simulator snapshots. Visited-state pruning over
+//! canonical state fingerprints (allocation + α + protocol-phase state +
+//! the in-flight message multiset + membership/crash masks, times
+//! excluded) cuts the run tree where paths reconverge — delivery
+//! reorderings collapse at round barriers, in-envelope drops and
+//! duplicates are delay-only — which is what keeps N=3–5 fleets over
+//! 3–6 rounds tractable ([`explore()`]).
+//!
+//! Every reachable run is checked against the shared chaos invariants
+//! ([`dolbie_simnet::invariants`]) plus no-deadlock (the simulators'
+//! deadlock asserts are caught and reported), plus a per-architecture
+//! *confluence* rule: paths with identical crash/membership outcomes
+//! must produce bitwise-identical trajectories. A violation is shrunk to
+//! a minimal decision prefix ([`shrink()`]) and emitted as a
+//! copy-pasteable `#[test]` ([`reproducer()`]).
+//!
+//! Honest caveat: this verifies the *configured* fleet, horizon, and
+//! fault envelope exhaustively — it is bounded model checking, not a
+//! proof about all N or unbounded rounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod explore;
+pub mod replay;
+pub mod shrink;
+
+pub use config::{chaos_mix_env, Arch, McConfig};
+pub use explore::{explore, Exploration, ExploreStats, Strategy, Violation};
+pub use replay::{membership_masks, replay, DecisionRecord, ReplayScheduler, RunOutcome};
+pub use shrink::{decision_count, reproducer, shrink};

@@ -1,0 +1,326 @@
+//! Replay-based controlled execution: one run = one decision prefix.
+//!
+//! The checker is *stateless* in the CHESS tradition: it never snapshots
+//! simulator state. A run is identified by the vector of choice indices
+//! it makes at the scheduler's decision points — index 0 is always the
+//! default (FIFO delivery, the seeded fault-plan outcome, the scheduled
+//! membership event firing) — and [`replay()`] re-executes the simulator
+//! from scratch following the prefix, then taking defaults. The
+//! [`ReplayScheduler`] records every decision point it passes
+//! ([`DecisionRecord`]) plus the canonical state fingerprint observed
+//! immediately before each delivery choice, which is what the explorer's
+//! visited-state pruning keys on.
+
+use crate::config::{chaos_mix_env, Arch, McConfig};
+use dolbie_core::fingerprint::StateFp;
+use dolbie_core::DolbieConfig;
+use dolbie_simnet::invariants::check_trace;
+use dolbie_simnet::{
+    DecisionPoint, FixedLatency, FullyDistributedSim, MasterWorkerSim, ProtocolTrace, RingSim,
+    Scheduler,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One decision point a run passed through, as recorded by the
+/// [`ReplayScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRecord {
+    /// Number of alternatives at this point (`pending` for a delivery
+    /// choice, 2 for every fault/membership coin).
+    pub options: u32,
+    /// The choice index taken (0 = default).
+    pub chosen: u32,
+    /// `None` for a delivery (dequeue) choice; `Some` for a binary
+    /// fault/membership decision, identifying it.
+    pub point: Option<DecisionPoint>,
+    /// For binary decisions, the boolean the simulator actually received.
+    pub outcome: bool,
+    /// For delivery choices, the canonical state fingerprint the
+    /// simulator reported immediately before the dequeue.
+    pub fp: Option<u64>,
+}
+
+impl DecisionRecord {
+    /// Whether this record is a delivery (dequeue) choice.
+    #[must_use]
+    pub fn is_delivery(&self) -> bool {
+        self.point.is_none()
+    }
+}
+
+/// A [`Scheduler`] that follows a decision prefix and defaults beyond
+/// it, recording the full decision trail either way.
+#[derive(Debug)]
+pub struct ReplayScheduler {
+    prefix: Vec<u32>,
+    sabotage: bool,
+    want_fp: bool,
+    pending_fp: Option<u64>,
+    /// Every decision point passed, in order.
+    pub trail: Vec<DecisionRecord>,
+}
+
+impl ReplayScheduler {
+    /// A scheduler replaying `prefix` with state observation on.
+    #[must_use]
+    pub fn new(prefix: &[u32]) -> Self {
+        Self {
+            prefix: prefix.to_vec(),
+            sabotage: false,
+            want_fp: true,
+            pending_fp: None,
+            trail: Vec::new(),
+        }
+    }
+
+    /// Arms the test-only overshoot-guard sabotage hook.
+    #[must_use]
+    pub fn with_sabotage(mut self, sabotage: bool) -> Self {
+        self.sabotage = sabotage;
+        self
+    }
+
+    fn next_choice(&self, options: u32) -> u32 {
+        self.prefix.get(self.trail.len()).copied().unwrap_or(0).min(options - 1)
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn choose_delivery(&mut self, pending: usize) -> usize {
+        let options = pending as u32;
+        let chosen = self.next_choice(options);
+        self.trail.push(DecisionRecord {
+            options,
+            chosen,
+            point: None,
+            outcome: false,
+            fp: self.pending_fp.take(),
+        });
+        chosen as usize
+    }
+
+    fn decide(&mut self, point: DecisionPoint, default: bool) -> bool {
+        let chosen = self.next_choice(2);
+        let outcome = if chosen == 0 { default } else { !default };
+        self.trail.push(DecisionRecord {
+            options: 2,
+            chosen,
+            point: Some(point),
+            outcome,
+            fp: None,
+        });
+        outcome
+    }
+
+    fn wants_state(&self) -> bool {
+        self.want_fp
+    }
+
+    fn observe_state(&mut self, fingerprint: u64) {
+        self.pending_fp = Some(fingerprint);
+    }
+
+    fn sabotage_overshoot_guard(&self) -> bool {
+        self.sabotage
+    }
+}
+
+/// The outcome of replaying one decision prefix.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Every decision point the run passed, in order.
+    pub trail: Vec<DecisionRecord>,
+    /// The trace, when the run completed without panicking.
+    pub trace: Option<ProtocolTrace>,
+    /// Invariants 1, 2, 3, 5 over the trace (a panic — the deadlock
+    /// assert or an infeasible allocation — is reported here too).
+    pub verdict: Result<(), String>,
+}
+
+impl RunOutcome {
+    /// Hash of the run's fault-equivalence signature: the outcomes of
+    /// every crash and membership decision, in order. Two runs with equal
+    /// signatures differ only in delivery order and wire faults — which
+    /// are delay-only — so the confluence invariant requires their
+    /// trajectories to agree bitwise.
+    #[must_use]
+    pub fn fault_signature(&self) -> u64 {
+        let mut fp = StateFp::new(0xD01B_516A);
+        for d in &self.trail {
+            match d.point {
+                Some(DecisionPoint::Crash { worker, round }) => {
+                    fp.push_u64(1);
+                    fp.push_usize(worker);
+                    fp.push_usize(round);
+                    fp.push_u64(u64::from(d.outcome));
+                }
+                Some(DecisionPoint::Membership { round, worker, join }) => {
+                    fp.push_u64(2);
+                    fp.push_usize(round);
+                    fp.push_usize(worker);
+                    fp.push_u64(u64::from(join));
+                    fp.push_u64(u64::from(d.outcome));
+                }
+                _ => {}
+            }
+        }
+        fp.finish()
+    }
+
+    /// Bitwise digest of the decision trajectory (allocation bits, α
+    /// bits, straggler per round), or `None` if the run panicked.
+    #[must_use]
+    pub fn trace_digest(&self) -> Option<u64> {
+        let trace = self.trace.as_ref()?;
+        let mut fp = StateFp::new(0xD01B_D16E);
+        for r in &trace.rounds {
+            fp.push_f64_slice(r.allocation.as_slice());
+            fp.push_f64(r.alpha);
+            fp.push_usize(r.straggler);
+        }
+        Some(fp.finish())
+    }
+}
+
+/// Feeds pre-recorded membership outcomes back to
+/// `MembershipSchedule::apply_round_sched`, for reconstructing the
+/// membership masks a finished run actually used.
+struct OutcomeFeed {
+    outcomes: Vec<bool>,
+    pos: usize,
+}
+
+impl Scheduler for OutcomeFeed {
+    fn decide(&mut self, _point: DecisionPoint, default: bool) -> bool {
+        let v = self.outcomes.get(self.pos).copied().unwrap_or(default);
+        self.pos += 1;
+        v
+    }
+}
+
+/// The membership mask in force at each round of a finished run,
+/// reconstructed by replaying the schedule against the trail's recorded
+/// membership-decision outcomes (which appear in the trail in exactly
+/// the order `apply_round_sched` consulted them).
+#[must_use]
+pub fn membership_masks(config: &McConfig, trail: &[DecisionRecord]) -> Vec<Vec<bool>> {
+    let outcomes: Vec<bool> = trail
+        .iter()
+        .filter(|d| matches!(d.point, Some(DecisionPoint::Membership { .. })))
+        .map(|d| d.outcome)
+        .collect();
+    let mut feed = OutcomeFeed { outcomes, pos: 0 };
+    let mut members = vec![true; config.n];
+    let mut masks = Vec::with_capacity(config.rounds);
+    for t in 0..config.rounds {
+        config.schedule.apply_round_sched(t, &mut members, &mut feed);
+        masks.push(members.clone());
+    }
+    masks
+}
+
+/// Replays one decision prefix through the configured simulator and
+/// checks the per-run invariants on the result.
+///
+/// Runs are pure functions of `(config, prefix)`: replaying the same
+/// prefix twice produces bitwise-identical trails, traces, and verdicts,
+/// which is what makes emitted reproducers stable.
+#[must_use]
+pub fn replay(config: &McConfig, prefix: &[u32]) -> RunOutcome {
+    let mut sched = ReplayScheduler::new(prefix).with_sabotage(config.sabotage_overshoot_guard);
+    let rounds = config.rounds;
+    let result = catch_unwind(AssertUnwindSafe(|| match config.arch {
+        Arch::MasterWorker => MasterWorkerSim::new(
+            chaos_mix_env(config.env_seed, config.n),
+            DolbieConfig::new(),
+            FixedLatency::lan(),
+        )
+        .with_fault_plan(config.plan.clone())
+        .with_membership(config.schedule.clone())
+        .run_with_scheduler(rounds, &mut sched),
+        Arch::FullyDistributed => FullyDistributedSim::new(
+            chaos_mix_env(config.env_seed, config.n),
+            DolbieConfig::new(),
+            FixedLatency::lan(),
+        )
+        .with_fault_plan(config.plan.clone())
+        .with_membership(config.schedule.clone())
+        .run_with_scheduler(rounds, &mut sched),
+        Arch::Ring => RingSim::new(
+            chaos_mix_env(config.env_seed, config.n),
+            DolbieConfig::new(),
+            FixedLatency::lan(),
+        )
+        .with_fault_plan(config.plan.clone())
+        .with_membership(config.schedule.clone())
+        .run_with_scheduler(rounds, &mut sched),
+    }));
+    let (trace, verdict) = match result {
+        Ok(trace) => {
+            let masks = membership_masks(config, &sched.trail);
+            let verdict = check_trace(&trace, rounds, |t| masks[t].clone());
+            (Some(trace), verdict)
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic".into());
+            (None, Err(format!("panic: {msg}")))
+        }
+    };
+    RunOutcome { trail: sched.trail, trace, verdict }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_replay_matches_the_uncontrolled_sim_bitwise() {
+        let config = McConfig::new(Arch::MasterWorker, 3, 3);
+        let outcome = replay(&config, &[]);
+        assert!(outcome.verdict.is_ok(), "{:?}", outcome.verdict);
+        let free = MasterWorkerSim::new(
+            chaos_mix_env(config.env_seed, config.n),
+            DolbieConfig::new(),
+            FixedLatency::lan(),
+        )
+        .run(config.rounds);
+        let trace = outcome.trace.expect("run completed");
+        assert_eq!(trace.rounds.len(), free.rounds.len());
+        for (a, b) in trace.rounds.iter().zip(&free.rounds) {
+            assert_eq!(a.allocation.l2_distance(&b.allocation), 0.0);
+            assert_eq!(a.alpha.to_bits(), b.alpha.to_bits());
+            assert_eq!(a.straggler, b.straggler);
+        }
+    }
+
+    #[test]
+    fn replay_is_a_pure_function_of_the_prefix() {
+        let config = McConfig::new(Arch::Ring, 4, 3);
+        let a = replay(&config, &[2, 1]);
+        let b = replay(&config, &[2, 1]);
+        assert_eq!(a.trail, b.trail);
+        assert_eq!(a.trace_digest(), b.trace_digest());
+        assert_eq!(a.verdict, b.verdict);
+    }
+
+    #[test]
+    fn flipping_a_delivery_choice_changes_the_trail_not_the_verdict() {
+        let config = McConfig::new(Arch::MasterWorker, 3, 2);
+        let base = replay(&config, &[]);
+        assert!(base.verdict.is_ok());
+        let first_delivery =
+            base.trail.iter().position(DecisionRecord::is_delivery).expect("n=3 has reorderings");
+        let mut prefix = vec![0u32; first_delivery + 1];
+        prefix[first_delivery] = 1;
+        let flipped = replay(&config, &prefix);
+        assert!(flipped.verdict.is_ok(), "{:?}", flipped.verdict);
+        assert_eq!(flipped.trail[first_delivery].chosen, 1);
+        // Delivery order is delay-only: the trajectories agree bitwise.
+        assert_eq!(base.trace_digest(), flipped.trace_digest());
+        assert_eq!(base.fault_signature(), flipped.fault_signature());
+    }
+}

@@ -1,0 +1,161 @@
+//! Counterexample minimization and reproducer emission.
+//!
+//! A violating decision prefix is shrunk greedily: strip trailing
+//! defaults, then repeatedly try resetting each non-default choice to
+//! the default (or one step toward it), keeping any reduction that still
+//! fails. Because [`crate::replay()`] is a pure function of the prefix,
+//! the shrunk prefix is stable and the emitted `#[test]` reproduces the
+//! violation bitwise.
+
+use crate::config::McConfig;
+use crate::replay::replay;
+use dolbie_simnet::MembershipChange;
+
+/// Non-default choices in a prefix — the scheduler decisions a human has
+/// to absorb to understand a reproducer.
+#[must_use]
+pub fn decision_count(prefix: &[u32]) -> usize {
+    prefix.iter().filter(|&&c| c != 0).count()
+}
+
+fn strip_trailing_defaults(prefix: &mut Vec<u32>) {
+    while prefix.last() == Some(&0) {
+        prefix.pop();
+    }
+}
+
+/// Greedily shrinks a failing prefix to a local minimum (shortest, most
+/// defaulted) while [`replay()`] keeps failing. Returns the input verbatim
+/// if it does not fail on its own (a cross-run confluence violation has
+/// no single failing run to shrink).
+#[must_use]
+pub fn shrink(config: &McConfig, prefix: &[u32]) -> Vec<u32> {
+    let fails = |p: &[u32]| replay(config, p).verdict.is_err();
+    if !fails(prefix) {
+        return prefix.to_vec();
+    }
+    let mut current = prefix.to_vec();
+    strip_trailing_defaults(&mut current);
+    loop {
+        let mut improved = false;
+        // Try truncating whole suffixes first — the biggest single cut.
+        for len in 0..current.len() {
+            let mut cand = current[..len].to_vec();
+            strip_trailing_defaults(&mut cand);
+            if cand.len() < current.len() && fails(&cand) {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        // Then pull individual choices toward the default.
+        for i in 0..current.len() {
+            if current[i] == 0 {
+                continue;
+            }
+            for replacement in [0, current[i] - 1] {
+                let mut cand = current.clone();
+                cand[i] = replacement;
+                strip_trailing_defaults(&mut cand);
+                if cand != current && fails(&cand) {
+                    current = cand;
+                    improved = true;
+                    break;
+                }
+            }
+            if improved {
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// Renders a violation as a copy-pasteable `#[test]`: the configuration
+/// rebuilt from builder calls, the shrunk prefix, and the replay
+/// assertion. Replay purity makes the reproducer bitwise-stable.
+#[must_use]
+pub fn reproducer(config: &McConfig, prefix: &[u32], message: &str) -> String {
+    let mut out = String::new();
+    out.push_str("#[test]\nfn mc_reproducer() {\n");
+    out.push_str(&format!("    // dolbie-mc counterexample: {message}\n"));
+    out.push_str(&format!("    // {} non-default scheduler decision(s)\n", decision_count(prefix)));
+    out.push_str(&format!(
+        "    let mut plan = FaultPlan::seeded({:#018x})\n        .with_drop_probability({:?})\n        .with_duplicate_probability({:?})",
+        config.plan.seed, config.plan.drop_probability, config.plan.duplicate_probability
+    ));
+    for c in &config.plan.crashes {
+        out.push_str(&format!(
+            "\n        .with_crash(Crash {{ worker: {}, from_round: {}, until_round: {} }})",
+            c.worker, c.from_round, c.until_round
+        ));
+    }
+    out.push_str(";\n");
+    out.push_str(&format!(
+        "    plan.retry = RetryPolicy::new({:?}, {:?}, {});\n",
+        config.plan.retry.ack_timeout, config.plan.retry.backoff, config.plan.retry.max_attempts
+    ));
+    out.push_str("    let schedule = MembershipSchedule::none()");
+    for e in &config.schedule.events {
+        match e.change {
+            MembershipChange::Leave(kind) => out.push_str(&format!(
+                "\n        .with_leave({}, {}, LeaveKind::{kind:?})",
+                e.round, e.worker
+            )),
+            MembershipChange::Join => {
+                out.push_str(&format!("\n        .with_join({}, {})", e.round, e.worker));
+            }
+        }
+    }
+    out.push_str(";\n");
+    out.push_str(&format!(
+        "    let config = McConfig::new(Arch::{:?}, {}, {})\n        .with_env_seed({:#018x})\n        .with_plan(plan)\n        .with_schedule(schedule)",
+        config.arch, config.n, config.rounds, config.env_seed
+    ));
+    if config.sabotage_overshoot_guard {
+        out.push_str("\n        .with_sabotage()");
+    }
+    out.push_str(";\n");
+    out.push_str(&format!("    let prefix: &[u32] = &{prefix:?};\n"));
+    out.push_str(
+        "    let outcome = dolbie_mc::replay(&config, prefix);\n    assert!(outcome.verdict.is_err(), \"counterexample no longer reproduces\");\n}\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Arch;
+
+    #[test]
+    fn decision_count_ignores_defaults() {
+        assert_eq!(decision_count(&[]), 0);
+        assert_eq!(decision_count(&[0, 0, 0]), 0);
+        assert_eq!(decision_count(&[0, 2, 1, 0]), 2);
+    }
+
+    #[test]
+    fn shrink_returns_passing_prefixes_verbatim() {
+        let config = McConfig::new(Arch::MasterWorker, 2, 1);
+        // The canonical path passes, so shrink must refuse to touch it.
+        assert_eq!(shrink(&config, &[0, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn reproducer_contains_the_full_recipe() {
+        let config = McConfig::new(Arch::Ring, 4, 3).with_sabotage();
+        let text = reproducer(&config, &[0, 1], "feasibility: demo");
+        assert!(text.contains("#[test]"));
+        assert!(text.contains("feasibility: demo"));
+        assert!(text.contains("Arch::Ring"));
+        assert!(text.contains(".with_sabotage()"));
+        assert!(text.contains("&[0, 1]"));
+        assert!(text.contains("1 non-default scheduler decision(s)"));
+    }
+}

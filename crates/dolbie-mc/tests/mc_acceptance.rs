@@ -1,0 +1,127 @@
+//! The model checker's acceptance gates: three exhaustively verified
+//! configurations (one per architecture), and the end-to-end
+//! bug-catching pipeline against the deliberately re-broken PR 4
+//! overshoot guard.
+
+use dolbie_mc::{decision_count, explore, replay, reproducer, shrink, Arch, McConfig, Strategy};
+use dolbie_simnet::{Crash, FaultPlan, LeaveKind, MembershipSchedule, RetryPolicy};
+
+/// Acceptance configuration (a): master-worker, N=3, 3 rounds, the full
+/// drop + duplicate wire envelope under a two-attempt retry policy.
+fn config_mw_lossy() -> McConfig {
+    let mut plan =
+        FaultPlan::seeded(0xD01B_0002).with_drop_probability(0.2).with_duplicate_probability(0.1);
+    plan.retry = RetryPolicy::new(0.05, 2.0, 2);
+    McConfig::new(Arch::MasterWorker, 3, 3).with_plan(plan)
+}
+
+/// Acceptance configuration (b): ring, N=4, 3 rounds, one crash window.
+fn config_ring_crash() -> McConfig {
+    let mut plan = FaultPlan::seeded(0xD01B_0003).with_crash(Crash {
+        worker: 2,
+        from_round: 1,
+        until_round: 2,
+    });
+    plan.retry = RetryPolicy::new(0.05, 2.0, 2);
+    McConfig::new(Arch::Ring, 4, 3).with_plan(plan)
+}
+
+/// Acceptance configuration (c): fully-distributed, N=3, 3 rounds, a
+/// leave + join epoch pair overlapping a crash window.
+fn config_fd_join_crash() -> McConfig {
+    let mut plan = FaultPlan::seeded(0xD01B_0004).with_crash(Crash {
+        worker: 1,
+        from_round: 1,
+        until_round: 2,
+    });
+    plan.retry = RetryPolicy::new(0.05, 2.0, 2);
+    let schedule = MembershipSchedule::none().with_leave(1, 2, LeaveKind::Graceful).with_join(2, 2);
+    McConfig::new(Arch::FullyDistributed, 3, 3).with_plan(plan).with_schedule(schedule)
+}
+
+fn assert_clean_and_pruned(name: &str, config: &McConfig) {
+    let ex = explore(config, Strategy::Dfs);
+    assert!(ex.complete, "{name}: exploration must be exhaustive");
+    assert!(
+        ex.violation.is_none(),
+        "{name}: found a violation: {:?}",
+        ex.violation.map(|v| v.message)
+    );
+    assert!(ex.stats.states_explored > 0, "{name}: no states visited");
+    assert!(
+        ex.stats.states_pruned * 2 > ex.stats.naive_states(),
+        "{name}: pruning below 50% of naive ({} of {})",
+        ex.stats.states_pruned,
+        ex.stats.naive_states()
+    );
+}
+
+#[test]
+fn master_worker_lossy_envelope_is_verified_exhaustively() {
+    assert_clean_and_pruned("mw3x3 drop+dup", &config_mw_lossy());
+}
+
+#[test]
+fn ring_crash_window_is_verified_exhaustively() {
+    assert_clean_and_pruned("ring4x3 crash", &config_ring_crash());
+}
+
+#[test]
+fn fully_distributed_join_plus_crash_is_verified_exhaustively() {
+    assert_clean_and_pruned("fd3x3 join+crash", &config_fd_join_crash());
+}
+
+/// The sabotage configuration: env seed 6402's chaos-mix costs make the
+/// round-1 joiner (share exactly 0.0) the straggler, so with the PR 4
+/// overshoot guard disabled the non-stragglers' combined gain executes
+/// `Σx ≈ 1.022 > 1` — the historical bug, verbatim.
+fn sabotage_config() -> McConfig {
+    let schedule = MembershipSchedule::none().with_leave(0, 2, LeaveKind::Graceful).with_join(1, 2);
+    McConfig::new(Arch::MasterWorker, 3, 3)
+        .with_env_seed(6402)
+        .with_schedule(schedule)
+        .with_sabotage()
+}
+
+#[test]
+fn injected_overshoot_bug_is_caught_shrunk_and_reproduced() {
+    let config = sabotage_config();
+
+    // The guarded twin of the same configuration is clean.
+    let mut guarded = config.clone();
+    guarded.sabotage_overshoot_guard = false;
+    let clean = explore(&guarded, Strategy::Dfs);
+    assert!(clean.complete && clean.violation.is_none(), "guarded twin must pass");
+
+    // The checker catches the sabotage.
+    let ex = explore(&config, Strategy::Dfs);
+    let violation = ex.violation.expect("the re-broken guard must be caught");
+    assert!(
+        violation.message.contains("feasibility") || violation.message.contains("panic"),
+        "unexpected violation: {}",
+        violation.message
+    );
+
+    // Shrinking lands well inside the 12-decision budget.
+    let minimal = shrink(&config, &violation.prefix);
+    assert!(
+        decision_count(&minimal) <= 12,
+        "shrunk reproducer needs {} non-default decisions",
+        decision_count(&minimal)
+    );
+
+    // The emitted reproducer carries the full recipe...
+    let text = reproducer(&config, &minimal, &violation.message);
+    assert!(text.contains("Arch::MasterWorker"));
+    assert!(text.contains(".with_sabotage()"));
+    assert!(text.contains(&format!("{:#018x}", 6402)));
+    assert!(text.contains("verdict.is_err()"));
+
+    // ...and what it asserts reproduces bitwise: two independent replays
+    // of the shrunk prefix fail with the identical message.
+    let first = replay(&config, &minimal);
+    let second = replay(&config, &minimal);
+    let msg_a = first.verdict.expect_err("shrunk prefix still fails");
+    let msg_b = second.verdict.expect_err("shrunk prefix still fails");
+    assert_eq!(msg_a, msg_b, "reproducer is not bitwise stable");
+}

@@ -104,6 +104,26 @@ pub fn tighten_alpha(alpha: f64, member_count: usize, straggler_share: f64) -> f
 /// preserves the order by folding one running accumulator through the
 /// shards in ascending shard order.
 pub fn guarded_straggler_pin(old: &[f64], next: &mut [f64], straggler: usize) -> f64 {
+    straggler_pin_with_guard(old, next, straggler, true)
+}
+
+/// [`guarded_straggler_pin`] with the overshoot guard switchable.
+///
+/// `guard = true` is the shipping behaviour; `guard = false` re-breaks
+/// the PR 4 simplex-overshoot bug (the rescale is skipped, so a
+/// zero-share straggler's round can execute `Σx > 1`). The switch exists
+/// solely as the model checker's bug-injection target — a deliberately
+/// planted violation its exploration, shrinking, and reproducer pipeline
+/// must catch end to end. Production call sites all go through the
+/// guarded wrapper; only a scheduler whose (test-only)
+/// `sabotage_overshoot_guard` hook answers `true` reaches this with
+/// `guard = false`.
+pub fn straggler_pin_with_guard(
+    old: &[f64],
+    next: &mut [f64],
+    straggler: usize,
+    guard: bool,
+) -> f64 {
     let mut total_gain = 0.0;
     for (j, (&o, &x)) in old.iter().zip(next.iter()).enumerate() {
         if j != straggler {
@@ -111,7 +131,7 @@ pub fn guarded_straggler_pin(old: &[f64], next: &mut [f64], straggler: usize) ->
         }
     }
     let s_old = old[straggler];
-    if total_gain > s_old && total_gain > 0.0 {
+    if guard && total_gain > s_old && total_gain > 0.0 {
         let scale = s_old / total_gain;
         for (j, (&o, x)) in old.iter().zip(next.iter_mut()).enumerate() {
             if j != straggler {

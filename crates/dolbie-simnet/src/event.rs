@@ -106,10 +106,61 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the earliest event, advancing the simulated clock to its time.
+    ///
+    /// The clock never runs backwards: after an out-of-order
+    /// [`pop_nth`](Self::pop_nth) jumped `now` past earlier pending
+    /// events, popping one of those stragglers keeps the later clock. In
+    /// FIFO-only use the `max` is a no-op — the heap minimum is always
+    /// `>= now` — so historical traces are unaffected bitwise.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         let next = self.heap.pop()?;
-        self.now = next.time;
+        self.now = next.time.max(self.now);
         Some(next)
+    }
+
+    /// Pops the event of `rank` in the canonical `(time, seq)` order
+    /// (`pop_nth(0)` is exactly [`pop`](Self::pop)), skipping over the
+    /// `rank` earlier events, which stay pending with their original
+    /// times and sequence numbers.
+    ///
+    /// This is the model checker's delivery-order injection point: a
+    /// scheduler enumerating ranks enumerates every delivery
+    /// interleaving. Out-of-order delivery advances the clock to the
+    /// *chosen* event's time (simulated time is observational here — the
+    /// protocol's behaviour must not depend on it, which is exactly what
+    /// the model checker verifies), and skipped events deliver later
+    /// under the never-backwards clock rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= len()`.
+    pub fn pop_nth(&mut self, rank: usize) -> Option<Scheduled<E>> {
+        assert!(rank < self.heap.len(), "pop_nth rank {rank} out of range {}", self.heap.len());
+        if rank == 0 {
+            return self.pop();
+        }
+        let mut skipped = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            skipped.push(self.heap.pop().expect("rank checked against len"));
+        }
+        let chosen = self.heap.pop().expect("rank checked against len");
+        // Re-push directly (not through `schedule`): the skipped events
+        // keep their original seq numbers, so the canonical order of the
+        // remaining multiset is unchanged.
+        for s in skipped {
+            self.heap.push(s);
+        }
+        self.now = chosen.time.max(self.now);
+        Some(chosen)
+    }
+
+    /// Visits every pending event in unspecified order — the model
+    /// checker folds these into an order-independent multiset
+    /// fingerprint, so iteration order must not matter to the caller.
+    pub fn for_each_pending(&self, mut visit: impl FnMut(&E)) {
+        for s in self.heap.iter() {
+            visit(&s.event);
+        }
     }
 
     /// Pops every event with `time <= deadline` into `out`, in schedule
@@ -262,5 +313,76 @@ mod tests {
         let mut q: EventQueue<()> = EventQueue::new();
         q.reserve(64);
         assert!(q.capacity() >= 64);
+    }
+
+    #[test]
+    fn pop_nth_zero_is_pop() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (t, e) in [(2.0, 2), (1.0, 1), (1.0, 11)] {
+            a.schedule(t, e);
+            b.schedule(t, e);
+        }
+        while !a.is_empty() {
+            let x = a.pop_nth(0).unwrap();
+            let y = b.pop().unwrap();
+            assert_eq!(x.event, y.event);
+            assert_eq!(x.time.to_bits(), y.time.to_bits());
+            assert_eq!(a.now().to_bits(), b.now().to_bits());
+        }
+    }
+
+    #[test]
+    fn pop_nth_skips_earlier_events_and_preserves_their_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        q.schedule(3.0, 3);
+        q.schedule(3.0, 33); // FIFO tie with 3
+        assert_eq!(q.pop_nth(2).unwrap().event, 3);
+        assert_eq!(q.now(), 3.0);
+        // Skipped events remain, in canonical order; the clock holds.
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.now(), 3.0);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 33);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_nth_then_schedule_relative_to_now_is_legal() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(5.0, 5);
+        assert_eq!(q.pop_nth(1).unwrap().event, 5);
+        // A reply scheduled "now + delay" lands after the jumped clock,
+        // not before the still-pending earlier event.
+        q.schedule(q.now() + 0.5, 55);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pop_nth_out_of_range_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, ());
+        q.pop_nth(1);
+    }
+
+    #[test]
+    fn for_each_pending_visits_every_event_once() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(10.0 - i as f64, i);
+        }
+        let mut sum = 0;
+        let mut count = 0;
+        q.for_each_pending(|&e| {
+            sum += e;
+            count += 1;
+        });
+        assert_eq!(count, 10);
+        assert_eq!(sum, 45);
     }
 }

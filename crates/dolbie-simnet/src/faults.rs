@@ -234,6 +234,25 @@ impl FaultPlan {
     /// is exactly one transmission with no acks — byte-for-byte the
     /// pre-fault-layer behavior.
     pub fn transmit(&self, message: &Message, latency_delay: f64) -> LinkOutcome {
+        self.transmit_with(message, latency_delay, &mut crate::sched::FifoScheduler)
+    }
+
+    /// [`transmit`](Self::transmit) with every drop/duplicate/ack-loss
+    /// coin routed through a [`Scheduler`](crate::sched::Scheduler): each
+    /// becomes a binary [`decide`](crate::sched::Scheduler::decide) whose
+    /// default is the seeded hash outcome, so the
+    /// [`FifoScheduler`](crate::sched::FifoScheduler) reproduces
+    /// `transmit` bitwise while a model checker can branch on both sides
+    /// of every coin within the retry envelope. The forced final attempt
+    /// never consults the scheduler — loss stays delay-only by
+    /// construction, in the controlled runs too.
+    pub fn transmit_with(
+        &self,
+        message: &Message,
+        latency_delay: f64,
+        sched: &mut dyn crate::sched::Scheduler,
+    ) -> LinkOutcome {
+        use crate::sched::DecisionPoint;
         if self.is_lossless() {
             return LinkOutcome {
                 delivery_delay: latency_delay,
@@ -243,6 +262,7 @@ impl FaultPlan {
                 extra_bytes: 0,
             };
         }
+        let round = message.round;
         let mut outcome =
             LinkOutcome { delivery_delay: 0.0, retries: 0, acks: 0, duplicates: 0, extra_bytes: 0 };
         let mut delivery: Option<f64> = None;
@@ -254,13 +274,19 @@ impl FaultPlan {
                 outcome.retries += 1;
                 outcome.extra_bytes += message.size_bytes();
             }
-            let data_arrives =
-                forced || !self.chance(message, attempt, Channel::Data, self.drop_probability);
+            let data_arrives = forced
+                || !sched.decide(
+                    DecisionPoint::WireDrop { round, attempt },
+                    self.chance(message, attempt, Channel::Data, self.drop_probability),
+                );
             if data_arrives {
                 if delivery.is_none() {
                     delivery = Some(offset + latency_delay);
                 }
-                if self.chance(message, attempt, Channel::Duplicate, self.duplicate_probability) {
+                if sched.decide(
+                    DecisionPoint::WireDuplicate { round, attempt },
+                    self.chance(message, attempt, Channel::Duplicate, self.duplicate_probability),
+                ) {
                     outcome.duplicates += 1;
                     outcome.extra_bytes += message.size_bytes();
                 }
@@ -268,8 +294,11 @@ impl FaultPlan {
                 // once one ack makes it back.
                 outcome.acks += 1;
                 outcome.extra_bytes += ACK_BYTES;
-                let ack_arrives =
-                    forced || !self.chance(message, attempt, Channel::Ack, self.drop_probability);
+                let ack_arrives = forced
+                    || !sched.decide(
+                        DecisionPoint::WireAckDrop { round, attempt },
+                        self.chance(message, attempt, Channel::Ack, self.drop_probability),
+                    );
                 if ack_arrives {
                     break;
                 }

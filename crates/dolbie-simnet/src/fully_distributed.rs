@@ -21,13 +21,15 @@
 //! of panicking. The plan's cost timeout is a coordinator-side concept and
 //! is ignored here — there is no master to enforce it.
 
-use crate::coordinator::{assist_step, frozen_round, guarded_straggler_pin, tighten_alpha};
+use crate::coordinator::{assist_step, frozen_round, straggler_pin_with_guard, tighten_alpha};
 use crate::event::EventQueue;
 use crate::faults::{Crash, FaultPlan, LinkStats};
 use crate::latency::LatencyModel;
 use crate::membership::{epoch_transition, MembershipSchedule, DEFAULT_DETECTION_TIMEOUT};
 use crate::message::{Message, NodeId, Payload};
+use crate::sched::{pop_with, DecisionPoint, FifoScheduler, Scheduler};
 use crate::trace::{ProtocolRound, ProtocolTrace};
+use dolbie_core::fingerprint::{MultisetFp, StateFp};
 use dolbie_core::{Allocation, DolbieConfig, Environment};
 
 #[derive(Debug, Clone, Copy)]
@@ -161,6 +163,24 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
     ///
     /// Panics if the environment produces malformed cost functions.
     pub fn run(&mut self, rounds: usize) -> ProtocolTrace {
+        self.run_with_scheduler(rounds, &mut FifoScheduler)
+    }
+
+    /// [`run`](Self::run) under controlled nondeterminism: every event
+    /// dequeue, wire-fault coin, crash window, and membership boundary is
+    /// routed through `sched` (see [`crate::sched`]). With
+    /// [`FifoScheduler`] this is bitwise identical to [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment produces malformed cost functions, or on
+    /// the deadlock check if a scheduler drives a round that cannot
+    /// complete (unreachable — the `dolbie-mc` claim).
+    pub fn run_with_scheduler(
+        &mut self,
+        rounds: usize,
+        sched: &mut dyn Scheduler,
+    ) -> ProtocolTrace {
         let n = self.shares.len();
         let mut trace = Vec::with_capacity(rounds);
         let mut ready_at = vec![0.0f64; n];
@@ -171,7 +191,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
             // Epoch boundary: rebuild the broadcast topology around the
             // new member set and run the shared state transition.
             let previous_members = members.clone();
-            let boundary = self.membership.apply_round(t, &mut members);
+            let boundary = self.membership.apply_round_sched(t, &mut members, sched);
             if boundary.changed {
                 epoch_transition(
                     &mut self.shares,
@@ -192,7 +212,13 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
 
             let fns = self.env.reveal(t);
             assert_eq!(fns.len(), n, "environment must cover every worker");
-            let down: Vec<bool> = (0..n).map(|i| !members[i] || self.plan.crashed(i, t)).collect();
+            let down: Vec<bool> = (0..n)
+                .map(|i| {
+                    !members[i]
+                        || (self.plan.crashed(i, t)
+                            && sched.decide(DecisionPoint::Crash { worker: i, round: t }, true))
+                })
+                .collect();
             let alive_count = down.iter().filter(|&&c| !c).count();
             let local_costs: Vec<f64> =
                 (0..n).map(|i| if down[i] { 0.0 } else { fns[i].eval(self.shares[i]) }).collect();
@@ -286,20 +312,58 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                         latency: &mut L,
                         plan: &FaultPlan,
                         stats: &mut LinkStats,
+                        sched: &mut dyn Scheduler,
                         msg: Message| {
                 let delay = latency.delay(&msg);
                 assert!(delay >= 0.0, "latency model produced a negative delay");
-                let outcome = plan.transmit(&msg, delay);
+                let outcome = plan.transmit_with(&msg, delay, sched);
                 stats.record(&msg, &outcome);
                 queue.schedule(queue.now() + outcome.delivery_delay, Ev::Deliver(msg));
             };
 
             // A worker resolves as soon as it holds every broadcast (and,
             // for the straggler, every decision).
-            while let Some(scheduled) = queue.pop() {
-                if resolved_count == alive_count {
-                    break;
+            while resolved_count < alive_count {
+                if sched.wants_state() && queue.len() > 1 {
+                    let mut fp = StateFp::new(0xD01B_0003);
+                    fp.push_usize(t);
+                    fp.push_usize(rounds);
+                    fp.push_f64_slice(&self.shares);
+                    fp.push_f64_slice(&self.local_alphas);
+                    fp.push_f64_slice(&next_shares);
+                    fp.push_f64_slice(&next_alphas);
+                    fp.push_bool_slice(&members);
+                    fp.push_bool_slice(&down);
+                    fp.push_f64(global_cost);
+                    fp.push_usize(straggler);
+                    fp.push_usize(resolved_count);
+                    for st in &states {
+                        for c in &st.costs {
+                            fp.push_opt_f64(*c);
+                        }
+                        for a in &st.alphas {
+                            fp.push_opt_f64(*a);
+                        }
+                        for d in &st.decisions {
+                            fp.push_opt_f64(*d);
+                        }
+                        fp.push_usize(st.broadcasts_received);
+                        fp.push_usize(st.decisions_received);
+                        fp.push_u64(u64::from(st.resolved));
+                    }
+                    let mut pending = MultisetFp::new();
+                    queue.for_each_pending(|ev| {
+                        pending.insert(match ev {
+                            Ev::ComputeDone { worker } => 1 + *worker as u64,
+                            Ev::Deliver(msg) => msg.fingerprint(),
+                        });
+                    });
+                    fp.push_u64(pending.finish());
+                    sched.observe_state(fp.finish());
                 }
+                let Some(scheduled) = pop_with(&mut queue, sched) else {
+                    break;
+                };
                 let now = scheduled.time;
                 match scheduled.event {
                     Ev::ComputeDone { worker } => {
@@ -314,6 +378,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                                 &mut self.latency,
                                 &self.plan,
                                 &mut stats,
+                                &mut *sched,
                                 Message {
                                     from: NodeId::Worker(worker),
                                     to: NodeId::Worker(j),
@@ -375,6 +440,7 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                                 &mut self.latency,
                                 &self.plan,
                                 &mut stats,
+                                &mut *sched,
                                 Message {
                                     from: NodeId::Worker(me),
                                     to: NodeId::Worker(straggler),
@@ -390,7 +456,12 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                             // Lines 11-13; every live peer's decision is in
                             // `next_shares` (written before it was sent),
                             // crashed workers' shares sit there frozen.
-                            let s_share = guarded_straggler_pin(&self.shares, &mut next_shares, me);
+                            let s_share = straggler_pin_with_guard(
+                                &self.shares,
+                                &mut next_shares,
+                                me,
+                                !sched.sabotage_overshoot_guard(),
+                            );
                             next_alphas[me] = tighten_alpha(alpha_t, member_count, s_share);
                             state.resolved = true;
                             resolved_count += 1;
@@ -407,7 +478,12 @@ impl<E: Environment, L: LatencyModel> FullyDistributedSim<E, L> {
                     && s_state.broadcasts_received == alive_count
                     && s_state.decisions_received == alive_count - 1
                 {
-                    let s_share = guarded_straggler_pin(&self.shares, &mut next_shares, straggler);
+                    let s_share = straggler_pin_with_guard(
+                        &self.shares,
+                        &mut next_shares,
+                        straggler,
+                        !sched.sabotage_overshoot_guard(),
+                    );
                     let alpha_t =
                         s_state.alphas.iter().flatten().fold(f64::INFINITY, |acc, &a| acc.min(a));
                     next_alphas[straggler] = tighten_alpha(alpha_t, member_count, s_share);

@@ -37,6 +37,15 @@
 //! - [`latency::DegradedNode`] — latency-side fault injection (slow
 //!   links/NICs), used to demonstrate that DOLBIE's *decisions* are
 //!   delay-invariant even when the wall clock is not.
+//! - [`sched::Scheduler`] — controlled nondeterminism: every event
+//!   dequeue, wire-fault coin, crash window, and membership boundary in
+//!   the sims is routed through one trait so the `dolbie-mc` model
+//!   checker can enumerate interleavings instead of sampling them; the
+//!   default [`FifoScheduler`] reproduces the uncontrolled sims bitwise.
+//! - [`invariants`] — the five chaos invariants (simplex feasibility, α
+//!   monotonicity, no stranded share, architecture agreement,
+//!   termination), defined once and consumed by the chaos sweeps and the
+//!   model checker alike.
 //!
 //! All three implementations are tested to produce trajectories identical
 //! to the sequential engine in `dolbie-core`, which is what licenses the
@@ -49,11 +58,13 @@ pub mod coordinator;
 pub mod event;
 pub mod faults;
 pub mod fully_distributed;
+pub mod invariants;
 pub mod latency;
 pub mod master_worker;
 pub mod membership;
 pub mod message;
 pub mod ring;
+pub mod sched;
 pub mod sharded;
 pub mod threaded;
 pub mod trace;
@@ -68,5 +79,6 @@ pub use membership::{
 };
 pub use message::{Message, NodeId, Payload};
 pub use ring::RingSim;
+pub use sched::{DecisionPoint, FifoScheduler, Scheduler};
 pub use sharded::{RootTierRound, ShardedRun, ShardedSim};
 pub use trace::{ProtocolRound, ProtocolTrace};

@@ -37,14 +37,16 @@
 //! panicking.
 
 use crate::coordinator::{
-    assist_step, elect_straggler, frozen_round, guarded_straggler_pin, tighten_alpha,
+    assist_step, elect_straggler, frozen_round, straggler_pin_with_guard, tighten_alpha,
 };
 use crate::event::EventQueue;
 use crate::faults::{FaultPlan, LinkStats};
 use crate::latency::LatencyModel;
 use crate::membership::{epoch_transition, MembershipSchedule, DEFAULT_DETECTION_TIMEOUT};
 use crate::message::{Message, NodeId, Payload};
+use crate::sched::{pop_with, DecisionPoint, FifoScheduler, Scheduler};
 use crate::trace::{ProtocolRound, ProtocolTrace};
+use dolbie_core::fingerprint::{MultisetFp, StateFp};
 use dolbie_core::{Allocation, DolbieConfig, Environment};
 
 pub use crate::faults::Crash;
@@ -157,6 +159,27 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
     ///
     /// Panics if the environment produces malformed cost functions.
     pub fn run(&mut self, rounds: usize) -> ProtocolTrace {
+        self.run_with_scheduler(rounds, &mut FifoScheduler)
+    }
+
+    /// [`run`](Self::run) under controlled nondeterminism: every event
+    /// dequeue, wire-fault coin, crash window, and membership boundary is
+    /// routed through `sched` (see [`crate::sched`]). With
+    /// [`FifoScheduler`] this is bitwise identical to [`run`](Self::run);
+    /// with an exploring scheduler it is the model checker's branching
+    /// execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment produces malformed cost functions, or if
+    /// a scheduler drives the protocol into a round that cannot complete
+    /// (the deadlock check — unreachable under any delivery order the
+    /// checker can express, which is exactly what `dolbie-mc` verifies).
+    pub fn run_with_scheduler(
+        &mut self,
+        rounds: usize,
+        sched: &mut dyn Scheduler,
+    ) -> ProtocolTrace {
         let n = self.shares.len();
         let mut trace = Vec::with_capacity(rounds);
         // Per-worker time at which it may begin executing the round.
@@ -167,7 +190,7 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
         for t in 0..rounds {
             // Epoch boundary: apply scheduled leaves/joins, re-normalize
             // onto the new member simplex, shrink α to the re-derived cap.
-            let boundary = self.membership.apply_round(t, &mut members);
+            let boundary = self.membership.apply_round_sched(t, &mut members, sched);
             if boundary.changed {
                 let mut alpha_state = [self.alpha];
                 self.alpha =
@@ -186,7 +209,13 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
 
             let fns = self.env.reveal(t);
             assert_eq!(fns.len(), n, "environment must cover every worker");
-            let down: Vec<bool> = (0..n).map(|i| !members[i] || self.plan.crashed(i, t)).collect();
+            let down: Vec<bool> = (0..n)
+                .map(|i| {
+                    !members[i]
+                        || (self.plan.crashed(i, t)
+                            && sched.decide(DecisionPoint::Crash { worker: i, round: t }, true))
+                })
+                .collect();
             let alive_count = down.iter().filter(|&&c| !c).count();
             let local_costs: Vec<f64> =
                 (0..n).map(|i| if down[i] { 0.0 } else { fns[i].eval(self.shares[i]) }).collect();
@@ -234,10 +263,11 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                         latency: &mut L,
                         plan: &FaultPlan,
                         stats: &mut LinkStats,
+                        sched: &mut dyn Scheduler,
                         msg: Message| {
                 let delay = latency.delay(&msg);
                 assert!(delay >= 0.0, "latency model produced a negative delay");
-                let outcome = plan.transmit(&msg, delay);
+                let outcome = plan.transmit_with(&msg, delay, sched);
                 stats.record(&msg, &outcome);
                 queue.schedule(queue.now() + outcome.delivery_delay, Ev::Deliver(msg));
             };
@@ -276,6 +306,7 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                             &mut self.latency,
                             &self.plan,
                             &mut stats,
+                            &mut *sched,
                             Message {
                                 from: NodeId::Master,
                                 to: NodeId::Worker(j),
@@ -302,7 +333,12 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                     }
                     // Crashed/timed-out workers keep their frozen entry in
                     // `next_shares`; the guarded pin counts them as-is.
-                    let s_share = guarded_straggler_pin(&self.shares, &mut next_shares, straggler);
+                    let s_share = straggler_pin_with_guard(
+                        &self.shares,
+                        &mut next_shares,
+                        straggler,
+                        !sched.sabotage_overshoot_guard(),
+                    );
                     // Eq. (7) against the active member count (== n when
                     // no membership schedule is installed).
                     self.alpha = tighten_alpha(self.alpha, member_count, s_share);
@@ -311,6 +347,7 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                         &mut self.latency,
                         &self.plan,
                         &mut stats,
+                        &mut *sched,
                         Message {
                             from: NodeId::Master,
                             to: NodeId::Worker(straggler),
@@ -321,10 +358,46 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                 }};
             }
 
-            while let Some(scheduled) = queue.pop() {
-                if round_done {
-                    break;
+            while !round_done {
+                // Fingerprint the full continuation-determining state
+                // before each genuine delivery choice (len > 1), so an
+                // exploring scheduler can prune revisited states. The
+                // FIFO scheduler declines (`wants_state`), costing the
+                // uncontrolled sims nothing.
+                if sched.wants_state() && queue.len() > 1 {
+                    let mut fp = StateFp::new(0xD01B_0001);
+                    fp.push_usize(t);
+                    fp.push_usize(rounds);
+                    fp.push_f64_slice(&self.shares);
+                    fp.push_f64(self.alpha);
+                    fp.push_f64_slice(&next_shares);
+                    fp.push_bool_slice(&members);
+                    fp.push_bool_slice(&down);
+                    fp.push_bool_slice(&costs_received);
+                    fp.push_bool_slice(&participants);
+                    fp.push_bool_slice(&excluded);
+                    fp.push_u64(u64::from(coordination_sent));
+                    fp.push_f64(global_cost);
+                    fp.push_usize(straggler);
+                    fp.push_usize(decisions_count);
+                    fp.push_usize(expected_decisions);
+                    for d in &decisions {
+                        fp.push_opt_f64(*d);
+                    }
+                    let mut pending = MultisetFp::new();
+                    queue.for_each_pending(|ev| {
+                        pending.insert(match ev {
+                            Ev::ComputeDone { worker } => 1 + *worker as u64,
+                            Ev::CostTimeout => 0,
+                            Ev::Deliver(msg) => msg.fingerprint(),
+                        });
+                    });
+                    fp.push_u64(pending.finish());
+                    sched.observe_state(fp.finish());
                 }
+                let Some(scheduled) = pop_with(&mut queue, sched) else {
+                    break;
+                };
                 match scheduled.event {
                     Ev::ComputeDone { worker } => {
                         if excluded[worker] {
@@ -340,6 +413,7 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                             &mut self.latency,
                             &self.plan,
                             &mut stats,
+                            &mut *sched,
                             Message {
                                 from: NodeId::Worker(worker),
                                 to: NodeId::Master,
@@ -391,6 +465,7 @@ impl<E: Environment, L: LatencyModel> MasterWorkerSim<E, L> {
                                 &mut self.latency,
                                 &self.plan,
                                 &mut stats,
+                                &mut *sched,
                                 Message {
                                     from: NodeId::Worker(i),
                                     to: NodeId::Master,

@@ -221,6 +221,57 @@ impl MembershipSchedule {
         change
     }
 
+    /// [`apply_round`](Self::apply_round) with each event's firing gated
+    /// by a [`Scheduler`](crate::sched::Scheduler) decision (default:
+    /// it fires), so a model checker can branch on every join/leave
+    /// boundary. A leave whose firing would empty the member set — only
+    /// reachable on a branch where the scheduler previously held back a
+    /// join, never on the all-default path of a
+    /// [`validate`](Self::validate)d schedule — is force-skipped without
+    /// consulting the scheduler, keeping controlled runs inside the
+    /// non-empty-membership domain the epoch transition is defined on.
+    pub fn apply_round_sched(
+        &self,
+        round: usize,
+        members: &mut [bool],
+        sched: &mut dyn crate::sched::Scheduler,
+    ) -> EpochChange {
+        use crate::sched::DecisionPoint;
+        let mut change = EpochChange { changed: false, crash_detected: false };
+        for event in self.events.iter().filter(|e| e.round == round) {
+            let w = event.worker;
+            match event.change {
+                MembershipChange::Leave(kind) => {
+                    if members[w] {
+                        let sole_member = members.iter().filter(|&&m| m).count() == 1;
+                        let fires = !sole_member
+                            && sched.decide(
+                                DecisionPoint::Membership { round, worker: w, join: false },
+                                true,
+                            );
+                        if fires {
+                            members[w] = false;
+                            change.changed = true;
+                            change.crash_detected |= kind == LeaveKind::CrashDetected;
+                        }
+                    }
+                }
+                MembershipChange::Join => {
+                    if !members[w]
+                        && sched.decide(
+                            DecisionPoint::Membership { round, worker: w, join: true },
+                            true,
+                        )
+                    {
+                        members[w] = true;
+                        change.changed = true;
+                    }
+                }
+            }
+        }
+        change
+    }
+
     /// The member mask in effect *during* `round` (events with
     /// `event.round <= round` applied to the all-member initial state)
     /// over a fleet of `n` workers.

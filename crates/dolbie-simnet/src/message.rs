@@ -165,6 +165,82 @@ impl Message {
     pub fn size_bytes(&self) -> usize {
         self.payload.size_bytes()
     }
+
+    /// Content fingerprint for the model checker's in-flight multiset
+    /// hash: endpoints, round, payload variant, and every payload scalar
+    /// by bit pattern. Deliberately excludes anything temporal — two
+    /// copies of the same message at different simulated times are the
+    /// same element of the in-flight multiset.
+    pub fn fingerprint(&self) -> u64 {
+        use dolbie_core::fingerprint::StateFp;
+        let node_code = |n: NodeId| match n {
+            NodeId::Master => 0u64,
+            NodeId::Worker(i) => i as u64 + 1,
+        };
+        let mut fp = StateFp::new(0xD01B_3E55);
+        fp.push_u64(node_code(self.from));
+        fp.push_u64(node_code(self.to));
+        fp.push_usize(self.round);
+        match self.payload {
+            Payload::LocalCost { cost } => {
+                fp.push_u64(1);
+                fp.push_f64(cost);
+            }
+            Payload::CostAndStepSize { cost, alpha } => {
+                fp.push_u64(2);
+                fp.push_f64(cost);
+                fp.push_f64(alpha);
+            }
+            Payload::Coordination { global_cost, alpha, is_straggler } => {
+                fp.push_u64(3);
+                fp.push_f64(global_cost);
+                fp.push_f64(alpha);
+                fp.push_u64(u64::from(is_straggler));
+            }
+            Payload::Decision { share } => {
+                fp.push_u64(4);
+                fp.push_f64(share);
+            }
+            Payload::StragglerAssignment { share } => {
+                fp.push_u64(5);
+                fp.push_f64(share);
+            }
+            Payload::RingAggregate { max_cost, straggler, min_alpha } => {
+                fp.push_u64(6);
+                fp.push_f64(max_cost);
+                fp.push_usize(straggler);
+                fp.push_f64(min_alpha);
+            }
+            Payload::RingUpdate { global_cost, straggler, alpha, sum_shares } => {
+                fp.push_u64(7);
+                fp.push_f64(global_cost);
+                fp.push_usize(straggler);
+                fp.push_f64(alpha);
+                fp.push_f64(sum_shares);
+            }
+            Payload::ShardAggregate { max_cost, straggler, share } => {
+                fp.push_u64(8);
+                fp.push_f64(max_cost);
+                fp.push_usize(straggler);
+                fp.push_f64(share);
+            }
+            Payload::ShardCoordination { global_cost, alpha, straggler } => {
+                fp.push_u64(9);
+                fp.push_f64(global_cost);
+                fp.push_f64(alpha);
+                fp.push_usize(straggler);
+            }
+            Payload::ShardPartial { sum } => {
+                fp.push_u64(10);
+                fp.push_f64(sum);
+            }
+            Payload::ShardRescale { scale } => {
+                fp.push_u64(11);
+                fp.push_f64(scale);
+            }
+        }
+        fp.finish()
+    }
 }
 
 #[cfg(test)]

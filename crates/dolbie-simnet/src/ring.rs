@@ -36,13 +36,15 @@
 //! membership freezes every share, and the run continues. The plan's cost
 //! timeout is a coordinator-side concept and is ignored here.
 
-use crate::coordinator::{assist_step, frozen_round, guarded_straggler_pin, tighten_alpha};
+use crate::coordinator::{assist_step, frozen_round, straggler_pin_with_guard, tighten_alpha};
 use crate::event::EventQueue;
 use crate::faults::{Crash, FaultPlan, LinkStats};
 use crate::latency::LatencyModel;
 use crate::membership::{epoch_transition, MembershipSchedule, DEFAULT_DETECTION_TIMEOUT};
 use crate::message::{Message, NodeId, Payload};
+use crate::sched::{pop_with, DecisionPoint, FifoScheduler, Scheduler};
 use crate::trace::{ProtocolRound, ProtocolTrace};
+use dolbie_core::fingerprint::{MultisetFp, StateFp};
 use dolbie_core::{Allocation, DolbieConfig, Environment};
 
 #[derive(Debug, Clone, Copy)]
@@ -149,6 +151,24 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
     ///
     /// Panics if the environment produces malformed cost functions.
     pub fn run(&mut self, rounds: usize) -> ProtocolTrace {
+        self.run_with_scheduler(rounds, &mut FifoScheduler)
+    }
+
+    /// [`run`](Self::run) under controlled nondeterminism: every event
+    /// dequeue, wire-fault coin, crash window, and membership boundary is
+    /// routed through `sched` (see [`crate::sched`]). With
+    /// [`FifoScheduler`] this is bitwise identical to [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment produces malformed cost functions, or on
+    /// the deadlock check if a scheduler drives a round that cannot
+    /// complete (unreachable — the `dolbie-mc` claim).
+    pub fn run_with_scheduler(
+        &mut self,
+        rounds: usize,
+        sched: &mut dyn Scheduler,
+    ) -> ProtocolTrace {
         let n = self.shares.len();
         let mut trace = Vec::with_capacity(rounds);
         let mut ready_at = vec![0.0f64; n];
@@ -159,7 +179,7 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
             // Epoch boundary: rebuild the ring around the new member set
             // and run the shared state transition.
             let previous_members = members.clone();
-            let boundary = self.membership.apply_round(t, &mut members);
+            let boundary = self.membership.apply_round_sched(t, &mut members, sched);
             if boundary.changed {
                 epoch_transition(
                     &mut self.shares,
@@ -180,7 +200,13 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
 
             let fns = self.env.reveal(t);
             assert_eq!(fns.len(), n, "environment must cover every worker");
-            let down: Vec<bool> = (0..n).map(|i| !members[i] || self.plan.crashed(i, t)).collect();
+            let down: Vec<bool> = (0..n)
+                .map(|i| {
+                    !members[i]
+                        || (self.plan.crashed(i, t)
+                            && sched.decide(DecisionPoint::Crash { worker: i, round: t }, true))
+                })
+                .collect();
             let alive: Vec<usize> = (0..n).filter(|&i| !down[i]).collect();
             let local_costs: Vec<f64> =
                 (0..n).map(|i| if down[i] { 0.0 } else { fns[i].eval(self.shares[i]) }).collect();
@@ -267,18 +293,53 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                         latency: &mut L,
                         plan: &FaultPlan,
                         stats: &mut LinkStats,
+                        sched: &mut dyn Scheduler,
                         msg: Message| {
                 let delay = latency.delay(&msg);
                 assert!(delay >= 0.0, "latency model produced a negative delay");
-                let outcome = plan.transmit(&msg, delay);
+                let outcome = plan.transmit_with(&msg, delay, sched);
                 stats.record(&msg, &outcome);
                 queue.schedule(queue.now() + outcome.delivery_delay, Ev::Deliver(msg));
             };
 
-            while let Some(scheduled) = queue.pop() {
-                if round_done {
-                    break;
+            while !round_done {
+                if sched.wants_state() && queue.len() > 1 {
+                    let mut fp = StateFp::new(0xD01B_0002);
+                    fp.push_usize(t);
+                    fp.push_usize(rounds);
+                    fp.push_f64_slice(&self.shares);
+                    fp.push_f64_slice(&self.local_alphas);
+                    fp.push_f64_slice(&next_shares);
+                    fp.push_f64_slice(&next_alphas);
+                    fp.push_bool_slice(&members);
+                    fp.push_bool_slice(&down);
+                    fp.push_bool_slice(&computed);
+                    match pending_aggregate {
+                        None => fp.push_u64(0),
+                        Some((held_by, max_cost, arg, min_alpha)) => {
+                            fp.push_u64(1);
+                            fp.push_usize(held_by);
+                            fp.push_f64(max_cost);
+                            fp.push_usize(arg);
+                            fp.push_f64(min_alpha);
+                        }
+                    }
+                    fp.push_f64(global_cost);
+                    fp.push_usize(straggler);
+                    fp.push_f64(straggler_alpha);
+                    let mut pending = MultisetFp::new();
+                    queue.for_each_pending(|ev| {
+                        pending.insert(match ev {
+                            Ev::ComputeDone { worker } => 1 + *worker as u64,
+                            Ev::Deliver(msg) => msg.fingerprint(),
+                        });
+                    });
+                    fp.push_u64(pending.finish());
+                    sched.observe_state(fp.finish());
                 }
+                let Some(scheduled) = pop_with(&mut queue, sched) else {
+                    break;
+                };
                 let now = scheduled.time;
                 match scheduled.event {
                     Ev::ComputeDone { worker } => {
@@ -291,6 +352,7 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                 &mut self.latency,
                                 &self.plan,
                                 &mut stats,
+                                &mut *sched,
                                 Message {
                                     from: NodeId::Worker(head),
                                     to: NodeId::Worker(succ[head]),
@@ -319,6 +381,7 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                     &mut self.latency,
                                     &self.plan,
                                     &mut stats,
+                                    &mut *sched,
                                     Message {
                                         from: NodeId::Worker(worker),
                                         to: NodeId::Worker(succ[worker]),
@@ -371,6 +434,7 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                         &mut self.latency,
                                         &self.plan,
                                         &mut stats,
+                                        &mut *sched,
                                         Message {
                                             from: NodeId::Worker(head),
                                             to: NodeId::Worker(succ[head]),
@@ -396,6 +460,7 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                         &mut self.latency,
                                         &self.plan,
                                         &mut stats,
+                                        &mut *sched,
                                         Message {
                                             from: NodeId::Worker(me),
                                             to: NodeId::Worker(succ[me]),
@@ -425,8 +490,12 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                     // collected (every live worker's update
                                     // is in `next_shares` by now; crashed
                                     // workers' shares sit there frozen).
-                                    let s_share =
-                                        guarded_straggler_pin(&self.shares, &mut next_shares, s);
+                                    let s_share = straggler_pin_with_guard(
+                                        &self.shares,
+                                        &mut next_shares,
+                                        s,
+                                        !sched.sabotage_overshoot_guard(),
+                                    );
                                     if s == head {
                                         next_alphas[head] =
                                             tighten_alpha(alpha, member_count, s_share);
@@ -439,6 +508,7 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                             &mut self.latency,
                                             &self.plan,
                                             &mut stats,
+                                            &mut *sched,
                                             Message {
                                                 from: NodeId::Worker(head),
                                                 to: NodeId::Worker(s),
@@ -466,6 +536,7 @@ impl<E: Environment, L: LatencyModel> RingSim<E, L> {
                                         &mut self.latency,
                                         &self.plan,
                                         &mut stats,
+                                        &mut *sched,
                                         Message {
                                             from: NodeId::Worker(me),
                                             to: NodeId::Worker(succ[me]),

@@ -94,4 +94,14 @@ if [ "$smoke_elapsed" -ge 10 ]; then
     exit 1
 fi
 
+echo "== tier-1: mc smoke (exhaustive crash-only interleaving check, N=3 x 3 rounds, <10 s) =="
+smoke_start=$SECONDS
+cargo run --release -p dolbie-bench --bin paper_figures -- --quick mc
+smoke_elapsed=$((SECONDS - smoke_start))
+echo "mc smoke took ${smoke_elapsed}s"
+if [ "$smoke_elapsed" -ge 10 ]; then
+    echo "FAIL: mc smoke exceeded the 10 s budget" >&2
+    exit 1
+fi
+
 echo "== tier-1: OK =="
